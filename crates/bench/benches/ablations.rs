@@ -1,0 +1,83 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * E9  — index-bit flipping on/off (the §3.2 mechanism) on the C1
+//!   stress class, where same-index grouping cannot work;
+//! * E10 — sampling-period lengths (§3.4's "5 M + 100 M works well");
+//! * E11 — monitor counter width k and threshold p (§3.1.2);
+//! * E12 — the CC spill-probability sweep behind CC(Best) (§4.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snug_core::SchemeSpec;
+use snug_experiments::{run_scheme, CompareConfig};
+use snug_workloads::all_combos;
+
+fn print_reproduction() {
+    // Evaluation-scale budgets: the 1 MB slices need hundreds of
+    // thousands of cycles before they even start evicting, so the quick
+    // budget would show flat 1.000 everywhere.
+    let mut cfg = CompareConfig::default_eval();
+    // full evaluation window: the cooperative effects need several
+    // sampling periods to develop.
+    let _ = &cfg;
+    let c1 = all_combos()[0]; // 4 × ammp
+    let base = run_scheme(&c1, &SchemeSpec::L2p, &cfg).throughput();
+
+    println!("\n=== E9: index-bit flipping ablation (C1 stress, 4×ammp) ===");
+    for flipping in [true, false] {
+        let mut s = cfg.snug;
+        s.flipping = flipping;
+        let r = run_scheme(&c1, &SchemeSpec::Snug(s), &cfg);
+        println!(
+            "flipping {:<5} → normalised throughput {:.3}",
+            flipping,
+            r.throughput() / base
+        );
+    }
+
+    println!("\n=== E10: sampling-period lengths (C1) ===");
+    for (s1, s2) in [(50_000u64, 450_000u64), (150_000, 1_350_000), (300_000, 2_700_000)] {
+        let mut s = cfg.snug;
+        s.stage1_cycles = s1;
+        s.stage2_cycles = s2;
+        let r = run_scheme(&c1, &SchemeSpec::Snug(s), &cfg);
+        println!("stage I {s1:>7} + stage II {s2:>7} → {:.3}", r.throughput() / base);
+    }
+
+    println!("\n=== E11: counter width k / threshold p (C1) ===");
+    for (k, p) in [(2u32, 4u16), (4, 8), (6, 16)] {
+        let mut s = cfg.snug;
+        s.counter_bits = k;
+        s.p = p;
+        let r = run_scheme(&c1, &SchemeSpec::Snug(s), &cfg);
+        println!("k = {k}, p = {p:>2} → {:.3}", r.throughput() / base);
+    }
+
+    println!("\n=== E12: CC spill-probability sweep (C1) ===");
+    for &p in &SchemeSpec::CC_SPILL_SWEEP {
+        let r = run_scheme(&c1, &SchemeSpec::Cc { spill_probability: p }, &cfg);
+        println!("p_spill {:>3.0} % → {:.3}", p * 100.0, r.throughput() / base);
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let mut cfg = CompareConfig::quick();
+    cfg.budget.warmup_cycles = 30_000;
+    cfg.budget.measure_cycles = 150_000;
+    let combo = all_combos()[0];
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    let mut flip_off = cfg.snug;
+    flip_off.flipping = false;
+    g.bench_function("snug_flipping_on", |b| {
+        b.iter(|| run_scheme(&combo, &SchemeSpec::Snug(cfg.snug), &cfg))
+    });
+    g.bench_function("snug_flipping_off", |b| {
+        b.iter(|| run_scheme(&combo, &SchemeSpec::Snug(flip_off), &cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Tables 2–3: SNUG storage-overhead analysis (Formula 6).
+//!
+//! Prints the reproduced table rows (paper: 3.9 % / 5.8 % / 2.1 % /
+//! 3.1 %), then benchmarks the arithmetic (trivially fast — included so
+//! every table has a regenerating bench target).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use snug_core::{table3, OverheadParams};
+
+fn print_reproduction() {
+    let p = OverheadParams::paper();
+    println!("\n=== Table 2 / §3.4: baseline storage overhead ===");
+    println!(
+        "tag bits = {}, shadow set = {} bits, L2 set = {} bits → overhead {:.2} % (paper: 3.9 %)",
+        p.tag_bits(),
+        p.shadow_set_bits(),
+        p.l2_set_bits(),
+        p.storage_overhead() * 100.0
+    );
+    println!("\n=== Table 3: address width × line size ===");
+    for (addr, block, o) in table3() {
+        println!("{block:>4} B lines, {addr}-bit addresses: {:.1} %", o * 100.0);
+    }
+    println!("paper Table 3: 64B → 3.9/5.8 %, 128B → 2.1/3.1 %\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    c.bench_function("table2_3/storage_overhead", |b| {
+        b.iter(|| black_box(OverheadParams::paper()).storage_overhead());
+    });
+    c.bench_function("table2_3/full_table3", |b| {
+        b.iter(table3);
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

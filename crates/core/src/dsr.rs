@@ -1,0 +1,316 @@
+//! DSR — Dynamic Spill-Receive (Qureshi, HPCA'09).
+//!
+//! Each private cache learns, via set dueling, whether it should act as
+//! a **spiller** (its clean victims are retained in peer caches) or a
+//! **receiver** (it donates capacity). A few *spiller-sample* sets always
+//! spill and a few *receiver-sample* sets always receive; a per-cache
+//! PSEL counter compares the off-chip miss rates of the two sample
+//! populations, and follower sets adopt the winning policy.
+//!
+//! This is the application-level state of the art the paper compares
+//! against: it exploits *application-level* asymmetry in capacity demand
+//! but is blind to set-level non-uniformity (the gap SNUG targets).
+
+use crate::chassis::{PeerHit, PrivateChassis};
+use sim_cache::{CacheStats, Evicted, Psel};
+use sim_cmp::{ChipResources, L2Fill, L2Org, L2Outcome, SystemConfig};
+use sim_mem::BlockAddr;
+
+/// Role a set plays in the duel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetRole {
+    /// Dedicated always-spill sample set.
+    SpillSample,
+    /// Dedicated always-receive sample set.
+    ReceiveSample,
+    /// Follower: adopts the PSEL-selected policy.
+    Follower,
+}
+
+/// DSR configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DsrConfig {
+    /// One spiller-sample set every `sample_stride` sets (receiver
+    /// samples are offset by half a stride). Qureshi uses 32 dueling
+    /// sets per 1024-set cache → stride 32.
+    pub sample_stride: usize,
+    /// PSEL width in bits (Qureshi: 10).
+    pub psel_bits: u32,
+}
+
+impl DsrConfig {
+    /// Qureshi's published parameters.
+    pub fn paper() -> Self {
+        DsrConfig { sample_stride: 32, psel_bits: 10 }
+    }
+
+    /// Small-stride configuration for tiny test caches.
+    pub fn tiny() -> Self {
+        DsrConfig { sample_stride: 4, psel_bits: 6 }
+    }
+}
+
+/// The DSR organisation.
+pub struct Dsr {
+    chassis: PrivateChassis,
+    cfg: DsrConfig,
+    psel: Vec<Psel>,
+    next_peer: usize,
+}
+
+impl Dsr {
+    /// Build DSR.
+    pub fn new(sys: SystemConfig, cfg: DsrConfig) -> Self {
+        assert!(cfg.sample_stride >= 2);
+        let n = sys.num_cores;
+        Dsr {
+            chassis: PrivateChassis::new(sys),
+            cfg,
+            psel: vec![Psel::new(cfg.psel_bits); n],
+            next_peer: 1,
+        }
+    }
+
+    /// Access to the underlying chassis (tests/diagnostics).
+    pub fn chassis(&self) -> &PrivateChassis {
+        &self.chassis
+    }
+
+    /// The duel role of `set` in cache `c`.
+    ///
+    /// Sample positions are staggered per cache (as in Qureshi's design)
+    /// so one cache's spiller samples land on other caches' followers or
+    /// receiver samples rather than their spiller samples.
+    pub fn set_role(&self, c: usize, set: usize) -> SetRole {
+        let s = self.cfg.sample_stride;
+        let off = (c * s / self.chassis.num_cores()) % s;
+        let r = set % s;
+        if r == off {
+            SetRole::SpillSample
+        } else if r == (off + s / 2) % s {
+            SetRole::ReceiveSample
+        } else {
+            SetRole::Follower
+        }
+    }
+
+    /// Whether cache `c` currently acts as a spiller for its followers.
+    ///
+    /// Orientation: a DRAM-bound miss in a spiller-sample set increments
+    /// PSEL, one in a receiver-sample set decrements it. Low PSEL ⇒
+    /// spill-sample sets miss less ⇒ spilling pays for this cache.
+    pub fn is_spiller(&self, c: usize) -> bool {
+        !self.psel[c].high()
+    }
+
+    /// Whether set `set` of cache `c` may spill its victims.
+    fn spills(&self, c: usize, set: usize) -> bool {
+        match self.set_role(c, set) {
+            SetRole::SpillSample => true,
+            SetRole::ReceiveSample => false,
+            SetRole::Follower => self.is_spiller(c),
+        }
+    }
+
+    /// Whether set `set` of cache `c` accepts spilled blocks.
+    fn receives(&self, c: usize, set: usize) -> bool {
+        match self.set_role(c, set) {
+            SetRole::SpillSample => false,
+            SetRole::ReceiveSample => true,
+            SetRole::Follower => !self.is_spiller(c),
+        }
+    }
+
+    /// Record a DRAM-bound miss for the duel.
+    fn note_dram_miss(&mut self, c: usize, set: usize) {
+        match self.set_role(c, set) {
+            SetRole::SpillSample => self.psel[c].inc(),
+            SetRole::ReceiveSample => self.psel[c].dec(),
+            SetRole::Follower => {}
+        }
+    }
+
+    fn probe_peers(&self, owner: usize, block: BlockAddr) -> Option<PeerHit> {
+        let set = self.chassis.cfg.l2_slice.set_index(block);
+        let n = self.chassis.num_cores();
+        (0..n)
+            .filter(|&j| j != owner)
+            .find(|&j| self.chassis.probe_cc_in_set(j, set, block))
+            .map(|peer| PeerHit { peer, set })
+    }
+
+    fn handle_victim(&mut self, core: usize, ev: Evicted, now: u64, res: &mut ChipResources<'_>) {
+        if ev.flags.cc {
+            return;
+        }
+        if ev.flags.dirty {
+            self.chassis.retire_victim(core, ev, now, res);
+            return;
+        }
+        let set = self.chassis.cfg.l2_slice.set_index(ev.block);
+        if !self.spills(core, set) {
+            return;
+        }
+        // Round-robin over receiving peers.
+        let n = self.chassis.num_cores();
+        let start = self.next_peer;
+        for k in 0..n {
+            let j = (start + k) % n;
+            if j != core && self.receives(j, set) {
+                self.next_peer = (j + 1) % n;
+                self.chassis.charge_spill_transfer(now, res);
+                self.chassis.receive_spill(core, j, set, ev.block, false, now, res);
+                return;
+            }
+        }
+    }
+}
+
+impl L2Org for Dsr {
+    fn access(
+        &mut self,
+        core: usize,
+        block: BlockAddr,
+        is_write: bool,
+        now: u64,
+        res: &mut ChipResources<'_>,
+    ) -> L2Outcome {
+        self.chassis.drain_write_buffers(now, res);
+        if self.chassis.local_access(core, block, is_write).is_some() {
+            return L2Outcome { latency: self.chassis.cfg.l2_local_latency, fill: L2Fill::LocalHit };
+        }
+        self.chassis.slices[core].stats_mut().misses += 1;
+        if let Some(ev) = self.chassis.write_buffer_read(core, block, is_write) {
+            if let Some(ev) = ev {
+                self.handle_victim(core, ev, now, res);
+            }
+            return L2Outcome {
+                latency: self.chassis.cfg.l2_local_latency,
+                fill: L2Fill::WriteBufferHit,
+            };
+        }
+        if let Some(hit) = self.probe_peers(core, block) {
+            let latency =
+                self.chassis.peer_hit_latency(now, self.chassis.cfg.l2_remote_latency, res);
+            self.chassis.forward_from_peer(core, hit, block);
+            if let Some(ev) = self.chassis.fill_local(core, block, is_write) {
+                self.handle_victim(core, ev, now, res);
+            }
+            return L2Outcome { latency, fill: L2Fill::RemoteHit };
+        }
+        let set = self.chassis.cfg.l2_slice.set_index(block);
+        self.note_dram_miss(core, set);
+        let latency = self.chassis.dram_fill_latency(now, res);
+        if let Some(ev) = self.chassis.fill_local(core, block, is_write) {
+            self.handle_victim(core, ev, now, res);
+        }
+        L2Outcome { latency, fill: L2Fill::Dram }
+    }
+
+    fn writeback(&mut self, core: usize, block: BlockAddr, now: u64, res: &mut ChipResources<'_>) {
+        self.chassis.l1_writeback(core, block, now, res);
+    }
+
+    fn slice_stats(&self, core: usize) -> &CacheStats {
+        self.chassis.slices[core].stats()
+    }
+
+    fn num_cores(&self) -> usize {
+        self.chassis.num_cores()
+    }
+
+    fn name(&self) -> &'static str {
+        "DSR"
+    }
+
+    fn reset_stats(&mut self) {
+        self.chassis.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_cmp::{Bus, BusConfig};
+    use sim_mem::{Dram, DramConfig};
+
+    fn mk() -> (Dsr, Bus, Dram) {
+        (
+            Dsr::new(SystemConfig::tiny_test(), DsrConfig::tiny()),
+            Bus::new(BusConfig::paper()),
+            Dram::new(DramConfig::uncontended(300)),
+        )
+    }
+
+    #[test]
+    fn sample_roles_follow_stride_and_stagger() {
+        let (org, _, _) = mk(); // stride 4 over 16 sets, offsets 0..3
+        assert_eq!(org.set_role(0, 0), SetRole::SpillSample);
+        assert_eq!(org.set_role(0, 2), SetRole::ReceiveSample);
+        assert_eq!(org.set_role(0, 1), SetRole::Follower);
+        assert_eq!(org.set_role(0, 4), SetRole::SpillSample);
+        // Cache 1 is staggered by one set.
+        assert_eq!(org.set_role(1, 1), SetRole::SpillSample);
+        assert_eq!(org.set_role(1, 3), SetRole::ReceiveSample);
+        // Cache 2's receiver sample coincides with cache 0's spiller one.
+        assert_eq!(org.set_role(2, 0), SetRole::ReceiveSample);
+    }
+
+    #[test]
+    fn spill_sample_sets_always_spill() {
+        let (mut org, mut bus, mut dram) = mk();
+        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut t = 0;
+        // Set 0 is a spiller sample; overflowing it must spill regardless
+        // of PSEL.
+        for tag in 0..6u64 {
+            org.access(0, BlockAddr(tag << 4), false, t, &mut res);
+            t += 500;
+        }
+        assert!(org.aggregate_stats().spills_out >= 2);
+        // Set 0 is cache 2's receiver sample (stagger), so the victims
+        // stayed on chip and the first one is retrievable.
+        let r = org.access(0, BlockAddr(0), false, t, &mut res);
+        assert_eq!(r.fill, L2Fill::RemoteHit);
+        assert!(org.chassis().single_copy_invariant());
+    }
+
+    #[test]
+    fn receiver_sample_sets_accept_spills() {
+        let (mut org, mut bus, mut dram) = mk();
+        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut t = 0;
+        // Set 2 is cache 0's receiver sample; DRAM misses there
+        // decrement PSEL until cache 0's followers become spillers.
+        for tag in 0..20u64 {
+            org.access(0, BlockAddr((tag << 4) | 2), false, t, &mut res);
+            t += 500;
+        }
+        assert!(org.is_spiller(0), "receive-sample misses drove PSEL low");
+        // Peers' PSELs are untouched → midpoint → receivers.
+        assert!(!org.is_spiller(2));
+        for tag in 0..6u64 {
+            org.access(0, BlockAddr((tag << 4) | 1), false, t, &mut res);
+            t += 500;
+        }
+        assert!(org.aggregate_stats().spills_in > 0);
+        let r = org.access(0, BlockAddr(1), false, t, &mut res);
+        assert_eq!(r.fill, L2Fill::RemoteHit, "victim retrieved from a receiver peer");
+        assert!(org.chassis().single_copy_invariant());
+    }
+
+    #[test]
+    fn psel_orientation() {
+        let (mut org, mut bus, mut dram) = mk();
+        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        assert!(!org.is_spiller(0), "midpoint defaults to receiver");
+        // DRAM misses in the spill-sample set push PSEL up (spilling
+        // looks bad) → stays receiver.
+        let mut t = 0;
+        for tag in 200..230u64 {
+            org.access(0, BlockAddr(tag << 4), false, t, &mut res);
+            t += 500;
+        }
+        assert!(!org.is_spiller(0));
+    }
+}

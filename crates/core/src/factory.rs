@@ -1,0 +1,88 @@
+//! Scheme specification and construction — the five L2 organisations of
+//! the paper's §4.1 behind one factory.
+
+use crate::{Cc, Dsr, DsrConfig, L2p, L2s, Snug, SnugConfig};
+use sim_cmp::{L2Org, SystemConfig};
+
+/// Which organisation to build, with its policy parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchemeSpec {
+    /// Private baseline.
+    L2p,
+    /// Shared, address-interleaved.
+    L2s,
+    /// Cooperative Caching with a spill probability in [0, 1].
+    Cc {
+        /// Probability of spilling a clean owned victim.
+        spill_probability: f64,
+    },
+    /// Dynamic Spill-Receive.
+    Dsr(DsrConfig),
+    /// Set-level Non-Uniformity identifier and Grouper.
+    Snug(SnugConfig),
+}
+
+impl SchemeSpec {
+    /// The display name used in the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            SchemeSpec::L2p => "L2P".into(),
+            SchemeSpec::L2s => "L2S".into(),
+            SchemeSpec::Cc { spill_probability } => {
+                format!("CC({:.0}%)", spill_probability * 100.0)
+            }
+            SchemeSpec::Dsr(_) => "DSR".into(),
+            SchemeSpec::Snug(_) => "SNUG".into(),
+        }
+    }
+
+    /// Construct the organisation.
+    pub fn build(&self, cfg: SystemConfig) -> Box<dyn L2Org> {
+        match *self {
+            SchemeSpec::L2p => Box::new(L2p::new(cfg)),
+            SchemeSpec::L2s => Box::new(L2s::new(cfg)),
+            SchemeSpec::Cc { spill_probability } => Box::new(Cc::new(cfg, spill_probability)),
+            SchemeSpec::Dsr(d) => Box::new(Dsr::new(cfg, d)),
+            SchemeSpec::Snug(s) => Box::new(Snug::new(cfg, s)),
+        }
+    }
+
+    /// The spill probabilities the paper sweeps for CC(Best) (§4.1).
+    pub const CC_SPILL_SWEEP: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(SchemeSpec::L2p.name(), "L2P");
+        assert_eq!(SchemeSpec::L2s.name(), "L2S");
+        assert_eq!(SchemeSpec::Cc { spill_probability: 0.5 }.name(), "CC(50%)");
+        assert_eq!(SchemeSpec::Dsr(DsrConfig::paper()).name(), "DSR");
+        assert_eq!(SchemeSpec::Snug(SnugConfig::paper()).name(), "SNUG");
+    }
+
+    #[test]
+    fn build_produces_working_orgs() {
+        let cfg = SystemConfig::tiny_test();
+        for spec in [
+            SchemeSpec::L2p,
+            SchemeSpec::L2s,
+            SchemeSpec::Cc { spill_probability: 1.0 },
+            SchemeSpec::Dsr(DsrConfig::tiny()),
+            SchemeSpec::Snug(SnugConfig::scaled(1000)),
+        ] {
+            let org = spec.build(cfg);
+            assert_eq!(org.num_cores(), 4);
+        }
+    }
+
+    #[test]
+    fn sweep_covers_paper_probabilities() {
+        assert_eq!(SchemeSpec::CC_SPILL_SWEEP.len(), 5);
+        assert_eq!(SchemeSpec::CC_SPILL_SWEEP[0], 0.0);
+        assert_eq!(SchemeSpec::CC_SPILL_SWEEP[4], 1.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! `snug-repro` — command-line front end for the reproduction harness.
+//!
+//! ```text
+//! snug-repro overhead                   Tables 2-3
+//! snug-repro characterize [bench..]     Figures 1-3 (scaled plan)
+//! snug-repro compare [--quick]          Figures 9-11 over all 21 combos
+//! snug-repro combo <a> <b> <c> <d>      one ad-hoc quad-core mix
+//! snug-repro ablate                     E9-E12 ablation sweeps
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace's offline dependency
+//! set has no CLI crate); everything prints GitHub-flavoured Markdown so
+//! output can be pasted into reports.
+
+use snug_core::{table3, OverheadParams, SchemeSpec};
+use snug_experiments::{
+    characterize, figure_table, run_all, run_scheme, summarize, CharacterizeConfig,
+    CompareConfig, Figure,
+};
+use snug_metrics::{IpcVector, MetricSet};
+use snug_workloads::{all_combos, Benchmark, Combo, ComboClass};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("overhead") => overhead(),
+        Some("characterize") => characterize_cmd(&args[1..]),
+        Some("compare") => compare(args.iter().any(|a| a == "--quick")),
+        Some("combo") => combo_cmd(&args[1..]),
+        Some("ablate") => ablate(),
+        _ => {
+            eprintln!(
+                "usage: snug-repro <overhead | characterize [bench..] | compare [--quick] | combo <a> <b> <c> <d> | ablate>"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn overhead() {
+    let p = OverheadParams::paper();
+    println!("## Tables 2-3: SNUG storage overhead (Formula 6)\n");
+    println!("baseline (32-bit addr, 64 B lines): **{:.2} %** (paper: 3.9 %)\n", p.storage_overhead() * 100.0);
+    println!("| line size | 32-bit | 64-bit (44 used) |");
+    println!("|---|---|---|");
+    for &block in &[64u64, 128] {
+        let get = |addr: u32| {
+            table3()
+                .into_iter()
+                .find(|(a, b, _)| *a == addr && *b == block)
+                .map(|(_, _, o)| o * 100.0)
+                .unwrap()
+        };
+        println!("| {block} B | {:.1} % | {:.1} % |", get(32), get(44));
+    }
+}
+
+fn characterize_cmd(names: &[String]) {
+    let benches: Vec<Benchmark> = if names.is_empty() {
+        vec![Benchmark::Ammp, Benchmark::Vortex, Benchmark::Applu]
+    } else {
+        names
+            .iter()
+            .map(|n| Benchmark::from_name(n).unwrap_or_else(|| {
+                eprintln!("unknown benchmark '{n}'");
+                std::process::exit(2);
+            }))
+            .collect()
+    };
+    let cfg = CharacterizeConfig::scaled(100, 50_000);
+    println!("## Figures 1-3: set-level capacity demand (scaled plan)\n");
+    println!("| bench | 1-4 blocks | >16 blocks | spread |");
+    println!("|---|---|---|---|");
+    for b in benches {
+        let c = characterize(b, &cfg);
+        println!(
+            "| {} | {:.1} % | {:.1} % | {:.2} |",
+            c.benchmark,
+            c.mean_low_demand() * 100.0,
+            c.mean_above_baseline(16) * 100.0,
+            c.mean_spread()
+        );
+    }
+}
+
+fn compare(quick: bool) {
+    let cfg = if quick { CompareConfig::quick() } else { CompareConfig::default_eval() };
+    let combos = all_combos();
+    eprintln!("running {} combos x 8 simulations...", combos.len());
+    let results = run_all(&combos, &cfg, 0);
+    for fig in [Figure::Throughput, Figure::Aws, Figure::FairSpeedup] {
+        println!("{}", figure_table(&summarize(&results, fig), fig).to_markdown());
+    }
+}
+
+fn combo_cmd(names: &[String]) {
+    if names.len() != 4 {
+        eprintln!("combo needs exactly four benchmark names");
+        std::process::exit(2);
+    }
+    let apps: Vec<Benchmark> = names
+        .iter()
+        .map(|n| Benchmark::from_name(n).unwrap_or_else(|| {
+            eprintln!("unknown benchmark '{n}'");
+            std::process::exit(2);
+        }))
+        .collect();
+    let combo = Combo { class: ComboClass::C3, apps: [apps[0], apps[1], apps[2], apps[3]] };
+    let cfg = CompareConfig::default_eval();
+    let base = run_scheme(&combo, &SchemeSpec::L2p, &cfg);
+    let base_ipcs = IpcVector::new(base.ipcs());
+    println!("## {} (normalised to L2P)\n", combo.label());
+    println!("| scheme | throughput | AWS | fair speedup |");
+    println!("|---|---|---|---|");
+    for spec in [
+        SchemeSpec::L2s,
+        SchemeSpec::Cc { spill_probability: 0.5 },
+        SchemeSpec::Dsr(cfg.dsr),
+        SchemeSpec::Snug(cfg.snug),
+    ] {
+        let r = run_scheme(&combo, &spec, &cfg);
+        let m = MetricSet::compute(&IpcVector::new(r.ipcs()), &base_ipcs);
+        println!("| {} | {:.3} | {:.3} | {:.3} |", spec.name(), m.throughput, m.aws, m.fair);
+    }
+}
+
+fn ablate() {
+    let cfg = CompareConfig::quick();
+    let c1 = all_combos()[0];
+    let base = run_scheme(&c1, &SchemeSpec::L2p, &cfg).throughput();
+    println!("## Ablations on C1 (4 x ammp), normalised throughput\n");
+    println!("### E9: index-bit flipping\n");
+    println!("| flipping | flip width | throughput |");
+    println!("|---|---|---|");
+    for (flip, width) in [(false, 1), (true, 1), (true, 2), (true, 3)] {
+        let mut s = cfg.snug;
+        s.flipping = flip;
+        s.flip_width = width;
+        let r = run_scheme(&c1, &SchemeSpec::Snug(s), &cfg);
+        println!("| {} | {} | {:.3} |", flip, width, r.throughput() / base);
+    }
+    println!("\n### E10: sampling period lengths\n");
+    println!("| stage I | stage II | throughput |");
+    println!("|---|---|---|");
+    for (s1, s2) in [(30_000u64, 120_000u64), (60_000, 240_000), (120_000, 480_000)] {
+        let mut s = cfg.snug;
+        s.stage1_cycles = s1;
+        s.stage2_cycles = s2;
+        let r = run_scheme(&c1, &SchemeSpec::Snug(s), &cfg);
+        println!("| {s1} | {s2} | {:.3} |", r.throughput() / base);
+    }
+    println!("\n### E11: counter width / threshold\n");
+    println!("| k | p | throughput |");
+    println!("|---|---|---|");
+    for (k, p) in [(2u32, 4u16), (3, 8), (4, 8), (5, 8), (4, 16)] {
+        let mut s = cfg.snug;
+        s.counter_bits = k;
+        s.p = p;
+        let r = run_scheme(&c1, &SchemeSpec::Snug(s), &cfg);
+        println!("| {k} | {p} | {:.3} |", r.throughput() / base);
+    }
+    println!("\n### E12: CC spill probability\n");
+    println!("| p_spill | throughput |");
+    println!("|---|---|");
+    for &p in &SchemeSpec::CC_SPILL_SWEEP {
+        let r = run_scheme(&c1, &SchemeSpec::Cc { spill_probability: p }, &cfg);
+        println!("| {:.0} % | {:.3} |", p * 100.0, r.throughput() / base);
+    }
+}

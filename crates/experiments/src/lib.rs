@@ -1,0 +1,28 @@
+//! # snug-experiments — the reproduction harness
+//!
+//! One module per experiment family (see DESIGN.md §4 for the
+//! experiment index):
+//!
+//! * [`characterize`] — Figures 1–3: per-interval set-level
+//!   capacity-demand distributions;
+//! * [`compare`] — Figures 9–11: the five-scheme comparison over the
+//!   21 workload combinations, with CC(Best) sweeping §4.1's spill
+//!   probabilities;
+//! * [`runner`] — parallel sweep driver (deterministic results).
+//!
+//! Storage-overhead Tables 2–3 are pure arithmetic and live in
+//! `snug_core::overhead`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod characterize;
+pub mod compare;
+pub mod runner;
+
+pub use characterize::{characterize, CharacterizeConfig, DemandCharacterization};
+pub use compare::{
+    figure_table, run_combo, run_scheme, summarize, ClassSummary, ComboResult, CompareConfig,
+    Figure, RunBudget, SchemeResult, FIGURE_SCHEMES,
+};
+pub use runner::run_all;

@@ -1,0 +1,73 @@
+//! Parallel sweep driver: run many (combo, scheme) simulations across
+//! CPU cores with crossbeam scoped threads.
+//!
+//! Each simulation is single-threaded and deterministic; parallelism is
+//! across independent simulations, so results are bit-identical to a
+//! sequential run.
+
+use crate::compare::{run_combo, ComboResult, CompareConfig};
+use parking_lot::Mutex;
+use snug_workloads::Combo;
+
+/// Run `run_combo` for every combination, in parallel over up to
+/// `threads` workers (0 = one per available CPU). Results come back in
+/// input order.
+pub fn run_all(combos: &[Combo], cfg: &CompareConfig, threads: usize) -> Vec<ComboResult> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        threads
+    }
+    .min(combos.len().max(1));
+
+    let results: Mutex<Vec<Option<ComboResult>>> = Mutex::new(vec![None; combos.len()]);
+    let next: Mutex<usize> = Mutex::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let idx = {
+                    let mut n = next.lock();
+                    if *n >= combos.len() {
+                        return;
+                    }
+                    let i = *n;
+                    *n += 1;
+                    i
+                };
+                let result = run_combo(&combos[idx], cfg);
+                results.lock()[idx] = Some(result);
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every combo completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snug_workloads::{all_combos, ComboClass};
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // Two small combos, tiny budget: parallel run must equal the
+        // sequential result exactly (determinism).
+        let combos: Vec<Combo> = all_combos()
+            .into_iter()
+            .filter(|c| c.class == ComboClass::C5)
+            .take(2)
+            .collect();
+        let mut cfg = CompareConfig::quick();
+        cfg.budget.warmup_cycles = 20_000;
+        cfg.budget.measure_cycles = 120_000;
+        let seq: Vec<ComboResult> = combos.iter().map(|c| run_combo(c, &cfg)).collect();
+        let par = run_all(&combos, &cfg, 2);
+        assert_eq!(seq, par);
+    }
+}

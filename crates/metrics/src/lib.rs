@@ -1,0 +1,19 @@
+//! # snug-metrics — performance metrics and reporting
+//!
+//! * [`perf`] — the paper's Table 5 metrics: throughput, average
+//!   weighted speedup, fair speedup;
+//! * [`stats`] — geometric means and friends (per-class aggregation);
+//! * [`table`] — Markdown/CSV table rendering for EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod perf;
+pub mod stats;
+pub mod table;
+
+pub use perf::{
+    average_weighted_speedup, fair_speedup, normalized_throughput, IpcVector, MetricSet,
+};
+pub use stats::{geomean, max, mean, min, stddev};
+pub use table::{f3, pct_delta, Table};

@@ -1,0 +1,259 @@
+//! A set-associative write-back cache built from [`CacheSet`]s.
+//!
+//! Provides both a convenience demand-access path (used directly for the
+//! L1 caches and the private-baseline L2) and the primitive operations
+//! (probe / fill-at-set / invalidate) that the cooperative-caching
+//! schemes in `snug-core` compose.
+
+use crate::set::{CacheSet, Evicted, LineFlags};
+use crate::stats::CacheStats;
+use serde::{Deserialize, Serialize};
+use sim_mem::{BlockAddr, Geometry};
+
+/// Result of a demand access through [`SetAssocCache::access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessResult {
+    /// Whether the block was resident.
+    pub hit: bool,
+    /// On a hit, the 1-based LRU stack distance observed.
+    pub distance: Option<usize>,
+    /// On a fill (miss path), the victim that was evicted, if any.
+    pub evicted: Option<Evicted>,
+}
+
+/// A set-associative cache.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SetAssocCache {
+    geo: Geometry,
+    sets: Vec<CacheSet>,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Create an empty cache with the given geometry.
+    pub fn new(geo: Geometry) -> Self {
+        let sets = (0..geo.num_sets).map(|_| CacheSet::new(geo.assoc)).collect();
+        SetAssocCache { geo, sets, stats: CacheStats::default() }
+    }
+
+    /// The cache geometry.
+    #[inline]
+    pub fn geometry(&self) -> Geometry {
+        self.geo
+    }
+
+    /// Home set index of a block.
+    #[inline]
+    pub fn home_set(&self, block: BlockAddr) -> usize {
+        self.geo.set_index(block)
+    }
+
+    /// Demand access with allocate-on-miss into the home set. This is the
+    /// whole story for L1s and the private L2 baseline.
+    pub fn access(&mut self, block: BlockAddr, is_write: bool) -> AccessResult {
+        let set = self.geo.set_index(block);
+        if let Some(distance) = self.sets[set].access(block, is_write) {
+            self.stats.hits += 1;
+            if self.sets[set].line(self.sets[set].probe(block).expect("hit line")).flags.cc {
+                self.stats.cc_hits += 1;
+            }
+            AccessResult { hit: true, distance: Some(distance), evicted: None }
+        } else {
+            self.stats.misses += 1;
+            let evicted = self.sets[set].fill(block, LineFlags::owned(is_write));
+            self.note_eviction(&evicted);
+            AccessResult { hit: false, distance: None, evicted }
+        }
+    }
+
+    /// Probe without side effects: `(set_index, way)` if the block is
+    /// resident *in its home set*.
+    pub fn probe(&self, block: BlockAddr) -> Option<(usize, usize)> {
+        let set = self.geo.set_index(block);
+        self.sets[set].probe(block).map(|w| (set, w))
+    }
+
+    /// Probe an arbitrary set (used by index-bit-flipping lookups).
+    pub fn probe_in_set(&self, set: usize, block: BlockAddr) -> Option<usize> {
+        self.sets[set].probe(block)
+    }
+
+    /// Hit path into a specific set (touch LRU, update dirty); returns
+    /// stack distance if resident.
+    pub fn touch_in_set(&mut self, set: usize, block: BlockAddr, is_write: bool) -> Option<usize> {
+        self.sets[set].access(block, is_write)
+    }
+
+    /// Fill into a specific set with explicit flags; reports the victim.
+    pub fn fill_in_set(
+        &mut self,
+        set: usize,
+        block: BlockAddr,
+        flags: LineFlags,
+    ) -> Option<Evicted> {
+        let evicted = self.sets[set].fill(block, flags);
+        self.note_eviction(&evicted);
+        evicted
+    }
+
+    /// Fill into a specific set, preferring to reclaim donated (CC)
+    /// capacity before evicting owned lines.
+    pub fn fill_in_set_prefer_evict_cc(
+        &mut self,
+        set: usize,
+        block: BlockAddr,
+        flags: LineFlags,
+    ) -> Option<Evicted> {
+        let evicted = self.sets[set].fill_prefer_evict_cc(block, flags);
+        self.note_eviction(&evicted);
+        evicted
+    }
+
+    fn note_eviction(&mut self, evicted: &Option<Evicted>) {
+        if let Some(ev) = evicted {
+            self.stats.evictions += 1;
+            if ev.flags.dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+    }
+
+    /// Invalidate `block` from `set` if resident; returns removed line
+    /// metadata.
+    pub fn invalidate_in_set(&mut self, set: usize, block: BlockAddr) -> Option<LineFlags> {
+        self.sets[set].invalidate(block).map(|l| l.flags)
+    }
+
+    /// Invalidate `block` from its home set.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<LineFlags> {
+        let set = self.geo.set_index(block);
+        self.invalidate_in_set(set, block)
+    }
+
+    /// Direct set access for scheme logic and tests.
+    pub fn set(&self, idx: usize) -> &CacheSet {
+        &self.sets[idx]
+    }
+
+    /// Mutable set access for scheme logic.
+    pub fn set_mut(&mut self, idx: usize) -> &mut CacheSet {
+        &mut self.sets[idx]
+    }
+
+    /// Statistics accessor.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Mutable statistics (schemes bump spill/forward counters).
+    pub fn stats_mut(&mut self) -> &mut CacheStats {
+        &mut self.stats
+    }
+
+    /// Total valid lines across all sets.
+    pub fn valid_lines(&self) -> usize {
+        self.sets.iter().map(|s| s.valid_count()).sum()
+    }
+
+    /// Total valid CC lines across all sets.
+    pub fn cc_lines(&self) -> usize {
+        self.sets.iter().map(|s| s.cc_count()).sum()
+    }
+
+    /// Reset statistics after warm-up (contents untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets, 2 ways, 64 B lines.
+        SetAssocCache::new(Geometry::new(64, 4, 2))
+    }
+
+    fn blk(set: u64, tag: u64) -> BlockAddr {
+        BlockAddr((tag << 2) | set)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        let b = blk(1, 5);
+        let r = c.access(b, false);
+        assert!(!r.hit);
+        let r2 = c.access(b, false);
+        assert!(r2.hit);
+        assert_eq!(r2.distance, Some(1));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn conflict_eviction_reports_victim() {
+        let mut c = tiny();
+        c.access(blk(2, 1), true); // dirty
+        c.access(blk(2, 2), false);
+        let r = c.access(blk(2, 3), false);
+        let ev = r.evicted.unwrap();
+        assert_eq!(ev.block, blk(2, 1));
+        assert!(ev.flags.dirty);
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        c.access(blk(0, 1), false);
+        c.access(blk(1, 1), false);
+        c.access(blk(2, 1), false);
+        assert_eq!(c.stats().misses, 3);
+        assert!(c.access(blk(0, 1), false).hit);
+    }
+
+    #[test]
+    fn fill_in_foreign_set_probed_there() {
+        let mut c = tiny();
+        let b = blk(3, 7); // home set 3
+        let foreign = 2;
+        c.fill_in_set(foreign, b, LineFlags::received(true));
+        assert!(c.probe(b).is_none(), "not in home set");
+        assert!(c.probe_in_set(foreign, b).is_some());
+        assert_eq!(c.cc_lines(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        let b = blk(1, 9);
+        c.access(b, true);
+        let fl = c.invalidate(b).unwrap();
+        assert!(fl.dirty);
+        assert!(c.probe(b).is_none());
+        assert_eq!(c.valid_lines(), 0);
+    }
+
+    #[test]
+    fn write_marks_dirty_on_hit() {
+        let mut c = tiny();
+        let b = blk(0, 4);
+        c.access(b, false);
+        c.access(b, true);
+        let (s, w) = c.probe(b).unwrap();
+        assert!(c.set(s).line(w).flags.dirty);
+    }
+
+    #[test]
+    fn cc_hit_counted() {
+        let mut c = tiny();
+        let b = blk(1, 3);
+        c.fill_in_set(1, b, LineFlags::received(false));
+        let r = c.access(b, false);
+        assert!(r.hit);
+        assert_eq!(c.stats().cc_hits, 1);
+    }
+}

@@ -1,0 +1,233 @@
+//! True-LRU recency tracking with hit-position (stack distance) queries.
+//!
+//! The paper's capacity-demand quantification (Formulas 1–3) relies on
+//! the *stack property* of LRU [Mattson et al. 1970]: the set of blocks
+//! resident in an A-way LRU set is a prefix of the recency stack, so a
+//! hit at stack position `d` (1-based, MRU = 1) would be a hit in any
+//! associativity `A ≥ d` and a miss in any `A < d`.
+//!
+//! `LruOrder` maintains the recency permutation of the ways of one set,
+//! independent of what is stored in the ways, so the same structure
+//! serves real sets, shadow sets and the deep profiler stacks.
+
+use serde::{Deserialize, Serialize};
+
+/// Recency order over `n` ways of a set. Internally a vector of way
+/// indices ordered MRU → LRU. `n` is small (≤ 32 here), so vector
+/// shifting beats fancier structures.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LruOrder {
+    /// order[0] is the MRU way; order[n-1] the LRU way.
+    order: Vec<u8>,
+}
+
+impl LruOrder {
+    /// Create the order for `n` ways; initially way 0 is MRU, way n-1 LRU.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1 && n <= u8::MAX as usize);
+        LruOrder { order: (0..n as u8).collect() }
+    }
+
+    /// Number of ways tracked.
+    #[inline]
+    pub fn ways(&self) -> usize {
+        self.order.len()
+    }
+
+    /// 1-based stack position of `way` (1 = MRU). Panics if `way` is out
+    /// of range.
+    #[inline]
+    pub fn position(&self, way: usize) -> usize {
+        self.order
+            .iter()
+            .position(|&w| w as usize == way)
+            .expect("way must be tracked by this LruOrder")
+            + 1
+    }
+
+    /// Promote `way` to MRU, returning its previous 1-based position
+    /// (the stack distance of the access that touched it).
+    #[inline]
+    pub fn touch(&mut self, way: usize) -> usize {
+        let pos = self.position(way) - 1;
+        let w = self.order.remove(pos);
+        self.order.insert(0, w);
+        pos + 1
+    }
+
+    /// The current LRU way (replacement victim).
+    #[inline]
+    pub fn lru_way(&self) -> usize {
+        *self.order.last().expect("non-empty order") as usize
+    }
+
+    /// Demote `way` to LRU position (used when invalidating a line so its
+    /// way is reused first).
+    #[inline]
+    pub fn demote(&mut self, way: usize) {
+        let pos = self.position(way) - 1;
+        let w = self.order.remove(pos);
+        self.order.push(w);
+    }
+
+    /// Iterate ways MRU → LRU.
+    pub fn iter_mru_to_lru(&self) -> impl Iterator<Item = usize> + '_ {
+        self.order.iter().map(|&w| w as usize)
+    }
+}
+
+/// An unbounded-depth (up to `capacity`) LRU *tag stack* for stack
+/// distance profiling: stores raw tags rather than way indices, evicting
+/// the deepest entry on overflow. Used by the A_threshold-deep profiler
+/// behind Figures 1–3.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TagStack {
+    tags: Vec<u64>,
+    capacity: usize,
+}
+
+impl TagStack {
+    /// Create an empty stack bounded at `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        TagStack { tags: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Reference `tag`. Returns `Some(distance)` (1-based) if the tag was
+    /// present — i.e. the access would hit in any associativity ≥
+    /// distance — or `None` for a cold/overflowed reference. Either way
+    /// the tag becomes MRU.
+    pub fn access(&mut self, tag: u64) -> Option<usize> {
+        match self.tags.iter().position(|&t| t == tag) {
+            Some(pos) => {
+                self.tags.remove(pos);
+                self.tags.insert(0, tag);
+                Some(pos + 1)
+            }
+            None => {
+                if self.tags.len() == self.capacity {
+                    self.tags.pop();
+                }
+                self.tags.insert(0, tag);
+                None
+            }
+        }
+    }
+
+    /// Number of resident tags.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether the stack holds no tags.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Drop all tags (new sampling interval with cold stack, if desired).
+    pub fn clear(&mut self) {
+        self.tags.clear();
+    }
+
+    /// Maximum depth.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_order_is_identity() {
+        let o = LruOrder::new(4);
+        assert_eq!(o.position(0), 1);
+        assert_eq!(o.position(3), 4);
+        assert_eq!(o.lru_way(), 3);
+    }
+
+    #[test]
+    fn touch_promotes_and_reports_distance() {
+        let mut o = LruOrder::new(4);
+        assert_eq!(o.touch(2), 3, "way 2 was at position 3");
+        assert_eq!(o.position(2), 1, "now MRU");
+        assert_eq!(o.lru_way(), 3);
+        assert_eq!(o.touch(3), 4);
+        assert_eq!(o.lru_way(), 1, "way 1 is now least recent");
+    }
+
+    #[test]
+    fn demote_moves_way_to_lru() {
+        let mut o = LruOrder::new(4);
+        o.touch(3);
+        o.demote(3);
+        assert_eq!(o.lru_way(), 3);
+    }
+
+    #[test]
+    fn mru_iteration_order() {
+        let mut o = LruOrder::new(3);
+        o.touch(1);
+        o.touch(2);
+        let v: Vec<usize> = o.iter_mru_to_lru().collect();
+        assert_eq!(v, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn tag_stack_distances_cyclic_pattern() {
+        // Cyclic access over d distinct tags hits at distance exactly d
+        // once warm — the degenerate pattern exploited in the workload
+        // models to pin block_required at d.
+        let mut s = TagStack::new(32);
+        let d = 5;
+        for round in 0..4 {
+            for t in 0..d {
+                let got = s.access(t);
+                if round == 0 {
+                    assert_eq!(got, None, "cold");
+                } else {
+                    assert_eq!(got, Some(d as usize), "warm cyclic hits at depth d");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tag_stack_overflow_drops_deepest() {
+        let mut s = TagStack::new(2);
+        s.access(1);
+        s.access(2);
+        s.access(3); // evicts tag 1
+        assert_eq!(s.access(1), None, "evicted tag is cold again");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn tag_stack_mru_hit_distance_one() {
+        let mut s = TagStack::new(8);
+        s.access(9);
+        assert_eq!(s.access(9), Some(1));
+    }
+
+    #[test]
+    fn stack_property_monotonicity() {
+        // For a random-ish reference string, hits counted at distance ≤ A
+        // must be non-decreasing in A (Mattson's inclusion property).
+        let mut s = TagStack::new(16);
+        let refs = [3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4, 6, 2, 6];
+        let mut hist = [0u64; 17];
+        for &r in &refs {
+            if let Some(d) = s.access(r) {
+                hist[d] += 1;
+            }
+        }
+        let mut cum = 0;
+        let mut prev = 0;
+        for a in 1..=16 {
+            cum += hist[a];
+            assert!(cum >= prev);
+            prev = cum;
+        }
+    }
+}

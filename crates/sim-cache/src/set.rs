@@ -1,0 +1,301 @@
+//! One cache set: an array of lines plus LRU recency state.
+//!
+//! Line metadata mirrors paper Fig. 4: `tag` (we store the full block
+//! address), `valid`, `dirty`, LRU bits, plus the two SNUG bits — `cc`
+//! (the line is cooperatively cached on behalf of a *peer* core) and `f`
+//! (the line was placed with its last home-index bit flipped).
+
+use crate::lru::LruOrder;
+use serde::{Deserialize, Serialize};
+use sim_mem::BlockAddr;
+
+/// Metadata bits carried by every line (beyond tag/valid/LRU).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LineFlags {
+    /// Line has been written and must be written back on eviction.
+    pub dirty: bool,
+    /// Line is cooperatively cached for a peer core (paper's CC bit).
+    pub cc: bool,
+    /// Line's home set index had its last bit flipped on placement
+    /// (paper's f bit; meaningful only when `cc` is set).
+    pub flipped: bool,
+}
+
+impl LineFlags {
+    /// Flags for a locally owned line.
+    pub fn owned(dirty: bool) -> Self {
+        LineFlags { dirty, cc: false, flipped: false }
+    }
+
+    /// Flags for a cooperatively cached (received) line. Received lines
+    /// are always clean (§3.3: only clean blocks may spill).
+    pub fn received(flipped: bool) -> Self {
+        LineFlags { dirty: false, cc: true, flipped }
+    }
+}
+
+/// One cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheLine {
+    /// Full block address (superset of the architectural tag).
+    pub block: BlockAddr,
+    /// Valid bit.
+    pub valid: bool,
+    /// Metadata flags.
+    pub flags: LineFlags,
+}
+
+impl CacheLine {
+    fn invalid() -> Self {
+        CacheLine { block: BlockAddr(0), valid: false, flags: LineFlags::default() }
+    }
+}
+
+/// A line evicted by a fill, reported to the caller so the owning scheme
+/// can decide its fate (writeback, spill, or drop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Evicted {
+    /// Block address of the victim.
+    pub block: BlockAddr,
+    /// Victim's flags at eviction time.
+    pub flags: LineFlags,
+}
+
+/// A set: `assoc` lines plus LRU state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheSet {
+    lines: Vec<CacheLine>,
+    lru: LruOrder,
+}
+
+impl CacheSet {
+    /// Create an empty set with `assoc` ways.
+    pub fn new(assoc: usize) -> Self {
+        CacheSet { lines: vec![CacheLine::invalid(); assoc], lru: LruOrder::new(assoc) }
+    }
+
+    /// Associativity.
+    #[inline]
+    pub fn assoc(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Find the way holding `block`, if resident.
+    #[inline]
+    pub fn probe(&self, block: BlockAddr) -> Option<usize> {
+        self.lines.iter().position(|l| l.valid && l.block == block)
+    }
+
+    /// Promote `way` to MRU; returns the 1-based LRU stack distance the
+    /// access observed.
+    #[inline]
+    pub fn touch(&mut self, way: usize) -> usize {
+        self.lru.touch(way)
+    }
+
+    /// Hit path: probe + touch + optional dirty update. Returns
+    /// `Some(stack_distance)` on hit.
+    pub fn access(&mut self, block: BlockAddr, is_write: bool) -> Option<usize> {
+        let way = self.probe(block)?;
+        if is_write {
+            self.lines[way].flags.dirty = true;
+        }
+        Some(self.touch(way))
+    }
+
+    /// Choose the fill victim way: an invalid way if one exists, else the
+    /// true-LRU way.
+    #[inline]
+    pub fn victim_way(&self) -> usize {
+        self.lines
+            .iter()
+            .position(|l| !l.valid)
+            .unwrap_or_else(|| self.lru.lru_way())
+    }
+
+    /// The way that would be evicted if a fill happened now, if it holds
+    /// a valid line.
+    pub fn peek_victim(&self) -> Option<&CacheLine> {
+        let w = self.victim_way();
+        self.lines[w].valid.then(|| &self.lines[w])
+    }
+
+    /// Fill `block` into the set (at MRU), evicting the victim if valid.
+    pub fn fill(&mut self, block: BlockAddr, flags: LineFlags) -> Option<Evicted> {
+        debug_assert!(self.probe(block).is_none(), "fill of already-resident block");
+        let way = self.victim_way();
+        let evicted = self.lines[way]
+            .valid
+            .then(|| Evicted { block: self.lines[way].block, flags: self.lines[way].flags });
+        self.lines[way] = CacheLine { block, valid: true, flags };
+        self.lru.touch(way);
+        evicted
+    }
+
+    /// Fill `block`, preferring to evict a cooperatively cached (CC=1)
+    /// line over an owned one if any exists; falls back to normal
+    /// victim selection. Used by receiving sets so donated capacity is
+    /// reclaimed before local blocks when a *local* fill arrives.
+    pub fn fill_prefer_evict_cc(&mut self, block: BlockAddr, flags: LineFlags) -> Option<Evicted> {
+        debug_assert!(self.probe(block).is_none());
+        // The LRU-most CC line, if any, else the usual victim.
+        let way = self
+            .lru_most_cc_way()
+            .filter(|_| !self.lines.iter().any(|l| !l.valid))
+            .unwrap_or_else(|| self.victim_way());
+        let evicted = self.lines[way]
+            .valid
+            .then(|| Evicted { block: self.lines[way].block, flags: self.lines[way].flags });
+        self.lines[way] = CacheLine { block, valid: true, flags };
+        self.lru.touch(way);
+        evicted
+    }
+
+    /// The CC line closest to LRU, if any valid CC line exists.
+    pub fn lru_most_cc_way(&self) -> Option<usize> {
+        // iterate LRU → MRU and return the first valid CC line.
+        let order: Vec<usize> = self.lru.iter_mru_to_lru().collect();
+        order
+            .into_iter()
+            .rev()
+            .find(|&w| self.lines[w].valid && self.lines[w].flags.cc)
+    }
+
+    /// Invalidate the line in `way` (demoting it so the way is reused
+    /// first). Returns the invalidated line.
+    pub fn invalidate_way(&mut self, way: usize) -> CacheLine {
+        let line = self.lines[way];
+        debug_assert!(line.valid, "invalidating an invalid way");
+        self.lines[way].valid = false;
+        self.lru.demote(way);
+        line
+    }
+
+    /// Invalidate `block` if resident; returns the line that was removed.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<CacheLine> {
+        self.probe(block).map(|w| self.invalidate_way(w))
+    }
+
+    /// Read-only view of a way.
+    pub fn line(&self, way: usize) -> &CacheLine {
+        &self.lines[way]
+    }
+
+    /// Mutable view of a way (scheme code adjusting flags).
+    pub fn line_mut(&mut self, way: usize) -> &mut CacheLine {
+        &mut self.lines[way]
+    }
+
+    /// Number of valid lines.
+    pub fn valid_count(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Number of valid cooperatively cached lines.
+    pub fn cc_count(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid && l.flags.cc).count()
+    }
+
+    /// Iterate valid lines.
+    pub fn valid_lines(&self) -> impl Iterator<Item = &CacheLine> {
+        self.lines.iter().filter(|l| l.valid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(x: u64) -> BlockAddr {
+        BlockAddr(x)
+    }
+
+    #[test]
+    fn fill_until_full_then_evict_lru() {
+        let mut s = CacheSet::new(2);
+        assert_eq!(s.fill(b(1), LineFlags::owned(false)), None);
+        assert_eq!(s.fill(b(2), LineFlags::owned(false)), None);
+        // b(1) is LRU now.
+        let ev = s.fill(b(3), LineFlags::owned(false)).unwrap();
+        assert_eq!(ev.block, b(1));
+        assert!(s.probe(b(1)).is_none());
+        assert!(s.probe(b(2)).is_some());
+        assert!(s.probe(b(3)).is_some());
+    }
+
+    #[test]
+    fn access_hit_updates_lru_and_dirty() {
+        let mut s = CacheSet::new(2);
+        s.fill(b(1), LineFlags::owned(false));
+        s.fill(b(2), LineFlags::owned(false));
+        assert_eq!(s.access(b(1), true), Some(2), "b1 was at distance 2");
+        let w = s.probe(b(1)).unwrap();
+        assert!(s.line(w).flags.dirty);
+        // Now b(2) is LRU; filling evicts it.
+        let ev = s.fill(b(3), LineFlags::owned(false)).unwrap();
+        assert_eq!(ev.block, b(2));
+    }
+
+    #[test]
+    fn miss_returns_none() {
+        let mut s = CacheSet::new(2);
+        s.fill(b(1), LineFlags::owned(false));
+        assert_eq!(s.access(b(9), false), None);
+    }
+
+    #[test]
+    fn invalidate_frees_way_first() {
+        let mut s = CacheSet::new(2);
+        s.fill(b(1), LineFlags::owned(false));
+        s.fill(b(2), LineFlags::owned(true));
+        let line = s.invalidate(b(2)).unwrap();
+        assert!(line.flags.dirty);
+        assert_eq!(s.valid_count(), 1);
+        // Next fill reuses the invalidated way without evicting b(1).
+        assert_eq!(s.fill(b(3), LineFlags::owned(false)), None);
+        assert!(s.probe(b(1)).is_some());
+    }
+
+    #[test]
+    fn prefer_evicting_cc_lines() {
+        let mut s = CacheSet::new(4);
+        s.fill(b(10), LineFlags::owned(false));
+        s.fill(b(11), LineFlags::received(false));
+        s.fill(b(12), LineFlags::owned(false));
+        s.fill(b(13), LineFlags::owned(false));
+        // b(10) is LRU, but b(11) is the CC line: local fill should evict
+        // the CC line first.
+        let ev = s.fill_prefer_evict_cc(b(14), LineFlags::owned(false)).unwrap();
+        assert_eq!(ev.block, b(11));
+        assert!(ev.flags.cc);
+        assert!(s.probe(b(10)).is_some(), "owned LRU line survives");
+    }
+
+    #[test]
+    fn prefer_evict_cc_falls_back_to_lru() {
+        let mut s = CacheSet::new(2);
+        s.fill(b(1), LineFlags::owned(false));
+        s.fill(b(2), LineFlags::owned(false));
+        let ev = s.fill_prefer_evict_cc(b(3), LineFlags::owned(false)).unwrap();
+        assert_eq!(ev.block, b(1), "no CC line: plain LRU victim");
+    }
+
+    #[test]
+    fn fill_uses_invalid_ways_before_evicting_cc() {
+        let mut s = CacheSet::new(2);
+        s.fill(b(1), LineFlags::received(true));
+        // One way still invalid: no eviction even though a CC line exists.
+        assert_eq!(s.fill_prefer_evict_cc(b(2), LineFlags::owned(false)), None);
+        assert_eq!(s.valid_count(), 2);
+    }
+
+    #[test]
+    fn cc_count_and_valid_count() {
+        let mut s = CacheSet::new(4);
+        s.fill(b(1), LineFlags::owned(false));
+        s.fill(b(2), LineFlags::received(false));
+        s.fill(b(3), LineFlags::received(true));
+        assert_eq!(s.valid_count(), 3);
+        assert_eq!(s.cc_count(), 2);
+    }
+}

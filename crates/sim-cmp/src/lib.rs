@@ -1,0 +1,27 @@
+//! # sim-cmp — the quad-core CMP substrate
+//!
+//! Execution-driven chip-multiprocessor simulator reproducing the
+//! paper's Table 4 platform:
+//!
+//! * [`config`] — system/bus/core configuration (Table 4 defaults);
+//! * [`core`] — the simplified out-of-order core timing model;
+//! * [`bus`] — 16 B split-transaction snoop bus with arbitration;
+//! * [`scheme`] — the [`scheme::L2Org`] trait behind which the five L2
+//!   organisations plug in;
+//! * [`system`] — the driver wiring cores, L1 I/D, bus, DRAM and an L2
+//!   organisation, with warm-up + measured execution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod config;
+pub mod core;
+pub mod scheme;
+pub mod system;
+
+pub use bus::{Bus, BusGrant, BusStats};
+pub use config::{BusConfig, CoreConfig, SystemConfig};
+pub use core::{CoreModel, CoreStats};
+pub use scheme::{ChipResources, L2Fill, L2Org, L2Outcome};
+pub use system::{CmpSystem, CoreResult, SystemResult};

@@ -1,0 +1,25 @@
+//! # sim-mem — memory substrate for the SNUG reproduction
+//!
+//! Foundation types shared by every other crate in the workspace:
+//!
+//! * [`address`] — physical addresses, block addresses and set/tag
+//!   decomposition under a cache [`address::Geometry`];
+//! * [`access`] — memory references and the [`access::OpStream`] trait
+//!   that workload generators implement;
+//! * [`dram`] — the off-chip DRAM timing model (flat 300-cycle latency
+//!   plus channel occupancy, paper Table 4);
+//! * [`trace`] — trace capture/replay and the 1000 × 100 K-access
+//!   interval sampling plan of the paper's characterisation (§2.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod address;
+pub mod dram;
+pub mod trace;
+
+pub use access::{Access, AccessKind, CoreOp, OpStream, VecStream};
+pub use address::{tag_bits, Addr, BlockAddr, Geometry};
+pub use dram::{Dram, DramConfig, DramStats};
+pub use trace::{IntervalClock, SamplingPlan, Trace, TraceDecodeError};

@@ -1,0 +1,24 @@
+//! # snug-workloads — synthetic SPEC CPU2000 workload models
+//!
+//! The paper evaluates on SPEC CPU2000, which is unavailable offline;
+//! this crate provides deterministic synthetic address-stream generators
+//! calibrated to the *set-level capacity-demand profiles* the paper
+//! reports (Table 6 classes; Figures 1–3). See DESIGN.md §1 for why this
+//! substitution preserves the behaviour under test.
+//!
+//! * [`model`] — the generator engine (demand mixtures, phases,
+//!   near/far reference patterns, streaming);
+//! * [`spec`] — the 13 calibrated benchmark models;
+//! * [`combos`] — Tables 7–8: the 6 combination classes and 21
+//!   quad-core workload combinations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod combos;
+pub mod model;
+pub mod spec;
+
+pub use combos::{all_combos, combos_in_class, Combo, ComboClass};
+pub use model::{BenchmarkSpec, DemandComponent, DemandProfile, Pattern, Phase, SyntheticStream};
+pub use spec::{AppClass, Benchmark};

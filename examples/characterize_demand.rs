@@ -1,0 +1,60 @@
+//! Reproduce Figures 1–3: the distribution of set-level capacity demand
+//! over sampling intervals for ammp, vortex and applu (plus any other
+//! benchmark by name).
+//!
+//! Prints a compact stacked-distribution view and writes the full
+//! per-interval series as CSV next to the binary.
+//!
+//! ```sh
+//! cargo run --release --example characterize_demand            # ammp vortex applu, scaled
+//! cargo run --release --example characterize_demand -- --paper # full 1000×100K plan
+//! cargo run --release --example characterize_demand -- mcf gzip
+//! ```
+
+use snug_experiments::{characterize, CharacterizeConfig};
+use snug_workloads::Benchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper = args.iter().any(|a| a == "--paper");
+    let names: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let benches: Vec<Benchmark> = if names.is_empty() {
+        vec![Benchmark::Ammp, Benchmark::Vortex, Benchmark::Applu]
+    } else {
+        names
+            .iter()
+            .map(|n| Benchmark::from_name(n).unwrap_or_else(|| panic!("unknown benchmark {n}")))
+            .collect()
+    };
+    // The paper's plan is 1000 intervals × 100 K accesses; the scaled
+    // default (100 × 20 K) keeps the shape at a fraction of the cost.
+    let cfg =
+        if paper { CharacterizeConfig::paper() } else { CharacterizeConfig::scaled(100, 20_000) };
+
+    for bench in benches {
+        eprintln!("characterizing {} ...", bench.name());
+        let c = characterize(bench, &cfg);
+        println!("\n=== {} — set-level capacity demand ===", c.benchmark);
+        println!(
+            "mean low-demand (1-4 blocks): {:.1} %   above-baseline (>16): {:.1} %   spread: {:.2}",
+            c.mean_low_demand() * 100.0,
+            c.mean_above_baseline(16) * 100.0,
+            c.mean_spread()
+        );
+        // Compact stacked view: one row per 10% of the run.
+        println!("\ninterval  | {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}",
+            "1-4", "5-8", "9-12", "13-16", "17-20", "21-24", "25-28", ">=29");
+        let step = (c.intervals.len() / 10).max(1);
+        for (i, d) in c.intervals.iter().enumerate().step_by(step) {
+            print!("{:>9} |", i + 1);
+            for s in &d.sizes {
+                print!(" {:>4.0}%", s * 100.0);
+            }
+            println!();
+        }
+        let path = format!("fig_{}_demand.csv", c.benchmark);
+        std::fs::write(&path, c.to_csv()).expect("write csv");
+        println!("\nfull series written to {path}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Reproduce the storage-overhead analysis of §3.4 (Formula 6) and
+//! Tables 2–3.
+//!
+//! ```sh
+//! cargo run --release --example overhead_analysis
+//! ```
+
+use snug_core::{table3, OverheadParams};
+
+fn main() {
+    let p = OverheadParams::paper();
+    println!("=== Table 2 configuration (32-bit addr, 64 B lines, 1 MB, 16-way) ===");
+    println!("sets            : {}", p.num_sets());
+    println!("tag bits        : {}", p.tag_bits());
+    println!("LRU bits        : {}", p.lru_bits());
+    println!("shadow set bits : {}", p.shadow_set_bits());
+    println!("L2 set bits     : {}", p.l2_set_bits());
+    println!(
+        "storage overhead: {:.2} %   (paper §3.4: 3.9 %)",
+        p.storage_overhead() * 100.0
+    );
+
+    println!("\n=== Table 3: overhead across address width × line size ===");
+    println!("| line size | 32-bit address | 64-bit address (44 used) |");
+    println!("|---|---|---|");
+    let rows = table3();
+    for &block in &[64u64, 128] {
+        let find = |addr: u32| {
+            rows.iter()
+                .find(|(a, b, _)| *a == addr && *b == block)
+                .map(|(_, _, o)| o * 100.0)
+                .unwrap()
+        };
+        println!("| {block} B | {:.1} % | {:.1} % |", find(32), find(44));
+    }
+    println!("\npaper Table 3: 64 B → 3.9 % / 5.8 %;  128 B → 2.1 % / 3.1 %");
+
+    println!("\n=== Sensitivity: overhead vs monitor counter width k ===");
+    for k in [2u32, 3, 4, 5, 6] {
+        let p = OverheadParams { counter_bits: k, ..OverheadParams::paper() };
+        println!("k = {k}: {:.3} %", p.storage_overhead() * 100.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Reproduce Figures 9–11: the five-scheme comparison over the paper's
+//! 21 workload combinations (Table 8), reported per class C1–C6 with
+//! geometric means, all normalised to L2P.
+//!
+//! ```sh
+//! cargo run --release --example scheme_comparison            # full run
+//! cargo run --release --example scheme_comparison -- --quick # smoke run
+//! ```
+
+use snug_experiments::{figure_table, run_all, summarize, CompareConfig, Figure};
+use snug_workloads::all_combos;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick { CompareConfig::quick() } else { CompareConfig::default_eval() };
+    let combos = all_combos();
+    eprintln!(
+        "running {} combos × 8 simulations (L2P + L2S + 5×CC + DSR + SNUG), {} measured cycles each...",
+        combos.len(),
+        cfg.budget.measure_cycles
+    );
+    let t0 = std::time::Instant::now();
+    let results = run_all(&combos, &cfg, 0);
+    eprintln!("done in {:.1} s\n", t0.elapsed().as_secs_f64());
+
+    for fig in [Figure::Throughput, Figure::Aws, Figure::FairSpeedup] {
+        let summary = summarize(&results, fig);
+        println!("{}", figure_table(&summary, fig).to_markdown());
+    }
+
+    // Per-combo detail (appendix-style).
+    println!("### Per-combination normalised throughput\n");
+    println!("| combo | class | L2S | CC(Best) | DSR | SNUG |");
+    println!("|---|---|---|---|---|---|");
+    for r in &results {
+        print!("| {} | {} ", r.label, r.class.name());
+        for scheme in snug_experiments::FIGURE_SCHEMES {
+            print!("| {:.3} ", r.metrics_of(scheme).unwrap().throughput);
+        }
+        println!("|");
+    }
+}

@@ -1,0 +1,1 @@
+pub use snug_experiments as experiments;
