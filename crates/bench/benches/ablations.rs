@@ -15,10 +15,9 @@ fn print_reproduction() {
     // Evaluation-scale budgets: the 1 MB slices need hundreds of
     // thousands of cycles before they even start evicting, so the quick
     // budget would show flat 1.000 everywhere.
-    let mut cfg = CompareConfig::default_eval();
-    // full evaluation window: the cooperative effects need several
+    // Full evaluation window: the cooperative effects need several
     // sampling periods to develop.
-    let _ = &cfg;
+    let cfg = CompareConfig::default_eval();
     let c1 = all_combos()[0]; // 4 × ammp
     let base = run_scheme(&c1, &SchemeSpec::L2p, &cfg).throughput();
 
@@ -35,12 +34,19 @@ fn print_reproduction() {
     }
 
     println!("\n=== E10: sampling-period lengths (C1) ===");
-    for (s1, s2) in [(50_000u64, 450_000u64), (150_000, 1_350_000), (300_000, 2_700_000)] {
+    for (s1, s2) in [
+        (50_000u64, 450_000u64),
+        (150_000, 1_350_000),
+        (300_000, 2_700_000),
+    ] {
         let mut s = cfg.snug;
         s.stage1_cycles = s1;
         s.stage2_cycles = s2;
         let r = run_scheme(&c1, &SchemeSpec::Snug(s), &cfg);
-        println!("stage I {s1:>7} + stage II {s2:>7} → {:.3}", r.throughput() / base);
+        println!(
+            "stage I {s1:>7} + stage II {s2:>7} → {:.3}",
+            r.throughput() / base
+        );
     }
 
     println!("\n=== E11: counter width k / threshold p (C1) ===");
@@ -54,8 +60,18 @@ fn print_reproduction() {
 
     println!("\n=== E12: CC spill-probability sweep (C1) ===");
     for &p in &SchemeSpec::CC_SPILL_SWEEP {
-        let r = run_scheme(&c1, &SchemeSpec::Cc { spill_probability: p }, &cfg);
-        println!("p_spill {:>3.0} % → {:.3}", p * 100.0, r.throughput() / base);
+        let r = run_scheme(
+            &c1,
+            &SchemeSpec::Cc {
+                spill_probability: p,
+            },
+            &cfg,
+        );
+        println!(
+            "p_spill {:>3.0} % → {:.3}",
+            p * 100.0,
+            r.throughput() / base
+        );
     }
     println!();
 }

@@ -37,7 +37,12 @@ fn bench(c: &mut Criterion) {
         ("l2p", SchemeSpec::L2p),
         ("snug", SchemeSpec::Snug(cfg.snug)),
         ("dsr", SchemeSpec::Dsr(cfg.dsr)),
-        ("cc100", SchemeSpec::Cc { spill_probability: 1.0 }),
+        (
+            "cc100",
+            SchemeSpec::Cc {
+                spill_probability: 1.0,
+            },
+        ),
     ] {
         g.bench_function(format!("simulate_c1_{name}"), |b| {
             b.iter(|| run_scheme(&combo, &spec, &cfg));

@@ -19,7 +19,10 @@ fn print_reproduction() {
     );
     println!("\n=== Table 3: address width × line size ===");
     for (addr, block, o) in table3() {
-        println!("{block:>4} B lines, {addr}-bit addresses: {:.1} %", o * 100.0);
+        println!(
+            "{block:>4} B lines, {addr}-bit addresses: {:.1} %",
+            o * 100.0
+        );
     }
     println!("paper Table 3: 64B → 3.9/5.8 %, 128B → 2.1/3.1 %\n");
 }

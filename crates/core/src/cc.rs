@@ -102,13 +102,25 @@ impl Cc {
 
     /// Place `block` in the next receiving peer with `hops` re-spills
     /// remaining.
-    fn spill(&mut self, from: usize, block: sim_mem::BlockAddr, hops: u32, now: u64, res: &mut ChipResources<'_>) {
+    fn spill(
+        &mut self,
+        from: usize,
+        block: sim_mem::BlockAddr,
+        hops: u32,
+        now: u64,
+        res: &mut ChipResources<'_>,
+    ) {
         let n = self.chassis.num_cores();
-        let peer = if self.next_peer == from { (self.next_peer + 1) % n } else { self.next_peer };
+        let peer = if self.next_peer == from {
+            (self.next_peer + 1) % n
+        } else {
+            self.next_peer
+        };
         self.next_peer = (peer + 1) % n;
         let set = self.chassis.cfg.l2_slice.set_index(block);
         self.chassis.charge_spill_transfer(now, res);
-        self.chassis.receive_spill(from, peer, set, block, false, now, res);
+        self.chassis
+            .receive_spill(from, peer, set, block, false, now, res);
         if hops > 0 {
             self.hops_left.insert(block, hops);
         }
@@ -126,7 +138,10 @@ impl L2Org for Cc {
     ) -> L2Outcome {
         self.chassis.drain_write_buffers(now, res);
         if self.chassis.local_access(core, block, is_write).is_some() {
-            return L2Outcome { latency: self.chassis.cfg.l2_local_latency, fill: L2Fill::LocalHit };
+            return L2Outcome {
+                latency: self.chassis.cfg.l2_local_latency,
+                fill: L2Fill::LocalHit,
+            };
         }
         self.chassis.slices[core].stats_mut().misses += 1;
         if let Some(ev) = self.chassis.write_buffer_read(core, block, is_write) {
@@ -140,19 +155,26 @@ impl L2Org for Cc {
         }
         if let Some(hit) = self.probe_peers(core, block) {
             let latency =
-                self.chassis.peer_hit_latency(now, self.chassis.cfg.l2_remote_latency, res);
+                self.chassis
+                    .peer_hit_latency(now, self.chassis.cfg.l2_remote_latency, res);
             self.chassis.forward_from_peer(core, hit, block);
             self.hops_left.remove(&block);
             if let Some(ev) = self.chassis.fill_local(core, block, is_write) {
                 self.handle_victim(core, ev, now, res);
             }
-            return L2Outcome { latency, fill: L2Fill::RemoteHit };
+            return L2Outcome {
+                latency,
+                fill: L2Fill::RemoteHit,
+            };
         }
         let latency = self.chassis.dram_fill_latency(now, res);
         if let Some(ev) = self.chassis.fill_local(core, block, is_write) {
             self.handle_victim(core, ev, now, res);
         }
-        L2Outcome { latency, fill: L2Fill::Dram }
+        L2Outcome {
+            latency,
+            fill: L2Fill::Dram,
+        }
     }
 
     fn writeback(&mut self, core: usize, block: BlockAddr, now: u64, res: &mut ChipResources<'_>) {
@@ -183,7 +205,10 @@ mod tests {
     use sim_mem::{Dram, DramConfig};
 
     fn res_pair() -> (Bus, Dram) {
-        (Bus::new(BusConfig::paper()), Dram::new(DramConfig::uncontended(300)))
+        (
+            Bus::new(BusConfig::paper()),
+            Dram::new(DramConfig::uncontended(300)),
+        )
     }
 
     /// Drive enough conflicting fills through core 0's set `set` to force
@@ -199,7 +224,10 @@ mod tests {
     fn full_spill_retains_victims_on_chip() {
         let mut org = Cc::new(SystemConfig::tiny_test(), 1.0);
         let (mut bus, mut dram) = res_pair();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let mut t = 0;
         thrash_set(&mut org, 3, 6, &mut t, &mut res); // 4-way: 2 clean spills
         assert_eq!(org.aggregate_stats().spills_out, 2);
@@ -214,7 +242,10 @@ mod tests {
     fn zero_spill_is_private() {
         let mut org = Cc::new(SystemConfig::tiny_test(), 0.0);
         let (mut bus, mut dram) = res_pair();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let mut t = 0;
         thrash_set(&mut org, 3, 12, &mut t, &mut res);
         assert_eq!(org.aggregate_stats().spills_out, 0);
@@ -226,7 +257,10 @@ mod tests {
     fn forward_invalidates_peer_copy() {
         let mut org = Cc::new(SystemConfig::tiny_test(), 1.0);
         let (mut bus, mut dram) = res_pair();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let mut t = 0;
         thrash_set(&mut org, 1, 5, &mut t, &mut res);
         let spilled = BlockAddr(1); // tag 0, set 1 — first victim
@@ -243,13 +277,17 @@ mod tests {
     fn spilled_line_evicted_again_is_dropped() {
         let mut org = Cc::new(SystemConfig::tiny_test(), 1.0);
         let (mut bus, mut dram) = res_pair();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let mut t = 0;
         // Spill tag0/set3 into a peer, then thrash that peer set with the
         // peer's own fills so the CC line is displaced.
         thrash_set(&mut org, 3, 5, &mut t, &mut res);
-        let peers_with_cc: Vec<usize> =
-            (0..4).filter(|&j| org.chassis().slices[j].cc_lines() > 0).collect();
+        let peers_with_cc: Vec<usize> = (0..4)
+            .filter(|&j| org.chassis().slices[j].cc_lines() > 0)
+            .collect();
         assert_eq!(peers_with_cc.len(), 1);
         let p = peers_with_cc[0];
         for tag in 100..105 {
@@ -266,13 +304,18 @@ mod tests {
     fn two_chance_respills_once_then_drops() {
         let mut org = Cc::with_chances(SystemConfig::tiny_test(), 1.0, 2);
         let (mut bus, mut dram) = res_pair();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let mut t = 0;
         // Spill tag0/set3 into peer 1, then displace it from peer 1 with
         // the peer's own traffic: with 2-chance it must hop onward and
         // remain retrievable.
         thrash_set(&mut org, 3, 5, &mut t, &mut res);
-        let holder = (0..4).find(|&j| org.chassis().slices[j].cc_lines() > 0).unwrap();
+        let holder = (0..4)
+            .find(|&j| org.chassis().slices[j].cc_lines() > 0)
+            .unwrap();
         for tag in 200..205u64 {
             org.access(holder, BlockAddr((tag << 4) | 3), false, t, &mut res);
             t += 500;
@@ -281,7 +324,11 @@ mod tests {
         let still_cached: usize = (0..4).map(|j| org.chassis().slices[j].cc_lines()).sum();
         assert!(still_cached >= 1, "2-chance kept the victim on chip");
         let r = org.access(0, BlockAddr(3), false, t, &mut res);
-        assert_eq!(r.fill, L2Fill::RemoteHit, "block survived its second chance");
+        assert_eq!(
+            r.fill,
+            L2Fill::RemoteHit,
+            "block survived its second chance"
+        );
         assert!(org.chassis().single_copy_invariant());
     }
 
@@ -297,7 +344,10 @@ mod tests {
         let mut counts = Vec::new();
         for &p in &[0.25, 0.75] {
             let mut org = Cc::new(SystemConfig::tiny_test(), p);
-            let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+            let mut res = ChipResources {
+                bus: &mut bus,
+                dram: &mut dram,
+            };
             let mut t = 0;
             for _round in 0..50u64 {
                 thrash_set(&mut org, 2, 8, &mut t, &mut res);

@@ -39,7 +39,9 @@ impl PrivateChassis {
     /// Build empty slices and buffers.
     pub fn new(cfg: SystemConfig) -> Self {
         PrivateChassis {
-            slices: (0..cfg.num_cores).map(|_| SetAssocCache::new(cfg.l2_slice)).collect(),
+            slices: (0..cfg.num_cores)
+                .map(|_| SetAssocCache::new(cfg.l2_slice))
+                .collect(),
             wbs: (0..cfg.num_cores)
                 .map(|_| WriteBuffer::new(cfg.write_buffer_entries))
                 .collect(),
@@ -74,7 +76,13 @@ impl PrivateChassis {
 
     /// Push a dirty victim into core `c`'s write buffer, force-draining
     /// the oldest entry first if full.
-    pub fn push_writeback(&mut self, c: usize, block: BlockAddr, now: u64, res: &mut ChipResources<'_>) {
+    pub fn push_writeback(
+        &mut self,
+        c: usize,
+        block: BlockAddr,
+        now: u64,
+        res: &mut ChipResources<'_>,
+    ) {
         match self.wbs[c].push(block) {
             PushOutcome::Stored | PushOutcome::Merged => {}
             PushOutcome::Full => {
@@ -140,15 +148,12 @@ impl PrivateChassis {
 
     /// Latency of a peer hit: snoop address phase, peer array lookup,
     /// data transfer back — floored at `remote_flat`.
-    pub fn peer_hit_latency(
-        &self,
-        now: u64,
-        remote_flat: u64,
-        res: &mut ChipResources<'_>,
-    ) -> u64 {
+    pub fn peer_hit_latency(&self, now: u64, remote_flat: u64, res: &mut ChipResources<'_>) -> u64 {
         let addr = res.bus.address_transaction(now);
         let lookup_done = addr.done_at + self.cfg.l2_local_latency;
-        let data = res.bus.data_transaction(lookup_done, self.cfg.l2_slice.block_bytes);
+        let data = res
+            .bus
+            .data_transaction(lookup_done, self.cfg.l2_slice.block_bytes);
         (data.done_at - now).max(remote_flat)
     }
 
@@ -171,6 +176,7 @@ impl PrivateChassis {
     /// Handles the receiving set's victim: a dirty owned victim goes to
     /// the *peer's* write buffer; clean or CC victims are dropped
     /// (one-chance forwarding). Updates spill counters.
+    #[allow(clippy::too_many_arguments)] // mirrors the bus transaction's fields
     pub fn receive_spill(
         &mut self,
         from: usize,
@@ -206,7 +212,10 @@ impl PrivateChassis {
     pub fn forward_from_peer(&mut self, owner: usize, hit: PeerHit, block: BlockAddr) {
         let removed = self.slices[hit.peer].invalidate_in_set(hit.set, block);
         debug_assert!(removed.is_some(), "forwarded block must be resident");
-        debug_assert!(removed.map(|f| f.cc).unwrap_or(false), "forwarded line must be CC");
+        debug_assert!(
+            removed.map(|f| f.cc).unwrap_or(false),
+            "forwarded line must be CC"
+        );
         self.slices[hit.peer].stats_mut().forwards += 1;
         self.slices[owner].stats_mut().retrieved_from_peer += 1;
     }
@@ -304,7 +313,11 @@ mod tests {
 
     fn setup() -> (PrivateChassis, Bus, Dram) {
         let cfg = SystemConfig::tiny_test();
-        (PrivateChassis::new(cfg), Bus::new(BusConfig::paper()), Dram::new(DramConfig::uncontended(300)))
+        (
+            PrivateChassis::new(cfg),
+            Bus::new(BusConfig::paper()),
+            Dram::new(DramConfig::uncontended(300)),
+        )
     }
 
     fn blk(set: u64, tag: u64) -> BlockAddr {
@@ -324,7 +337,10 @@ mod tests {
     #[test]
     fn write_buffer_direct_read_reinstalls_dirty() {
         let (mut ch, mut bus, mut dram) = setup();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let b = blk(1, 2);
         ch.push_writeback(0, b, 0, &mut res);
         let got = ch.write_buffer_read(0, b, false);
@@ -337,7 +353,10 @@ mod tests {
     #[test]
     fn peer_hit_latency_floored_at_flat_remote() {
         let (ch, mut bus, mut dram) = setup();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let lat = ch.peer_hit_latency(1000, 30, &mut res);
         assert!(lat >= 30, "flat floor, got {lat}");
         assert!(lat <= 60, "uncontended should be near the floor, got {lat}");
@@ -346,16 +365,26 @@ mod tests {
     #[test]
     fn dram_fill_overlaps_snoop_with_memory() {
         let (ch, mut bus, mut dram) = setup();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let lat = ch.dram_fill_latency(0, &mut res);
         assert_eq!(lat, 300, "speculative fetch: snoop hidden under DRAM");
-        assert_eq!(res.bus.stats().address_transactions, 1, "snoop still issued");
+        assert_eq!(
+            res.bus.stats().address_transactions,
+            1,
+            "snoop still issued"
+        );
     }
 
     #[test]
     fn receive_spill_and_forward_round_trip() {
         let (mut ch, mut bus, mut dram) = setup();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let b = blk(5, 77);
         ch.receive_spill(0, 2, 5, b, false, 0, &mut res);
         assert_eq!(ch.slices[2].cc_lines(), 1);
@@ -370,7 +399,10 @@ mod tests {
     #[test]
     fn receive_spill_dirty_victim_goes_to_peer_wb() {
         let (mut ch, mut bus, mut dram) = setup();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         // Fill peer 1 set 5 with dirty owned lines.
         for t in 0..4 {
             let ev = ch.slices[1].fill_in_set(5, blk(5, t), LineFlags::owned(true));
@@ -383,7 +415,10 @@ mod tests {
     #[test]
     fn l1_writeback_marks_dirty_when_resident() {
         let (mut ch, mut bus, mut dram) = setup();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let b = blk(2, 3);
         ch.fill_local(0, b, false);
         ch.l1_writeback(0, b, 0, &mut res);
@@ -395,7 +430,10 @@ mod tests {
     #[test]
     fn l1_writeback_invalidates_stale_cc_copy() {
         let (mut ch, mut bus, mut dram) = setup();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let b = blk(2, 3);
         // Peer 3 holds a stale CC copy at the flipped index.
         ch.slices[3].fill_in_set(3, b, LineFlags::received(true));
@@ -407,7 +445,10 @@ mod tests {
     #[test]
     fn drain_empties_buffers_when_channel_free() {
         let (mut ch, mut bus, mut dram) = setup();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         ch.push_writeback(0, blk(0, 1), 0, &mut res);
         ch.push_writeback(1, blk(1, 1), 0, &mut res);
         ch.drain_write_buffers(10_000, &mut res);

@@ -41,12 +41,18 @@ pub struct DsrConfig {
 impl DsrConfig {
     /// Qureshi's published parameters.
     pub fn paper() -> Self {
-        DsrConfig { sample_stride: 32, psel_bits: 10 }
+        DsrConfig {
+            sample_stride: 32,
+            psel_bits: 10,
+        }
     }
 
     /// Small-stride configuration for tiny test caches.
     pub fn tiny() -> Self {
-        DsrConfig { sample_stride: 4, psel_bits: 6 }
+        DsrConfig {
+            sample_stride: 4,
+            psel_bits: 6,
+        }
     }
 }
 
@@ -159,7 +165,8 @@ impl Dsr {
             if j != core && self.receives(j, set) {
                 self.next_peer = (j + 1) % n;
                 self.chassis.charge_spill_transfer(now, res);
-                self.chassis.receive_spill(core, j, set, ev.block, false, now, res);
+                self.chassis
+                    .receive_spill(core, j, set, ev.block, false, now, res);
                 return;
             }
         }
@@ -177,7 +184,10 @@ impl L2Org for Dsr {
     ) -> L2Outcome {
         self.chassis.drain_write_buffers(now, res);
         if self.chassis.local_access(core, block, is_write).is_some() {
-            return L2Outcome { latency: self.chassis.cfg.l2_local_latency, fill: L2Fill::LocalHit };
+            return L2Outcome {
+                latency: self.chassis.cfg.l2_local_latency,
+                fill: L2Fill::LocalHit,
+            };
         }
         self.chassis.slices[core].stats_mut().misses += 1;
         if let Some(ev) = self.chassis.write_buffer_read(core, block, is_write) {
@@ -191,12 +201,16 @@ impl L2Org for Dsr {
         }
         if let Some(hit) = self.probe_peers(core, block) {
             let latency =
-                self.chassis.peer_hit_latency(now, self.chassis.cfg.l2_remote_latency, res);
+                self.chassis
+                    .peer_hit_latency(now, self.chassis.cfg.l2_remote_latency, res);
             self.chassis.forward_from_peer(core, hit, block);
             if let Some(ev) = self.chassis.fill_local(core, block, is_write) {
                 self.handle_victim(core, ev, now, res);
             }
-            return L2Outcome { latency, fill: L2Fill::RemoteHit };
+            return L2Outcome {
+                latency,
+                fill: L2Fill::RemoteHit,
+            };
         }
         let set = self.chassis.cfg.l2_slice.set_index(block);
         self.note_dram_miss(core, set);
@@ -204,7 +218,10 @@ impl L2Org for Dsr {
         if let Some(ev) = self.chassis.fill_local(core, block, is_write) {
             self.handle_victim(core, ev, now, res);
         }
-        L2Outcome { latency, fill: L2Fill::Dram }
+        L2Outcome {
+            latency,
+            fill: L2Fill::Dram,
+        }
     }
 
     fn writeback(&mut self, core: usize, block: BlockAddr, now: u64, res: &mut ChipResources<'_>) {
@@ -259,7 +276,10 @@ mod tests {
     #[test]
     fn spill_sample_sets_always_spill() {
         let (mut org, mut bus, mut dram) = mk();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let mut t = 0;
         // Set 0 is a spiller sample; overflowing it must spill regardless
         // of PSEL.
@@ -278,7 +298,10 @@ mod tests {
     #[test]
     fn receiver_sample_sets_accept_spills() {
         let (mut org, mut bus, mut dram) = mk();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let mut t = 0;
         // Set 2 is cache 0's receiver sample; DRAM misses there
         // decrement PSEL until cache 0's followers become spillers.
@@ -295,14 +318,21 @@ mod tests {
         }
         assert!(org.aggregate_stats().spills_in > 0);
         let r = org.access(0, BlockAddr(1), false, t, &mut res);
-        assert_eq!(r.fill, L2Fill::RemoteHit, "victim retrieved from a receiver peer");
+        assert_eq!(
+            r.fill,
+            L2Fill::RemoteHit,
+            "victim retrieved from a receiver peer"
+        );
         assert!(org.chassis().single_copy_invariant());
     }
 
     #[test]
     fn psel_orientation() {
         let (mut org, mut bus, mut dram) = mk();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         assert!(!org.is_spiller(0), "midpoint defaults to receiver");
         // DRAM misses in the spill-sample set push PSEL up (spilling
         // looks bad) → stays receiver.

@@ -59,7 +59,13 @@ mod tests {
     fn names_match_paper() {
         assert_eq!(SchemeSpec::L2p.name(), "L2P");
         assert_eq!(SchemeSpec::L2s.name(), "L2S");
-        assert_eq!(SchemeSpec::Cc { spill_probability: 0.5 }.name(), "CC(50%)");
+        assert_eq!(
+            SchemeSpec::Cc {
+                spill_probability: 0.5
+            }
+            .name(),
+            "CC(50%)"
+        );
         assert_eq!(SchemeSpec::Dsr(DsrConfig::paper()).name(), "DSR");
         assert_eq!(SchemeSpec::Snug(SnugConfig::paper()).name(), "SNUG");
     }
@@ -70,7 +76,9 @@ mod tests {
         for spec in [
             SchemeSpec::L2p,
             SchemeSpec::L2s,
-            SchemeSpec::Cc { spill_probability: 1.0 },
+            SchemeSpec::Cc {
+                spill_probability: 1.0,
+            },
             SchemeSpec::Dsr(DsrConfig::tiny()),
             SchemeSpec::Snug(SnugConfig::scaled(1000)),
         ] {

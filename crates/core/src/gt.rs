@@ -16,7 +16,9 @@ impl GtVector {
     /// All-giver vector (the state before the first identification
     /// stage completes: nothing has demonstrated extra demand yet).
     pub fn all_givers(num_sets: usize) -> Self {
-        GtVector { bits: vec![false; num_sets] }
+        GtVector {
+            bits: vec![false; num_sets],
+        }
     }
 
     /// Latch a fresh verdict vector.
@@ -139,7 +141,11 @@ mod tests {
         // set 2 taker, set 3 giver.
         v.latch(vec![true, true, true, false]);
         assert_eq!(v.group_case(2, true), GroupCase::FlippedIndex);
-        assert_eq!(v.group_case(2, false), GroupCase::NoMatch, "ablation disables case 2");
+        assert_eq!(
+            v.group_case(2, false),
+            GroupCase::NoMatch,
+            "ablation disables case 2"
+        );
     }
 
     #[test]

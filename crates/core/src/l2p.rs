@@ -16,7 +16,9 @@ pub struct L2p {
 impl L2p {
     /// Build the baseline for `cfg`.
     pub fn new(cfg: SystemConfig) -> Self {
-        L2p { chassis: PrivateChassis::new(cfg) }
+        L2p {
+            chassis: PrivateChassis::new(cfg),
+        }
     }
 
     /// Access to the underlying chassis (tests/diagnostics).
@@ -37,14 +39,20 @@ impl L2Org for L2p {
         let ch = &mut self.chassis;
         ch.drain_write_buffers(now, res);
         if ch.local_access(core, block, is_write).is_some() {
-            return L2Outcome { latency: ch.cfg.l2_local_latency, fill: L2Fill::LocalHit };
+            return L2Outcome {
+                latency: ch.cfg.l2_local_latency,
+                fill: L2Fill::LocalHit,
+            };
         }
         ch.slices[core].stats_mut().misses += 1;
         if let Some(ev) = ch.write_buffer_read(core, block, is_write) {
             if let Some(ev) = ev {
                 ch.retire_victim(core, ev, now, res);
             }
-            return L2Outcome { latency: ch.cfg.l2_local_latency, fill: L2Fill::WriteBufferHit };
+            return L2Outcome {
+                latency: ch.cfg.l2_local_latency,
+                fill: L2Fill::WriteBufferHit,
+            };
         }
         // Private baseline: no snoop broadcast; straight to DRAM.
         let done = res.dram.read(now);
@@ -52,7 +60,10 @@ impl L2Org for L2p {
         if let Some(ev) = ch.fill_local(core, block, is_write) {
             ch.retire_victim(core, ev, now, res);
         }
-        L2Outcome { latency, fill: L2Fill::Dram }
+        L2Outcome {
+            latency,
+            fill: L2Fill::Dram,
+        }
     }
 
     fn writeback(&mut self, core: usize, block: BlockAddr, now: u64, res: &mut ChipResources<'_>) {
@@ -83,14 +94,20 @@ mod tests {
     use sim_mem::{Dram, DramConfig};
 
     fn res_pair() -> (Bus, Dram) {
-        (Bus::new(BusConfig::paper()), Dram::new(DramConfig::uncontended(300)))
+        (
+            Bus::new(BusConfig::paper()),
+            Dram::new(DramConfig::uncontended(300)),
+        )
     }
 
     #[test]
     fn miss_then_hit() {
         let mut org = L2p::new(SystemConfig::tiny_test());
         let (mut bus, mut dram) = res_pair();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let b = BlockAddr(0x123);
         let m = org.access(0, b, false, 0, &mut res);
         assert_eq!(m.fill, L2Fill::Dram);
@@ -106,7 +123,10 @@ mod tests {
     fn slices_are_isolated() {
         let mut org = L2p::new(SystemConfig::tiny_test());
         let (mut bus, mut dram) = res_pair();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let b = BlockAddr(0x42);
         org.access(0, b, false, 0, &mut res);
         // Same block from core 1 must miss: no sharing in L2P.
@@ -121,8 +141,14 @@ mod tests {
         // Slow drain channel so buffered victims persist long enough to
         // be read back.
         let mut bus = Bus::new(BusConfig::paper());
-        let mut dram = Dram::new(DramConfig { latency: 300, service_interval: 1_000_000 });
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut dram = Dram::new(DramConfig {
+            latency: 300,
+            service_interval: 1_000_000,
+        });
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let set = 7u64;
         let mk = |t: u64| BlockAddr((t << 4) | set);
         // Fill set 7 with dirty lines, then overflow it.
@@ -134,7 +160,11 @@ mod tests {
         org.access(0, mk(4), false, t_now, &mut res); // evicts dirty mk(0)
         t_now += 400;
         let r = org.access(0, mk(0), false, t_now, &mut res);
-        assert_eq!(r.fill, L2Fill::WriteBufferHit, "victim served from write buffer");
+        assert_eq!(
+            r.fill,
+            L2Fill::WriteBufferHit,
+            "victim served from write buffer"
+        );
         assert_eq!(r.latency, 10);
     }
 
@@ -142,7 +172,10 @@ mod tests {
     fn never_spills() {
         let mut org = L2p::new(SystemConfig::tiny_test());
         let (mut bus, mut dram) = res_pair();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let mut t = 0;
         for i in 0..200 {
             org.access(0, BlockAddr(i * 16), false, t, &mut res);

@@ -36,10 +36,15 @@ impl L2s {
     /// private-slice geometry (same total capacity as L2P).
     pub fn new(cfg: SystemConfig) -> Self {
         let n = cfg.num_cores;
-        assert!(n.is_power_of_two(), "bank interleaving requires a power-of-two bank count");
+        assert!(
+            n.is_power_of_two(),
+            "bank interleaving requires a power-of-two bank count"
+        );
         L2s {
             banks: (0..n).map(|_| SetAssocCache::new(cfg.l2_slice)).collect(),
-            wbs: (0..n).map(|_| WriteBuffer::new(cfg.write_buffer_entries)).collect(),
+            wbs: (0..n)
+                .map(|_| WriteBuffer::new(cfg.write_buffer_entries))
+                .collect(),
             core_stats: vec![CacheStats::default(); n],
             bank_bits: n.trailing_zeros(),
             link_free: vec![0; n],
@@ -108,10 +113,17 @@ impl L2Org for L2s {
         self.drain_write_buffers(now, res);
         let bank = self.bank_of(block);
         let set = self.set_of(block);
-        if self.banks[bank].touch_in_set(set, block, is_write).is_some() {
+        if self.banks[bank]
+            .touch_in_set(set, block, is_write)
+            .is_some()
+        {
             self.core_stats[core].hits += 1;
             let latency = self.bank_latency(core, bank, now);
-            let fill = if core == bank { L2Fill::LocalHit } else { L2Fill::RemoteHit };
+            let fill = if core == bank {
+                L2Fill::LocalHit
+            } else {
+                L2Fill::RemoteHit
+            };
             return L2Outcome { latency, fill };
         }
         self.core_stats[core].misses += 1;
@@ -125,28 +137,40 @@ impl L2Org for L2s {
                 }
             }
             let latency = self.bank_latency(core, bank, now);
-            return L2Outcome { latency, fill: L2Fill::WriteBufferHit };
+            return L2Outcome {
+                latency,
+                fill: L2Fill::WriteBufferHit,
+            };
         }
         // Miss: fetch from DRAM; data returns to the bank then crosses to
         // the core if remote.
-        let reach = if core == bank { 0 } else { self.link_delay(bank, now) + LINK_OCCUPANCY };
+        let reach = if core == bank {
+            0
+        } else {
+            self.link_delay(bank, now) + LINK_OCCUPANCY
+        };
         let done = res.dram.read(now + reach);
-        let latency = (done - now) + if core == bank { 0 } else { self.link_delay(bank, done) + LINK_OCCUPANCY };
+        let latency = (done - now)
+            + if core == bank {
+                0
+            } else {
+                self.link_delay(bank, done) + LINK_OCCUPANCY
+            };
         let ev = self.banks[bank].fill_in_set(set, block, LineFlags::owned(is_write));
         if let Some(ev) = ev {
             if ev.flags.dirty {
                 self.core_stats[core].writebacks += 1;
-                match self.wbs[bank].push(ev.block) {
-                    sim_cache::PushOutcome::Full => {
-                        self.wbs[bank].drain_one();
-                        res.dram.write(now);
-                        let _ = self.wbs[bank].push(ev.block);
-                    }
-                    _ => {}
+                if self.wbs[bank].push(ev.block) == sim_cache::PushOutcome::Full {
+                    self.wbs[bank].drain_one();
+                    res.dram.write(now);
+                    let _ = self.wbs[bank].push(ev.block);
                 }
             }
         }
-        L2Outcome { latency, fill: L2Fill::Dram }
+        L2Outcome {
+            latency,
+            fill: L2Fill::Dram,
+        }
     }
 
     fn writeback(&mut self, core: usize, block: BlockAddr, now: u64, res: &mut ChipResources<'_>) {
@@ -155,15 +179,12 @@ impl L2Org for L2s {
         if core != bank {
             let _ = self.link_delay(bank, now);
         }
-        if self.banks[bank].touch_in_set(set, block, true).is_none() {
-            match self.wbs[bank].push(block) {
-                sim_cache::PushOutcome::Full => {
-                    self.wbs[bank].drain_one();
-                    res.dram.write(now);
-                    let _ = self.wbs[bank].push(block);
-                }
-                _ => {}
-            }
+        if self.banks[bank].touch_in_set(set, block, true).is_none()
+            && self.wbs[bank].push(block) == sim_cache::PushOutcome::Full
+        {
+            self.wbs[bank].drain_one();
+            res.dram.write(now);
+            let _ = self.wbs[bank].push(block);
         }
     }
 
@@ -220,7 +241,10 @@ mod tests {
     #[test]
     fn capacity_shared_between_cores() {
         let (mut org, mut bus, mut dram) = mk();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let b = BlockAddr(5);
         org.access(0, b, false, 0, &mut res);
         // Another core hits the same shared line.
@@ -232,7 +256,10 @@ mod tests {
     #[test]
     fn local_bank_cheaper_than_remote() {
         let (mut org, mut bus, mut dram) = mk();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let local = BlockAddr(0); // bank 0
         let remote = BlockAddr(1); // bank 1
         org.access(0, local, false, 0, &mut res);
@@ -246,7 +273,10 @@ mod tests {
     #[test]
     fn remote_miss_costs_more_than_local_miss() {
         let (mut org, mut bus, mut dram) = mk();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let l = org.access(0, BlockAddr(0), false, 0, &mut res);
         let r = org.access(0, BlockAddr(1), false, 5000, &mut res);
         assert!(r.latency > l.latency);
@@ -258,8 +288,14 @@ mod tests {
         let mut org = L2s::new(cfg);
         let mut bus = Bus::new(BusConfig::paper());
         // Slow drain channel so the buffered victim persists.
-        let mut dram = Dram::new(DramConfig { latency: 300, service_interval: 1_000_000 });
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut dram = Dram::new(DramConfig {
+            latency: 300,
+            service_interval: 1_000_000,
+        });
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         // 5 blocks in bank 0, set 0: block = tag << (4 bank-ish bits)...
         // set_of = (block >> 2) & 15 → block = tag << 6 keeps set 0, bank 0.
         let mut t = 0;

@@ -68,8 +68,7 @@ impl OverheadParams {
     /// Bits in one L2 set: assoc × {tag, v, d, CC, f, LRU, data} + the
     /// per-set G/T bit.
     pub fn l2_set_bits(&self) -> u64 {
-        self.assoc
-            * (self.tag_bits() as u64 + 4 + self.lru_bits() as u64 + self.block_bytes * 8)
+        self.assoc * (self.tag_bits() as u64 + 4 + self.lru_bits() as u64 + self.block_bytes * 8)
             + 1
     }
 
@@ -88,7 +87,11 @@ pub fn table3() -> Vec<(u32, u64, f64)> {
     let mut rows = Vec::new();
     for &block in &[64u64, 128] {
         for &addr in &[32u32, 44] {
-            let p = OverheadParams { address_bits: addr, block_bytes: block, ..OverheadParams::paper() };
+            let p = OverheadParams {
+                address_bits: addr,
+                block_bytes: block,
+                ..OverheadParams::paper()
+            };
             rows.push((addr, block, p.storage_overhead()));
         }
     }
@@ -111,14 +114,22 @@ mod tests {
     fn baseline_overhead_is_3_9_percent() {
         let p = OverheadParams::paper();
         let o = p.storage_overhead() * 100.0;
-        assert!((o - 3.9).abs() < 0.15, "paper §3.4 reports 3.9 %, got {o:.2} %");
+        assert!(
+            (o - 3.9).abs() < 0.15,
+            "paper §3.4 reports 3.9 %, got {o:.2} %"
+        );
     }
 
     #[test]
     fn table3_matches_paper() {
         // Paper Table 3: 64 B/32-bit → 3.9 %; 64 B/44-bit → 5.8 %;
         // 128 B/32-bit → 2.1 %; 128 B/44-bit → 3.1 %.
-        let expect = [(32u32, 64u64, 3.9), (44, 64, 5.8), (32, 128, 2.1), (44, 128, 3.1)];
+        let expect = [
+            (32u32, 64u64, 3.9),
+            (44, 64, 5.8),
+            (32, 128, 2.1),
+            (44, 128, 3.1),
+        ];
         let rows = table3();
         for (addr, block, pct) in expect {
             let got = rows
@@ -136,14 +147,20 @@ mod tests {
     #[test]
     fn longer_addresses_increase_overhead() {
         let p32 = OverheadParams::paper();
-        let p44 = OverheadParams { address_bits: 44, ..p32 };
+        let p44 = OverheadParams {
+            address_bits: 44,
+            ..p32
+        };
         assert!(p44.storage_overhead() > p32.storage_overhead());
     }
 
     #[test]
     fn larger_blocks_decrease_overhead() {
         let p64 = OverheadParams::paper();
-        let p128 = OverheadParams { block_bytes: 128, ..p64 };
+        let p128 = OverheadParams {
+            block_bytes: 128,
+            ..p64
+        };
         assert!(p128.storage_overhead() < p64.storage_overhead());
     }
 }

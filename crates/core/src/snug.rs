@@ -232,13 +232,14 @@ impl Snug {
         for j in (0..n).filter(|&j| j != owner) {
             let probe_set = match self.gt[j].group_case_wide(set, w) {
                 GroupCase::SameIndex => set,
-                GroupCase::FlippedIndex => {
-                    self.gt[j].flip_partner(set, w).expect("partner exists")
-                }
+                GroupCase::FlippedIndex => self.gt[j].flip_partner(set, w).expect("partner exists"),
                 GroupCase::NoMatch => continue,
             };
             if self.chassis.probe_cc_in_set(j, probe_set, block) {
-                return Some(PeerHit { peer: j, set: probe_set });
+                return Some(PeerHit {
+                    peer: j,
+                    set: probe_set,
+                });
             }
         }
         None
@@ -272,9 +273,10 @@ impl Snug {
             }
             let (target_set, flipped) = match self.gt[j].group_case_wide(set, w) {
                 GroupCase::SameIndex => (set, false),
-                GroupCase::FlippedIndex => {
-                    (self.gt[j].flip_partner(set, w).expect("partner exists"), true)
-                }
+                GroupCase::FlippedIndex => (
+                    self.gt[j].flip_partner(set, w).expect("partner exists"),
+                    true,
+                ),
                 GroupCase::NoMatch => continue,
             };
             self.next_peer = (j + 1) % n;
@@ -284,7 +286,8 @@ impl Snug {
                 self.events.spills_same_index += 1;
             }
             self.chassis.charge_spill_transfer(now, res);
-            self.chassis.receive_spill(core, j, target_set, ev.block, flipped, now, res);
+            self.chassis
+                .receive_spill(core, j, target_set, ev.block, flipped, now, res);
             return;
         }
         self.events.spills_unplaced += 1;
@@ -305,7 +308,10 @@ impl L2Org for Snug {
         let set = self.chassis.cfg.l2_slice.set_index(block);
         if self.chassis.local_access(core, block, is_write).is_some() {
             self.shadows[core].on_real_hit(set);
-            return L2Outcome { latency: self.chassis.cfg.l2_local_latency, fill: L2Fill::LocalHit };
+            return L2Outcome {
+                latency: self.chassis.cfg.l2_local_latency,
+                fill: L2Fill::LocalHit,
+            };
         }
         self.chassis.slices[core].stats_mut().misses += 1;
         // Shadow lookup: a hit means the block was recently evicted from
@@ -325,24 +331,32 @@ impl L2Org for Snug {
         }
         if let Some(hit) = self.probe_peers(core, block) {
             let latency =
-                self.chassis.peer_hit_latency(now, self.chassis.cfg.snug_remote_latency, res);
+                self.chassis
+                    .peer_hit_latency(now, self.chassis.cfg.snug_remote_latency, res);
             self.chassis.forward_from_peer(core, hit, block);
             if let Some(ev) = self.chassis.fill_local(core, block, is_write) {
                 self.handle_victim(core, ev, now, res);
             }
-            return L2Outcome { latency, fill: L2Fill::RemoteHit };
+            return L2Outcome {
+                latency,
+                fill: L2Fill::RemoteHit,
+            };
         }
         // Off-chip. Any stranded CC copy (unreachable because the G/T
         // vector changed since it was spilled) is silently invalidated by
         // the snoop so the single-copy invariant holds after the refill.
         let stranded =
-            self.chassis.invalidate_cc_copies_wide(core, block, self.effective_flip_width().max(1));
+            self.chassis
+                .invalidate_cc_copies_wide(core, block, self.effective_flip_width().max(1));
         self.events.stranded_invalidated += stranded as u64;
         let latency = self.chassis.dram_fill_latency(now, res);
         if let Some(ev) = self.chassis.fill_local(core, block, is_write) {
             self.handle_victim(core, ev, now, res);
         }
-        L2Outcome { latency, fill: L2Fill::Dram }
+        L2Outcome {
+            latency,
+            fill: L2Fill::Dram,
+        }
     }
 
     fn writeback(&mut self, core: usize, block: BlockAddr, now: u64, res: &mut ChipResources<'_>) {
@@ -424,7 +438,10 @@ mod tests {
     #[test]
     fn no_spilling_during_identify() {
         let (mut org, mut bus, mut dram) = mk();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let mut t = 0;
         // Thrash within Stage I (t stays < 10_000).
         for tag in 0..8u64 {
@@ -438,7 +455,10 @@ mod tests {
     #[test]
     fn thrashing_set_becomes_taker_after_stage1() {
         let (mut org, mut bus, mut dram) = mk();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let mut t = 0;
         // d=6 > assoc=4: every re-reference is a shadow hit.
         cycle_set(&mut org, 0, 5, 6, 20, &mut t, &mut res);
@@ -455,14 +475,16 @@ mod tests {
     #[test]
     fn taker_spills_to_giver_after_identification() {
         let (mut org, mut bus, mut dram) = mk();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let mut t = 0;
         // All cores: set 5 thrashes (→ taker), set 2 quiet (→ giver).
         for c in 0..4 {
             let mut tc = t;
             cycle_set(&mut org, c, 5, 6, 20, &mut tc, &mut res);
         }
-        t = 9_000;
         // Enter stage II.
         org.access(0, BlockAddr(0xAAAA << 4), false, 10_100, &mut res);
         assert_eq!(org.stage(), Stage::Grouped);
@@ -471,9 +493,18 @@ mod tests {
         // giver → flipped-index spills must carry the traffic.
         cycle_set(&mut org, 0, 5, 6, 10, &mut t, &mut res);
         let ev = org.events();
-        assert!(ev.spills_flipped > 0, "index-bit flipping found the giver neighbour");
-        assert_eq!(ev.spills_same_index, 0, "same-index sets are takers everywhere");
-        assert!(org.aggregate_stats().retrieved_from_peer > 0, "spilled victims got retrieved");
+        assert!(
+            ev.spills_flipped > 0,
+            "index-bit flipping found the giver neighbour"
+        );
+        assert_eq!(
+            ev.spills_same_index, 0,
+            "same-index sets are takers everywhere"
+        );
+        assert!(
+            org.aggregate_stats().retrieved_from_peer > 0,
+            "spilled victims got retrieved"
+        );
         assert!(org.chassis().single_copy_invariant());
     }
 
@@ -484,7 +515,10 @@ mod tests {
         let mut org = Snug::new(SystemConfig::tiny_test(), cfg);
         let mut bus = Bus::new(BusConfig::paper());
         let mut dram = Dram::new(DramConfig::uncontended(300));
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let mut t = 0;
         for c in 0..4 {
             let mut tc = t;
@@ -502,7 +536,10 @@ mod tests {
     #[test]
     fn period_machine_cycles() {
         let (mut org, mut bus, mut dram) = mk();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         org.access(0, BlockAddr(16), false, 5, &mut res);
         assert_eq!(org.stage(), Stage::Identify);
         org.access(0, BlockAddr(32), false, 15_000, &mut res);
@@ -515,7 +552,10 @@ mod tests {
     #[test]
     fn shadow_hits_counted_in_stats() {
         let (mut org, mut bus, mut dram) = mk();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let mut t = 0;
         cycle_set(&mut org, 0, 7, 6, 5, &mut t, &mut res);
         assert!(org.slice_stats(0).shadow_hits > 0);
@@ -524,7 +564,10 @@ mod tests {
     #[test]
     fn giver_sets_do_not_spill() {
         let (mut org, mut bus, mut dram) = mk();
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let mut t = 0;
         // Streaming through set 1: all-distinct tags → no shadow hits →
         // giver. Evictions must never spill even in stage II.

@@ -14,8 +14,8 @@
 
 use snug_core::{table3, OverheadParams, SchemeSpec};
 use snug_experiments::{
-    characterize, figure_table, run_all, run_scheme, summarize, CharacterizeConfig,
-    CompareConfig, Figure,
+    characterize, figure_table, run_all, run_scheme, summarize, CharacterizeConfig, CompareConfig,
+    Figure,
 };
 use snug_metrics::{IpcVector, MetricSet};
 use snug_workloads::{all_combos, Benchmark, Combo, ComboClass};
@@ -40,7 +40,10 @@ fn main() {
 fn overhead() {
     let p = OverheadParams::paper();
     println!("## Tables 2-3: SNUG storage overhead (Formula 6)\n");
-    println!("baseline (32-bit addr, 64 B lines): **{:.2} %** (paper: 3.9 %)\n", p.storage_overhead() * 100.0);
+    println!(
+        "baseline (32-bit addr, 64 B lines): **{:.2} %** (paper: 3.9 %)\n",
+        p.storage_overhead() * 100.0
+    );
     println!("| line size | 32-bit | 64-bit (44 used) |");
     println!("|---|---|---|");
     for &block in &[64u64, 128] {
@@ -61,10 +64,12 @@ fn characterize_cmd(names: &[String]) {
     } else {
         names
             .iter()
-            .map(|n| Benchmark::from_name(n).unwrap_or_else(|| {
-                eprintln!("unknown benchmark '{n}'");
-                std::process::exit(2);
-            }))
+            .map(|n| {
+                Benchmark::from_name(n).unwrap_or_else(|| {
+                    eprintln!("unknown benchmark '{n}'");
+                    std::process::exit(2);
+                })
+            })
             .collect()
     };
     let cfg = CharacterizeConfig::scaled(100, 50_000);
@@ -84,12 +89,19 @@ fn characterize_cmd(names: &[String]) {
 }
 
 fn compare(quick: bool) {
-    let cfg = if quick { CompareConfig::quick() } else { CompareConfig::default_eval() };
+    let cfg = if quick {
+        CompareConfig::quick()
+    } else {
+        CompareConfig::default_eval()
+    };
     let combos = all_combos();
     eprintln!("running {} combos x 8 simulations...", combos.len());
     let results = run_all(&combos, &cfg, 0);
     for fig in [Figure::Throughput, Figure::Aws, Figure::FairSpeedup] {
-        println!("{}", figure_table(&summarize(&results, fig), fig).to_markdown());
+        println!(
+            "{}",
+            figure_table(&summarize(&results, fig), fig).to_markdown()
+        );
     }
 }
 
@@ -100,12 +112,17 @@ fn combo_cmd(names: &[String]) {
     }
     let apps: Vec<Benchmark> = names
         .iter()
-        .map(|n| Benchmark::from_name(n).unwrap_or_else(|| {
-            eprintln!("unknown benchmark '{n}'");
-            std::process::exit(2);
-        }))
+        .map(|n| {
+            Benchmark::from_name(n).unwrap_or_else(|| {
+                eprintln!("unknown benchmark '{n}'");
+                std::process::exit(2);
+            })
+        })
         .collect();
-    let combo = Combo { class: ComboClass::C3, apps: [apps[0], apps[1], apps[2], apps[3]] };
+    let combo = Combo {
+        class: ComboClass::C3,
+        apps: [apps[0], apps[1], apps[2], apps[3]],
+    };
     let cfg = CompareConfig::default_eval();
     let base = run_scheme(&combo, &SchemeSpec::L2p, &cfg);
     let base_ipcs = IpcVector::new(base.ipcs());
@@ -114,13 +131,21 @@ fn combo_cmd(names: &[String]) {
     println!("|---|---|---|---|");
     for spec in [
         SchemeSpec::L2s,
-        SchemeSpec::Cc { spill_probability: 0.5 },
+        SchemeSpec::Cc {
+            spill_probability: 0.5,
+        },
         SchemeSpec::Dsr(cfg.dsr),
         SchemeSpec::Snug(cfg.snug),
     ] {
         let r = run_scheme(&combo, &spec, &cfg);
         let m = MetricSet::compute(&IpcVector::new(r.ipcs()), &base_ipcs);
-        println!("| {} | {:.3} | {:.3} | {:.3} |", spec.name(), m.throughput, m.aws, m.fair);
+        println!(
+            "| {} | {:.3} | {:.3} | {:.3} |",
+            spec.name(),
+            m.throughput,
+            m.aws,
+            m.fair
+        );
     }
 }
 
@@ -142,7 +167,11 @@ fn ablate() {
     println!("\n### E10: sampling period lengths\n");
     println!("| stage I | stage II | throughput |");
     println!("|---|---|---|");
-    for (s1, s2) in [(30_000u64, 120_000u64), (60_000, 240_000), (120_000, 480_000)] {
+    for (s1, s2) in [
+        (30_000u64, 120_000u64),
+        (60_000, 240_000),
+        (120_000, 480_000),
+    ] {
         let mut s = cfg.snug;
         s.stage1_cycles = s1;
         s.stage2_cycles = s2;
@@ -163,7 +192,13 @@ fn ablate() {
     println!("| p_spill | throughput |");
     println!("|---|---|");
     for &p in &SchemeSpec::CC_SPILL_SWEEP {
-        let r = run_scheme(&c1, &SchemeSpec::Cc { spill_probability: p }, &cfg);
+        let r = run_scheme(
+            &c1,
+            &SchemeSpec::Cc {
+                spill_probability: p,
+            },
+            &cfg,
+        );
         println!("| {:.0} % | {:.3} |", p * 100.0, r.throughput() / base);
     }
 }

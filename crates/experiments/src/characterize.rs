@@ -39,7 +39,10 @@ impl CharacterizeConfig {
     /// A scaled-down plan with the same structure (for tests/benches):
     /// `intervals` × `accesses` L2 accesses.
     pub fn scaled(intervals: usize, accesses: usize) -> Self {
-        CharacterizeConfig { plan: SamplingPlan::scaled(intervals, accesses), ..Self::paper() }
+        CharacterizeConfig {
+            plan: SamplingPlan::scaled(intervals, accesses),
+            ..Self::paper()
+        }
     }
 }
 
@@ -71,7 +74,9 @@ impl DemandCharacterization {
     /// associativity (takers under doubling).
     pub fn mean_above_baseline(&self, a_baseline: usize) -> f64 {
         let first = a_baseline / self.params.bucket_width() + 1;
-        (first..=self.params.m_buckets).map(|j| self.mean_bucket(j)).sum()
+        (first..=self.params.m_buckets)
+            .map(|j| self.mean_bucket(j))
+            .sum()
     }
 
     /// Mean non-uniformity spread across intervals (0 = uniform).
@@ -130,7 +135,11 @@ pub fn characterize_stream(
                 .push(profiler.end_interval(|h| BucketDistribution::from_histograms(h, &params)));
         }
     }
-    DemandCharacterization { benchmark: name.to_string(), params: cfg.params, intervals }
+    DemandCharacterization {
+        benchmark: name.to_string(),
+        params: cfg.params,
+        intervals,
+    }
 }
 
 #[cfg(test)]
@@ -164,7 +173,11 @@ mod tests {
     fn applu_is_uniform_low_demand() {
         let c = quick(Benchmark::Applu);
         // Fig. 3: almost all sets require only 1–4 blocks.
-        assert!(c.mean_low_demand() > 0.95, "applu low-demand {:.3}", c.mean_low_demand());
+        assert!(
+            c.mean_low_demand() > 0.95,
+            "applu low-demand {:.3}",
+            c.mean_low_demand()
+        );
         assert!(c.mean_above_baseline(16) < 0.02);
     }
 
@@ -174,8 +187,16 @@ mod tests {
         // doubling capacity recovers its far hits, so block_required
         // lands above the 16-way baseline.
         let c = quick(Benchmark::Vpr);
-        assert!(c.mean_low_demand() < 0.05, "vpr low-demand {:.3}", c.mean_low_demand());
-        assert!(c.mean_above_baseline(16) > 0.65, "vpr high {:.3}", c.mean_above_baseline(16));
+        assert!(
+            c.mean_low_demand() < 0.05,
+            "vpr low-demand {:.3}",
+            c.mean_low_demand()
+        );
+        assert!(
+            c.mean_above_baseline(16) > 0.65,
+            "vpr high {:.3}",
+            c.mean_above_baseline(16)
+        );
     }
 
     #[test]
@@ -185,7 +206,11 @@ mod tests {
         // threshold, so block_required saturates high — uniformly across
         // sets (Table 6: class C), with no low-demand (giver) mass.
         let c = quick(Benchmark::Mcf);
-        assert!(c.mean_low_demand() < 0.1, "mcf low-demand {:.3}", c.mean_low_demand());
+        assert!(
+            c.mean_low_demand() < 0.1,
+            "mcf low-demand {:.3}",
+            c.mean_low_demand()
+        );
         assert!(
             c.mean_above_baseline(16) > 0.8,
             "mcf saturates high buckets: {:.3}",
@@ -207,7 +232,10 @@ mod tests {
         let c = quick(Benchmark::Gzip);
         let csv = c.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "interval,1-4,5-8,9-12,13-16,17-20,21-24,25-28,29-32");
+        assert_eq!(
+            lines[0],
+            "interval,1-4,5-8,9-12,13-16,17-20,21-24,25-28,29-32"
+        );
         assert_eq!(lines.len(), 9, "header + 8 intervals");
     }
 }

@@ -26,13 +26,19 @@ impl RunBudget {
     /// The default evaluation budget: ~4 SNUG sampling periods under the
     /// default_eval SNUG stage lengths (250 K + 1.25 M cycles).
     pub fn default_eval() -> Self {
-        RunBudget { warmup_cycles: 600_000, measure_cycles: 6_300_000 }
+        RunBudget {
+            warmup_cycles: 600_000,
+            measure_cycles: 6_300_000,
+        }
     }
 
     /// A fast budget for tests and smoke benches (pair with the quick
     /// SNUG stage lengths, period 300 K cycles).
     pub fn quick() -> Self {
-        RunBudget { warmup_cycles: 150_000, measure_cycles: 1_200_000 }
+        RunBudget {
+            warmup_cycles: 150_000,
+            measure_cycles: 1_200_000,
+        }
     }
 }
 
@@ -114,7 +120,10 @@ pub struct ComboResult {
 impl ComboResult {
     /// Look up a scheme's metrics by display name.
     pub fn metrics_of(&self, scheme: &str) -> Option<MetricSet> {
-        self.schemes.iter().find(|s| s.scheme == scheme).map(|s| s.metrics)
+        self.schemes
+            .iter()
+            .find(|s| s.scheme == scheme)
+            .map(|s| s.metrics)
     }
 }
 
@@ -151,13 +160,26 @@ pub fn run_combo(combo: &Combo, cfg: &CompareConfig) -> ComboResult {
     let mut cc_sweep = Vec::new();
     let mut best: Option<(f64, SchemeResult)> = None;
     for &p in &SchemeSpec::CC_SPILL_SWEEP {
-        let r = run_scheme(combo, &SchemeSpec::Cc { spill_probability: p }, cfg);
+        let r = run_scheme(
+            combo,
+            &SchemeSpec::Cc {
+                spill_probability: p,
+            },
+            cfg,
+        );
         let ipcs = IpcVector::new(r.ipcs());
         let metrics = MetricSet::compute(&ipcs, &base_ipcs);
         cc_sweep.push((p, metrics.throughput));
-        let candidate =
-            SchemeResult { scheme: "CC(Best)".into(), metrics, ipcs: r.ipcs() };
-        if best.as_ref().map(|(t, _)| metrics.throughput > *t).unwrap_or(true) {
+        let candidate = SchemeResult {
+            scheme: "CC(Best)".into(),
+            metrics,
+            ipcs: r.ipcs(),
+        };
+        if best
+            .as_ref()
+            .map(|(t, _)| metrics.throughput > *t)
+            .unwrap_or(true)
+        {
             best = Some((metrics.throughput, candidate));
         }
     }
@@ -250,7 +272,10 @@ pub fn summarize(results: &[ComboResult], figure: Figure) -> Vec<ClassSummary> {
             all_by_scheme[i].extend(vals);
             values.push((scheme.to_string(), g));
         }
-        out.push(ClassSummary { class: class.name().to_string(), values });
+        out.push(ClassSummary {
+            class: class.name().to_string(),
+            values,
+        });
     }
     let avg = ClassSummary {
         class: "AVG".into(),
@@ -287,7 +312,11 @@ mod tests {
     fn fake_result(class: ComboClass, snug_tp: f64) -> ComboResult {
         let mk = |name: &str, tp: f64| SchemeResult {
             scheme: name.into(),
-            metrics: MetricSet { throughput: tp, aws: tp, fair: tp },
+            metrics: MetricSet {
+                throughput: tp,
+                aws: tp,
+                fair: tp,
+            },
             ipcs: vec![1.0; 4],
         };
         ComboResult {

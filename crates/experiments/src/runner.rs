@@ -1,49 +1,51 @@
 //! Parallel sweep driver: run many (combo, scheme) simulations across
-//! CPU cores with crossbeam scoped threads.
+//! CPU cores with scoped threads.
 //!
 //! Each simulation is single-threaded and deterministic; parallelism is
 //! across independent simulations, so results are bit-identical to a
 //! sequential run.
+//!
+//! This is the minimal in-crate driver; the `snug-harness` crate layers
+//! a work-stealing executor, a content-addressed result store and the
+//! `snug` CLI on top of [`run_combo`] for cached, resumable sweeps.
 
 use crate::compare::{run_combo, ComboResult, CompareConfig};
-use parking_lot::Mutex;
 use snug_workloads::Combo;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Run `run_combo` for every combination, in parallel over up to
 /// `threads` workers (0 = one per available CPU). Results come back in
 /// input order.
 pub fn run_all(combos: &[Combo], cfg: &CompareConfig, threads: usize) -> Vec<ComboResult> {
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     } else {
         threads
     }
     .min(combos.len().max(1));
 
     let results: Mutex<Vec<Option<ComboResult>>> = Mutex::new(vec![None; combos.len()]);
-    let next: Mutex<usize> = Mutex::new(0);
+    let next = AtomicUsize::new(0);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let idx = {
-                    let mut n = next.lock();
-                    if *n >= combos.len() {
-                        return;
-                    }
-                    let i = *n;
-                    *n += 1;
-                    i
-                };
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= combos.len() {
+                    return;
+                }
                 let result = run_combo(&combos[idx], cfg);
-                results.lock()[idx] = Some(result);
+                results.lock().expect("runner poisoned")[idx] = Some(result);
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
     results
         .into_inner()
+        .expect("runner poisoned")
         .into_iter()
         .map(|r| r.expect("every combo completed"))
         .collect()

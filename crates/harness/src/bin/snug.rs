@@ -1,0 +1,346 @@
+//! `snug` — the experiment-orchestration CLI.
+//!
+//! ```text
+//! snug sweep        [--class C5]... [--quick|--eval|--warmup N --measure N]
+//!                   [--threads N] [--results DIR] [--name NAME]
+//! snug report       [same selection flags] [--results DIR] [--out DIR]
+//! snug compare      --combo LABEL | --class C [budget flags] [--results DIR]
+//! snug characterize [--bench ammp,...] [--intervals N] [--accesses N] [--out DIR]
+//! ```
+//!
+//! `sweep` runs the five-scheme comparison for the selected combos,
+//! serving unchanged jobs from the content-addressed store under
+//! `--results` (default `results/`). `report` renders Figures 9–11 and
+//! the per-combo table from the store without running anything.
+
+use snug_harness::{
+    cached_results, render_markdown, run_sweep, BudgetPreset, JsonCodec, ResultStore, SweepEvent,
+    SweepSpec,
+};
+use snug_metrics::TableFormat;
+use snug_workloads::{all_combos, Benchmark, ComboClass};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match command {
+        "sweep" => cmd_sweep(rest),
+        "report" => cmd_report(rest),
+        "compare" => cmd_compare(rest),
+        "characterize" => cmd_characterize(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("snug: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+snug — SNUG experiment orchestration
+
+USAGE:
+  snug sweep        [--class C1..C6]... [--quick|--eval|--warmup N --measure N]
+                    [--threads N] [--results DIR] [--name NAME] [--spec FILE]
+  snug report       [--class ...] [--quick|--eval|--warmup N --measure N]
+                    [--results DIR] [--out DIR] [--format md|csv] [--name NAME]
+  snug compare      --combo LABEL | --class C [budget flags] [--threads N] [--results DIR]
+  snug characterize [--bench NAME[,NAME]...] [--intervals N] [--accesses N] [--out DIR]
+
+Sweeps are cached: each (combo, configuration) job is keyed by a content
+hash and stored as JSONL under --results (default: results/). Re-running
+a sweep executes only jobs whose inputs changed; `snug report` renders
+Figures 9-11 and the per-combo table from the store.";
+
+/// Flag parsing shared by the subcommands.
+struct Flags {
+    classes: Vec<ComboClass>,
+    spec_file: Option<PathBuf>,
+    budget: BudgetPreset,
+    threads: usize,
+    results_dir: PathBuf,
+    out_dir: Option<PathBuf>,
+    name: Option<String>,
+    combo: Option<String>,
+    format: TableFormat,
+    benches: Vec<Benchmark>,
+    intervals: usize,
+    accesses: usize,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut f = Flags {
+            classes: Vec::new(),
+            spec_file: None,
+            budget: BudgetPreset::Quick,
+            threads: 0,
+            results_dir: PathBuf::from("results"),
+            out_dir: None,
+            name: None,
+            combo: None,
+            format: TableFormat::Markdown,
+            benches: Vec::new(),
+            intervals: 20,
+            accesses: 50_000,
+        };
+        let mut custom: (Option<u64>, Option<u64>) = (None, None);
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |flag: &str| {
+                it.next()
+                    .map(|s| s.to_string())
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "--quick" => f.budget = BudgetPreset::Quick,
+                "--eval" => f.budget = BudgetPreset::Eval,
+                "--warmup" => custom.0 = Some(parse_num(&value("--warmup")?)?),
+                "--measure" => custom.1 = Some(parse_num(&value("--measure")?)?),
+                "--class" => {
+                    for part in value("--class")?.split(',') {
+                        f.classes.push(part.trim().parse()?);
+                    }
+                }
+                "--threads" => f.threads = parse_num(&value("--threads")?)? as usize,
+                "--results" => f.results_dir = PathBuf::from(value("--results")?),
+                "--out" => f.out_dir = Some(PathBuf::from(value("--out")?)),
+                "--name" => f.name = Some(value("--name")?),
+                "--spec" => f.spec_file = Some(PathBuf::from(value("--spec")?)),
+                "--combo" => f.combo = Some(value("--combo")?),
+                "--format" => {
+                    let name = value("--format")?;
+                    f.format = TableFormat::from_name(&name)
+                        .ok_or_else(|| format!("unknown format `{name}` (md or csv)"))?;
+                }
+                "--bench" => {
+                    for part in value("--bench")?.split(',') {
+                        let part = part.trim();
+                        f.benches.push(
+                            Benchmark::from_name(part)
+                                .ok_or_else(|| format!("unknown benchmark `{part}`"))?,
+                        );
+                    }
+                }
+                "--intervals" => f.intervals = parse_num(&value("--intervals")?)? as usize,
+                "--accesses" => f.accesses = parse_num(&value("--accesses")?)? as usize,
+                other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+            }
+        }
+        match custom {
+            (None, None) => {}
+            (Some(w), Some(m)) => {
+                f.budget = BudgetPreset::Custom {
+                    warmup_cycles: w,
+                    measure_cycles: m,
+                }
+            }
+            _ => return Err("--warmup and --measure must be given together".into()),
+        }
+        Ok(f)
+    }
+
+    fn spec(&self) -> Result<SweepSpec, String> {
+        if let Some(path) = &self.spec_file {
+            if !self.classes.is_empty() || self.name.is_some() {
+                return Err("--spec cannot be combined with --class/--name".into());
+            }
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            let value =
+                snug_harness::json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            return SweepSpec::from_json(&value).map_err(|e| format!("{}: {e}", path.display()));
+        }
+        let name = self.name.clone().unwrap_or_else(|| {
+            if self.classes.is_empty() {
+                "full".to_string()
+            } else {
+                self.classes
+                    .iter()
+                    .map(|c| c.name())
+                    .collect::<Vec<_>>()
+                    .join("+")
+            }
+        });
+        Ok(SweepSpec {
+            name,
+            classes: self.classes.clone(),
+            combos: Vec::new(),
+            budget: self.budget,
+        })
+    }
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.replace('_', "")
+        .parse::<u64>()
+        .map_err(|_| format!("`{s}` is not a number"))
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let spec = flags.spec()?;
+    let mut store = ResultStore::open(&flags.results_dir).map_err(|e| e.to_string())?;
+    let outcome = run_sweep(&spec, &mut store, flags.threads, |event| match event {
+        SweepEvent::Planned { total, hits } => {
+            println!(
+                "sweep `{}` ({}): {total} jobs, {hits} cache hits, {} to run",
+                spec.name,
+                spec.budget.label(),
+                total - hits
+            );
+        }
+        SweepEvent::JobStarted { label } => println!("  run  {label}"),
+        SweepEvent::JobFinished {
+            label,
+            done,
+            to_run,
+        } => {
+            println!("  done {label} [{done}/{to_run}]");
+        }
+    })
+    .map_err(|e| e.to_string())?;
+    println!(
+        "sweep complete: {} executed, {} from cache → {}",
+        outcome.executed,
+        outcome.cache_hits,
+        flags
+            .results_dir
+            .join(snug_harness::store::STORE_FILE)
+            .display()
+    );
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let spec = flags.spec()?;
+    let store = ResultStore::open(&flags.results_dir).map_err(|e| e.to_string())?;
+    let results = cached_results(&spec, &store).ok_or_else(|| {
+        format!(
+            "store at `{}` is missing results for this spec — run `snug sweep` with the same flags first",
+            flags.results_dir.display()
+        )
+    })?;
+    match flags.format {
+        TableFormat::Markdown => print!("{}", render_markdown(&spec, &results)),
+        TableFormat::Csv => {
+            for table in snug_harness::report_tables(&results) {
+                println!("# {}", table.title);
+                print!("{}", table.render(TableFormat::Csv));
+            }
+        }
+    }
+    if let Some(out) = &flags.out_dir {
+        let written = snug_harness::write_report(out, &spec, &results)
+            .map_err(|e| format!("writing report: {e}"))?;
+        for path in written {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let mut spec = flags.spec()?;
+    if let Some(label) = &flags.combo {
+        let all = all_combos();
+        let combo = all.iter().find(|c| c.label() == *label).ok_or_else(|| {
+            format!("unknown combo `{label}` (see Table 8 labels, e.g. `ammp+parser+swim+mesa`)")
+        })?;
+        // A single-combo sweep: restrict the job list to exactly this
+        // combo (the store is keyed per combo, so nothing else runs).
+        spec.classes = vec![combo.class];
+        spec.combos = vec![label.clone()];
+        spec.name = label.clone();
+    } else if flags.classes.is_empty() {
+        return Err("compare needs --combo LABEL or --class C".into());
+    }
+
+    let mut store = ResultStore::open(&flags.results_dir).map_err(|e| e.to_string())?;
+    let outcome = run_sweep(&spec, &mut store, flags.threads, |_| {}).map_err(|e| e.to_string())?;
+    let results: Vec<_> = outcome
+        .jobs
+        .iter()
+        .map(|j| j.result.clone())
+        .filter(|r| flags.combo.as_ref().map(|l| r.label == *l).unwrap_or(true))
+        .collect();
+
+    for r in &results {
+        println!("\n{} (class {})", r.label, r.class.name());
+        println!(
+            "  {:<10} {:>10} {:>10} {:>10}",
+            "scheme", "tp", "aws", "fair"
+        );
+        for s in &r.schemes {
+            println!(
+                "  {:<10} {:>10.3} {:>10.3} {:>10.3}",
+                s.scheme, s.metrics.throughput, s.metrics.aws, s.metrics.fair
+            );
+        }
+        let sweep = r
+            .cc_sweep
+            .iter()
+            .map(|(p, tp)| format!("{:.0}%→{tp:.3}", p * 100.0))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!("  CC sweep: {sweep}");
+    }
+    println!(
+        "\n({} executed, {} from cache)",
+        outcome.executed, outcome.cache_hits
+    );
+    Ok(())
+}
+
+fn cmd_characterize(args: &[String]) -> Result<(), String> {
+    use snug_experiments::{characterize, CharacterizeConfig};
+    let flags = Flags::parse(args)?;
+    let benches = if flags.benches.is_empty() {
+        vec![Benchmark::Ammp, Benchmark::Vortex, Benchmark::Applu]
+    } else {
+        flags.benches.clone()
+    };
+    let cfg = CharacterizeConfig::scaled(flags.intervals, flags.accesses);
+    println!(
+        "characterisation: {} intervals x {} L2 accesses",
+        flags.intervals, flags.accesses
+    );
+    println!(
+        "{:<8} {:>12} {:>16} {:>8}",
+        "bench", "1-4 blocks", ">16 blocks", "spread"
+    );
+    for b in &benches {
+        let c = characterize(*b, &cfg);
+        println!(
+            "{:<8} {:>11.1}% {:>15.1}% {:>8.2}",
+            c.benchmark,
+            c.mean_low_demand() * 100.0,
+            c.mean_above_baseline(16) * 100.0,
+            c.mean_spread()
+        );
+        if let Some(out) = &flags.out_dir {
+            std::fs::create_dir_all(out).map_err(|e| e.to_string())?;
+            let path = out.join(format!("characterize_{}.csv", c.benchmark));
+            std::fs::write(&path, c.to_csv()).map_err(|e| e.to_string())?;
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    Ok(())
+}

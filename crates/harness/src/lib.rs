@@ -1,0 +1,41 @@
+//! # snug-harness — experiment orchestration for the SNUG reproduction
+//!
+//! The seed repository reproduced every figure with one-off binaries
+//! whose results died on stdout. This crate turns those experiments into
+//! a reusable pipeline:
+//!
+//! * [`spec`] — declarative [`spec::SweepSpec`]s (classes × schemes ×
+//!   budget) that expand into content-keyed jobs;
+//! * [`exec`] — a work-stealing parallel executor for deterministic
+//!   simulation jobs (subsumes `snug_experiments::runner` for sweeps);
+//! * [`store`] — the content-addressed JSONL result cache under
+//!   `results/`: re-running a sweep only executes jobs whose inputs
+//!   changed, and cached results decode bit-identically;
+//! * [`sweep`] — orchestration tying the three together with streamed
+//!   progress;
+//! * [`report`] — Figures 9–11 / Table 8 renderings (Markdown + CSV)
+//!   from stored results;
+//! * [`json`] / [`codec`] / [`hash`] — the self-contained persistence
+//!   substrate (no external JSON or hashing dependency).
+//!
+//! The `snug` binary (this crate's `src/bin/snug.rs`) exposes it all as
+//! `snug characterize | compare | sweep | report`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod exec;
+pub mod hash;
+pub mod json;
+pub mod report;
+pub mod spec;
+pub mod store;
+pub mod sweep;
+
+pub use codec::JsonCodec;
+pub use exec::ExecEvent;
+pub use report::{render_markdown, report_tables, write_report};
+pub use spec::{job_key, BudgetPreset, SweepJob, SweepSpec, SCHEMA_VERSION};
+pub use store::{ResultStore, StoreError};
+pub use sweep::{cached_results, run_sweep, JobOutcome, SweepEvent, SweepOutcome};

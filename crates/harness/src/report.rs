@@ -1,0 +1,161 @@
+//! Report generation: the paper's Tables 7–8 / Figures 9–11 comparisons
+//! rendered from stored sweep results as Markdown and CSV.
+
+use crate::spec::SweepSpec;
+use snug_experiments::{figure_table, summarize, ComboResult, Figure, FIGURE_SCHEMES};
+use snug_metrics::{f3, Table};
+use std::path::{Path, PathBuf};
+
+/// All figures in paper order.
+pub const FIGURES: [Figure; 3] = [Figure::Throughput, Figure::Aws, Figure::FairSpeedup];
+
+/// The per-class figure tables (Figs. 9–11) plus the per-combo detail
+/// table (Table 8 expanded), in render order.
+pub fn report_tables(results: &[ComboResult]) -> Vec<Table> {
+    let mut tables: Vec<Table> = FIGURES
+        .iter()
+        .map(|&fig| figure_table(&summarize(results, fig), fig))
+        .collect();
+    tables.push(per_combo_table(results));
+    tables
+}
+
+/// One row per combo: its class and every scheme's normalised
+/// throughput (the per-combo data behind Fig. 9's class bars).
+pub fn per_combo_table(results: &[ComboResult]) -> Table {
+    let mut headers = vec!["Combination".to_string(), "Class".to_string()];
+    headers.extend(FIGURE_SCHEMES.iter().map(|s| format!("{s} tp")));
+    let mut t = Table::new("Table 8: per-combination normalised throughput", headers);
+    for r in results {
+        let mut row = vec![r.label.clone(), r.class.name().to_string()];
+        for scheme in FIGURE_SCHEMES {
+            let m = r.metrics_of(scheme).expect("scheme present in result");
+            row.push(f3(m.throughput));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Render the full report as one Markdown document.
+pub fn render_markdown(spec: &SweepSpec, results: &[ComboResult]) -> String {
+    let mut out = format!(
+        "# SNUG sweep report — {}\n\nBudget: {} · combos: {} · schemes: {}\n\n",
+        spec.name,
+        spec.budget.label(),
+        results.len(),
+        FIGURE_SCHEMES.join(", "),
+    );
+    for t in report_tables(results) {
+        out.push_str(&t.to_markdown());
+        out.push('\n');
+    }
+    out
+}
+
+/// Write the report files under `dir`: `report.md` plus one CSV per
+/// table. Returns the written paths.
+pub fn write_report(
+    dir: &Path,
+    spec: &SweepSpec,
+    results: &[ComboResult],
+) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+
+    let md = dir.join("report.md");
+    std::fs::write(&md, render_markdown(spec, results))?;
+    written.push(md);
+
+    let slugs = [
+        "fig9_throughput",
+        "fig10_aws",
+        "fig11_fair_speedup",
+        "table8_per_combo",
+    ];
+    for (table, slug) in report_tables(results).iter().zip(slugs) {
+        let path = dir.join(format!("{slug}.csv"));
+        std::fs::write(&path, table.to_csv())?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::BudgetPreset;
+    use snug_experiments::SchemeResult;
+    use snug_metrics::MetricSet;
+    use snug_workloads::ComboClass;
+
+    fn fake(label: &str, class: ComboClass, tp: f64) -> ComboResult {
+        let mk = |name: &str, t: f64| SchemeResult {
+            scheme: name.into(),
+            metrics: MetricSet {
+                throughput: t,
+                aws: t,
+                fair: t,
+            },
+            ipcs: vec![1.0; 4],
+        };
+        ComboResult {
+            label: label.into(),
+            class,
+            baseline_ipcs: vec![1.0; 4],
+            schemes: vec![
+                mk("L2S", 0.98),
+                mk("CC(Best)", 1.01),
+                mk("DSR", 1.04),
+                mk("SNUG", tp),
+            ],
+            cc_sweep: vec![(0.0, 1.0)],
+        }
+    }
+
+    fn spec() -> SweepSpec {
+        SweepSpec {
+            name: "demo".into(),
+            classes: vec![],
+            combos: vec![],
+            budget: BudgetPreset::Quick,
+        }
+    }
+
+    #[test]
+    fn report_has_three_figures_and_the_detail_table() {
+        let results = vec![
+            fake("a+b+c+d", ComboClass::C1, 1.2),
+            fake("e+f+g+h", ComboClass::C5, 1.1),
+        ];
+        let tables = report_tables(&results);
+        assert_eq!(tables.len(), 4);
+        assert!(tables[0].title.contains("Figure 9"));
+        assert!(tables[3].title.contains("per-combination"));
+        assert_eq!(tables[3].len(), 2, "one row per combo");
+    }
+
+    #[test]
+    fn markdown_contains_throughput_numbers() {
+        let results = vec![fake("a+b+c+d", ComboClass::C2, 1.337)];
+        let md = render_markdown(&spec(), &results);
+        assert!(md.contains("1.337"), "SNUG throughput rendered");
+        assert!(md.contains("a+b+c+d"));
+        assert!(md.contains("Budget: quick"));
+    }
+
+    #[test]
+    fn write_report_emits_md_and_csvs() {
+        let dir = std::env::temp_dir().join(format!("snug-report-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let results = vec![fake("a+b+c+d", ComboClass::C4, 1.05)];
+        let written = write_report(&dir, &spec(), &results).unwrap();
+        assert_eq!(written.len(), 5, "report.md + 4 CSVs");
+        for path in &written {
+            assert!(path.exists(), "{path:?}");
+        }
+        let csv = std::fs::read_to_string(dir.join("fig9_throughput.csv")).unwrap();
+        assert!(csv.starts_with("Class,"), "CSV header: {csv}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

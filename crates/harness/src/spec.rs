@@ -1,0 +1,285 @@
+//! Declarative sweep specifications.
+//!
+//! A [`SweepSpec`] names *what* to run — workload classes × the five
+//! schemes × a run budget — and expands into concrete [`SweepJob`]s,
+//! each carrying the content key that addresses its result in the
+//! store. The CLI builds specs from flags; they also round-trip through
+//! JSON (`snug sweep --spec file.json`).
+
+use crate::codec::JsonCodec;
+use crate::hash::content_key;
+use crate::json::{JsonError, Value};
+use serde::{Deserialize, Serialize};
+use snug_experiments::{CompareConfig, RunBudget};
+use snug_workloads::{all_combos, Combo, ComboClass};
+
+/// Version prefix baked into every job key: bump when the simulators or
+/// the stored schema change meaning, and old cache entries stop
+/// matching instead of silently serving stale results.
+pub const SCHEMA_VERSION: &str = "snug-harness/v1";
+
+/// Which run budget (and matching SNUG stage lengths) a sweep uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BudgetPreset {
+    /// `CompareConfig::quick` — tests and smoke sweeps.
+    Quick,
+    /// `CompareConfig::default_eval` — the paper-scale evaluation.
+    Eval,
+    /// Custom warm-up/measure cycles on top of the quick stage lengths.
+    Custom {
+        /// Unmeasured warm-up cycles.
+        warmup_cycles: u64,
+        /// Measured cycles.
+        measure_cycles: u64,
+    },
+}
+
+impl BudgetPreset {
+    /// The full comparison configuration for this preset.
+    pub fn compare_config(&self) -> CompareConfig {
+        match *self {
+            BudgetPreset::Quick => CompareConfig::quick(),
+            BudgetPreset::Eval => CompareConfig::default_eval(),
+            BudgetPreset::Custom {
+                warmup_cycles,
+                measure_cycles,
+            } => {
+                let mut cfg = CompareConfig::quick();
+                cfg.budget = RunBudget {
+                    warmup_cycles,
+                    measure_cycles,
+                };
+                cfg
+            }
+        }
+    }
+
+    /// Short display name.
+    pub fn label(&self) -> String {
+        match self {
+            BudgetPreset::Quick => "quick".into(),
+            BudgetPreset::Eval => "eval".into(),
+            BudgetPreset::Custom {
+                warmup_cycles,
+                measure_cycles,
+            } => {
+                format!("custom({warmup_cycles}+{measure_cycles})")
+            }
+        }
+    }
+}
+
+/// A declarative sweep: combos (by class) × schemes × budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Human-readable sweep name (used in report headers).
+    pub name: String,
+    /// Classes to run; empty means all six (the full Table 8).
+    pub classes: Vec<ComboClass>,
+    /// Specific combo labels (e.g. `"ammp+parser+swim+mesa"`) to
+    /// restrict to, applied on top of the class filter; empty means no
+    /// restriction.
+    pub combos: Vec<String>,
+    /// The run budget.
+    pub budget: BudgetPreset,
+}
+
+impl SweepSpec {
+    /// A sweep over everything at the given budget.
+    pub fn full(budget: BudgetPreset) -> Self {
+        SweepSpec {
+            name: "full".into(),
+            classes: Vec::new(),
+            combos: Vec::new(),
+            budget,
+        }
+    }
+
+    /// The combos this spec selects, in Table 8 order.
+    pub fn combos(&self) -> Vec<Combo> {
+        all_combos()
+            .into_iter()
+            .filter(|c| self.classes.is_empty() || self.classes.contains(&c.class))
+            .filter(|c| self.combos.is_empty() || self.combos.contains(&c.label()))
+            .collect()
+    }
+
+    /// The comparison configuration every job runs under.
+    pub fn compare_config(&self) -> CompareConfig {
+        self.budget.compare_config()
+    }
+
+    /// Expand into concrete jobs with content keys.
+    pub fn jobs(&self) -> Vec<SweepJob> {
+        let config = self.compare_config();
+        self.combos()
+            .into_iter()
+            .map(|combo| SweepJob {
+                key: job_key(&combo, &config),
+                combo,
+                config,
+            })
+            .collect()
+    }
+}
+
+impl JsonCodec for SweepSpec {
+    fn to_json(&self) -> Value {
+        let budget = match self.budget {
+            BudgetPreset::Quick => Value::str("quick"),
+            BudgetPreset::Eval => Value::str("eval"),
+            BudgetPreset::Custom {
+                warmup_cycles,
+                measure_cycles,
+            } => Value::obj(vec![
+                ("warmup_cycles", Value::num(warmup_cycles as f64)),
+                ("measure_cycles", Value::num(measure_cycles as f64)),
+            ]),
+        };
+        Value::obj(vec![
+            ("name", Value::str(&self.name)),
+            (
+                "classes",
+                Value::Arr(self.classes.iter().map(JsonCodec::to_json).collect()),
+            ),
+            (
+                "combos",
+                Value::Arr(self.combos.iter().map(|s| Value::str(s.as_str())).collect()),
+            ),
+            ("budget", budget),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let budget = match v.get("budget")? {
+            Value::Str(s) if s == "quick" => BudgetPreset::Quick,
+            Value::Str(s) if s == "eval" => BudgetPreset::Eval,
+            custom @ Value::Obj(_) => BudgetPreset::Custom {
+                warmup_cycles: custom.get("warmup_cycles")?.as_num()? as u64,
+                measure_cycles: custom.get("measure_cycles")?.as_num()? as u64,
+            },
+            other => return Err(JsonError(format!("bad budget: {other:?}"))),
+        };
+        // `combos` is optional in the JSON form (older specs omit it).
+        let combos = match v.get("combos") {
+            Ok(list) => list
+                .as_arr()?
+                .iter()
+                .map(|s| s.as_str().map(str::to_string))
+                .collect::<Result<Vec<_>, _>>()?,
+            Err(_) => Vec::new(),
+        };
+        Ok(SweepSpec {
+            name: v.get("name")?.as_str()?.to_string(),
+            classes: v
+                .get("classes")?
+                .as_arr()?
+                .iter()
+                .map(ComboClass::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            combos,
+            budget,
+        })
+    }
+}
+
+/// One expanded job: run the five-scheme comparison on `combo` under
+/// `config`.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Content key addressing this job's result in the store.
+    pub key: String,
+    /// The workload combination.
+    pub combo: Combo,
+    /// The full comparison configuration.
+    pub config: CompareConfig,
+}
+
+/// The content key of one (combo, config) simulation.
+///
+/// Hashes the *complete* input description — every field of
+/// `CompareConfig` (via its derived `Debug`, which renders all nested
+/// scheme/platform/budget parameters) plus the combo — under
+/// [`SCHEMA_VERSION`]. Any change to any input yields a fresh key, so a
+/// re-run executes exactly the jobs whose inputs changed.
+pub fn job_key(combo: &Combo, config: &CompareConfig) -> String {
+    content_key(&format!("{SCHEMA_VERSION}|{combo:?}|{config:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_class_list_selects_all_21_combos() {
+        assert_eq!(SweepSpec::full(BudgetPreset::Quick).jobs().len(), 21);
+    }
+
+    #[test]
+    fn class_filter_selects_table8_subsets() {
+        let spec = SweepSpec {
+            name: "c5".into(),
+            classes: vec![ComboClass::C5],
+            combos: Vec::new(),
+            budget: BudgetPreset::Quick,
+        };
+        let jobs = spec.jobs();
+        assert_eq!(jobs.len(), 3, "Table 8: C5 has three combos");
+        assert!(jobs.iter().all(|j| j.combo.class == ComboClass::C5));
+    }
+
+    #[test]
+    fn keys_differ_across_combos_and_budgets() {
+        let quick = SweepSpec::full(BudgetPreset::Quick);
+        let keys: Vec<String> = quick.jobs().into_iter().map(|j| j.key).collect();
+        let unique: std::collections::HashSet<&String> = keys.iter().collect();
+        assert_eq!(unique.len(), keys.len(), "combo keys are distinct");
+
+        let eval = SweepSpec::full(BudgetPreset::Eval);
+        assert_ne!(eval.jobs()[0].key, keys[0], "budget is part of the key");
+    }
+
+    #[test]
+    fn keys_are_reproducible() {
+        let a = SweepSpec::full(BudgetPreset::Quick).jobs();
+        let b = SweepSpec::full(BudgetPreset::Quick).jobs();
+        assert!(a.iter().zip(&b).all(|(x, y)| x.key == y.key));
+    }
+
+    #[test]
+    fn custom_budget_feeds_the_config() {
+        let spec = SweepSpec {
+            name: "tiny".into(),
+            classes: vec![ComboClass::C1],
+            combos: Vec::new(),
+            budget: BudgetPreset::Custom {
+                warmup_cycles: 11,
+                measure_cycles: 22,
+            },
+        };
+        let cfg = spec.compare_config();
+        assert_eq!(cfg.budget.warmup_cycles, 11);
+        assert_eq!(cfg.budget.measure_cycles, 22);
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        for spec in [
+            SweepSpec::full(BudgetPreset::Quick),
+            SweepSpec::full(BudgetPreset::Eval),
+            SweepSpec {
+                name: "x".into(),
+                classes: vec![ComboClass::C2, ComboClass::C6],
+                combos: vec!["ammp+parser+swim+mesa".into()],
+                budget: BudgetPreset::Custom {
+                    warmup_cycles: 5,
+                    measure_cycles: 9,
+                },
+            },
+        ] {
+            let text = spec.to_json().render();
+            let back = SweepSpec::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! The content-addressed result store.
+//!
+//! Results persist as JSONL under a directory (default `results/`): one
+//! line per completed job, keyed by the job's content hash
+//! ([`crate::spec::job_key`]). Loading tolerates a missing file (empty
+//! store) and rejects corrupt lines loudly rather than serving bad data.
+//! Appends go straight to disk, so an interrupted sweep keeps everything
+//! it finished.
+
+use crate::codec::JsonCodec;
+use crate::json::{parse, JsonError, Value};
+use snug_experiments::ComboResult;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// File name of the JSONL store inside the results directory.
+pub const STORE_FILE: &str = "store.jsonl";
+
+/// One stored line: the key, a little human-readable context, and the
+/// full result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreEntry {
+    /// Content key of the producing job.
+    pub key: String,
+    /// The input description that was hashed into the key (debug form,
+    /// for humans auditing the store).
+    pub inputs: String,
+    /// The cached result.
+    pub result: ComboResult,
+}
+
+impl StoreEntry {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("key", Value::str(&self.key)),
+            ("inputs", Value::str(&self.inputs)),
+            ("result", self.result.to_json()),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(StoreEntry {
+            key: v.get("key")?.as_str()?.to_string(),
+            inputs: v.get("inputs")?.as_str()?.to_string(),
+            result: ComboResult::from_json(v.get("result")?)?,
+        })
+    }
+}
+
+/// The persistent, content-addressed result cache.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+    entries: BTreeMap<String, StoreEntry>,
+}
+
+impl ResultStore {
+    /// Open (or create) the store under `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        let path = dir.join(STORE_FILE);
+        let mut entries = BTreeMap::new();
+        match fs::read_to_string(&path) {
+            Ok(text) => {
+                let lines: Vec<&str> = text.lines().collect();
+                let mut offset = 0u64;
+                for (lineno, line) in lines.iter().enumerate() {
+                    let line_start = offset;
+                    offset += line.len() as u64 + 1;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match parse(line).and_then(|v| StoreEntry::from_json(&v)) {
+                        Ok(entry) => {
+                            entries.insert(entry.key.clone(), entry);
+                        }
+                        Err(_) if lineno + 1 == lines.len() => {
+                            // A partial trailing line is the expected
+                            // artifact of a crash or full disk during
+                            // append: drop it and truncate the file so
+                            // the next append starts on a clean line.
+                            // Corruption anywhere else stays fatal.
+                            fs::OpenOptions::new()
+                                .write(true)
+                                .open(&path)
+                                .and_then(|f| f.set_len(line_start))
+                                .map_err(|e| {
+                                    StoreError::Io(path.display().to_string(), e.to_string())
+                                })?;
+                            break;
+                        }
+                        Err(e) => return Err(StoreError::corrupt(&path, lineno, e)),
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(StoreError::Io(path.display().to_string(), e.to_string())),
+        }
+        Ok(ResultStore { dir, entries })
+    }
+
+    /// The directory this store persists under.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store has no cached results.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a cached result by content key.
+    pub fn get(&self, key: &str) -> Option<&ComboResult> {
+        self.entries.get(key).map(|e| &e.result)
+    }
+
+    /// Insert a fresh result and append it to the JSONL file.
+    pub fn insert(
+        &mut self,
+        key: String,
+        inputs: String,
+        result: ComboResult,
+    ) -> Result<(), StoreError> {
+        let entry = StoreEntry {
+            key: key.clone(),
+            inputs,
+            result,
+        };
+        let line = entry.to_json().render();
+        fs::create_dir_all(&self.dir)
+            .map_err(|e| StoreError::Io(self.dir.display().to_string(), e.to_string()))?;
+        let path = self.dir.join(STORE_FILE);
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| StoreError::Io(path.display().to_string(), e.to_string()))?;
+        writeln!(file, "{line}")
+            .map_err(|e| StoreError::Io(path.display().to_string(), e.to_string()))?;
+        self.entries.insert(key, entry);
+        Ok(())
+    }
+}
+
+/// Errors from opening or appending to the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An I/O failure (path, message).
+    Io(String, String),
+    /// A line that does not parse or decode (path, 1-based line,
+    /// message).
+    Corrupt(String, usize, String),
+}
+
+impl StoreError {
+    fn corrupt(path: &Path, lineno: usize, e: JsonError) -> Self {
+        StoreError::Corrupt(path.display().to_string(), lineno + 1, e.0)
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(path, msg) => write!(f, "result store I/O error at {path}: {msg}"),
+            StoreError::Corrupt(path, line, msg) => {
+                write!(f, "corrupt result store {path}:{line}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snug_experiments::SchemeResult;
+    use snug_metrics::MetricSet;
+    use snug_workloads::ComboClass;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("snug-store-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fake(label: &str, tp: f64) -> ComboResult {
+        ComboResult {
+            label: label.into(),
+            class: ComboClass::C3,
+            baseline_ipcs: vec![1.0, 0.5],
+            schemes: vec![SchemeResult {
+                scheme: "SNUG".into(),
+                metrics: MetricSet {
+                    throughput: tp,
+                    aws: tp,
+                    fair: tp,
+                },
+                ipcs: vec![1.0, 0.6],
+            }],
+            cc_sweep: vec![(0.0, 1.0)],
+        }
+    }
+
+    #[test]
+    fn fresh_store_is_empty_and_dir_not_created_until_insert() {
+        let dir = tmp_dir("fresh");
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(store.is_empty());
+        assert!(!dir.exists(), "open alone must not touch the filesystem");
+    }
+
+    #[test]
+    fn inserts_persist_across_reopen() {
+        let dir = tmp_dir("persist");
+        let mut store = ResultStore::open(&dir).unwrap();
+        store
+            .insert("k1".into(), "inputs-1".into(), fake("a+b", 1.25))
+            .unwrap();
+        store
+            .insert("k2".into(), "inputs-2".into(), fake("c+d", 0.75))
+            .unwrap();
+        drop(store);
+
+        let back = ResultStore::open(&dir).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get("k1").unwrap(), &fake("a+b", 1.25));
+        assert_eq!(back.get("k2").unwrap(), &fake("c+d", 0.75));
+        assert!(back.get("k3").is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_interior_lines_are_rejected_with_location() {
+        let dir = tmp_dir("corrupt");
+        let mut store = ResultStore::open(&dir).unwrap();
+        store
+            .insert("k".into(), "i".into(), fake("x+y", 1.0))
+            .unwrap();
+        let path = dir.join(STORE_FILE);
+        let mut text = fs::read_to_string(&path).unwrap();
+        let good_line = text.clone();
+        text.insert_str(0, "{\"key\": \"k2\", nope\n");
+        text.push_str(&good_line); // corrupt line is now interior
+        fs::write(&path, text).unwrap();
+        match ResultStore::open(&dir) {
+            Err(StoreError::Corrupt(_, line, _)) => assert_eq!(line, 1),
+            other => panic!("expected corrupt error, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partial_trailing_line_is_dropped_and_truncated() {
+        let dir = tmp_dir("partial-tail");
+        let mut store = ResultStore::open(&dir).unwrap();
+        store
+            .insert("k1".into(), "i".into(), fake("x+y", 1.0))
+            .unwrap();
+        let path = dir.join(STORE_FILE);
+        let clean_len = fs::metadata(&path).unwrap().len();
+
+        // Simulate a crash mid-append: a partial, newline-less record.
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("{\"key\":\"k2\",\"inp");
+        fs::write(&path, &text).unwrap();
+
+        // Open tolerates it, keeps the intact entry, truncates the tail.
+        let mut recovered = ResultStore::open(&dir).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert!(recovered.get("k1").is_some());
+        assert_eq!(
+            fs::metadata(&path).unwrap().len(),
+            clean_len,
+            "tail truncated"
+        );
+
+        // Appends after recovery land on a clean line.
+        recovered
+            .insert("k3".into(), "i".into(), fake("a+b", 1.5))
+            .unwrap();
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn blank_lines_are_tolerated() {
+        let dir = tmp_dir("blank");
+        let mut store = ResultStore::open(&dir).unwrap();
+        store
+            .insert("k".into(), "i".into(), fake("x+y", 1.0))
+            .unwrap();
+        let path = dir.join(STORE_FILE);
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push('\n');
+        fs::write(&path, text).unwrap();
+        assert_eq!(ResultStore::open(&dir).unwrap().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,252 @@
+//! Sweep orchestration: expand a spec, serve cached jobs from the
+//! store, run the rest on the work-stealing executor, persist as they
+//! finish.
+
+use crate::exec::{self, ExecEvent};
+use crate::spec::{SweepJob, SweepSpec};
+use crate::store::{ResultStore, StoreError};
+use snug_experiments::{run_combo, ComboResult};
+use std::sync::Mutex;
+
+/// Progress events streamed while a sweep runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepEvent {
+    /// The sweep expanded into jobs: `(total, cache hits)`.
+    Planned {
+        /// Total jobs in the spec.
+        total: usize,
+        /// Jobs already present in the store.
+        hits: usize,
+    },
+    /// A combo simulation started.
+    JobStarted {
+        /// Combo label.
+        label: String,
+    },
+    /// A combo simulation finished: `(label, done, to_run)`.
+    JobFinished {
+        /// Combo label.
+        label: String,
+        /// Executed so far (cache hits excluded).
+        done: usize,
+        /// Total to execute this sweep.
+        to_run: usize,
+    },
+}
+
+/// One job's outcome within a [`SweepOutcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Content key of the job.
+    pub key: String,
+    /// Whether the result came from the store.
+    pub from_cache: bool,
+    /// The result (cached or fresh — indistinguishable by construction).
+    pub result: ComboResult,
+}
+
+/// The outcome of a sweep, in spec (Table 8) order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// Per-job outcomes.
+    pub jobs: Vec<JobOutcome>,
+    /// Number of jobs served from the store.
+    pub cache_hits: usize,
+    /// Number of jobs executed fresh.
+    pub executed: usize,
+}
+
+impl SweepOutcome {
+    /// The results alone, in spec order.
+    pub fn results(&self) -> Vec<ComboResult> {
+        self.jobs.iter().map(|j| j.result.clone()).collect()
+    }
+}
+
+/// Run `spec` against `store`: cached jobs are served, missing jobs run
+/// in parallel on up to `threads` workers (0 = all CPUs) and are
+/// appended to the store as they complete.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    store: &mut ResultStore,
+    threads: usize,
+    mut progress: impl FnMut(SweepEvent) + Send,
+) -> Result<SweepOutcome, StoreError> {
+    let jobs = spec.jobs();
+    let (cached, pending): (Vec<&SweepJob>, Vec<&SweepJob>) =
+        jobs.iter().partition(|j| store.get(&j.key).is_some());
+    progress(SweepEvent::Planned {
+        total: jobs.len(),
+        hits: cached.len(),
+    });
+
+    // Execute the missing jobs; results land in `pending` order. Each
+    // result is appended to the store *as its job finishes* (under the
+    // store lock), so an interrupted sweep keeps everything completed
+    // so far.
+    let progress_cell = Mutex::new(&mut progress);
+    let store_cell = Mutex::new(&mut *store);
+    let first_store_error: Mutex<Option<StoreError>> = Mutex::new(None);
+    let fresh: Vec<ComboResult> = exec::run(
+        pending.len(),
+        threads,
+        |i| {
+            let job = pending[i];
+            let result = run_combo(&job.combo, &job.config);
+            let inserted = store_cell.lock().expect("store poisoned").insert(
+                job.key.clone(),
+                format!("{:?} | {:?}", job.combo, job.config),
+                result.clone(),
+            );
+            if let Err(e) = inserted {
+                first_store_error
+                    .lock()
+                    .expect("error slot poisoned")
+                    .get_or_insert(e);
+            }
+            result
+        },
+        |event| {
+            let mut p = progress_cell.lock().expect("progress poisoned");
+            match event {
+                ExecEvent::Started { index, .. } => (p)(SweepEvent::JobStarted {
+                    label: pending[index].combo.label(),
+                }),
+                ExecEvent::Finished { index, done, total } => (p)(SweepEvent::JobFinished {
+                    label: pending[index].combo.label(),
+                    done,
+                    to_run: total,
+                }),
+            }
+        },
+    );
+    let _ = store_cell; // release the &mut store reborrow
+    if let Some(e) = first_store_error.into_inner().expect("error slot poisoned") {
+        return Err(e);
+    }
+
+    // Assemble outcomes in spec order, now that everything is stored.
+    let executed: std::collections::HashSet<&str> =
+        pending.iter().map(|j| j.key.as_str()).collect();
+    let outcomes = jobs
+        .iter()
+        .map(|job| JobOutcome {
+            key: job.key.clone(),
+            from_cache: !executed.contains(job.key.as_str()),
+            result: store
+                .get(&job.key)
+                .expect("job just stored or cached")
+                .clone(),
+        })
+        .collect::<Vec<_>>();
+
+    Ok(SweepOutcome {
+        cache_hits: outcomes.iter().filter(|o| o.from_cache).count(),
+        executed: fresh.len(),
+        jobs: outcomes,
+    })
+}
+
+/// Look up every job of `spec` in `store` without running anything.
+/// Returns `None` if any job is missing (i.e. `snug sweep` has not been
+/// run for this spec yet).
+pub fn cached_results(spec: &SweepSpec, store: &ResultStore) -> Option<Vec<ComboResult>> {
+    spec.jobs()
+        .iter()
+        .map(|j| store.get(&j.key).cloned())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::BudgetPreset;
+    use snug_workloads::ComboClass;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            name: "tiny-c1".into(),
+            classes: vec![ComboClass::C1],
+            combos: Vec::new(),
+            budget: BudgetPreset::Custom {
+                warmup_cycles: 10_000,
+                measure_cycles: 60_000,
+            },
+        }
+    }
+
+    fn tmp_store(tag: &str) -> (std::path::PathBuf, ResultStore) {
+        let dir =
+            std::env::temp_dir().join(format!("snug-sweep-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    #[test]
+    fn second_run_is_all_cache_hits_and_identical() {
+        let spec = tiny_spec();
+        let (dir, mut store) = tmp_store("rerun");
+
+        let first = run_sweep(&spec, &mut store, 2, |_| {}).unwrap();
+        assert_eq!(first.executed, 3, "C1 has three combos");
+        assert_eq!(first.cache_hits, 0);
+
+        // Re-open from disk to prove persistence, then re-run.
+        let mut reopened = ResultStore::open(&dir).unwrap();
+        let second = run_sweep(&spec, &mut reopened, 2, |_| {}).unwrap();
+        assert_eq!(second.executed, 0);
+        assert_eq!(second.cache_hits, 3);
+        assert_eq!(
+            second.results(),
+            first.results(),
+            "bit-identical from cache"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn budget_change_invalidates_the_cache() {
+        let spec = tiny_spec();
+        let (dir, mut store) = tmp_store("invalidate");
+        run_sweep(&spec, &mut store, 0, |_| {}).unwrap();
+
+        let mut bigger = spec.clone();
+        bigger.budget = BudgetPreset::Custom {
+            warmup_cycles: 10_000,
+            measure_cycles: 90_000,
+        };
+        let outcome = run_sweep(&bigger, &mut store, 0, |_| {}).unwrap();
+        assert_eq!(outcome.cache_hits, 0, "different budget, different keys");
+        assert_eq!(outcome.executed, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn events_report_plan_and_completion() {
+        let spec = tiny_spec();
+        let (dir, mut store) = tmp_store("events");
+        let mut planned = None;
+        let mut finished = 0usize;
+        run_sweep(&spec, &mut store, 1, |e| match e {
+            SweepEvent::Planned { total, hits } => planned = Some((total, hits)),
+            SweepEvent::JobFinished { .. } => finished += 1,
+            SweepEvent::JobStarted { .. } => {}
+        })
+        .unwrap();
+        assert_eq!(planned, Some((3, 0)));
+        assert_eq!(finished, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cached_results_requires_a_complete_sweep() {
+        let spec = tiny_spec();
+        let (dir, mut store) = tmp_store("partial");
+        assert!(cached_results(&spec, &store).is_none(), "empty store");
+        run_sweep(&spec, &mut store, 0, |_| {}).unwrap();
+        let cached = cached_results(&spec, &store).unwrap();
+        assert_eq!(cached.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

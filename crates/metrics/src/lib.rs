@@ -16,4 +16,4 @@ pub use perf::{
     average_weighted_speedup, fair_speedup, normalized_throughput, IpcVector, MetricSet,
 };
 pub use stats::{geomean, max, mean, min, stddev};
-pub use table::{f3, pct_delta, Table};
+pub use table::{f3, pct_delta, Table, TableFormat};

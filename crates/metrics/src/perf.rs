@@ -92,7 +92,11 @@ impl MetricSet {
 
     /// The identity metric set (baseline vs itself).
     pub fn identity() -> Self {
-        MetricSet { throughput: 1.0, aws: 1.0, fair: 1.0 }
+        MetricSet {
+            throughput: 1.0,
+            aws: 1.0,
+            fair: 1.0,
+        }
     }
 }
 
@@ -130,7 +134,10 @@ mod tests {
         let base = v(&[2.0, 0.2]);
         let skew = v(&[4.0, 0.1]);
         assert!(normalized_throughput(&skew, &base) > 1.5);
-        assert!(fair_speedup(&skew, &base) < 1.0, "harmonic mean punishes the slowdown");
+        assert!(
+            fair_speedup(&skew, &base) < 1.0,
+            "harmonic mean punishes the slowdown"
+        );
     }
 
     #[test]

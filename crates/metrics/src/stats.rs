@@ -5,7 +5,10 @@
 /// non-positive values.
 pub fn geomean(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "geomean of empty slice");
-    assert!(values.iter().all(|&v| v > 0.0), "geomean requires positive values");
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geomean requires positive values"
+    );
     let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
     (log_sum / values.len() as f64).exp()
 }

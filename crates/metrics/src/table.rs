@@ -26,7 +26,11 @@ impl Table {
     /// Append a row; panics on arity mismatch.
     pub fn push_row(&mut self, row: Vec<impl Into<String>>) {
         let row: Vec<String> = row.into_iter().map(Into::into).collect();
-        assert_eq!(row.len(), self.headers.len(), "row arity must match headers");
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
         self.rows.push(row);
     }
 
@@ -47,13 +51,26 @@ impl Table {
     /// Render as CSV (no quoting beyond replacing commas).
     pub fn to_csv(&self) -> String {
         let clean = |s: &str| s.replace(',', ";");
-        let mut out = self.headers.iter().map(|h| clean(h)).collect::<Vec<_>>().join(",");
+        let mut out = self
+            .headers
+            .iter()
+            .map(|h| clean(h))
+            .collect::<Vec<_>>()
+            .join(",");
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| clean(c)).collect::<Vec<_>>().join(","));
             out.push('\n');
         }
         out
+    }
+
+    /// Render in the requested format.
+    pub fn render(&self, format: TableFormat) -> String {
+        match format {
+            TableFormat::Markdown => self.to_markdown(),
+            TableFormat::Csv => self.to_csv(),
+        }
     }
 
     /// Number of data rows.
@@ -64,6 +81,26 @@ impl Table {
     /// Whether the table has no data rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
+    }
+}
+
+/// Output formats a [`Table`] renders to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TableFormat {
+    /// GitHub-flavoured Markdown with a `###` title heading.
+    Markdown,
+    /// Comma-separated values, no title.
+    Csv,
+}
+
+impl TableFormat {
+    /// Parse "md"/"markdown" or "csv" (case-insensitive).
+    pub fn from_name(name: &str) -> Option<TableFormat> {
+        match name.to_ascii_lowercase().as_str() {
+            "md" | "markdown" => Some(TableFormat::Markdown),
+            "csv" => Some(TableFormat::Csv),
+            _ => None,
+        }
     }
 }
 
@@ -105,6 +142,25 @@ mod tests {
     #[should_panic(expected = "arity")]
     fn arity_checked() {
         Table::new("x", vec!["a", "b"]).push_row(vec!["1"]);
+    }
+
+    #[test]
+    fn render_dispatches_on_format() {
+        let mut t = Table::new("x", vec!["a"]);
+        t.push_row(vec!["1"]);
+        assert_eq!(t.render(TableFormat::Markdown), t.to_markdown());
+        assert_eq!(t.render(TableFormat::Csv), t.to_csv());
+    }
+
+    #[test]
+    fn format_names_parse() {
+        assert_eq!(TableFormat::from_name("md"), Some(TableFormat::Markdown));
+        assert_eq!(
+            TableFormat::from_name("Markdown"),
+            Some(TableFormat::Markdown)
+        );
+        assert_eq!(TableFormat::from_name("CSV"), Some(TableFormat::Csv));
+        assert_eq!(TableFormat::from_name("tsv"), None);
     }
 
     #[test]

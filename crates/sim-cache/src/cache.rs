@@ -32,8 +32,14 @@ pub struct SetAssocCache {
 impl SetAssocCache {
     /// Create an empty cache with the given geometry.
     pub fn new(geo: Geometry) -> Self {
-        let sets = (0..geo.num_sets).map(|_| CacheSet::new(geo.assoc)).collect();
-        SetAssocCache { geo, sets, stats: CacheStats::default() }
+        let sets = (0..geo.num_sets)
+            .map(|_| CacheSet::new(geo.assoc))
+            .collect();
+        SetAssocCache {
+            geo,
+            sets,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The cache geometry.
@@ -54,15 +60,27 @@ impl SetAssocCache {
         let set = self.geo.set_index(block);
         if let Some(distance) = self.sets[set].access(block, is_write) {
             self.stats.hits += 1;
-            if self.sets[set].line(self.sets[set].probe(block).expect("hit line")).flags.cc {
+            if self.sets[set]
+                .line(self.sets[set].probe(block).expect("hit line"))
+                .flags
+                .cc
+            {
                 self.stats.cc_hits += 1;
             }
-            AccessResult { hit: true, distance: Some(distance), evicted: None }
+            AccessResult {
+                hit: true,
+                distance: Some(distance),
+                evicted: None,
+            }
         } else {
             self.stats.misses += 1;
             let evicted = self.sets[set].fill(block, LineFlags::owned(is_write));
             self.note_eviction(&evicted);
-            AccessResult { hit: false, distance: None, evicted }
+            AccessResult {
+                hit: false,
+                distance: None,
+                evicted,
+            }
         }
     }
 

@@ -24,10 +24,19 @@ impl DemandParams {
     /// Validated constructor: both values must be powers of two (paper
     /// restriction) and `M` must divide `A_threshold`.
     pub fn new(a_threshold: usize, m_buckets: usize) -> Self {
-        assert!(a_threshold.is_power_of_two(), "A_threshold must be a power of two");
+        assert!(
+            a_threshold.is_power_of_two(),
+            "A_threshold must be a power of two"
+        );
         assert!(m_buckets.is_power_of_two(), "M must be a power of two");
-        assert!(a_threshold % m_buckets == 0, "M must divide A_threshold");
-        DemandParams { a_threshold, m_buckets }
+        assert!(
+            a_threshold.is_multiple_of(m_buckets),
+            "M must divide A_threshold"
+        );
+        DemandParams {
+            a_threshold,
+            m_buckets,
+        }
     }
 
     /// The paper's parameters: `A_threshold = 32`, `M = 8` → buckets
@@ -93,7 +102,9 @@ impl BucketDistribution {
             counts[params.bucket_of(br) - 1] += 1;
         }
         let n = hists.len() as f64;
-        BucketDistribution { sizes: counts.into_iter().map(|c| c as f64 / n).collect() }
+        BucketDistribution {
+            sizes: counts.into_iter().map(|c| c as f64 / n).collect(),
+        }
     }
 
     /// Sum of all bucket sizes (should be 1 up to rounding).

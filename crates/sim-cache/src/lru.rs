@@ -25,7 +25,9 @@ impl LruOrder {
     /// Create the order for `n` ways; initially way 0 is MRU, way n-1 LRU.
     pub fn new(n: usize) -> Self {
         assert!(n >= 1 && n <= u8::MAX as usize);
-        LruOrder { order: (0..n as u8).collect() }
+        LruOrder {
+            order: (0..n as u8).collect(),
+        }
     }
 
     /// Number of ways tracked.
@@ -90,7 +92,10 @@ impl TagStack {
     /// Create an empty stack bounded at `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1);
-        TagStack { tags: Vec::with_capacity(capacity), capacity }
+        TagStack {
+            tags: Vec::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Reference `tag`. Returns `Some(distance)` (1-based) if the tag was
@@ -215,7 +220,9 @@ mod tests {
         // For a random-ish reference string, hits counted at distance ≤ A
         // must be non-decreasing in A (Mattson's inclusion property).
         let mut s = TagStack::new(16);
-        let refs = [3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4, 6, 2, 6];
+        let refs = [
+            3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4, 6, 2, 6,
+        ];
         let mut hist = [0u64; 17];
         for &r in &refs {
             if let Some(d) = s.access(r) {
@@ -224,8 +231,8 @@ mod tests {
         }
         let mut cum = 0;
         let mut prev = 0;
-        for a in 1..=16 {
-            cum += hist[a];
+        for h in hist.iter().take(17).skip(1) {
+            cum += h;
             assert!(cum >= prev);
             prev = cum;
         }

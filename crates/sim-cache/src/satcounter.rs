@@ -23,7 +23,11 @@ impl SatCounter {
         assert!((1..=16).contains(&k), "counter width must be 1..=16 bits");
         let max = ((1u32 << k) - 1) as u16;
         let init = ((1u32 << (k - 1)) - 1) as u16;
-        SatCounter { value: init, max, init }
+        SatCounter {
+            value: init,
+            max,
+            init,
+        }
     }
 
     /// Create with an explicit initial value (clamped to range).
@@ -95,7 +99,11 @@ impl Psel {
         assert!((1..=31).contains(&k));
         let max = (1u32 << k) - 1;
         let mid = 1u32 << (k - 1);
-        Psel { value: mid, max, mid }
+        Psel {
+            value: mid,
+            max,
+            mid,
+        }
     }
 
     /// Saturating increment.
@@ -144,7 +152,11 @@ impl DemandMonitor {
     /// The paper uses k = 4, p = 8.
     pub fn new(k: u32, p: u16) -> Self {
         assert!(p >= 1, "p must be at least 1");
-        DemandMonitor { counter: SatCounter::new(k), mod_count: 0, p }
+        DemandMonitor {
+            counter: SatCounter::new(k),
+            mod_count: 0,
+            p,
+        }
     }
 
     /// The paper's configuration (k = 4, p = 8; Table 2).

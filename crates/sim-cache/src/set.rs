@@ -24,13 +24,21 @@ pub struct LineFlags {
 impl LineFlags {
     /// Flags for a locally owned line.
     pub fn owned(dirty: bool) -> Self {
-        LineFlags { dirty, cc: false, flipped: false }
+        LineFlags {
+            dirty,
+            cc: false,
+            flipped: false,
+        }
     }
 
     /// Flags for a cooperatively cached (received) line. Received lines
     /// are always clean (§3.3: only clean blocks may spill).
     pub fn received(flipped: bool) -> Self {
-        LineFlags { dirty: false, cc: true, flipped }
+        LineFlags {
+            dirty: false,
+            cc: true,
+            flipped,
+        }
     }
 }
 
@@ -47,7 +55,11 @@ pub struct CacheLine {
 
 impl CacheLine {
     fn invalid() -> Self {
-        CacheLine { block: BlockAddr(0), valid: false, flags: LineFlags::default() }
+        CacheLine {
+            block: BlockAddr(0),
+            valid: false,
+            flags: LineFlags::default(),
+        }
     }
 }
 
@@ -71,7 +83,10 @@ pub struct CacheSet {
 impl CacheSet {
     /// Create an empty set with `assoc` ways.
     pub fn new(assoc: usize) -> Self {
-        CacheSet { lines: vec![CacheLine::invalid(); assoc], lru: LruOrder::new(assoc) }
+        CacheSet {
+            lines: vec![CacheLine::invalid(); assoc],
+            lru: LruOrder::new(assoc),
+        }
     }
 
     /// Associativity.
@@ -122,12 +137,20 @@ impl CacheSet {
 
     /// Fill `block` into the set (at MRU), evicting the victim if valid.
     pub fn fill(&mut self, block: BlockAddr, flags: LineFlags) -> Option<Evicted> {
-        debug_assert!(self.probe(block).is_none(), "fill of already-resident block");
+        debug_assert!(
+            self.probe(block).is_none(),
+            "fill of already-resident block"
+        );
         let way = self.victim_way();
-        let evicted = self.lines[way]
-            .valid
-            .then(|| Evicted { block: self.lines[way].block, flags: self.lines[way].flags });
-        self.lines[way] = CacheLine { block, valid: true, flags };
+        let evicted = self.lines[way].valid.then(|| Evicted {
+            block: self.lines[way].block,
+            flags: self.lines[way].flags,
+        });
+        self.lines[way] = CacheLine {
+            block,
+            valid: true,
+            flags,
+        };
         self.lru.touch(way);
         evicted
     }
@@ -143,10 +166,15 @@ impl CacheSet {
             .lru_most_cc_way()
             .filter(|_| !self.lines.iter().any(|l| !l.valid))
             .unwrap_or_else(|| self.victim_way());
-        let evicted = self.lines[way]
-            .valid
-            .then(|| Evicted { block: self.lines[way].block, flags: self.lines[way].flags });
-        self.lines[way] = CacheLine { block, valid: true, flags };
+        let evicted = self.lines[way].valid.then(|| Evicted {
+            block: self.lines[way].block,
+            flags: self.lines[way].flags,
+        });
+        self.lines[way] = CacheLine {
+            block,
+            valid: true,
+            flags,
+        };
         self.lru.touch(way);
         evicted
     }
@@ -265,7 +293,9 @@ mod tests {
         s.fill(b(13), LineFlags::owned(false));
         // b(10) is LRU, but b(11) is the CC line: local fill should evict
         // the CC line first.
-        let ev = s.fill_prefer_evict_cc(b(14), LineFlags::owned(false)).unwrap();
+        let ev = s
+            .fill_prefer_evict_cc(b(14), LineFlags::owned(false))
+            .unwrap();
         assert_eq!(ev.block, b(11));
         assert!(ev.flags.cc);
         assert!(s.probe(b(10)).is_some(), "owned LRU line survives");
@@ -276,7 +306,9 @@ mod tests {
         let mut s = CacheSet::new(2);
         s.fill(b(1), LineFlags::owned(false));
         s.fill(b(2), LineFlags::owned(false));
-        let ev = s.fill_prefer_evict_cc(b(3), LineFlags::owned(false)).unwrap();
+        let ev = s
+            .fill_prefer_evict_cc(b(3), LineFlags::owned(false))
+            .unwrap();
         assert_eq!(ev.block, b(1), "no CC line: plain LRU victim");
     }
 

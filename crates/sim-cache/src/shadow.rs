@@ -27,12 +27,15 @@ pub struct ShadowSet {
 impl ShadowSet {
     /// Create an empty shadow set with `assoc` entries.
     pub fn new(assoc: usize) -> Self {
-        ShadowSet { tags: vec![None; assoc], lru: LruOrder::new(assoc) }
+        ShadowSet {
+            tags: vec![None; assoc],
+            lru: LruOrder::new(assoc),
+        }
     }
 
     /// Whether `block`'s tag is present.
     pub fn contains(&self, block: BlockAddr) -> bool {
-        self.tags.iter().any(|t| *t == Some(block))
+        self.tags.contains(&Some(block))
     }
 
     /// Record the tag of a locally evicted owned line. Replaces the
@@ -251,7 +254,7 @@ mod tests {
         a.set_sampling(false);
         for i in 0..20 {
             a.on_owned_eviction(0, b(i));
-            assert_eq!(a.on_real_miss(0, b(i)), true, "shadow still functional");
+            assert!(a.on_real_miss(0, b(i)), "shadow still functional");
         }
         assert!(!a.is_taker(0), "counter frozen while not sampling");
     }

@@ -22,12 +22,16 @@ pub struct SetHistogram {
 
 impl SetHistogram {
     fn new(a_threshold: usize) -> Self {
-        SetHistogram { positions: vec![0; a_threshold + 1] }
+        SetHistogram {
+            positions: vec![0; a_threshold + 1],
+        }
     }
 
     /// Hits at distances `1..=a` — the paper's `hit_count(S, I, A)`.
     pub fn hit_count(&self, a: usize) -> u64 {
-        self.positions[1..=a.min(self.positions.len() - 1)].iter().sum()
+        self.positions[1..=a.min(self.positions.len() - 1)]
+            .iter()
+            .sum()
     }
 
     /// References that missed even at `A_threshold` (compulsory-ish).
@@ -76,7 +80,9 @@ impl SetDemandProfiler {
             a_threshold,
             num_sets,
             stacks: (0..num_sets).map(|_| TagStack::new(a_threshold)).collect(),
-            hists: (0..num_sets).map(|_| SetHistogram::new(a_threshold)).collect(),
+            hists: (0..num_sets)
+                .map(|_| SetHistogram::new(a_threshold))
+                .collect(),
         }
     }
 

@@ -97,7 +97,11 @@ mod tests {
 
     #[test]
     fn ratios_sum_to_one() {
-        let s = CacheStats { hits: 30, misses: 10, ..Default::default() };
+        let s = CacheStats {
+            hits: 30,
+            misses: 10,
+            ..Default::default()
+        };
         assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
         assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
         assert_eq!(s.accesses(), 40);
@@ -105,8 +109,17 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = CacheStats { hits: 1, spills_out: 2, ..Default::default() };
-        let b = CacheStats { hits: 3, spills_out: 4, shadow_hits: 5, ..Default::default() };
+        let mut a = CacheStats {
+            hits: 1,
+            spills_out: 2,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            hits: 3,
+            spills_out: 4,
+            shadow_hits: 5,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.hits, 4);
         assert_eq!(a.spills_out, 6);
@@ -115,7 +128,10 @@ mod tests {
 
     #[test]
     fn reset_zeroes() {
-        let mut s = CacheStats { hits: 9, ..Default::default() };
+        let mut s = CacheStats {
+            hits: 9,
+            ..Default::default()
+        };
         s.reset();
         assert_eq!(s, CacheStats::default());
     }

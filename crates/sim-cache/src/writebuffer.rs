@@ -51,7 +51,11 @@ impl WriteBuffer {
     /// Create a buffer with `capacity` entries (paper: 16).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1);
-        WriteBuffer { entries: VecDeque::with_capacity(capacity), capacity, stats: WriteBufferStats::default() }
+        WriteBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            stats: WriteBufferStats::default(),
+        }
     }
 
     /// The paper's 16-entry buffer.

@@ -49,7 +49,12 @@ pub struct BusGrant {
 impl Bus {
     /// Create an idle bus.
     pub fn new(cfg: BusConfig) -> Self {
-        Bus { cfg, addr_free: 0, data_free: 0, stats: BusStats::default() }
+        Bus {
+            cfg,
+            addr_free: 0,
+            data_free: 0,
+            stats: BusStats::default(),
+        }
     }
 
     /// Issue an address-only transaction (broadcast snoop / request) on
@@ -63,7 +68,10 @@ impl Bus {
         self.stats.busy_cycles += occupancy;
         let done_at = granted_at + occupancy;
         self.addr_free = done_at;
-        BusGrant { granted_at, done_at }
+        BusGrant {
+            granted_at,
+            done_at,
+        }
     }
 
     /// Issue a data transaction moving one `block_bytes` line on the
@@ -77,7 +85,10 @@ impl Bus {
         self.stats.busy_cycles += occupancy;
         let done_at = granted_at + occupancy;
         self.data_free = done_at;
-        BusGrant { granted_at, done_at }
+        BusGrant {
+            granted_at,
+            done_at,
+        }
     }
 
     /// Statistics accessor.
@@ -124,11 +135,17 @@ mod tests {
         let mut b = paper_bus();
         let g1 = b.data_transaction(0, 64);
         let g2 = b.data_transaction(0, 64);
-        assert_eq!(g2.granted_at, g1.done_at, "second data txn waits for the data network");
+        assert_eq!(
+            g2.granted_at, g1.done_at,
+            "second data txn waits for the data network"
+        );
         assert!(b.stats().queue_cycles > 0);
         // The address network is independent (split transaction).
         let g3 = b.address_transaction(0);
-        assert_eq!(g3.granted_at, 1, "snoop does not wait behind data transfers");
+        assert_eq!(
+            g3.granted_at, 1,
+            "snoop does not wait behind data transfers"
+        );
     }
 
     #[test]

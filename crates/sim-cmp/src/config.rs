@@ -20,7 +20,11 @@ pub struct CoreConfig {
 impl CoreConfig {
     /// Table 4 values.
     pub fn paper() -> Self {
-        CoreConfig { issue_width: 8, rob_size: 128, max_outstanding: 8 }
+        CoreConfig {
+            issue_width: 8,
+            rob_size: 128,
+            max_outstanding: 8,
+        }
     }
 }
 
@@ -39,7 +43,11 @@ pub struct BusConfig {
 impl BusConfig {
     /// Table 4 values.
     pub fn paper() -> Self {
-        BusConfig { width_bytes: 16, speed_ratio: 4, arbitration: 1 }
+        BusConfig {
+            width_bytes: 16,
+            speed_ratio: 4,
+            arbitration: 1,
+        }
     }
 
     /// Core cycles to move one `block_bytes` line over the bus.
@@ -116,7 +124,11 @@ impl SystemConfig {
             l2_local_latency: 10,
             l2_remote_latency: 30,
             snug_remote_latency: 40,
-            core: CoreConfig { issue_width: 4, rob_size: 32, max_outstanding: 4 },
+            core: CoreConfig {
+                issue_width: 4,
+                rob_size: 32,
+                max_outstanding: 4,
+            },
             bus: BusConfig::paper(),
             dram: DramConfig::uncontended(300),
             write_buffer_entries: 4,

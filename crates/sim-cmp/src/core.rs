@@ -119,8 +119,10 @@ impl CoreModel {
                 self.issue_slot = 0;
             }
         }
-        self.outstanding
-            .push_back(OutstandingMiss { completes_at, rob_limit: self.instrs + self.cfg.rob_size });
+        self.outstanding.push_back(OutstandingMiss {
+            completes_at,
+            rob_limit: self.instrs + self.cfg.rob_size,
+        });
     }
 
     /// Serialise on a critical load: the core cannot proceed past a
@@ -178,7 +180,11 @@ mod tests {
     use super::*;
 
     fn cfg() -> CoreConfig {
-        CoreConfig { issue_width: 4, rob_size: 16, max_outstanding: 2 }
+        CoreConfig {
+            issue_width: 4,
+            rob_size: 16,
+            max_outstanding: 2,
+        }
     }
 
     #[test]
@@ -203,11 +209,15 @@ mod tests {
         let mut c = CoreModel::new(cfg());
         c.issue(1);
         c.track_load(c.cycle() + 10); // completes at ~10
-        // 16 instructions of ROB reach at width 4 = 4 cycles of cover;
-        // the remaining ~6 cycles must be stalled when reach is exhausted.
+                                      // 16 instructions of ROB reach at width 4 = 4 cycles of cover;
+                                      // the remaining ~6 cycles must be stalled when reach is exhausted.
         c.issue(16);
         // 10 cycles of stall, then 16 instructions at width 4.
-        assert_eq!(c.cycle(), 14, "stalled until the load returned, then issued");
+        assert_eq!(
+            c.cycle(),
+            14,
+            "stalled until the load returned, then issued"
+        );
         assert!(c.stats().rob_stall_cycles > 0);
     }
 

@@ -145,7 +145,10 @@ mod tests {
         ) -> L2Outcome {
             self.stats[core].misses += 1;
             let done = res.dram.read(now);
-            L2Outcome { latency: done - now, fill: L2Fill::Dram }
+            L2Outcome {
+                latency: done - now,
+                fill: L2Fill::Dram,
+            }
         }
 
         fn writeback(
@@ -177,10 +180,15 @@ mod tests {
 
     #[test]
     fn aggregate_stats_merges_slices() {
-        let mut org = NullOrg { stats: vec![CacheStats::default(); 2] };
+        let mut org = NullOrg {
+            stats: vec![CacheStats::default(); 2],
+        };
         let mut bus = Bus::new(BusConfig::paper());
         let mut dram = Dram::new(DramConfig::uncontended(300));
-        let mut res = ChipResources { bus: &mut bus, dram: &mut dram };
+        let mut res = ChipResources {
+            bus: &mut bus,
+            dram: &mut dram,
+        };
         let out = org.access(0, BlockAddr(1), false, 0, &mut res);
         assert_eq!(out.latency, 300);
         org.access(1, BlockAddr(2), false, 0, &mut res);

@@ -70,11 +70,21 @@ pub struct CmpSystem<O: L2Org> {
 impl<O: L2Org> CmpSystem<O> {
     /// Build a system around an L2 organisation.
     pub fn new(cfg: SystemConfig, org: O) -> Self {
-        assert_eq!(org.num_cores(), cfg.num_cores, "organisation must match core count");
+        assert_eq!(
+            org.num_cores(),
+            cfg.num_cores,
+            "organisation must match core count"
+        );
         CmpSystem {
-            cores: (0..cfg.num_cores).map(|_| CoreModel::new(cfg.core)).collect(),
-            l1d: (0..cfg.num_cores).map(|_| SetAssocCache::new(cfg.l1)).collect(),
-            l1i: (0..cfg.num_cores).map(|_| SetAssocCache::new(cfg.l1)).collect(),
+            cores: (0..cfg.num_cores)
+                .map(|_| CoreModel::new(cfg.core))
+                .collect(),
+            l1d: (0..cfg.num_cores)
+                .map(|_| SetAssocCache::new(cfg.l1))
+                .collect(),
+            l1i: (0..cfg.num_cores)
+                .map(|_| SetAssocCache::new(cfg.l1))
+                .collect(),
             bus: Bus::new(cfg.bus),
             dram: Dram::new(cfg.dram),
             org,
@@ -98,7 +108,10 @@ impl<O: L2Org> CmpSystem<O> {
             // 1-cycle pipelined L1 hit: covered by the issue slot.
             return;
         }
-        let mut res = ChipResources { bus: &mut self.bus, dram: &mut self.dram };
+        let mut res = ChipResources {
+            bus: &mut self.bus,
+            dram: &mut self.dram,
+        };
         // L1 fill displaced a dirty victim: write it back to L2 (off the
         // critical path, no demand-access accounting).
         if let Some(ev) = r.evicted {
@@ -106,8 +119,9 @@ impl<O: L2Org> CmpSystem<O> {
                 self.org.writeback(c, ev.block, now, &mut res);
             }
         }
-        let outcome =
-            self.org.access(c, block, op.access.kind.is_write(), now, &mut res);
+        let outcome = self
+            .org
+            .access(c, block, op.access.kind.is_write(), now, &mut res);
         if stalls_core {
             // L1 hit latency is charged on top of the L2 path.
             let completes = now + self.cfg.l1_latency + outcome.latency;
@@ -139,8 +153,11 @@ impl<O: L2Org> CmpSystem<O> {
         }
         self.bus.reset_stats();
         self.dram.reset_stats();
-        let snapshot: Vec<(u64, u64)> =
-            self.cores.iter().map(|c| (c.instructions(), c.cycle())).collect();
+        let snapshot: Vec<(u64, u64)> = self
+            .cores
+            .iter()
+            .map(|c| (c.instructions(), c.cycle()))
+            .collect();
         // Phase 2: measurement.
         self.run_until_cycle(&mut streams, warmup_cycles + measure_cycles);
         let cores = (0..self.cfg.num_cores)
@@ -227,7 +244,9 @@ mod tests {
     impl TestOrg {
         fn new(cfg: &SystemConfig) -> Self {
             TestOrg {
-                slices: (0..cfg.num_cores).map(|_| SetAssocCache::new(cfg.l2_slice)).collect(),
+                slices: (0..cfg.num_cores)
+                    .map(|_| SetAssocCache::new(cfg.l2_slice))
+                    .collect(),
                 local_lat: cfg.l2_local_latency,
             }
         }
@@ -244,7 +263,10 @@ mod tests {
         ) -> L2Outcome {
             let r = self.slices[core].access(block, is_write);
             if r.hit {
-                L2Outcome { latency: self.local_lat, fill: L2Fill::LocalHit }
+                L2Outcome {
+                    latency: self.local_lat,
+                    fill: L2Fill::LocalHit,
+                }
             } else {
                 if let Some(ev) = r.evicted {
                     if ev.flags.dirty {
@@ -252,7 +274,10 @@ mod tests {
                     }
                 }
                 let done = res.dram.read(now);
-                L2Outcome { latency: self.local_lat + (done - now), fill: L2Fill::Dram }
+                L2Outcome {
+                    latency: self.local_lat + (done - now),
+                    fill: L2Fill::Dram,
+                }
             }
         }
 
@@ -294,8 +319,9 @@ mod tests {
         let cfg = SystemConfig::tiny_test();
         let org = TestOrg::new(&cfg);
         let mut sys = CmpSystem::new(cfg, org);
-        let streams: Vec<Box<dyn OpStream>> =
-            (0..4).map(|i| small_loop_stream(&format!("w{i}"), 4, 3)).collect();
+        let streams: Vec<Box<dyn OpStream>> = (0..4)
+            .map(|i| small_loop_stream(&format!("w{i}"), 4, 3))
+            .collect();
         let res = sys.run(streams, 500, 20_000);
         for c in &res.cores {
             assert!(c.instructions > 0);
@@ -312,8 +338,9 @@ mod tests {
         let friendly: Vec<Box<dyn OpStream>> =
             (0..4).map(|_| small_loop_stream("fit", 4, 7)).collect();
         // 4096 distinct blocks: L1 and the 64-block L2 both thrash.
-        let thrash: Vec<Box<dyn OpStream>> =
-            (0..4).map(|_| small_loop_stream("thrash", 4096, 7)).collect();
+        let thrash: Vec<Box<dyn OpStream>> = (0..4)
+            .map(|_| small_loop_stream("thrash", 4096, 7))
+            .collect();
 
         let mut sys_a = CmpSystem::new(cfg, TestOrg::new(&cfg));
         let a = sys_a.run(friendly, 2_000, 50_000);

@@ -43,19 +43,28 @@ impl Access {
     /// Convenience constructor for a load.
     #[inline]
     pub fn load(addr: u64) -> Self {
-        Access { addr: Addr(addr), kind: AccessKind::Load }
+        Access {
+            addr: Addr(addr),
+            kind: AccessKind::Load,
+        }
     }
 
     /// Convenience constructor for a store.
     #[inline]
     pub fn store(addr: u64) -> Self {
-        Access { addr: Addr(addr), kind: AccessKind::Store }
+        Access {
+            addr: Addr(addr),
+            kind: AccessKind::Store,
+        }
     }
 
     /// Convenience constructor for an instruction fetch.
     #[inline]
     pub fn ifetch(addr: u64) -> Self {
-        Access { addr: Addr(addr), kind: AccessKind::IFetch }
+        Access {
+            addr: Addr(addr),
+            kind: AccessKind::IFetch,
+        }
     }
 }
 
@@ -77,12 +86,20 @@ pub struct CoreOp {
 impl CoreOp {
     /// An independent (non-critical) op.
     pub fn new(gap: u32, access: Access) -> Self {
-        CoreOp { gap, access, critical: false }
+        CoreOp {
+            gap,
+            access,
+            critical: false,
+        }
     }
 
     /// A dependent (critical) op: the core serialises on its completion.
     pub fn critical(gap: u32, access: Access) -> Self {
-        CoreOp { gap, access, critical: true }
+        CoreOp {
+            gap,
+            access,
+            critical: true,
+        }
     }
 
     /// Total instructions represented by this op (gap + the memory op).
@@ -117,7 +134,11 @@ impl VecStream {
     /// Create a stream that cycles through `ops` forever.
     pub fn cycle(label: impl Into<String>, ops: Vec<CoreOp>) -> Self {
         assert!(!ops.is_empty(), "VecStream requires at least one op");
-        VecStream { ops, pos: 0, label: label.into() }
+        VecStream {
+            ops,
+            pos: 0,
+            label: label.into(),
+        }
     }
 
     /// Build a pure load stream with a fixed instruction gap.

@@ -56,10 +56,20 @@ pub struct Geometry {
 impl Geometry {
     /// Construct a geometry, validating power-of-two constraints.
     pub fn new(block_bytes: u64, num_sets: u64, assoc: usize) -> Self {
-        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
-        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         assert!(assoc >= 1, "associativity must be at least 1");
-        Geometry { block_bytes, num_sets, assoc }
+        Geometry {
+            block_bytes,
+            num_sets,
+            assoc,
+        }
     }
 
     /// Total capacity in bytes.

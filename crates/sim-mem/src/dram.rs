@@ -23,12 +23,18 @@ impl DramConfig {
     /// flat DRAM latency; a small service interval keeps request ordering
     /// sane without making bandwidth the bottleneck.
     pub fn paper() -> Self {
-        DramConfig { latency: 300, service_interval: 4 }
+        DramConfig {
+            latency: 300,
+            service_interval: 4,
+        }
     }
 
     /// Contention-free DRAM (useful for unit tests with exact latencies).
     pub fn uncontended(latency: u64) -> Self {
-        DramConfig { latency, service_interval: 0 }
+        DramConfig {
+            latency,
+            service_interval: 0,
+        }
     }
 }
 
@@ -55,7 +61,11 @@ pub struct Dram {
 impl Dram {
     /// Create a DRAM channel with the given configuration.
     pub fn new(cfg: DramConfig) -> Self {
-        Dram { cfg, next_free: 0, stats: DramStats::default() }
+        Dram {
+            cfg,
+            next_free: 0,
+            stats: DramStats::default(),
+        }
     }
 
     /// Issue a demand read at time `now`; returns the completion time.
@@ -114,7 +124,10 @@ mod tests {
 
     #[test]
     fn back_to_back_requests_queue() {
-        let mut d = Dram::new(DramConfig { latency: 300, service_interval: 16 });
+        let mut d = Dram::new(DramConfig {
+            latency: 300,
+            service_interval: 16,
+        });
         assert_eq!(d.read(0), 300);
         // Second request at the same instant waits for the channel.
         assert_eq!(d.read(0), 316);
@@ -132,7 +145,10 @@ mod tests {
 
     #[test]
     fn reset_stats_keeps_timing() {
-        let mut d = Dram::new(DramConfig { latency: 10, service_interval: 8 });
+        let mut d = Dram::new(DramConfig {
+            latency: 10,
+            service_interval: 8,
+        });
         d.read(0);
         d.reset_stats();
         assert_eq!(d.stats().reads, 0);

@@ -23,13 +23,19 @@ pub struct SamplingPlan {
 impl SamplingPlan {
     /// The paper's plan: 1000 intervals × 100 K L2 accesses.
     pub fn paper() -> Self {
-        SamplingPlan { intervals: 1000, accesses_per_interval: 100_000 }
+        SamplingPlan {
+            intervals: 1000,
+            accesses_per_interval: 100_000,
+        }
     }
 
     /// A scaled-down plan preserving the structure (for tests/benches).
     pub fn scaled(intervals: usize, accesses_per_interval: usize) -> Self {
         assert!(intervals > 0 && accesses_per_interval > 0);
-        SamplingPlan { intervals, accesses_per_interval }
+        SamplingPlan {
+            intervals,
+            accesses_per_interval,
+        }
     }
 
     /// Total accesses covered by the plan.
@@ -50,7 +56,11 @@ pub struct IntervalClock {
 impl IntervalClock {
     /// Start a clock at interval 0 of `plan`.
     pub fn new(plan: SamplingPlan) -> Self {
-        IntervalClock { plan, in_interval: 0, current: 0 }
+        IntervalClock {
+            plan,
+            in_interval: 0,
+            current: 0,
+        }
     }
 
     /// Record one access. Returns `Some(finished_interval_index)` when the
@@ -155,7 +165,11 @@ impl Trace {
                 KIND_IFETCH => AccessKind::IFetch,
                 k => return Err(TraceDecodeError::BadKind(k)),
             };
-            ops.push(CoreOp { gap, access: Access { addr, kind }, critical });
+            ops.push(CoreOp {
+                gap,
+                access: Access { addr, kind },
+                critical,
+            });
         }
         Ok(Trace { ops })
     }
@@ -231,7 +245,8 @@ mod tests {
         let bytes = t.to_bytes();
         let back = Trace::from_bytes(bytes).unwrap();
         assert_eq!(back, t);
-        assert_eq!(back.instructions(), 3 + 1 + 0 + 1 + 9 + 1);
+        // gap + 1 instructions per op: (3+1) + (0+1) + (9+1).
+        assert_eq!(back.instructions(), 15);
     }
 
     #[test]
@@ -250,6 +265,69 @@ mod tests {
         let mut raw = t.to_bytes().to_vec();
         let last = raw.len() - 1;
         raw[last] = 77;
-        assert_eq!(Trace::from_bytes(Bytes::from(raw)), Err(TraceDecodeError::BadKind(77)));
+        assert_eq!(
+            Trace::from_bytes(Bytes::from(raw)),
+            Err(TraceDecodeError::BadKind(77))
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn trace_of(ops: Vec<(u64, u32, u8, bool)>) -> Trace {
+            let mut t = Trace::new();
+            for (addr, gap, kind, critical) in ops {
+                let access = match kind {
+                    0 => Access::load(addr),
+                    1 => Access::store(addr),
+                    _ => Access::ifetch(addr),
+                };
+                t.push(CoreOp {
+                    gap,
+                    access,
+                    critical,
+                });
+            }
+            t
+        }
+
+        proptest! {
+            /// Encode/decode is the identity on arbitrary op streams,
+            /// and the framing length matches the record layout
+            /// (8-byte header + 13 bytes per op).
+            #[test]
+            fn encode_decode_round_trips(
+                ops in proptest::collection::vec(
+                    (0u64..1u64 << 48, 0u32..1024, 0u8..3, proptest::bool::ANY),
+                    0..300,
+                )
+            ) {
+                let t = trace_of(ops);
+                let bytes = t.to_bytes();
+                prop_assert_eq!(bytes.len(), 8 + t.len() * 13);
+                let back = Trace::from_bytes(bytes).map_err(|e| {
+                    TestCaseError::Fail(format!("decode failed: {e}"))
+                })?;
+                prop_assert_eq!(back, t);
+            }
+
+            /// Any strict prefix of a valid encoding is rejected as
+            /// truncated — never mis-decoded.
+            #[test]
+            fn prefixes_are_rejected(
+                ops in proptest::collection::vec(
+                    (0u64..1u64 << 48, 0u32..64, 0u8..3, proptest::bool::ANY),
+                    1..40,
+                ),
+                cut in 0usize..100
+            ) {
+                let t = trace_of(ops);
+                let bytes = t.to_bytes();
+                prop_assume!(cut < bytes.len());
+                let r = Trace::from_bytes(bytes.slice(0..cut));
+                prop_assert_eq!(r, Err(TraceDecodeError::Truncated));
+            }
+        }
     }
 }

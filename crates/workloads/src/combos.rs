@@ -21,8 +21,14 @@ pub enum ComboClass {
 
 impl ComboClass {
     /// All six classes in paper order.
-    pub const ALL: [ComboClass; 6] =
-        [ComboClass::C1, ComboClass::C2, ComboClass::C3, ComboClass::C4, ComboClass::C5, ComboClass::C6];
+    pub const ALL: [ComboClass; 6] = [
+        ComboClass::C1,
+        ComboClass::C2,
+        ComboClass::C3,
+        ComboClass::C4,
+        ComboClass::C5,
+        ComboClass::C6,
+    ];
 
     /// Display name ("C1" … "C6").
     pub fn name(self) -> &'static str {
@@ -34,6 +40,13 @@ impl ComboClass {
             ComboClass::C5 => "C5",
             ComboClass::C6 => "C6",
         }
+    }
+
+    /// Parse a class name ("C1".."C6", case-insensitive).
+    pub fn from_name(name: &str) -> Option<ComboClass> {
+        ComboClass::ALL
+            .into_iter()
+            .find(|c| c.name().eq_ignore_ascii_case(name))
     }
 
     /// Table 7 description.
@@ -49,6 +62,15 @@ impl ComboClass {
     }
 }
 
+impl std::str::FromStr for ComboClass {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ComboClass::from_name(s)
+            .ok_or_else(|| format!("unknown combination class `{s}` (expected C1..C6)"))
+    }
+}
+
 /// One quad-core workload combination (a row of Table 8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Combo {
@@ -61,14 +83,21 @@ pub struct Combo {
 impl Combo {
     /// A compact label like "ammp+parser+bzip2+mcf".
     pub fn label(&self) -> String {
-        self.apps.iter().map(|b| b.name()).collect::<Vec<_>>().join("+")
+        self.apps
+            .iter()
+            .map(|b| b.name())
+            .collect::<Vec<_>>()
+            .join("+")
     }
 }
 
 /// The full Table 8: 21 combinations in 6 classes.
 pub fn all_combos() -> Vec<Combo> {
     use Benchmark::*;
-    let c = |class, a, b, c_, d| Combo { class, apps: [a, b, c_, d] };
+    let c = |class, a, b, c_, d| Combo {
+        class,
+        apps: [a, b, c_, d],
+    };
     vec![
         // C1: stress tests over class A.
         c(ComboClass::C1, Ammp, Ammp, Ammp, Ammp),
@@ -102,7 +131,10 @@ pub fn all_combos() -> Vec<Combo> {
 
 /// The combinations belonging to one class.
 pub fn combos_in_class(class: ComboClass) -> Vec<Combo> {
-    all_combos().into_iter().filter(|c| c.class == class).collect()
+    all_combos()
+        .into_iter()
+        .filter(|c| c.class == class)
+        .collect()
 }
 
 #[cfg(test)]
@@ -117,15 +149,24 @@ mod tests {
 
     #[test]
     fn class_sizes_match_table8() {
-        let sizes: Vec<usize> =
-            ComboClass::ALL.iter().map(|&c| combos_in_class(c).len()).collect();
+        let sizes: Vec<usize> = ComboClass::ALL
+            .iter()
+            .map(|&c| combos_in_class(c).len())
+            .collect();
         assert_eq!(sizes, vec![3, 4, 3, 4, 3, 4]);
     }
 
     #[test]
     fn stress_tests_are_homogeneous() {
-        for combo in combos_in_class(ComboClass::C1).iter().chain(&combos_in_class(ComboClass::C2)) {
-            assert!(combo.apps.iter().all(|a| *a == combo.apps[0]), "{}", combo.label());
+        for combo in combos_in_class(ComboClass::C1)
+            .iter()
+            .chain(&combos_in_class(ComboClass::C2))
+        {
+            assert!(
+                combo.apps.iter().all(|a| *a == combo.apps[0]),
+                "{}",
+                combo.label()
+            );
         }
         for combo in combos_in_class(ComboClass::C1) {
             assert_eq!(combo.apps[0].class(), AppClass::A);
@@ -163,13 +204,34 @@ mod tests {
     #[test]
     fn mixed_combos_use_two_distinct_class_a_apps() {
         // Table 7: "(2 *different* applications from class A)".
-        for class in [ComboClass::C3, ComboClass::C4, ComboClass::C5, ComboClass::C6] {
+        for class in [
+            ComboClass::C3,
+            ComboClass::C4,
+            ComboClass::C5,
+            ComboClass::C6,
+        ] {
             for combo in combos_in_class(class) {
-                let a_apps: Vec<_> =
-                    combo.apps.iter().filter(|a| a.class() == AppClass::A).collect();
+                let a_apps: Vec<_> = combo
+                    .apps
+                    .iter()
+                    .filter(|a| a.class() == AppClass::A)
+                    .collect();
                 assert_ne!(a_apps[0], a_apps[1], "{}", combo.label());
             }
         }
+    }
+
+    #[test]
+    fn class_names_parse_back() {
+        for class in ComboClass::ALL {
+            assert_eq!(class.name().parse::<ComboClass>().unwrap(), class);
+            assert_eq!(
+                class.name().to_lowercase().parse::<ComboClass>().unwrap(),
+                class
+            );
+        }
+        assert!("C7".parse::<ComboClass>().is_err());
+        assert!("".parse::<ComboClass>().is_err());
     }
 
     #[test]
@@ -182,7 +244,11 @@ mod tests {
     fn every_evaluation_benchmark_appears() {
         let used: std::collections::HashSet<Benchmark> =
             all_combos().iter().flat_map(|c| c.apps).collect();
-        assert_eq!(used.len(), 12, "all 12 evaluation benchmarks used (applu excluded)");
+        assert_eq!(
+            used.len(),
+            12,
+            "all 12 evaluation benchmarks used (applu excluded)"
+        );
         assert!(!used.contains(&Benchmark::Applu));
     }
 }

@@ -196,7 +196,13 @@ const RECENT_CAP: usize = 16;
 
 impl SetState {
     fn new(demand: u16) -> Self {
-        SetState { demand, cursor: 0, recent: [0; RECENT_CAP], recent_len: 0, recent_pos: 0 }
+        SetState {
+            demand,
+            cursor: 0,
+            recent: [0; RECENT_CAP],
+            recent_len: 0,
+            recent_pos: 0,
+        }
     }
 
     fn remember(&mut self, idx: u16) {
@@ -259,7 +265,11 @@ impl SyntheticStream {
     }
 
     fn compute_phase_bounds(&mut self) {
-        if let Pattern::Pooled { phases, cycle_accesses } = &self.spec.pattern {
+        if let Pattern::Pooled {
+            phases,
+            cycle_accesses,
+        } = &self.spec.pattern
+        {
             let total: f64 = phases.iter().map(|p| p.fraction).sum();
             let mut acc = 0.0;
             self.phase_bounds = phases
@@ -305,7 +315,12 @@ impl SyntheticStream {
                 st.demand = d;
                 st.cursor %= d.max(1);
                 // Forget recent indices beyond the shrunk pool.
-                if st.recent.iter().take(st.recent_len as usize).any(|&i| i >= d) {
+                if st
+                    .recent
+                    .iter()
+                    .take(st.recent_len as usize)
+                    .any(|&i| i >= d)
+                {
                     st.recent_len = 0;
                     st.recent_pos = 0;
                 }
@@ -326,7 +341,9 @@ impl SyntheticStream {
     fn sample_set(&mut self) -> usize {
         let total = *self.set_cdf.last().expect("non-empty cdf");
         let x = self.rng.gen::<f64>() * total;
-        self.set_cdf.partition_point(|&c| c <= x).min(self.sets.len() - 1)
+        self.set_cdf
+            .partition_point(|&c| c <= x)
+            .min(self.sets.len() - 1)
     }
 
     fn next_block(&mut self) -> u64 {
@@ -416,7 +433,14 @@ impl OpStream for SyntheticStream {
         // Uniform gap in [0, 2·mean] keeps the requested mean with some
         // jitter; deterministic for a fixed seed.
         let gap = self.rng.gen_range(0..=self.spec.gap_mean * 2);
-        CoreOp { gap, access: Access { addr: Addr(byte), kind }, critical }
+        CoreOp {
+            gap,
+            access: Access {
+                addr: Addr(byte),
+                kind,
+            },
+            critical,
+        }
     }
 
     fn label(&self) -> &str {
@@ -434,7 +458,11 @@ mod tests {
             pattern: Pattern::Pooled {
                 phases: vec![Phase {
                     fraction: 1.0,
-                    profile: DemandProfile { components, near_fraction: near, near_window: 4 },
+                    profile: DemandProfile {
+                        components,
+                        near_fraction: near,
+                        near_window: 4,
+                    },
                 }],
                 cycle_accesses: 1_000_000,
             },
@@ -456,14 +484,22 @@ mod tests {
     #[test]
     fn assignment_respects_ranges() {
         let p = DemandProfile {
-            components: vec![DemandComponent::new(0.5, 1, 4), DemandComponent::new(0.5, 17, 32)],
+            components: vec![
+                DemandComponent::new(0.5, 1, 4),
+                DemandComponent::new(0.5, 17, 32),
+            ],
             near_fraction: 0.2,
             near_window: 4,
         };
         let d = p.assign(2048, 3);
-        assert!(d.iter().all(|&x| (1..=4).contains(&x) || (17..=32).contains(&x)));
+        assert!(d
+            .iter()
+            .all(|&x| (1..=4).contains(&x) || (17..=32).contains(&x)));
         let low = d.iter().filter(|&&x| x <= 4).count() as f64 / 2048.0;
-        assert!((low - 0.5).abs() < 0.08, "mixture weights honoured, got {low}");
+        assert!(
+            (low - 0.5).abs() < 0.08,
+            "mixture weights honoured, got {low}"
+        );
     }
 
     #[test]
@@ -483,10 +519,12 @@ mod tests {
         let geo = Geometry::new(64, 64, 4);
         let mut s0 = spec.stream(geo, 0);
         let mut s1 = spec.stream(geo, 1);
-        let a0: std::collections::HashSet<u64> =
-            (0..2000).map(|_| s0.next_op().access.addr.block(64).0).collect();
-        let a1: std::collections::HashSet<u64> =
-            (0..2000).map(|_| s1.next_op().access.addr.block(64).0).collect();
+        let a0: std::collections::HashSet<u64> = (0..2000)
+            .map(|_| s0.next_op().access.addr.block(64).0)
+            .collect();
+        let a1: std::collections::HashSet<u64> = (0..2000)
+            .map(|_| s1.next_op().access.addr.block(64).0)
+            .collect();
         assert!(a0.is_disjoint(&a1));
     }
 
@@ -521,7 +559,9 @@ mod tests {
             seed: 1,
         };
         let mut s = spec.stream(Geometry::new(64, 16, 4), 0);
-        let blocks: Vec<u64> = (0..1000).map(|_| s.next_op().access.addr.block(64).0).collect();
+        let blocks: Vec<u64> = (0..1000)
+            .map(|_| s.next_op().access.addr.block(64).0)
+            .collect();
         let uniq: std::collections::HashSet<_> = blocks.iter().collect();
         assert_eq!(uniq.len(), blocks.len());
     }
@@ -541,9 +581,14 @@ mod tests {
         let spec = pooled_spec(vec![DemandComponent::new(1.0, 2, 8)], 0.2);
         let mut s = spec.stream(Geometry::new(64, 16, 4), 0);
         let n = 20_000;
-        let writes = (0..n).filter(|_| s.next_op().access.kind.is_write()).count();
+        let writes = (0..n)
+            .filter(|_| s.next_op().access.kind.is_write())
+            .count();
         let frac = writes as f64 / n as f64;
-        assert!((frac - 0.25).abs() < 0.02, "write fraction ≈ 0.25, got {frac}");
+        assert!(
+            (frac - 0.25).abs() < 0.02,
+            "write fraction ≈ 0.25, got {frac}"
+        );
     }
 
     #[test]
@@ -554,8 +599,14 @@ mod tests {
             burst_mean: 0,
             pattern: Pattern::Pooled {
                 phases: vec![
-                    Phase { fraction: 0.5, profile: DemandProfile::uniform(2, 2, 0.0) },
-                    Phase { fraction: 0.5, profile: DemandProfile::uniform(20, 20, 0.0) },
+                    Phase {
+                        fraction: 0.5,
+                        profile: DemandProfile::uniform(2, 2, 0.0),
+                    },
+                    Phase {
+                        fraction: 0.5,
+                        profile: DemandProfile::uniform(20, 20, 0.0),
+                    },
                 ],
                 cycle_accesses: 1000,
             },
@@ -571,13 +622,20 @@ mod tests {
                 demands.push(s.demand_of(0));
             }
         }
-        assert_eq!(demands, vec![2, 2, 20, 20, 2, 2, 20, 20], "phases alternate and repeat");
+        assert_eq!(
+            demands,
+            vec![2, 2, 20, 20, 2, 2, 20, 20],
+            "phases alternate and repeat"
+        );
     }
 
     #[test]
     fn mean_demand_matches_mixture() {
         let spec = pooled_spec(
-            vec![DemandComponent::new(0.5, 1, 3), DemandComponent::new(0.5, 21, 23)],
+            vec![
+                DemandComponent::new(0.5, 1, 3),
+                DemandComponent::new(0.5, 21, 23),
+            ],
             0.2,
         );
         assert!((spec.mean_demand() - 12.0).abs() < 1e-9);

@@ -118,7 +118,11 @@ impl Benchmark {
         let single = |components: Vec<DemandComponent>, near: f64, window: usize| Pattern::Pooled {
             phases: vec![Phase {
                 fraction: 1.0,
-                profile: DemandProfile { components, near_fraction: near, near_window: window },
+                profile: DemandProfile {
+                    components,
+                    near_fraction: near,
+                    near_window: window,
+                },
             }],
             cycle_accesses: 40_000_000,
         };
@@ -129,7 +133,12 @@ impl Benchmark {
             Benchmark::Ammp => BenchmarkSpec {
                 name: "ammp".into(),
                 pattern: single(
-                    vec![c(0.38, 1, 4), c(0.06, 9, 16), c(0.38, 18, 26), c(0.18, 30, 44)],
+                    vec![
+                        c(0.38, 1, 4),
+                        c(0.06, 9, 16),
+                        c(0.38, 18, 26),
+                        c(0.18, 30, 44),
+                    ],
                     0.45,
                     14,
                 ),
@@ -240,7 +249,12 @@ impl Benchmark {
             Benchmark::Apsi => BenchmarkSpec {
                 name: "apsi".into(),
                 pattern: single(
-                    vec![c(0.45, 1, 4), c(0.25, 5, 8), c(0.10, 9, 16), c(0.20, 17, 24)],
+                    vec![
+                        c(0.45, 1, 4),
+                        c(0.25, 5, 8),
+                        c(0.10, 9, 16),
+                        c(0.20, 17, 24),
+                    ],
                     0.50,
                     12,
                 ),
@@ -411,10 +425,18 @@ mod tests {
             let mean = b.spec().mean_demand();
             match b.class() {
                 AppClass::A | AppClass::C => {
-                    assert!(mean > A_BASELINE, "{}: mean demand {mean} must be > 16", b.name())
+                    assert!(
+                        mean > A_BASELINE,
+                        "{}: mean demand {mean} must be > 16",
+                        b.name()
+                    )
                 }
                 AppClass::B | AppClass::D => {
-                    assert!(mean < A_BASELINE, "{}: mean demand {mean} must be < 16", b.name())
+                    assert!(
+                        mean < A_BASELINE,
+                        "{}: mean demand {mean} must be < 16",
+                        b.name()
+                    )
                 }
                 AppClass::Streaming => assert!(mean <= 4.0),
             }

@@ -17,8 +17,11 @@ use snug_workloads::Benchmark;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper = args.iter().any(|a| a == "--paper");
-    let names: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let names: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let benches: Vec<Benchmark> = if names.is_empty() {
         vec![Benchmark::Ammp, Benchmark::Vortex, Benchmark::Applu]
     } else {
@@ -29,8 +32,11 @@ fn main() {
     };
     // The paper's plan is 1000 intervals × 100 K accesses; the scaled
     // default (100 × 20 K) keeps the shape at a fraction of the cost.
-    let cfg =
-        if paper { CharacterizeConfig::paper() } else { CharacterizeConfig::scaled(100, 20_000) };
+    let cfg = if paper {
+        CharacterizeConfig::paper()
+    } else {
+        CharacterizeConfig::scaled(100, 20_000)
+    };
 
     for bench in benches {
         eprintln!("characterizing {} ...", bench.name());
@@ -43,8 +49,10 @@ fn main() {
             c.mean_spread()
         );
         // Compact stacked view: one row per 10% of the run.
-        println!("\ninterval  | {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}",
-            "1-4", "5-8", "9-12", "13-16", "17-20", "21-24", "25-28", ">=29");
+        println!(
+            "\ninterval  | {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}",
+            "1-4", "5-8", "9-12", "13-16", "17-20", "21-24", "25-28", ">=29"
+        );
         let step = (c.intervals.len() / 10).max(1);
         for (i, d) in c.intervals.iter().enumerate().step_by(step) {
             print!("{:>9} |", i + 1);

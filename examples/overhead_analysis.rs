@@ -37,7 +37,10 @@ fn main() {
 
     println!("\n=== Sensitivity: overhead vs monitor counter width k ===");
     for k in [2u32, 3, 4, 5, 6] {
-        let p = OverheadParams { counter_bits: k, ..OverheadParams::paper() };
+        let p = OverheadParams {
+            counter_bits: k,
+            ..OverheadParams::paper()
+        };
         println!("k = {k}: {:.3} %", p.storage_overhead() * 100.0);
     }
 }

@@ -20,7 +20,12 @@ fn main() {
 
     // A C4-style mix: two set-level non-uniform apps (class A), one
     // class-B and one class-C app (paper Table 8).
-    let apps = [Benchmark::Ammp, Benchmark::Parser, Benchmark::Apsi, Benchmark::Bzip2];
+    let apps = [
+        Benchmark::Ammp,
+        Benchmark::Parser,
+        Benchmark::Apsi,
+        Benchmark::Bzip2,
+    ];
     let streams: Vec<Box<dyn OpStream>> = apps
         .iter()
         .enumerate()
@@ -35,7 +40,11 @@ fn main() {
     for (i, core) in result.cores.iter().enumerate() {
         println!(
             "  core {i}: {:8} [{:<7}] IPC {:.3}  ({} instrs / {} cycles)",
-            core.label, apps[i].class_name(), core.ipc, core.instructions, core.cycles
+            core.label,
+            apps[i].class_name(),
+            core.ipc,
+            core.instructions,
+            core.cycles
         );
     }
     println!("\nthroughput (sum of IPCs): {:.3}", result.throughput());

@@ -12,7 +12,11 @@ use snug_workloads::all_combos;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { CompareConfig::quick() } else { CompareConfig::default_eval() };
+    let cfg = if quick {
+        CompareConfig::quick()
+    } else {
+        CompareConfig::default_eval()
+    };
     let combos = all_combos();
     eprintln!(
         "running {} combos × 8 simulations (L2P + L2S + 5×CC + DSR + SNUG), {} measured cycles each...",

@@ -26,7 +26,8 @@ fn run(bench: Benchmark, spec: &SchemeSpec, budget: &RunBudget) -> Vec<f64> {
     let streams: Vec<Box<dyn OpStream>> = (0..4)
         .map(|core| Box::new(bench.spec().stream(system.l2_slice, core)) as Box<dyn OpStream>)
         .collect();
-    sys.run(streams, budget.warmup_cycles, budget.measure_cycles).ipcs()
+    sys.run(streams, budget.warmup_cycles, budget.measure_cycles)
+        .ipcs()
 }
 
 fn main() {
@@ -38,7 +39,10 @@ fn main() {
         "C1 stress tests use class-A applications"
     );
     let budget = RunBudget::default_eval();
-    println!("C1 stress test: 4 × {} (class A), {} measured cycles\n", name, budget.measure_cycles);
+    println!(
+        "C1 stress test: 4 × {} (class A), {} measured cycles\n",
+        name, budget.measure_cycles
+    );
 
     let base = IpcVector::new(run(bench, &SchemeSpec::L2p, &budget));
     println!("L2P baseline throughput: {:.3}", base.throughput());
@@ -49,7 +53,12 @@ fn main() {
     snug_off.flipping = false;
 
     for (label, spec) in [
-        ("CC(100%)", SchemeSpec::Cc { spill_probability: 1.0 }),
+        (
+            "CC(100%)",
+            SchemeSpec::Cc {
+                spill_probability: 1.0,
+            },
+        ),
         ("DSR", SchemeSpec::Dsr(snug_core::DsrConfig::paper())),
         ("SNUG (flipping ON)", SchemeSpec::Snug(snug_on)),
         ("SNUG (flipping OFF)", SchemeSpec::Snug(snug_off)),

@@ -1,1 +1,9 @@
+//! Workspace facade: re-export the crates behind one name so examples
+//! and integration tests can reach everything through `snug_sim`.
+
+#![forbid(unsafe_code)]
+
 pub use snug_experiments as experiments;
+pub use snug_harness as harness;
+pub use snug_metrics as metrics;
+pub use snug_workloads as workloads;

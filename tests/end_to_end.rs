@@ -20,11 +20,16 @@ fn tiny_cfg() -> CompareConfig {
 #[test]
 fn every_scheme_completes_a_mixed_combo() {
     let cfg = tiny_cfg();
-    let combo = all_combos().into_iter().find(|c| c.class == ComboClass::C4).unwrap();
+    let combo = all_combos()
+        .into_iter()
+        .find(|c| c.class == ComboClass::C4)
+        .unwrap();
     for spec in [
         SchemeSpec::L2p,
         SchemeSpec::L2s,
-        SchemeSpec::Cc { spill_probability: 0.5 },
+        SchemeSpec::Cc {
+            spill_probability: 0.5,
+        },
         SchemeSpec::Dsr(cfg.dsr),
         SchemeSpec::Snug(cfg.snug),
     ] {
@@ -44,7 +49,9 @@ fn run_combo_produces_all_figure_schemes() {
     let combo = all_combos()[0];
     let r = run_combo(&combo, &cfg);
     for scheme in snug_experiments::FIGURE_SCHEMES {
-        let m = r.metrics_of(scheme).unwrap_or_else(|| panic!("{scheme} missing"));
+        let m = r
+            .metrics_of(scheme)
+            .unwrap_or_else(|| panic!("{scheme} missing"));
         assert!(m.throughput > 0.1 && m.throughput < 3.0, "{scheme}: {m:?}");
     }
     assert_eq!(r.cc_sweep.len(), 5, "all five CC spill probabilities swept");
@@ -70,7 +77,10 @@ fn snug_single_copy_invariant_after_full_run() {
         sys.org().chassis().single_copy_invariant(),
         "a block appeared in two slices simultaneously"
     );
-    assert!(sys.org().events().periods >= 3, "several sampling periods elapsed");
+    assert!(
+        sys.org().events().periods >= 3,
+        "several sampling periods elapsed"
+    );
 }
 
 #[test]
@@ -90,7 +100,10 @@ fn snug_outperforms_baseline_on_the_c1_stress_test() {
     // the monitors (see DESIGN.md §5 on identification fidelity).
     let mut cfg = CompareConfig::default_eval();
     cfg.budget.measure_cycles = 4_500_000;
-    let combo = all_combos().into_iter().find(|c| c.class == ComboClass::C1).unwrap();
+    let combo = all_combos()
+        .into_iter()
+        .find(|c| c.class == ComboClass::C1)
+        .unwrap();
     let base = run_scheme(&combo, &SchemeSpec::L2p, &cfg);
     let snug = run_scheme(&combo, &SchemeSpec::Snug(cfg.snug), &cfg);
     let m = MetricSet::compute(&IpcVector::new(snug.ipcs()), &IpcVector::new(base.ipcs()));
@@ -100,7 +113,10 @@ fn snug_outperforms_baseline_on_the_c1_stress_test() {
         m.throughput
     );
     assert!(snug.l2.spills_out > 0, "taker sets spilled");
-    assert!(snug.l2.retrieved_from_peer > 0, "spilled victims were retrieved");
+    assert!(
+        snug.l2.retrieved_from_peer > 0,
+        "spilled victims were retrieved"
+    );
 }
 
 #[test]
@@ -108,7 +124,10 @@ fn snug_refrains_from_spilling_on_uniform_high_demand() {
     // C2: every set is a taker → no givers → SNUG stays close to L2P
     // with almost no spilling (paper: −0.2 %).
     let cfg = tiny_cfg();
-    let combo = all_combos().into_iter().find(|c| c.class == ComboClass::C2).unwrap();
+    let combo = all_combos()
+        .into_iter()
+        .find(|c| c.class == ComboClass::C2)
+        .unwrap();
     let snug = run_scheme(&combo, &SchemeSpec::Snug(cfg.snug), &cfg);
     let spill_rate = snug.l2.spills_out as f64 / snug.l2.misses.max(1) as f64;
     assert!(
@@ -131,7 +150,7 @@ fn workload_streams_respect_their_class_footprint() {
     // Integration of workloads + sim-cache: a class-D app fits its slice
     // (high L2 hit rate); a class-C app does not.
     let system = SystemConfig::paper();
-    let mut run_single = |b: Benchmark| {
+    let run_single = |b: Benchmark| {
         let mut l2 = sim_cache::SetAssocCache::new(system.l2_slice);
         let mut stream = b.spec().stream(system.l2_slice, 0);
         for _ in 0..300_000 {

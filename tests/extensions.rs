@@ -26,15 +26,12 @@ fn trace_replay_reproduces_generator_run() {
     }
 
     let run = |streams: Vec<Box<dyn OpStream>>| {
-        let mut sys =
-            CmpSystem::new(system, Snug::new(system, SnugConfig::scaled(500)));
+        let mut sys = CmpSystem::new(system, Snug::new(system, SnugConfig::scaled(500)));
         sys.run(streams, 30_000, 200_000)
     };
 
     let live: Vec<Box<dyn OpStream>> = (0..4)
-        .map(|core| {
-            Box::new(bench.spec().stream(system.l2_slice, core)) as Box<dyn OpStream>
-        })
+        .map(|core| Box::new(bench.spec().stream(system.l2_slice, core)) as Box<dyn OpStream>)
         .collect();
     let replayed: Vec<Box<dyn OpStream>> = traces
         .iter()
@@ -62,7 +59,11 @@ fn eight_core_system_works() {
     let mut sys = CmpSystem::new(cfg, Snug::new(cfg, snug_cfg));
     let streams: Vec<Box<dyn OpStream>> = (0..8)
         .map(|core| {
-            let b = if core % 2 == 0 { Benchmark::Ammp } else { Benchmark::Gzip };
+            let b = if core % 2 == 0 {
+                Benchmark::Ammp
+            } else {
+                Benchmark::Gzip
+            };
             Box::new(b.spec().stream(cfg.l2_slice, core)) as Box<dyn OpStream>
         })
         .collect();
@@ -82,8 +83,7 @@ fn n_chance_cc_extends_victim_lifetimes() {
         let mut sys = CmpSystem::new(system, Cc::with_chances(system, 1.0, chances));
         let streams: Vec<Box<dyn OpStream>> = (0..4)
             .map(|core| {
-                Box::new(Benchmark::Ammp.spec().stream(system.l2_slice, core))
-                    as Box<dyn OpStream>
+                Box::new(Benchmark::Ammp.spec().stream(system.l2_slice, core)) as Box<dyn OpStream>
             })
             .collect();
         let r = sys.run(streams, 300_000, 1_200_000);
@@ -92,7 +92,11 @@ fn n_chance_cc_extends_victim_lifetimes() {
     };
     let one = run(1);
     let three = run(3);
-    assert!(one.spills_out > 100, "the stress test spills: {}", one.spills_out);
+    assert!(
+        one.spills_out > 100,
+        "the stress test spills: {}",
+        one.spills_out
+    );
     assert!(
         three.spills_out > one.spills_out,
         "re-spills add spill traffic: {} vs {}",
@@ -112,8 +116,7 @@ fn wider_flipping_places_at_least_as_many_spills() {
         let mut sys = CmpSystem::new(system, Snug::new(system, cfg));
         let streams: Vec<Box<dyn OpStream>> = (0..4)
             .map(|core| {
-                Box::new(Benchmark::Ammp.spec().stream(system.l2_slice, core))
-                    as Box<dyn OpStream>
+                Box::new(Benchmark::Ammp.spec().stream(system.l2_slice, core)) as Box<dyn OpStream>
             })
             .collect();
         let r = sys.run(streams, 300_000, 1_200_000);

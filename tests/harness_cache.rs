@@ -1,0 +1,110 @@
+//! Integration test for the snug-harness result cache: results served
+//! from the content-addressed store are bit-identical to fresh runs,
+//! across processes (the store is re-opened from disk) and across the
+//! JSON encode/decode boundary.
+
+use snug_harness::{
+    cached_results, job_key, run_sweep, BudgetPreset, JsonCodec, ResultStore, SweepEvent, SweepSpec,
+};
+use snug_sim::experiments::run_combo;
+use snug_workloads::ComboClass;
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("snug-harness-it-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tiny_spec() -> SweepSpec {
+    SweepSpec {
+        name: "it-c5".into(),
+        classes: vec![ComboClass::C5],
+        combos: Vec::new(),
+        budget: BudgetPreset::Custom {
+            warmup_cycles: 15_000,
+            measure_cycles: 80_000,
+        },
+    }
+}
+
+#[test]
+fn cached_combo_results_are_bit_identical_to_fresh_runs() {
+    let spec = tiny_spec();
+    let dir = tmp_dir("bit-identity");
+
+    // First sweep: everything executes.
+    let mut store = ResultStore::open(&dir).unwrap();
+    let first = run_sweep(&spec, &mut store, 2, |_| {}).unwrap();
+    assert_eq!(first.executed, 3, "C5 has three combos");
+    assert_eq!(first.cache_hits, 0);
+    drop(store);
+
+    // Second sweep from a store re-opened off disk: all cache hits.
+    let mut reopened = ResultStore::open(&dir).unwrap();
+    let mut hits_reported = None;
+    let second = run_sweep(&spec, &mut reopened, 2, |e| {
+        if let SweepEvent::Planned { total, hits } = e {
+            hits_reported = Some((total, hits));
+        }
+    })
+    .unwrap();
+    assert_eq!(
+        hits_reported,
+        Some((3, 3)),
+        "second run plans zero executions"
+    );
+    assert_eq!(second.executed, 0);
+    assert!(second.jobs.iter().all(|j| j.from_cache));
+
+    // The decoded results equal the stored ones bit-for-bit (ComboResult
+    // is PartialEq over f64s — exact equality, not approximate).
+    assert_eq!(second.results(), first.results());
+
+    // ... and both equal a from-scratch simulation of the same jobs.
+    let cfg = spec.compare_config();
+    for (job, outcome) in spec.jobs().iter().zip(second.jobs.iter()) {
+        let fresh = run_combo(&job.combo, &cfg);
+        assert_eq!(outcome.result, fresh, "{}", job.combo.label());
+        assert_eq!(outcome.key, job_key(&job.combo, &cfg));
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn json_boundary_preserves_every_float_bit() {
+    // Run one real combo and push it through the store codec: the IPCs
+    // and metrics are arbitrary f64s produced by the simulator, so this
+    // exercises float round-tripping on realistic values.
+    let spec = tiny_spec();
+    let job = &spec.jobs()[0];
+    let result = run_combo(&job.combo, &job.config);
+    let decoded = snug_sim::experiments::ComboResult::from_json(
+        &snug_harness::json::parse(&result.to_json().render()).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(decoded, result);
+    for (a, b) in decoded.baseline_ipcs.iter().zip(&result.baseline_ipcs) {
+        assert_eq!(a.to_bits(), b.to_bits(), "bit-exact IPC");
+    }
+}
+
+#[test]
+fn report_from_cache_matches_report_from_run() {
+    let spec = tiny_spec();
+    let dir = tmp_dir("report-match");
+    let mut store = ResultStore::open(&dir).unwrap();
+    let outcome = run_sweep(&spec, &mut store, 0, |_| {}).unwrap();
+    let md_fresh = snug_harness::render_markdown(&spec, &outcome.results());
+
+    let reopened = ResultStore::open(&dir).unwrap();
+    let cached = cached_results(&spec, &reopened).expect("sweep just ran");
+    let md_cached = snug_harness::render_markdown(&spec, &cached);
+    assert_eq!(
+        md_fresh, md_cached,
+        "identical report, including every throughput digit"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -44,7 +44,7 @@ proptest! {
         }
         let h = profiler.histogram(0);
         let br = block_required(h, &params);
-        prop_assert!(br >= 1 && br <= 32);
+        prop_assert!((1..=32).contains(&br));
         prop_assert_eq!(h.hit_count(br), h.hit_count(32), "br satisfies Formula (3)");
         if br > 1 {
             prop_assert!(h.hit_count(br - 1) < h.hit_count(32), "br-1 must not satisfy it");

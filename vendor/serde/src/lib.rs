@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace cannot reach crates.io, so this shim supplies the two
+//! trait names and the derive macros the simulator crates import. The
+//! traits are satisfied by every type (blanket impls): they serve as
+//! documentation that a type is meant to be serialisable. The actual
+//! on-disk format used by the harness is the hand-written JSON codec in
+//! `snug_harness::json`, which does not go through these traits.
+//!
+//! If the real serde ever becomes available, deleting `vendor/serde*`
+//! and pointing the manifests at crates.io restores full serde without
+//! touching any annotated type.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serialisable types (shim: satisfied by everything).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserialisable types (shim: satisfied by everything).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors API-compatible shims for the handful of external crates the
+//! code uses. Serialisation in this workspace goes through
+//! `snug_harness::json` (hand-written codecs); the serde derives only
+//! need to *parse* so the annotated types keep their upstream-compatible
+//! shape. Each derive therefore accepts the usual syntax (including
+//! `#[serde(...)]` helper attributes) and expands to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
