@@ -1,4 +1,4 @@
-//! Ablation benches for the design choices DESIGN.md calls out:
+//! Ablation benches for the design choices the reproduction leaves open:
 //!
 //! * E9  — index-bit flipping on/off (the §3.2 mechanism) on the C1
 //!   stress class, where same-index grouping cannot work;

@@ -1,1 +1,12 @@
-//! Shared helpers for the criterion benches (see `benches/`).
+//! # snug-bench — criterion benches over the experiment entry points
+//!
+//! The library target is intentionally empty: the crate exists for its
+//! `benches/` directory, which regenerates the paper's figures/tables
+//! under the criterion harness (vendored shim offline; the real crate
+//! if registry access appears). Bench budgets mirror the `--quick`
+//! preset so a full bench run stays interactive; use
+//! `snug sweep --mid` (see `snug-harness`) for the calibrated paper
+//! reproduction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

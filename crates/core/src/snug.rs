@@ -50,9 +50,8 @@ pub struct SnugConfig {
     /// The paper freezes counters outside the 5 M-cycle identification
     /// stage; at that scale each set is sampled hundreds of times. A
     /// scaled-down simulation starves the monitors if it also freezes
-    /// them, so scaled configurations sample continuously (see DESIGN.md
-    /// §5 — identification fidelity is preserved, power modelling is
-    /// not).
+    /// them, so scaled configurations sample continuously —
+    /// identification fidelity is preserved, power modelling is not.
     pub continuous_sampling: bool,
 }
 

@@ -40,6 +40,18 @@ impl RunBudget {
             measure_cycles: 1_200_000,
         }
     }
+
+    /// The calibrated mid budget: the smallest window with non-trivial
+    /// scheme separation on the capacity-sensitive classes — on average
+    /// SNUG ≥ DSR, both above L2P, L2S far worst — while keeping a full
+    /// 21-combo sweep under a minute on one core. Picked empirically —
+    /// see `examples/calibrate_mid.rs`.
+    pub fn mid() -> Self {
+        RunBudget {
+            warmup_cycles: 300_000,
+            measure_cycles: 3_000_000,
+        }
+    }
 }
 
 /// Full configuration of a comparison run.
@@ -85,6 +97,27 @@ impl CompareConfig {
         CompareConfig {
             system: SystemConfig::paper(),
             budget: RunBudget::quick(),
+            snug,
+            dsr: DsrConfig::paper(),
+        }
+    }
+
+    /// The calibrated mid configuration behind `snug sweep --mid`: the
+    /// CI-fast paper reproduction. Ten short SNUG sampling periods fit
+    /// the [`RunBudget::mid`] window — at this scale frequent
+    /// re-identification beats the paper's 1:20 stage amortisation
+    /// (Stage I costs only 3 % of each period, and fresher G/T vectors
+    /// lift the capacity-sensitive mixed classes the most). Picked
+    /// empirically with `examples/calibrate_mid.rs`; see the candidate
+    /// table there before changing these numbers.
+    pub fn mid() -> Self {
+        let mut snug = SnugConfig::paper();
+        snug.stage1_cycles = 10_000;
+        snug.stage2_cycles = 290_000;
+        snug.continuous_sampling = true;
+        CompareConfig {
+            system: SystemConfig::paper(),
+            budget: RunBudget::mid(),
             snug,
             dsr: DsrConfig::paper(),
         }
@@ -140,74 +173,191 @@ pub fn run_scheme(combo: &Combo, spec: &SchemeSpec, cfg: &CompareConfig) -> Syst
     sys.run(streams, cfg.budget.warmup_cycles, cfg.budget.measure_cycles)
 }
 
-/// Run the full five-scheme comparison on one combo.
-pub fn run_combo(combo: &Combo, cfg: &CompareConfig) -> ComboResult {
-    let baseline = run_scheme(combo, &SchemeSpec::L2p, cfg);
-    let base_ipcs = IpcVector::new(baseline.ipcs());
+/// One point of the five-scheme comparison — the unit of simulation and
+/// therefore the unit of caching in the harness result store. CC expands
+/// into one point per §4.1 spill probability, so editing one scheme's
+/// parameters invalidates only that scheme's cached runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SchemePoint {
+    /// Private baseline (the normalisation denominator of Figs. 9–11).
+    L2p,
+    /// Shared, address-interleaved.
+    L2s,
+    /// Cooperative Caching at one spill probability of the §4.1 sweep.
+    Cc {
+        /// Probability of spilling a clean owned victim.
+        spill_probability: f64,
+    },
+    /// Dynamic Spill-Receive.
+    Dsr,
+    /// SNUG.
+    Snug,
+}
 
-    let mut schemes = Vec::new();
+impl SchemePoint {
+    /// Points per combo: L2P + L2S + the CC sweep + DSR + SNUG.
+    pub const COUNT: usize = 4 + SchemeSpec::CC_SPILL_SWEEP.len();
 
-    // L2S.
-    let l2s = run_scheme(combo, &SchemeSpec::L2s, cfg);
-    schemes.push(SchemeResult {
-        scheme: "L2S".into(),
-        metrics: MetricSet::compute(&IpcVector::new(l2s.ipcs()), &base_ipcs),
-        ipcs: l2s.ipcs(),
-    });
+    /// Every point one combo expands into, in run order: L2P (baseline
+    /// first), L2S, the CC spill sweep, DSR, SNUG.
+    pub fn all() -> Vec<SchemePoint> {
+        let mut points = vec![SchemePoint::L2p, SchemePoint::L2s];
+        points.extend(SchemeSpec::CC_SPILL_SWEEP.iter().map(|&p| SchemePoint::Cc {
+            spill_probability: p,
+        }));
+        points.push(SchemePoint::Dsr);
+        points.push(SchemePoint::Snug);
+        points
+    }
 
-    // CC sweep → CC(Best) by throughput (§4.1: "the spill-probability
-    // that produces the best performance is selected as CC (Best)").
-    let mut cc_sweep = Vec::new();
-    let mut best: Option<(f64, SchemeResult)> = None;
-    for &p in &SchemeSpec::CC_SPILL_SWEEP {
-        let r = run_scheme(
-            combo,
-            &SchemeSpec::Cc {
-                spill_probability: p,
-            },
-            cfg,
-        );
-        let ipcs = IpcVector::new(r.ipcs());
-        let metrics = MetricSet::compute(&ipcs, &base_ipcs);
-        cc_sweep.push((p, metrics.throughput));
-        let candidate = SchemeResult {
-            scheme: "CC(Best)".into(),
-            metrics,
-            ipcs: r.ipcs(),
-        };
-        if best
-            .as_ref()
-            .map(|(t, _)| metrics.throughput > *t)
-            .unwrap_or(true)
-        {
-            best = Some((metrics.throughput, candidate));
+    /// Short stable label for logs and store audits ("l2p", "cc@50%").
+    pub fn label(&self) -> String {
+        match self {
+            SchemePoint::L2p => "l2p".into(),
+            SchemePoint::L2s => "l2s".into(),
+            SchemePoint::Cc { spill_probability } => {
+                format!("cc@{:.0}%", spill_probability * 100.0)
+            }
+            SchemePoint::Dsr => "dsr".into(),
+            SchemePoint::Snug => "snug".into(),
         }
     }
-    schemes.push(best.expect("non-empty sweep").1);
 
-    // DSR.
-    let dsr = run_scheme(combo, &SchemeSpec::Dsr(cfg.dsr), cfg);
-    schemes.push(SchemeResult {
-        scheme: "DSR".into(),
-        metrics: MetricSet::compute(&IpcVector::new(dsr.ipcs()), &base_ipcs),
-        ipcs: dsr.ipcs(),
-    });
+    /// The concrete scheme to build, pulling per-scheme parameters from
+    /// `cfg`.
+    pub fn spec(&self, cfg: &CompareConfig) -> SchemeSpec {
+        match *self {
+            SchemePoint::L2p => SchemeSpec::L2p,
+            SchemePoint::L2s => SchemeSpec::L2s,
+            SchemePoint::Cc { spill_probability } => SchemeSpec::Cc { spill_probability },
+            SchemePoint::Dsr => SchemeSpec::Dsr(cfg.dsr),
+            SchemePoint::Snug => SchemeSpec::Snug(cfg.snug),
+        }
+    }
 
-    // SNUG.
-    let snug = run_scheme(combo, &SchemeSpec::Snug(cfg.snug), cfg);
-    schemes.push(SchemeResult {
-        scheme: "SNUG".into(),
-        metrics: MetricSet::compute(&IpcVector::new(snug.ipcs()), &base_ipcs),
-        ipcs: snug.ipcs(),
-    });
+    /// The scheme-specific parameters that feed this point's content
+    /// key: only SNUG points depend on `cfg.snug` and only DSR points on
+    /// `cfg.dsr`, so a scheme-config edit invalidates exactly that
+    /// scheme's cached jobs.
+    pub fn param_fingerprint(&self, cfg: &CompareConfig) -> String {
+        match self {
+            SchemePoint::Dsr => format!("{:?}", cfg.dsr),
+            SchemePoint::Snug => format!("{:?}", cfg.snug),
+            _ => String::new(),
+        }
+    }
+}
+
+/// The raw output of one (combo, scheme point) simulation: the per-core
+/// IPCs everything else derives from. This is what the harness store
+/// persists per unit job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchemeRun {
+    /// The producing point's label (for humans auditing the store).
+    pub scheme: String,
+    /// Measured per-core IPCs.
+    pub ipcs: Vec<f64>,
+}
+
+/// Run one scheme point of one combo.
+pub fn run_point(combo: &Combo, point: &SchemePoint, cfg: &CompareConfig) -> SchemeRun {
+    let r = run_scheme(combo, &point.spec(cfg), cfg);
+    SchemeRun {
+        scheme: point.label(),
+        ipcs: r.ipcs(),
+    }
+}
+
+/// Index of the winning CC point in a `(spill probability, normalised
+/// throughput)` sweep: the *first* maximum by throughput, §4.1's "the
+/// spill-probability that produces the best performance is selected as
+/// CC (Best)". This is the single definition of the tie-break rule —
+/// result assembly, store migration and reporting must all agree on it
+/// or cached and fresh results diverge.
+pub fn best_cc_index(cc_sweep: &[(f64, f64)]) -> Option<usize> {
+    cc_sweep
+        .iter()
+        .enumerate()
+        .fold(None::<(usize, f64)>, |best, (i, &(_, tp))| match best {
+            Some((_, t)) if tp <= t => best,
+            _ => Some((i, tp)),
+        })
+        .map(|(i, _)| i)
+}
+
+/// Assemble per-point runs into the combo's five-scheme result —
+/// metrics normalised to the L2P point, CC(Best) selected by throughput
+/// over the spill sweep (§4.1), exactly as [`run_combo`] produces.
+///
+/// # Panics
+///
+/// Panics if `runs` is missing any point of [`SchemePoint::all`] — the
+/// harness only calls this once every unit job of a combo completed.
+pub fn assemble_combo(combo: &Combo, runs: &[(SchemePoint, SchemeRun)]) -> ComboResult {
+    let ipcs_of = |want: &SchemePoint| -> Vec<f64> {
+        runs.iter()
+            .find(|(p, _)| p == want)
+            .unwrap_or_else(|| {
+                panic!(
+                    "missing scheme point {} for {}",
+                    want.label(),
+                    combo.label()
+                )
+            })
+            .1
+            .ipcs
+            .clone()
+    };
+    let baseline_ipcs = ipcs_of(&SchemePoint::L2p);
+    let base = IpcVector::new(baseline_ipcs.clone());
+    let scheme_result = |name: &str, ipcs: Vec<f64>| SchemeResult {
+        scheme: name.into(),
+        metrics: MetricSet::compute(&IpcVector::new(ipcs.clone()), &base),
+        ipcs,
+    };
+
+    let mut schemes = vec![scheme_result("L2S", ipcs_of(&SchemePoint::L2s))];
+
+    // CC sweep → CC(Best) by throughput, tie-break per [`best_cc_index`].
+    let candidates: Vec<SchemeResult> = SchemeSpec::CC_SPILL_SWEEP
+        .iter()
+        .map(|&p| {
+            scheme_result(
+                "CC(Best)",
+                ipcs_of(&SchemePoint::Cc {
+                    spill_probability: p,
+                }),
+            )
+        })
+        .collect();
+    let cc_sweep: Vec<(f64, f64)> = SchemeSpec::CC_SPILL_SWEEP
+        .iter()
+        .zip(&candidates)
+        .map(|(&p, c)| (p, c.metrics.throughput))
+        .collect();
+    let best = best_cc_index(&cc_sweep).expect("non-empty sweep");
+    schemes.push(candidates.into_iter().nth(best).expect("index in range"));
+
+    schemes.push(scheme_result("DSR", ipcs_of(&SchemePoint::Dsr)));
+    schemes.push(scheme_result("SNUG", ipcs_of(&SchemePoint::Snug)));
 
     ComboResult {
         label: combo.label(),
         class: combo.class,
-        baseline_ipcs: baseline.ipcs(),
+        baseline_ipcs,
         schemes,
         cc_sweep,
     }
+}
+
+/// Run the full five-scheme comparison on one combo: every point of
+/// [`SchemePoint::all`], assembled by [`assemble_combo`].
+pub fn run_combo(combo: &Combo, cfg: &CompareConfig) -> ComboResult {
+    let runs: Vec<(SchemePoint, SchemeRun)> = SchemePoint::all()
+        .into_iter()
+        .map(|point| (point, run_point(combo, &point, cfg)))
+        .collect();
+    assemble_combo(combo, &runs)
 }
 
 /// Per-class geometric-mean summary of one metric across combos — one

@@ -1,10 +1,9 @@
 //! # snug-experiments — the reproduction harness
 //!
-//! One module per experiment family (see DESIGN.md §4 for the
-//! experiment index):
+//! One module per experiment family:
 //!
-//! * [`characterize`] — Figures 1–3: per-interval set-level
-//!   capacity-demand distributions;
+//! * [`characterize`](mod@characterize) — Figures 1–3: per-interval
+//!   set-level capacity-demand distributions;
 //! * [`compare`] — Figures 9–11: the five-scheme comparison over the
 //!   21 workload combinations, with CC(Best) sweeping §4.1's spill
 //!   probabilities;
@@ -22,7 +21,8 @@ pub mod runner;
 
 pub use characterize::{characterize, CharacterizeConfig, DemandCharacterization};
 pub use compare::{
-    figure_table, run_combo, run_scheme, summarize, ClassSummary, ComboResult, CompareConfig,
-    Figure, RunBudget, SchemeResult, FIGURE_SCHEMES,
+    assemble_combo, best_cc_index, figure_table, run_combo, run_point, run_scheme, summarize,
+    ClassSummary, ComboResult, CompareConfig, Figure, RunBudget, SchemePoint, SchemeResult,
+    SchemeRun, FIGURE_SCHEMES,
 };
 pub use runner::run_all;

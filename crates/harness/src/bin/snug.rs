@@ -1,21 +1,25 @@
 //! `snug` — the experiment-orchestration CLI.
 //!
 //! ```text
-//! snug sweep        [--class C5]... [--quick|--eval|--warmup N --measure N]
+//! snug sweep        [--class C5]... [--quick|--mid|--eval|--warmup N --measure N]
 //!                   [--threads N] [--results DIR] [--name NAME]
 //! snug report       [same selection flags] [--results DIR] [--out DIR]
+//!                   [--experiments-md [--check]]
 //! snug compare      --combo LABEL | --class C [budget flags] [--results DIR]
 //! snug characterize [--bench ammp,...] [--intervals N] [--accesses N] [--out DIR]
 //! ```
 //!
-//! `sweep` runs the five-scheme comparison for the selected combos,
-//! serving unchanged jobs from the content-addressed store under
-//! `--results` (default `results/`). `report` renders Figures 9–11 and
-//! the per-combo table from the store without running anything.
+//! `sweep` runs the five-scheme comparison for the selected combos at
+//! per-(combo, scheme, config-point) job granularity, serving unchanged
+//! jobs from the content-addressed store under `--results` (default
+//! `results/`). `report` renders Figures 9–11 and the per-combo table
+//! from the store without running anything; `report --experiments-md`
+//! renders the committed `EXPERIMENTS.md` and `--check` fails if the
+//! committed file is stale.
 
 use snug_harness::{
-    cached_results, render_markdown, run_sweep, BudgetPreset, JsonCodec, ResultStore, SweepEvent,
-    SweepSpec,
+    cached_results, check_experiments_md, render_experiments_md, render_markdown, run_sweep,
+    BudgetPreset, CheckOutcome, JsonCodec, ResultStore, SweepEvent, SweepSpec,
 };
 use snug_metrics::TableFormat;
 use snug_workloads::{all_combos, Benchmark, ComboClass};
@@ -55,32 +59,43 @@ const USAGE: &str = "\
 snug — SNUG experiment orchestration
 
 USAGE:
-  snug sweep        [--class C1..C6]... [--quick|--eval|--warmup N --measure N]
+  snug sweep        [--class C1..C6]... [--quick|--mid|--eval|--warmup N --measure N]
                     [--threads N] [--results DIR] [--name NAME] [--spec FILE]
-  snug report       [--class ...] [--quick|--eval|--warmup N --measure N]
+  snug report       [--class ...] [--quick|--mid|--eval|--warmup N --measure N]
                     [--results DIR] [--out DIR] [--format md|csv] [--name NAME]
+                    [--experiments-md [--check] [--md-path FILE]]
   snug compare      --combo LABEL | --class C [budget flags] [--threads N] [--results DIR]
   snug characterize [--bench NAME[,NAME]...] [--intervals N] [--accesses N] [--out DIR]
 
-Sweeps are cached: each (combo, configuration) job is keyed by a content
-hash and stored as JSONL under --results (default: results/). Re-running
-a sweep executes only jobs whose inputs changed; `snug report` renders
-Figures 9-11 and the per-combo table from the store.";
+Sweeps are cached at per-(combo, scheme, config-point) granularity: each
+unit job is keyed by a content hash of exactly the inputs it depends on
+and stored as JSONL under --results (default: results/). Re-running a
+sweep executes only jobs whose inputs changed — a scheme-parameter edit
+re-runs only that scheme's jobs. `snug report` renders Figures 9-11 and
+the per-combo table from the store; `snug report --experiments-md`
+renders the committed EXPERIMENTS.md (budget defaults to --mid there)
+and --check fails if the committed file is stale.";
 
 /// Flag parsing shared by the subcommands.
 struct Flags {
     classes: Vec<ComboClass>,
     spec_file: Option<PathBuf>,
-    budget: BudgetPreset,
+    /// `None` means "not given": each command picks its default
+    /// (`--quick` everywhere except `--experiments-md`, whose canonical
+    /// budget is `--mid`).
+    budget: Option<BudgetPreset>,
     threads: usize,
     results_dir: PathBuf,
     out_dir: Option<PathBuf>,
     name: Option<String>,
     combo: Option<String>,
-    format: TableFormat,
+    format: Option<TableFormat>,
     benches: Vec<Benchmark>,
     intervals: usize,
     accesses: usize,
+    experiments_md: bool,
+    check: bool,
+    md_path: PathBuf,
 }
 
 impl Flags {
@@ -88,16 +103,19 @@ impl Flags {
         let mut f = Flags {
             classes: Vec::new(),
             spec_file: None,
-            budget: BudgetPreset::Quick,
+            budget: None,
             threads: 0,
             results_dir: PathBuf::from("results"),
             out_dir: None,
             name: None,
             combo: None,
-            format: TableFormat::Markdown,
+            format: None,
             benches: Vec::new(),
             intervals: 20,
             accesses: 50_000,
+            experiments_md: false,
+            check: false,
+            md_path: PathBuf::from(snug_harness::experiments_md::EXPERIMENTS_FILE),
         };
         let mut custom: (Option<u64>, Option<u64>) = (None, None);
         let mut it = args.iter();
@@ -108,8 +126,12 @@ impl Flags {
                     .ok_or_else(|| format!("{flag} needs a value"))
             };
             match arg.as_str() {
-                "--quick" => f.budget = BudgetPreset::Quick,
-                "--eval" => f.budget = BudgetPreset::Eval,
+                "--quick" => f.budget = Some(BudgetPreset::Quick),
+                "--mid" => f.budget = Some(BudgetPreset::Mid),
+                "--eval" => f.budget = Some(BudgetPreset::Eval),
+                "--experiments-md" => f.experiments_md = true,
+                "--check" => f.check = true,
+                "--md-path" => f.md_path = PathBuf::from(value("--md-path")?),
                 "--warmup" => custom.0 = Some(parse_num(&value("--warmup")?)?),
                 "--measure" => custom.1 = Some(parse_num(&value("--measure")?)?),
                 "--class" => {
@@ -125,8 +147,10 @@ impl Flags {
                 "--combo" => f.combo = Some(value("--combo")?),
                 "--format" => {
                     let name = value("--format")?;
-                    f.format = TableFormat::from_name(&name)
-                        .ok_or_else(|| format!("unknown format `{name}` (md or csv)"))?;
+                    f.format = Some(
+                        TableFormat::from_name(&name)
+                            .ok_or_else(|| format!("unknown format `{name}` (md or csv)"))?,
+                    );
                 }
                 "--bench" => {
                     for part in value("--bench")?.split(',') {
@@ -145,10 +169,10 @@ impl Flags {
         match custom {
             (None, None) => {}
             (Some(w), Some(m)) => {
-                f.budget = BudgetPreset::Custom {
+                f.budget = Some(BudgetPreset::Custom {
                     warmup_cycles: w,
                     measure_cycles: m,
-                }
+                })
             }
             _ => return Err("--warmup and --measure must be given together".into()),
         }
@@ -156,6 +180,25 @@ impl Flags {
     }
 
     fn spec(&self) -> Result<SweepSpec, String> {
+        self.spec_with_default(BudgetPreset::Quick)
+    }
+
+    /// Reject the `--experiments-md` flag family on subcommands that
+    /// would silently ignore it (a typo'd `sweep --check` must not look
+    /// like the staleness gate ran).
+    fn reject_experiments_md_flags(&self, command: &str) -> Result<(), String> {
+        if self.experiments_md
+            || self.check
+            || self.md_path.as_os_str() != snug_harness::experiments_md::EXPERIMENTS_FILE
+        {
+            return Err(format!(
+                "--experiments-md/--check/--md-path only apply to `snug report`, not `snug {command}`"
+            ));
+        }
+        Ok(())
+    }
+
+    fn spec_with_default(&self, default_budget: BudgetPreset) -> Result<SweepSpec, String> {
         if let Some(path) = &self.spec_file {
             if !self.classes.is_empty() || self.name.is_some() {
                 return Err("--spec cannot be combined with --class/--name".into());
@@ -181,7 +224,7 @@ impl Flags {
             name,
             classes: self.classes.clone(),
             combos: Vec::new(),
-            budget: self.budget,
+            budget: self.budget.unwrap_or(default_budget),
         })
     }
 }
@@ -194,12 +237,22 @@ fn parse_num(s: &str) -> Result<u64, String> {
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
+    flags.reject_experiments_md_flags("sweep")?;
     let spec = flags.spec()?;
     let mut store = ResultStore::open(&flags.results_dir).map_err(|e| e.to_string())?;
     let outcome = run_sweep(&spec, &mut store, flags.threads, |event| match event {
-        SweepEvent::Planned { total, hits } => {
+        SweepEvent::Planned {
+            total,
+            hits,
+            migrated,
+        } => {
+            let migrated_note = if migrated > 0 {
+                format!(" ({migrated} migrated from v1)")
+            } else {
+                String::new()
+            };
             println!(
-                "sweep `{}` ({}): {total} jobs, {hits} cache hits, {} to run",
+                "sweep `{}` ({}): {total} unit jobs, {hits} cache hits{migrated_note}, {} to run",
                 spec.name,
                 spec.budget.label(),
                 total - hits
@@ -229,6 +282,12 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
+    if flags.experiments_md {
+        return cmd_experiments_md(&flags);
+    }
+    if flags.check {
+        return Err("--check only applies to --experiments-md".into());
+    }
     let spec = flags.spec()?;
     let store = ResultStore::open(&flags.results_dir).map_err(|e| e.to_string())?;
     let results = cached_results(&spec, &store).ok_or_else(|| {
@@ -237,7 +296,7 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             flags.results_dir.display()
         )
     })?;
-    match flags.format {
+    match flags.format.unwrap_or(TableFormat::Markdown) {
         TableFormat::Markdown => print!("{}", render_markdown(&spec, &results)),
         TableFormat::Csv => {
             for table in snug_harness::report_tables(&results) {
@@ -256,8 +315,76 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `snug report --experiments-md [--check] [--md-path FILE]`: render
+/// the full evaluation (budget defaults to `--mid`, always all 21
+/// combos) from the store into the committed EXPERIMENTS.md, or verify
+/// it.
+fn cmd_experiments_md(flags: &Flags) -> Result<(), String> {
+    // The document is *defined* as the full 21-combo evaluation: a
+    // narrowed or redirected variant would overwrite the committed file
+    // with a partial document and break the staleness gate.
+    if !flags.classes.is_empty() || flags.name.is_some() || flags.spec_file.is_some() {
+        return Err(
+            "--experiments-md renders the full evaluation; it cannot be combined \
+                    with --class/--name/--spec"
+                .into(),
+        );
+    }
+    if flags.out_dir.is_some() || flags.format.is_some() {
+        return Err(
+            "--experiments-md writes Markdown to --md-path; --out/--format do not apply".into(),
+        );
+    }
+    let spec = flags.spec_with_default(BudgetPreset::Mid)?;
+    let store = ResultStore::open(&flags.results_dir).map_err(|e| e.to_string())?;
+    let results = cached_results(&spec, &store).ok_or_else(|| {
+        format!(
+            "store at `{}` is missing results for the {} budget — run `snug sweep --{}` first",
+            flags.results_dir.display(),
+            spec.budget.label(),
+            spec.budget.label(),
+        )
+    })?;
+    drop(store);
+    let rendered = render_experiments_md(&spec, &results);
+    if flags.check {
+        // Only a genuinely absent file counts as Missing; any other
+        // read failure (permissions, invalid UTF-8) is its own error.
+        let committed = match std::fs::read_to_string(&flags.md_path) {
+            Ok(text) => Some(text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(format!("reading {}: {e}", flags.md_path.display())),
+        };
+        return match check_experiments_md(&rendered, committed.as_deref()) {
+            CheckOutcome::Fresh => {
+                println!("{} is up to date", flags.md_path.display());
+                Ok(())
+            }
+            CheckOutcome::Missing => Err(format!(
+                "{} is missing — run `snug report --experiments-md` and commit it",
+                flags.md_path.display()
+            )),
+            CheckOutcome::Stale(line) => Err(format!(
+                "{} is stale (first difference at line {line}) — regenerate with \
+                 `snug report --experiments-md` and commit the result",
+                flags.md_path.display()
+            )),
+        };
+    }
+    std::fs::write(&flags.md_path, &rendered)
+        .map_err(|e| format!("writing {}: {e}", flags.md_path.display()))?;
+    println!(
+        "wrote {} ({} combos, budget {})",
+        flags.md_path.display(),
+        results.len(),
+        spec.budget.label()
+    );
+    Ok(())
+}
+
 fn cmd_compare(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
+    flags.reject_experiments_md_flags("compare")?;
     let mut spec = flags.spec()?;
     if let Some(label) = &flags.combo {
         let all = all_combos();
@@ -276,9 +403,9 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     let mut store = ResultStore::open(&flags.results_dir).map_err(|e| e.to_string())?;
     let outcome = run_sweep(&spec, &mut store, flags.threads, |_| {}).map_err(|e| e.to_string())?;
     let results: Vec<_> = outcome
-        .jobs
+        .combos
         .iter()
-        .map(|j| j.result.clone())
+        .map(|c| c.result.clone())
         .filter(|r| flags.combo.as_ref().map(|l| r.label == *l).unwrap_or(true))
         .collect();
 
@@ -312,6 +439,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
 fn cmd_characterize(args: &[String]) -> Result<(), String> {
     use snug_experiments::{characterize, CharacterizeConfig};
     let flags = Flags::parse(args)?;
+    flags.reject_experiments_md_flags("characterize")?;
     let benches = if flags.benches.is_empty() {
         vec![Benchmark::Ammp, Benchmark::Vortex, Benchmark::Applu]
     } else {

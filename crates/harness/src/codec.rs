@@ -7,7 +7,7 @@
 //! pins down.
 
 use crate::json::{JsonError, Value};
-use snug_experiments::{ComboResult, SchemeResult};
+use snug_experiments::{ComboResult, SchemeResult, SchemeRun};
 use snug_metrics::MetricSet;
 use snug_workloads::ComboClass;
 
@@ -58,6 +58,22 @@ impl JsonCodec for SchemeResult {
         Ok(SchemeResult {
             scheme: v.get("scheme")?.as_str()?.to_string(),
             metrics: MetricSet::from_json(v.get("metrics")?)?,
+            ipcs: f64_vec(v.get("ipcs")?)?,
+        })
+    }
+}
+
+impl JsonCodec for SchemeRun {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("scheme", Value::str(&self.scheme)),
+            ("ipcs", f64_arr(&self.ipcs)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(SchemeRun {
+            scheme: v.get("scheme")?.as_str()?.to_string(),
             ipcs: f64_vec(v.get("ipcs")?)?,
         })
     }
@@ -158,6 +174,18 @@ mod tests {
         let back = ComboResult::from_json(&crate::json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, r);
         // And the rendered form is stable (determinism for hashing).
+        assert_eq!(back.to_json().render(), text);
+    }
+
+    #[test]
+    fn scheme_run_round_trips_bit_identically() {
+        let run = SchemeRun {
+            scheme: "cc@25%".into(),
+            ipcs: vec![0.1 + 0.2, 1.0 / 3.0, 0.7],
+        };
+        let text = run.to_json().render();
+        let back = SchemeRun::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, run);
         assert_eq!(back.to_json().render(), text);
     }
 

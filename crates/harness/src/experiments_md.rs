@@ -1,0 +1,311 @@
+//! The committed `EXPERIMENTS.md`: the paper's full evaluation rendered
+//! from the result store as one regenerable, deterministic document.
+//!
+//! `snug report --experiments-md` renders it; `--check` re-renders and
+//! fails if the committed file differs (the staleness gate CI runs).
+//! The output is a pure function of the stored results and the spec —
+//! no timestamps, hostnames or float formatting that could differ
+//! between machines — so re-rendering against an unchanged store is
+//! byte-identical.
+
+use crate::report::{per_combo_table, FIGURES};
+use crate::spec::{BudgetPreset, SweepSpec, SCHEMA_VERSION};
+use snug_core::{table3, OverheadParams};
+use snug_experiments::{best_cc_index, figure_table, summarize, ComboResult, SchemePoint};
+use snug_metrics::Table;
+
+/// Default path of the committed document, relative to the repo root.
+pub const EXPERIMENTS_FILE: &str = "EXPERIMENTS.md";
+
+/// The CLI flags that reproduce `budget` on `snug sweep` / `snug report
+/// --experiments-md` (empty for the canonical `--mid`, which is the
+/// experiments-md default).
+fn budget_flags(budget: BudgetPreset) -> String {
+    match budget {
+        BudgetPreset::Quick => " --quick".into(),
+        BudgetPreset::Mid => String::new(),
+        BudgetPreset::Eval => " --eval".into(),
+        BudgetPreset::Custom {
+            warmup_cycles,
+            measure_cycles,
+        } => format!(" --warmup {warmup_cycles} --measure {measure_cycles}"),
+    }
+}
+
+/// Render the full evaluation document from assembled results. A pure
+/// function of `(spec, results)` — nothing outside the rendered sweep
+/// (other store entries, timestamps, machine state) reaches the output,
+/// so the staleness check only trips when the rendered data changes.
+pub fn render_experiments_md(spec: &SweepSpec, results: &[ComboResult]) -> String {
+    let cfg = spec.compare_config();
+    let flags = budget_flags(spec.budget);
+    let mut out = String::new();
+    out.push_str("# EXPERIMENTS — the SNUG paper evaluation\n\n");
+    out.push_str(&format!(
+        "> **Generated file — do not edit.** Rendered from the result store by\n\
+         > `snug report --experiments-md`. Regenerate after a sweep with:\n\
+         >\n\
+         > ```sh\n\
+         > snug sweep{flags} && snug report --experiments-md{flags}\n\
+         > ```\n\
+         >\n\
+         > CI runs `snug report --experiments-md --check`, which fails if this\n\
+         > file no longer matches what the committed store renders to.\n\n",
+    ));
+    out.push_str(
+        "The five L2 organisations of `conf_ipps_ZhanJS10` — L2P (private\n\
+         baseline), L2S (shared), CC(Best) (Cooperative Caching, best spill\n\
+         probability per combination), DSR (Dynamic Spill-Receive) and SNUG —\n\
+         compared over the 21 quad-core workload combinations of Table 8.\n\
+         All metrics are normalised to L2P; class rows are geometric means.\n\n",
+    );
+
+    out.push_str(
+        "**Reading the results.** Spilling schemes beat the private baseline\n\
+         on the capacity-sensitive mixed classes (C3/C4/C6), SNUG matches or\n\
+         edges out DSR on average (its per-set grouping pays off most on C4,\n\
+         the 2×A + B + C mix), and L2S is far worst everywhere —\n\
+         interference at shared-cache granularity. One knowing deviation:\n\
+         CC(Best) is an *oracle* — per §4.1 it re-runs every combination at\n\
+         five spill probabilities and keeps the winner after the fact — and\n\
+         under the synthetic workload models that post-hoc selection scores\n\
+         higher relative to SNUG than the paper's Fig. 9 reports for real\n\
+         SPEC traces.\n\n",
+    );
+    if spec.budget == BudgetPreset::Mid {
+        out.push_str(
+            "This document uses the calibrated `--mid` budget (the CI-fast\n\
+             reproduction — see `examples/calibrate_mid.rs` for how it was\n\
+             picked). The stress classes C1/C2 separate only at the larger\n\
+             `--eval` budget.\n\n",
+        );
+    }
+    out.push_str("## Figures 9–11: per-class comparison\n\n");
+    for fig in FIGURES {
+        let table = figure_table(&summarize(results, fig), fig);
+        push_table(&mut out, &table);
+    }
+
+    out.push_str("## Table 8: per-combination detail\n\n");
+    push_table(&mut out, &per_combo_table(results));
+
+    out.push_str("## CC spill sweep: winning probability per combination\n\n");
+    push_table(&mut out, &cc_best_table(results));
+
+    out.push_str("## Storage overhead (§3.4, Tables 2–3)\n\n");
+    out.push_str(
+        "SNUG's only storage cost is the shadow tag array plus the per-set\n\
+         counters; Formula (6) relative to the L2 slice it monitors:\n\n",
+    );
+    push_table(&mut out, &overhead_table());
+
+    out.push_str("## Provenance\n\n");
+    let budget = cfg.budget;
+    out.push_str(&format!(
+        "- Key schema: `{SCHEMA_VERSION}` (one content-addressed job per\n\
+         \x20 (combination, scheme point); a scheme-parameter edit invalidates\n\
+         \x20 only that scheme's jobs)\n\
+         - Budget: `{}` — {} warm-up + {} measured cycles per simulation;\n\
+         \x20 SNUG stages {} + {} cycles\n\
+         - Sweep: {} combinations × {} scheme points = {} unit jobs, all\n\
+         \x20 served from `results/store.jsonl`\n",
+        spec.budget.label(),
+        budget.warmup_cycles,
+        budget.measure_cycles,
+        cfg.snug.stage1_cycles,
+        cfg.snug.stage2_cycles,
+        results.len(),
+        SchemePoint::COUNT,
+        results.len() * SchemePoint::COUNT,
+    ));
+    out
+}
+
+fn push_table(out: &mut String, table: &Table) {
+    out.push_str(&table.to_markdown());
+    out.push('\n');
+}
+
+/// One row per combo: the spill probability CC(Best) settled on and its
+/// normalised throughput (§4.1's per-combination oracle selection).
+fn cc_best_table(results: &[ComboResult]) -> Table {
+    let mut t = Table::new(
+        "CC(Best) selection",
+        vec![
+            "Combination".to_string(),
+            "Class".to_string(),
+            "Best spill p".to_string(),
+            "Throughput".to_string(),
+        ],
+    );
+    for r in results {
+        let (p, tp) = best_cc_index(&r.cc_sweep)
+            .map(|i| r.cc_sweep[i])
+            .unwrap_or((0.0, 1.0));
+        t.push_row(vec![
+            r.label.clone(),
+            r.class.name().to_string(),
+            format!("{:.0}%", p * 100.0),
+            format!("{tp:.3}"),
+        ]);
+    }
+    t
+}
+
+/// Tables 2–3 as one table: overhead across address widths and line
+/// sizes at the paper's 1 MB, 16-way geometry.
+fn overhead_table() -> Table {
+    let mut t = Table::new(
+        "SNUG storage overhead",
+        vec![
+            "Address bits".to_string(),
+            "Line size".to_string(),
+            "Shadow bits/set".to_string(),
+            "Overhead".to_string(),
+        ],
+    );
+    for (addr, block, overhead) in table3() {
+        let params = OverheadParams {
+            address_bits: addr,
+            block_bytes: block,
+            ..OverheadParams::paper()
+        };
+        t.push_row(vec![
+            format!("{addr}"),
+            format!("{block} B"),
+            format!("{}", params.shadow_set_bits()),
+            format!("{:.2}%", overhead * 100.0),
+        ]);
+    }
+    t
+}
+
+/// The outcome of `--check`: either the committed file matches the
+/// rendered document or it is stale/missing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// The committed file is byte-identical to the rendered document.
+    Fresh,
+    /// The committed file differs (first differing line, 1-based).
+    Stale(usize),
+    /// The committed file does not exist.
+    Missing,
+}
+
+/// Compare a rendered document against the committed file contents.
+pub fn check_experiments_md(rendered: &str, committed: Option<&str>) -> CheckOutcome {
+    match committed {
+        None => CheckOutcome::Missing,
+        Some(text) if text == rendered => CheckOutcome::Fresh,
+        Some(text) => {
+            let line = rendered
+                .lines()
+                .zip(text.lines())
+                .position(|(a, b)| a != b)
+                .map(|i| i + 1)
+                .unwrap_or_else(|| rendered.lines().count().min(text.lines().count()) + 1);
+            CheckOutcome::Stale(line)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snug_experiments::SchemeResult;
+    use snug_metrics::MetricSet;
+    use snug_workloads::ComboClass;
+
+    fn fake(label: &str, class: ComboClass, tp: f64) -> ComboResult {
+        let mk = |name: &str, t: f64| SchemeResult {
+            scheme: name.into(),
+            metrics: MetricSet {
+                throughput: t,
+                aws: t,
+                fair: t,
+            },
+            ipcs: vec![1.0; 4],
+        };
+        ComboResult {
+            label: label.into(),
+            class,
+            baseline_ipcs: vec![1.0; 4],
+            schemes: vec![
+                mk("L2S", 0.4),
+                mk("CC(Best)", 1.02),
+                mk("DSR", 1.03),
+                mk("SNUG", tp),
+            ],
+            cc_sweep: vec![(0.0, 1.0), (0.5, 1.02), (1.0, 1.01)],
+        }
+    }
+
+    fn render_sample() -> String {
+        let spec = SweepSpec::full(BudgetPreset::Mid);
+        let results = vec![
+            fake("a+b+c+d", ComboClass::C1, 1.05),
+            fake("e+f+g+h", ComboClass::C5, 1.08),
+        ];
+        render_experiments_md(&spec, &results)
+    }
+
+    #[test]
+    fn document_has_all_sections_and_is_deterministic() {
+        let md = render_sample();
+        for needle in [
+            "# EXPERIMENTS",
+            "Figure 9",
+            "Figure 10",
+            "Figure 11",
+            "Table 8",
+            "CC(Best) selection",
+            "Storage overhead",
+            "## Provenance",
+            SCHEMA_VERSION,
+            "Budget: `mid`",
+        ] {
+            assert!(md.contains(needle), "missing {needle:?}");
+        }
+        assert_eq!(md, render_sample(), "byte-identical re-render");
+    }
+
+    #[test]
+    fn non_mid_budgets_render_their_own_flags_and_skip_the_mid_note() {
+        let spec = SweepSpec::full(BudgetPreset::Eval);
+        let results = vec![fake("a+b+c+d", ComboClass::C1, 1.05)];
+        let md = render_experiments_md(&spec, &results);
+        assert!(md.contains("snug sweep --eval && snug report --experiments-md --eval"));
+        assert!(md.contains("Budget: `eval`"));
+        assert!(
+            !md.contains("calibrated `--mid` budget"),
+            "mid narrative must not leak into an eval document"
+        );
+    }
+
+    #[test]
+    fn cc_best_table_picks_first_maximum() {
+        let results = vec![fake("a+b+c+d", ComboClass::C3, 1.0)];
+        let t = cc_best_table(&results);
+        assert!(t.to_markdown().contains("50%"), "0.5 wins the sample sweep");
+    }
+
+    #[test]
+    fn check_distinguishes_fresh_stale_missing() {
+        let md = render_sample();
+        assert_eq!(check_experiments_md(&md, Some(&md)), CheckOutcome::Fresh);
+        assert_eq!(check_experiments_md(&md, None), CheckOutcome::Missing);
+        let stale = md.replacen("EXPERIMENTS", "OLD", 1);
+        assert!(matches!(
+            check_experiments_md(&md, Some(&stale)),
+            CheckOutcome::Stale(_)
+        ));
+    }
+
+    #[test]
+    fn overhead_rows_match_table3() {
+        let t = overhead_table();
+        let md = t.to_markdown();
+        assert!(md.contains("3.85%"), "paper baseline overhead ≈3.9%: {md}");
+        assert_eq!(t.len(), 4, "2 address widths x 2 line sizes");
+    }
+}

@@ -12,20 +12,29 @@
 //!   `results/`: re-running a sweep only executes jobs whose inputs
 //!   changed, and cached results decode bit-identically;
 //! * [`sweep`] — orchestration tying the three together with streamed
-//!   progress;
+//!   progress and v1→v2 store migration;
 //! * [`report`] — Figures 9–11 / Table 8 renderings (Markdown + CSV)
 //!   from stored results;
+//! * [`experiments_md`] — the committed, regenerable `EXPERIMENTS.md`
+//!   (full paper evaluation + provenance) and its staleness check;
 //! * [`json`] / [`codec`] / [`hash`] — the self-contained persistence
 //!   substrate (no external JSON or hashing dependency).
+//!
+//! Jobs are cached per *(combo, scheme point)*: the 21 Table 8
+//! combinations × the 9 points (L2P, L2S, the five-probability CC
+//! sweep, DSR, SNUG) expand to 189 individually content-addressed
+//! simulations, so a scheme-parameter edit re-runs only that scheme's
+//! jobs and every CC spill point caches independently.
 //!
 //! The `snug` binary (this crate's `src/bin/snug.rs`) exposes it all as
 //! `snug characterize | compare | sweep | report`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod codec;
 pub mod exec;
+pub mod experiments_md;
 pub mod hash;
 pub mod json;
 pub mod report;
@@ -35,7 +44,13 @@ pub mod sweep;
 
 pub use codec::JsonCodec;
 pub use exec::ExecEvent;
+pub use experiments_md::{check_experiments_md, render_experiments_md, CheckOutcome};
 pub use report::{render_markdown, report_tables, write_report};
-pub use spec::{job_key, BudgetPreset, SweepJob, SweepSpec, SCHEMA_VERSION};
-pub use store::{ResultStore, StoreError};
-pub use sweep::{cached_results, run_sweep, JobOutcome, SweepEvent, SweepOutcome};
+pub use spec::{
+    legacy_combo_key, unit_jobs_for, unit_key, BudgetPreset, ComboJob, SweepSpec, UnitJob,
+    SCHEMA_VERSION, SCHEMA_VERSION_V1,
+};
+pub use store::{ResultStore, StoreError, StoredResult};
+pub use sweep::{
+    cached_results, run_sweep, run_unit_jobs, ComboOutcome, SweepEvent, SweepOutcome, UnitOutcome,
+};

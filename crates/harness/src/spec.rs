@@ -1,28 +1,40 @@
 //! Declarative sweep specifications.
 //!
 //! A [`SweepSpec`] names *what* to run — workload classes × the five
-//! schemes × a run budget — and expands into concrete [`SweepJob`]s,
-//! each carrying the content key that addresses its result in the
-//! store. The CLI builds specs from flags; they also round-trip through
-//! JSON (`snug sweep --spec file.json`).
+//! schemes × a run budget — and expands into concrete [`UnitJob`]s, one
+//! per *(combo, scheme point)* simulation, each carrying the content
+//! key that addresses its result in the store. The CLI builds specs
+//! from flags; they also round-trip through JSON
+//! (`snug sweep --spec file.json`).
 
 use crate::codec::JsonCodec;
 use crate::hash::content_key;
 use crate::json::{JsonError, Value};
 use serde::{Deserialize, Serialize};
-use snug_experiments::{CompareConfig, RunBudget};
+use snug_experiments::{CompareConfig, RunBudget, SchemePoint};
 use snug_workloads::{all_combos, Combo, ComboClass};
 
 /// Version prefix baked into every job key: bump when the simulators or
 /// the stored schema change meaning, and old cache entries stop
 /// matching instead of silently serving stale results.
-pub const SCHEMA_VERSION: &str = "snug-harness/v1";
+///
+/// v2 keys address one *(combo, scheme point)* simulation and hash only
+/// the inputs that simulation depends on; see [`unit_key`].
+pub const SCHEMA_VERSION: &str = "snug-harness/v2";
+
+/// The v1 key prefix. v1 keys addressed a whole (combo, config) five-
+/// scheme comparison; [`legacy_combo_key`] still computes them so sweeps
+/// can migrate v1 store entries into v2 unit entries (see
+/// `sweep::run_sweep`).
+pub const SCHEMA_VERSION_V1: &str = "snug-harness/v1";
 
 /// Which run budget (and matching SNUG stage lengths) a sweep uses.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum BudgetPreset {
     /// `CompareConfig::quick` — tests and smoke sweeps.
     Quick,
+    /// `CompareConfig::mid` — the calibrated CI-fast paper evaluation.
+    Mid,
     /// `CompareConfig::default_eval` — the paper-scale evaluation.
     Eval,
     /// Custom warm-up/measure cycles on top of the quick stage lengths.
@@ -39,6 +51,7 @@ impl BudgetPreset {
     pub fn compare_config(&self) -> CompareConfig {
         match *self {
             BudgetPreset::Quick => CompareConfig::quick(),
+            BudgetPreset::Mid => CompareConfig::mid(),
             BudgetPreset::Eval => CompareConfig::default_eval(),
             BudgetPreset::Custom {
                 warmup_cycles,
@@ -58,6 +71,7 @@ impl BudgetPreset {
     pub fn label(&self) -> String {
         match self {
             BudgetPreset::Quick => "quick".into(),
+            BudgetPreset::Mid => "mid".into(),
             BudgetPreset::Eval => "eval".into(),
             BudgetPreset::Custom {
                 warmup_cycles,
@@ -109,16 +123,25 @@ impl SweepSpec {
         self.budget.compare_config()
     }
 
-    /// Expand into concrete jobs with content keys.
-    pub fn jobs(&self) -> Vec<SweepJob> {
+    /// Expand into per-(combo, scheme point) unit jobs with content
+    /// keys, grouped per combo in Table 8 order.
+    pub fn combo_jobs(&self) -> Vec<ComboJob> {
         let config = self.compare_config();
         self.combos()
             .into_iter()
-            .map(|combo| SweepJob {
-                key: job_key(&combo, &config),
+            .map(|combo| ComboJob {
+                units: unit_jobs_for(&combo, &config),
                 combo,
                 config,
             })
+            .collect()
+    }
+
+    /// Every unit job of the spec, flattened in run order.
+    pub fn unit_jobs(&self) -> Vec<UnitJob> {
+        self.combo_jobs()
+            .into_iter()
+            .flat_map(|c| c.units)
             .collect()
     }
 }
@@ -127,6 +150,7 @@ impl JsonCodec for SweepSpec {
     fn to_json(&self) -> Value {
         let budget = match self.budget {
             BudgetPreset::Quick => Value::str("quick"),
+            BudgetPreset::Mid => Value::str("mid"),
             BudgetPreset::Eval => Value::str("eval"),
             BudgetPreset::Custom {
                 warmup_cycles,
@@ -153,6 +177,7 @@ impl JsonCodec for SweepSpec {
     fn from_json(v: &Value) -> Result<Self, JsonError> {
         let budget = match v.get("budget")? {
             Value::Str(s) if s == "quick" => BudgetPreset::Quick,
+            Value::Str(s) if s == "mid" => BudgetPreset::Mid,
             Value::Str(s) if s == "eval" => BudgetPreset::Eval,
             custom @ Value::Obj(_) => BudgetPreset::Custom {
                 warmup_cycles: custom.get("warmup_cycles")?.as_num()? as u64,
@@ -183,27 +208,76 @@ impl JsonCodec for SweepSpec {
     }
 }
 
-/// One expanded job: run the five-scheme comparison on `combo` under
-/// `config`.
+/// One unit job: run a single scheme point on one combo — the cache
+/// granularity of the store.
 #[derive(Debug, Clone)]
-pub struct SweepJob {
+pub struct UnitJob {
     /// Content key addressing this job's result in the store.
     pub key: String,
     /// The workload combination.
     pub combo: Combo,
-    /// The full comparison configuration.
+    /// The scheme point to simulate.
+    pub point: SchemePoint,
+    /// The full comparison configuration (the key only covers the parts
+    /// this point depends on).
     pub config: CompareConfig,
 }
 
-/// The content key of one (combo, config) simulation.
+impl UnitJob {
+    /// Display label: `"ammp+parser+swim+mesa [cc@50%]"`.
+    pub fn label(&self) -> String {
+        format!("{} [{}]", self.combo.label(), self.point.label())
+    }
+}
+
+/// One combo's unit jobs (all of [`SchemePoint::all`]) plus the shared
+/// configuration — what a sweep assembles back into a `ComboResult`.
+#[derive(Debug, Clone)]
+pub struct ComboJob {
+    /// The workload combination.
+    pub combo: Combo,
+    /// The full comparison configuration.
+    pub config: CompareConfig,
+    /// The combo's unit jobs in run order.
+    pub units: Vec<UnitJob>,
+}
+
+/// The unit jobs of one combo under one configuration.
+pub fn unit_jobs_for(combo: &Combo, config: &CompareConfig) -> Vec<UnitJob> {
+    SchemePoint::all()
+        .into_iter()
+        .map(|point| UnitJob {
+            key: unit_key(combo, &point, config),
+            combo: *combo,
+            point,
+            config: *config,
+        })
+        .collect()
+}
+
+/// The content key of one (combo, scheme point) simulation.
 ///
-/// Hashes the *complete* input description — every field of
-/// `CompareConfig` (via its derived `Debug`, which renders all nested
-/// scheme/platform/budget parameters) plus the combo — under
-/// [`SCHEMA_VERSION`]. Any change to any input yields a fresh key, so a
-/// re-run executes exactly the jobs whose inputs changed.
-pub fn job_key(combo: &Combo, config: &CompareConfig) -> String {
-    content_key(&format!("{SCHEMA_VERSION}|{combo:?}|{config:?}"))
+/// Hashes exactly the inputs that simulation depends on under
+/// [`SCHEMA_VERSION`]: the combo, the point, the platform, the run
+/// budget, and — via [`SchemePoint::param_fingerprint`] — the scheme's
+/// own parameters only (`cfg.snug` for SNUG points, `cfg.dsr` for DSR
+/// points, nothing extra for the rest). Editing one scheme's
+/// configuration therefore invalidates only that scheme's cached jobs;
+/// every other point keeps hitting.
+pub fn unit_key(combo: &Combo, point: &SchemePoint, config: &CompareConfig) -> String {
+    content_key(&format!(
+        "{SCHEMA_VERSION}|{combo:?}|{point:?}|{:?}|{:?}|{}",
+        config.system,
+        config.budget,
+        point.param_fingerprint(config),
+    ))
+}
+
+/// The v1 content key of a whole (combo, config) five-scheme
+/// comparison. New code never writes entries under these keys; sweeps
+/// compute them to find v1 store entries worth migrating.
+pub fn legacy_combo_key(combo: &Combo, config: &CompareConfig) -> String {
+    content_key(&format!("{SCHEMA_VERSION_V1}|{combo:?}|{config:?}"))
 }
 
 #[cfg(test)]
@@ -212,7 +286,13 @@ mod tests {
 
     #[test]
     fn empty_class_list_selects_all_21_combos() {
-        assert_eq!(SweepSpec::full(BudgetPreset::Quick).jobs().len(), 21);
+        let spec = SweepSpec::full(BudgetPreset::Quick);
+        assert_eq!(spec.combo_jobs().len(), 21);
+        assert_eq!(
+            spec.unit_jobs().len(),
+            21 * SchemePoint::COUNT,
+            "9 scheme points per combo"
+        );
     }
 
     #[test]
@@ -223,27 +303,73 @@ mod tests {
             combos: Vec::new(),
             budget: BudgetPreset::Quick,
         };
-        let jobs = spec.jobs();
+        let jobs = spec.combo_jobs();
         assert_eq!(jobs.len(), 3, "Table 8: C5 has three combos");
         assert!(jobs.iter().all(|j| j.combo.class == ComboClass::C5));
+        assert!(jobs.iter().all(|j| j.units.len() == SchemePoint::COUNT));
     }
 
     #[test]
-    fn keys_differ_across_combos_and_budgets() {
+    fn keys_differ_across_units_and_budgets() {
         let quick = SweepSpec::full(BudgetPreset::Quick);
-        let keys: Vec<String> = quick.jobs().into_iter().map(|j| j.key).collect();
+        let keys: Vec<String> = quick.unit_jobs().into_iter().map(|j| j.key).collect();
         let unique: std::collections::HashSet<&String> = keys.iter().collect();
-        assert_eq!(unique.len(), keys.len(), "combo keys are distinct");
+        assert_eq!(unique.len(), keys.len(), "unit keys are distinct");
 
         let eval = SweepSpec::full(BudgetPreset::Eval);
-        assert_ne!(eval.jobs()[0].key, keys[0], "budget is part of the key");
+        assert_ne!(
+            eval.unit_jobs()[0].key,
+            keys[0],
+            "budget is part of the key"
+        );
     }
 
     #[test]
     fn keys_are_reproducible() {
-        let a = SweepSpec::full(BudgetPreset::Quick).jobs();
-        let b = SweepSpec::full(BudgetPreset::Quick).jobs();
+        let a = SweepSpec::full(BudgetPreset::Quick).unit_jobs();
+        let b = SweepSpec::full(BudgetPreset::Quick).unit_jobs();
         assert!(a.iter().zip(&b).all(|(x, y)| x.key == y.key));
+    }
+
+    #[test]
+    fn scheme_edit_invalidates_only_that_schemes_keys() {
+        let combo = all_combos()[0];
+        let base = BudgetPreset::Quick.compare_config();
+        let mut snug_edit = base;
+        snug_edit.snug.counter_bits += 1;
+        let mut dsr_edit = base;
+        dsr_edit.dsr.psel_bits += 1;
+
+        for point in SchemePoint::all() {
+            let orig = unit_key(&combo, &point, &base);
+            let after_snug = unit_key(&combo, &point, &snug_edit);
+            let after_dsr = unit_key(&combo, &point, &dsr_edit);
+            match point {
+                SchemePoint::Snug => {
+                    assert_ne!(orig, after_snug, "SNUG edit re-keys SNUG jobs");
+                    assert_eq!(orig, after_dsr, "DSR edit leaves SNUG jobs cached");
+                }
+                SchemePoint::Dsr => {
+                    assert_ne!(orig, after_dsr, "DSR edit re-keys DSR jobs");
+                    assert_eq!(orig, after_snug, "SNUG edit leaves DSR jobs cached");
+                }
+                _ => {
+                    assert_eq!(orig, after_snug, "{}", point.label());
+                    assert_eq!(orig, after_dsr, "{}", point.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_keys_are_stable_and_distinct_from_unit_keys() {
+        let combo = all_combos()[0];
+        let cfg = BudgetPreset::Quick.compare_config();
+        let legacy = legacy_combo_key(&combo, &cfg);
+        assert_eq!(legacy, legacy_combo_key(&combo, &cfg));
+        for point in SchemePoint::all() {
+            assert_ne!(legacy, unit_key(&combo, &point, &cfg));
+        }
     }
 
     #[test]
@@ -266,6 +392,7 @@ mod tests {
     fn spec_round_trips_through_json() {
         for spec in [
             SweepSpec::full(BudgetPreset::Quick),
+            SweepSpec::full(BudgetPreset::Mid),
             SweepSpec::full(BudgetPreset::Eval),
             SweepSpec {
                 name: "x".into(),

@@ -1,15 +1,25 @@
 //! The content-addressed result store.
 //!
 //! Results persist as JSONL under a directory (default `results/`): one
-//! line per completed job, keyed by the job's content hash
-//! ([`crate::spec::job_key`]). Loading tolerates a missing file (empty
+//! line per completed unit job, keyed by the job's content hash
+//! ([`crate::spec::unit_key`]). Loading tolerates a missing file (empty
 //! store) and rejects corrupt lines loudly rather than serving bad data.
 //! Appends go straight to disk, so an interrupted sweep keeps everything
 //! it finished.
+//!
+//! ## Key-schema versions
+//!
+//! * **v2** (current, [`crate::spec::SCHEMA_VERSION`]) — one line per
+//!   *(combo, scheme point)* simulation, value a
+//!   [`snug_experiments::SchemeRun`] under the `"unit"` field.
+//! * **v1** (legacy) — one line per whole (combo, config) five-scheme
+//!   comparison, value a [`ComboResult`] under the `"result"` field.
+//!   v1 lines are still decoded so sweeps can migrate them (see
+//!   `sweep::run_sweep`); new code never writes them.
 
 use crate::codec::JsonCodec;
 use crate::json::{parse, JsonError, Value};
-use snug_experiments::ComboResult;
+use snug_experiments::{ComboResult, SchemeRun};
 use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write as _;
@@ -17,6 +27,16 @@ use std::path::{Path, PathBuf};
 
 /// File name of the JSONL store inside the results directory.
 pub const STORE_FILE: &str = "store.jsonl";
+
+/// What a store entry holds: the unit of the current schema, or a whole
+/// combo result from a v1 store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoredResult {
+    /// v2: one (combo, scheme point) simulation.
+    Unit(SchemeRun),
+    /// v1 legacy: a whole assembled five-scheme comparison.
+    Combo(ComboResult),
+}
 
 /// One stored line: the key, a little human-readable context, and the
 /// full result.
@@ -28,23 +48,32 @@ pub struct StoreEntry {
     /// for humans auditing the store).
     pub inputs: String,
     /// The cached result.
-    pub result: ComboResult,
+    pub result: StoredResult,
 }
 
 impl StoreEntry {
     fn to_json(&self) -> Value {
+        let payload = match &self.result {
+            StoredResult::Unit(run) => ("unit", run.to_json()),
+            StoredResult::Combo(result) => ("result", result.to_json()),
+        };
         Value::obj(vec![
             ("key", Value::str(&self.key)),
             ("inputs", Value::str(&self.inputs)),
-            ("result", self.result.to_json()),
+            payload,
         ])
     }
 
     fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let result = if let Ok(unit) = v.get("unit") {
+            StoredResult::Unit(SchemeRun::from_json(unit)?)
+        } else {
+            StoredResult::Combo(ComboResult::from_json(v.get("result")?)?)
+        };
         Ok(StoreEntry {
             key: v.get("key")?.as_str()?.to_string(),
             inputs: v.get("inputs")?.as_str()?.to_string(),
-            result: ComboResult::from_json(v.get("result")?)?,
+            result,
         })
     }
 }
@@ -117,8 +146,47 @@ impl ResultStore {
     }
 
     /// Look up a cached result by content key.
-    pub fn get(&self, key: &str) -> Option<&ComboResult> {
+    pub fn get(&self, key: &str) -> Option<&StoredResult> {
         self.entries.get(key).map(|e| &e.result)
+    }
+
+    /// Look up a v2 unit result by content key.
+    pub fn get_unit(&self, key: &str) -> Option<&SchemeRun> {
+        match self.get(key) {
+            Some(StoredResult::Unit(run)) => Some(run),
+            _ => None,
+        }
+    }
+
+    /// Look up a v1 legacy combo result by content key.
+    pub fn get_legacy_combo(&self, key: &str) -> Option<&ComboResult> {
+        match self.get(key) {
+            Some(StoredResult::Combo(result)) => Some(result),
+            _ => None,
+        }
+    }
+
+    /// Number of v2 unit entries.
+    pub fn unit_count(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| matches!(e.result, StoredResult::Unit(_)))
+            .count()
+    }
+
+    /// Number of v1 legacy entries still in the store.
+    pub fn legacy_count(&self) -> usize {
+        self.len() - self.unit_count()
+    }
+
+    /// Insert a fresh unit result and append it to the JSONL file.
+    pub fn insert_unit(
+        &mut self,
+        key: String,
+        inputs: String,
+        run: SchemeRun,
+    ) -> Result<(), StoreError> {
+        self.insert(key, inputs, StoredResult::Unit(run))
     }
 
     /// Insert a fresh result and append it to the JSONL file.
@@ -126,7 +194,7 @@ impl ResultStore {
         &mut self,
         key: String,
         inputs: String,
-        result: ComboResult,
+        result: StoredResult,
     ) -> Result<(), StoreError> {
         let entry = StoreEntry {
             key: key.clone(),
@@ -192,7 +260,14 @@ mod tests {
         dir
     }
 
-    fn fake(label: &str, tp: f64) -> ComboResult {
+    fn fake(label: &str, tp: f64) -> StoredResult {
+        StoredResult::Unit(SchemeRun {
+            scheme: label.into(),
+            ipcs: vec![1.0, 0.5, tp],
+        })
+    }
+
+    fn fake_legacy(label: &str, tp: f64) -> ComboResult {
         ComboResult {
             label: label.into(),
             class: ComboClass::C3,
@@ -208,6 +283,39 @@ mod tests {
             }],
             cc_sweep: vec![(0.0, 1.0)],
         }
+    }
+
+    #[test]
+    fn unit_and_legacy_entries_coexist_and_are_typed() {
+        let dir = tmp_dir("typed");
+        let mut store = ResultStore::open(&dir).unwrap();
+        store
+            .insert_unit(
+                "u1".into(),
+                "unit-inputs".into(),
+                SchemeRun {
+                    scheme: "cc@50%".into(),
+                    ipcs: vec![0.5, 0.25],
+                },
+            )
+            .unwrap();
+        store
+            .insert(
+                "c1".into(),
+                "combo-inputs".into(),
+                StoredResult::Combo(fake_legacy("a+b", 1.1)),
+            )
+            .unwrap();
+
+        let back = ResultStore::open(&dir).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.unit_count(), 1);
+        assert_eq!(back.legacy_count(), 1);
+        assert_eq!(back.get_unit("u1").unwrap().scheme, "cc@50%");
+        assert!(back.get_unit("c1").is_none(), "typed lookup rejects kind");
+        assert_eq!(back.get_legacy_combo("c1").unwrap().label, "a+b");
+        assert!(back.get_legacy_combo("u1").is_none());
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,31 +1,36 @@
-//! Sweep orchestration: expand a spec, serve cached jobs from the
-//! store, run the rest on the work-stealing executor, persist as they
-//! finish.
+//! Sweep orchestration: expand a spec into per-(combo, scheme point)
+//! unit jobs, serve cached units from the store, migrate what a v1
+//! store can still prove, run the rest on the work-stealing executor,
+//! persist as they finish, and assemble per-combo results.
 
 use crate::exec::{self, ExecEvent};
-use crate::spec::{SweepJob, SweepSpec};
+use crate::spec::{legacy_combo_key, ComboJob, SweepSpec, UnitJob};
 use crate::store::{ResultStore, StoreError};
-use snug_experiments::{run_combo, ComboResult};
+use snug_experiments::{
+    assemble_combo, best_cc_index, run_point, ComboResult, SchemePoint, SchemeRun,
+};
 use std::sync::Mutex;
 
 /// Progress events streamed while a sweep runs.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SweepEvent {
-    /// The sweep expanded into jobs: `(total, cache hits)`.
+    /// The sweep expanded into unit jobs.
     Planned {
-        /// Total jobs in the spec.
+        /// Total unit jobs in the spec.
         total: usize,
-        /// Jobs already present in the store.
+        /// Units already present in the store (including migrated ones).
         hits: usize,
+        /// Of the hits, units synthesised from v1 combo entries.
+        migrated: usize,
     },
-    /// A combo simulation started.
+    /// A unit simulation started.
     JobStarted {
-        /// Combo label.
+        /// Unit label (`"ammp+parser+swim+mesa [cc@50%]"`).
         label: String,
     },
-    /// A combo simulation finished: `(label, done, to_run)`.
+    /// A unit simulation finished.
     JobFinished {
-        /// Combo label.
+        /// Unit label.
         label: String,
         /// Executed so far (cache hits excluded).
         done: usize,
@@ -34,69 +39,134 @@ pub enum SweepEvent {
     },
 }
 
-/// One job's outcome within a [`SweepOutcome`].
+/// One unit job's outcome within a sweep.
 #[derive(Debug, Clone, PartialEq)]
-pub struct JobOutcome {
-    /// Content key of the job.
+pub struct UnitOutcome {
+    /// Content key of the unit job.
     pub key: String,
-    /// Whether the result came from the store.
+    /// Whether the result came from the store (fresh runs and cached
+    /// results are indistinguishable by construction).
     pub from_cache: bool,
-    /// The result (cached or fresh — indistinguishable by construction).
+    /// The raw per-core IPCs.
+    pub run: SchemeRun,
+}
+
+/// One combo's assembled outcome within a [`SweepOutcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComboOutcome {
+    /// Combo label.
+    pub label: String,
+    /// Whether every unit of this combo was served from the store.
+    pub from_cache: bool,
+    /// The assembled five-scheme result.
     pub result: ComboResult,
 }
 
-/// The outcome of a sweep, in spec (Table 8) order.
+/// The outcome of a sweep, in spec (Table 8) order. Counts are at unit
+/// granularity.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepOutcome {
-    /// Per-job outcomes.
-    pub jobs: Vec<JobOutcome>,
-    /// Number of jobs served from the store.
+    /// Per-combo assembled outcomes.
+    pub combos: Vec<ComboOutcome>,
+    /// Unit jobs served from the store (including migrated units).
     pub cache_hits: usize,
-    /// Number of jobs executed fresh.
+    /// Of the cache hits, units synthesised from v1 combo entries.
+    pub migrated: usize,
+    /// Unit jobs executed fresh.
     pub executed: usize,
 }
 
 impl SweepOutcome {
-    /// The results alone, in spec order.
+    /// The assembled results alone, in spec order.
     pub fn results(&self) -> Vec<ComboResult> {
-        self.jobs.iter().map(|j| j.result.clone()).collect()
+        self.combos.iter().map(|c| c.result.clone()).collect()
     }
 }
 
-/// Run `spec` against `store`: cached jobs are served, missing jobs run
-/// in parallel on up to `threads` workers (0 = all CPUs) and are
-/// appended to the store as they complete.
-pub fn run_sweep(
-    spec: &SweepSpec,
+/// Migrate what a v1 store entry for `job`'s combo can still prove into
+/// v2 unit entries: the L2P / L2S / DSR / SNUG points carry their full
+/// per-core IPCs in a v1 `ComboResult`, and the winning CC point is
+/// recoverable via [`best_cc_index`] — the same rule result assembly
+/// uses, so re-assembly re-selects the identical point. The four losing
+/// CC points are not reconstructible and stay pending. Returns the
+/// number of units migrated.
+fn migrate_v1_units(job: &ComboJob, store: &mut ResultStore) -> Result<usize, StoreError> {
+    let legacy_key = legacy_combo_key(&job.combo, &job.config);
+    let Some(old) = store.get_legacy_combo(&legacy_key).cloned() else {
+        return Ok(0);
+    };
+    let best_cc_p = best_cc_index(&old.cc_sweep).map(|i| old.cc_sweep[i].0);
+    let mut migrated = 0;
+    for unit in &job.units {
+        if store.get_unit(&unit.key).is_some() {
+            continue;
+        }
+        let ipcs = match unit.point {
+            SchemePoint::L2p => Some(old.baseline_ipcs.clone()),
+            SchemePoint::L2s => scheme_ipcs(&old, "L2S"),
+            SchemePoint::Dsr => scheme_ipcs(&old, "DSR"),
+            SchemePoint::Snug => scheme_ipcs(&old, "SNUG"),
+            SchemePoint::Cc { spill_probability } if Some(spill_probability) == best_cc_p => {
+                scheme_ipcs(&old, "CC(Best)")
+            }
+            SchemePoint::Cc { .. } => None,
+        };
+        if let Some(ipcs) = ipcs {
+            store.insert_unit(
+                unit.key.clone(),
+                format!("migrated from v1 entry {legacy_key}"),
+                SchemeRun {
+                    scheme: unit.point.label(),
+                    ipcs,
+                },
+            )?;
+            migrated += 1;
+        }
+    }
+    Ok(migrated)
+}
+
+fn scheme_ipcs(result: &ComboResult, scheme: &str) -> Option<Vec<f64>> {
+    result
+        .schemes
+        .iter()
+        .find(|s| s.scheme == scheme)
+        .map(|s| s.ipcs.clone())
+}
+
+/// Run `jobs` against `store`: cached units are served, missing units
+/// run in parallel on up to `threads` workers (0 = all CPUs) and are
+/// appended to the store as they complete. Outcomes return in job
+/// order. This is the engine under [`run_sweep`]; tests drive it
+/// directly to exercise ad-hoc configurations.
+pub fn run_unit_jobs(
+    jobs: &[UnitJob],
     store: &mut ResultStore,
     threads: usize,
-    mut progress: impl FnMut(SweepEvent) + Send,
-) -> Result<SweepOutcome, StoreError> {
-    let jobs = spec.jobs();
-    let (cached, pending): (Vec<&SweepJob>, Vec<&SweepJob>) =
-        jobs.iter().partition(|j| store.get(&j.key).is_some());
-    progress(SweepEvent::Planned {
-        total: jobs.len(),
-        hits: cached.len(),
-    });
+    progress: &mut (impl FnMut(SweepEvent) + Send),
+) -> Result<Vec<UnitOutcome>, StoreError> {
+    let pending: Vec<&UnitJob> = jobs
+        .iter()
+        .filter(|j| store.get_unit(&j.key).is_none())
+        .collect();
 
-    // Execute the missing jobs; results land in `pending` order. Each
-    // result is appended to the store *as its job finishes* (under the
-    // store lock), so an interrupted sweep keeps everything completed
-    // so far.
-    let progress_cell = Mutex::new(&mut progress);
+    // Execute the missing units; each result is appended to the store
+    // *as its job finishes* (under the store lock), so an interrupted
+    // sweep keeps everything completed so far.
+    let progress_cell = Mutex::new(&mut *progress);
     let store_cell = Mutex::new(&mut *store);
     let first_store_error: Mutex<Option<StoreError>> = Mutex::new(None);
-    let fresh: Vec<ComboResult> = exec::run(
+    exec::run(
         pending.len(),
         threads,
         |i| {
             let job = pending[i];
-            let result = run_combo(&job.combo, &job.config);
-            let inserted = store_cell.lock().expect("store poisoned").insert(
+            let run = run_point(&job.combo, &job.point, &job.config);
+            let inputs = format!("{:?} | {} | {:?}", job.combo, job.point.label(), job.config);
+            let inserted = store_cell.lock().expect("store poisoned").insert_unit(
                 job.key.clone(),
-                format!("{:?} | {:?}", job.combo, job.config),
-                result.clone(),
+                inputs,
+                run,
             );
             if let Err(e) = inserted {
                 first_store_error
@@ -104,16 +174,15 @@ pub fn run_sweep(
                     .expect("error slot poisoned")
                     .get_or_insert(e);
             }
-            result
         },
         |event| {
             let mut p = progress_cell.lock().expect("progress poisoned");
             match event {
                 ExecEvent::Started { index, .. } => (p)(SweepEvent::JobStarted {
-                    label: pending[index].combo.label(),
+                    label: pending[index].label(),
                 }),
                 ExecEvent::Finished { index, done, total } => (p)(SweepEvent::JobFinished {
-                    label: pending[index].combo.label(),
+                    label: pending[index].label(),
                     done,
                     to_run: total,
                 }),
@@ -125,35 +194,96 @@ pub fn run_sweep(
         return Err(e);
     }
 
-    // Assemble outcomes in spec order, now that everything is stored.
+    // Assemble outcomes in job order, now that everything is stored.
     let executed: std::collections::HashSet<&str> =
         pending.iter().map(|j| j.key.as_str()).collect();
-    let outcomes = jobs
+    Ok(jobs
         .iter()
-        .map(|job| JobOutcome {
+        .map(|job| UnitOutcome {
             key: job.key.clone(),
             from_cache: !executed.contains(job.key.as_str()),
-            result: store
-                .get(&job.key)
-                .expect("job just stored or cached")
+            run: store
+                .get_unit(&job.key)
+                .expect("unit just stored or cached")
                 .clone(),
         })
-        .collect::<Vec<_>>();
+        .collect())
+}
+
+/// Run `spec` against `store`: v1 entries are migrated where possible,
+/// cached units are served, missing units run in parallel on up to
+/// `threads` workers (0 = all CPUs), and per-combo results are
+/// assembled from the units.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    store: &mut ResultStore,
+    threads: usize,
+    mut progress: impl FnMut(SweepEvent) + Send,
+) -> Result<SweepOutcome, StoreError> {
+    let combo_jobs = spec.combo_jobs();
+
+    let mut migrated = 0;
+    for job in &combo_jobs {
+        migrated += migrate_v1_units(job, store)?;
+    }
+
+    let all_units: Vec<UnitJob> = combo_jobs.iter().flat_map(|j| j.units.clone()).collect();
+    let hits = all_units
+        .iter()
+        .filter(|j| store.get_unit(&j.key).is_some())
+        .count();
+    progress(SweepEvent::Planned {
+        total: all_units.len(),
+        hits,
+        migrated,
+    });
+
+    let unit_outcomes = run_unit_jobs(&all_units, store, threads, &mut progress)?;
+
+    // Assemble per combo, consuming unit outcomes in expansion order.
+    let mut iter = unit_outcomes.into_iter();
+    let mut combos = Vec::with_capacity(combo_jobs.len());
+    let mut cache_hits = 0;
+    let mut executed = 0;
+    for job in &combo_jobs {
+        let units: Vec<UnitOutcome> = iter.by_ref().take(job.units.len()).collect();
+        cache_hits += units.iter().filter(|u| u.from_cache).count();
+        executed += units.iter().filter(|u| !u.from_cache).count();
+        let runs: Vec<(SchemePoint, SchemeRun)> = job
+            .units
+            .iter()
+            .map(|u| u.point)
+            .zip(units.iter().map(|u| u.run.clone()))
+            .collect();
+        combos.push(ComboOutcome {
+            label: job.combo.label(),
+            from_cache: units.iter().all(|u| u.from_cache),
+            result: assemble_combo(&job.combo, &runs),
+        });
+    }
 
     Ok(SweepOutcome {
-        cache_hits: outcomes.iter().filter(|o| o.from_cache).count(),
-        executed: fresh.len(),
-        jobs: outcomes,
+        combos,
+        cache_hits,
+        migrated,
+        executed,
     })
 }
 
-/// Look up every job of `spec` in `store` without running anything.
-/// Returns `None` if any job is missing (i.e. `snug sweep` has not been
-/// run for this spec yet).
+/// Look up every unit of `spec` in `store` without running anything and
+/// assemble the per-combo results. Returns `None` if any unit is
+/// missing (i.e. `snug sweep` has not completed for this spec yet).
 pub fn cached_results(spec: &SweepSpec, store: &ResultStore) -> Option<Vec<ComboResult>> {
-    spec.jobs()
+    spec.combo_jobs()
         .iter()
-        .map(|j| store.get(&j.key).cloned())
+        .map(|job| {
+            let runs: Vec<(SchemePoint, SchemeRun)> = job
+                .units
+                .iter()
+                .map(|u| Some((u.point, store.get_unit(&u.key)?.clone())))
+                .collect::<Option<Vec<_>>>()?;
+            Some(assemble_combo(&job.combo, &runs))
+        })
         .collect()
 }
 
@@ -183,20 +313,27 @@ mod tests {
         (dir, store)
     }
 
+    const UNITS_PER_COMBO: usize = SchemePoint::COUNT;
+
     #[test]
     fn second_run_is_all_cache_hits_and_identical() {
         let spec = tiny_spec();
         let (dir, mut store) = tmp_store("rerun");
 
         let first = run_sweep(&spec, &mut store, 2, |_| {}).unwrap();
-        assert_eq!(first.executed, 3, "C1 has three combos");
+        assert_eq!(
+            first.executed,
+            3 * UNITS_PER_COMBO,
+            "C1 has three combos of nine units"
+        );
         assert_eq!(first.cache_hits, 0);
 
         // Re-open from disk to prove persistence, then re-run.
         let mut reopened = ResultStore::open(&dir).unwrap();
         let second = run_sweep(&spec, &mut reopened, 2, |_| {}).unwrap();
         assert_eq!(second.executed, 0);
-        assert_eq!(second.cache_hits, 3);
+        assert_eq!(second.cache_hits, 3 * UNITS_PER_COMBO);
+        assert!(second.combos.iter().all(|c| c.from_cache));
         assert_eq!(
             second.results(),
             first.results(),
@@ -218,7 +355,7 @@ mod tests {
         };
         let outcome = run_sweep(&bigger, &mut store, 0, |_| {}).unwrap();
         assert_eq!(outcome.cache_hits, 0, "different budget, different keys");
-        assert_eq!(outcome.executed, 3);
+        assert_eq!(outcome.executed, 3 * UNITS_PER_COMBO);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -229,13 +366,13 @@ mod tests {
         let mut planned = None;
         let mut finished = 0usize;
         run_sweep(&spec, &mut store, 1, |e| match e {
-            SweepEvent::Planned { total, hits } => planned = Some((total, hits)),
+            SweepEvent::Planned { total, hits, .. } => planned = Some((total, hits)),
             SweepEvent::JobFinished { .. } => finished += 1,
             SweepEvent::JobStarted { .. } => {}
         })
         .unwrap();
-        assert_eq!(planned, Some((3, 0)));
-        assert_eq!(finished, 3);
+        assert_eq!(planned, Some((3 * UNITS_PER_COMBO, 0)));
+        assert_eq!(finished, 3 * UNITS_PER_COMBO);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -247,6 +384,37 @@ mod tests {
         run_sweep(&spec, &mut store, 0, |_| {}).unwrap();
         let cached = cached_results(&spec, &store).unwrap();
         assert_eq!(cached.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scheme_config_edit_reruns_only_that_schemes_units() {
+        let spec = tiny_spec();
+        let (dir, mut store) = tmp_store("scheme-edit");
+        run_sweep(&spec, &mut store, 0, |_| {}).unwrap();
+
+        // Edit the SNUG configuration only and re-expand the unit jobs
+        // by hand (the spec's presets cannot express this, which is the
+        // point: the key schema must keep every non-SNUG unit cached).
+        let mut edited = spec.compare_config();
+        edited.snug.stage2_cycles += 1;
+        let jobs: Vec<UnitJob> = spec
+            .combos()
+            .iter()
+            .flat_map(|combo| crate::spec::unit_jobs_for(combo, &edited))
+            .collect();
+        let outcomes = run_unit_jobs(&jobs, &mut store, 0, &mut |_| {}).unwrap();
+
+        let mut snug_units = 0;
+        for (outcome, job) in outcomes.iter().zip(&jobs) {
+            if job.point == SchemePoint::Snug {
+                snug_units += 1;
+                assert!(!outcome.from_cache, "every SNUG unit re-ran");
+            } else {
+                assert!(outcome.from_cache, "non-SNUG unit stayed cached");
+            }
+        }
+        assert_eq!(snug_units, 3, "one SNUG unit per C1 combo");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

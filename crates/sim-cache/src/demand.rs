@@ -40,7 +40,7 @@ impl DemandParams {
     }
 
     /// The paper's parameters: `A_threshold = 32`, `M = 8` → buckets
-    /// [1,4], [5,8], …, [29,32].
+    /// `[1,4]`, `[5,8]`, …, `[29,32]`.
     pub fn paper() -> Self {
         DemandParams::new(32, 8)
     }

@@ -43,7 +43,7 @@ impl CacheStats {
         self.hits + self.misses
     }
 
-    /// Miss ratio in [0,1]; 0 if no accesses.
+    /// Miss ratio in `[0, 1]`; 0 if no accesses.
     pub fn miss_ratio(&self) -> f64 {
         let a = self.accesses();
         if a == 0 {
@@ -53,7 +53,7 @@ impl CacheStats {
         }
     }
 
-    /// Hit ratio in [0,1]; 0 if no accesses.
+    /// Hit ratio in `[0, 1]`; 0 if no accesses.
     pub fn hit_ratio(&self) -> f64 {
         let a = self.accesses();
         if a == 0 {

@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 use sim_mem::{DramConfig, Geometry};
 
 /// Core timing-model parameters (simplified out-of-order model; see
-/// DESIGN.md §5 for the substitution argument).
+/// the `snug-workloads` crate docs for the substitution argument).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CoreConfig {
     /// Instructions issued per cycle (paper: 8-wide issue/commit).

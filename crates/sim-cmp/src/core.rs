@@ -2,7 +2,7 @@
 //!
 //! The paper simulates full SimpleScalar OOO cores. For the reproduction
 //! we use a latency-accounting model that preserves exactly the
-//! properties the evaluation depends on (DESIGN.md §5):
+//! properties the evaluation depends on:
 //!
 //! * issue bandwidth bounds IPC from above (8-wide);
 //! * load misses overlap with independent work up to the ROB reach

@@ -42,7 +42,7 @@ impl BlockAddr {
 /// `tag(block)` keeps the *full* block address rather than the truncated
 /// hardware tag: the simulator compares block identities, and the
 /// hardware tag width only matters for the storage-overhead analysis in
-/// [`crate::overheads`]-style arithmetic (done in `snug-core`).
+/// overhead-style arithmetic (done in `snug-core`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Geometry {
     /// Line size in bytes (power of two).

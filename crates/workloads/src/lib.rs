@@ -3,8 +3,11 @@
 //! The paper evaluates on SPEC CPU2000, which is unavailable offline;
 //! this crate provides deterministic synthetic address-stream generators
 //! calibrated to the *set-level capacity-demand profiles* the paper
-//! reports (Table 6 classes; Figures 1–3). See DESIGN.md §1 for why this
-//! substitution preserves the behaviour under test.
+//! reports (Table 6 classes; Figures 1–3). The substitution preserves
+//! the behaviour under test because the SNUG/DSR/CC mechanisms observe
+//! only per-set capacity demand and reuse depth — a stream matching
+//! those profiles exercises the same policy decisions as the original
+//! binaries would.
 //!
 //! * [`model`] — the generator engine (demand mixtures, phases,
 //!   near/far reference patterns, streaming);

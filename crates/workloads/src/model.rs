@@ -6,7 +6,7 @@
 //! profile* the paper reports for it (Table 6 classes; Figs. 1–3 for
 //! ammp/vortex/applu). The SNUG/DSR/CC mechanisms respond only to this
 //! profile, so a stream that matches it exercises the same policy
-//! behaviour (see DESIGN.md §1 for the substitution argument).
+//! behaviour (the crate-level docs state the substitution argument).
 //!
 //! A benchmark model assigns every L2 set `s` a demand `d(s)` — the
 //! number of distinct blocks that cycle through the set — drawn from a

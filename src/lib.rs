@@ -1,7 +1,12 @@
-//! Workspace facade: re-export the crates behind one name so examples
-//! and integration tests can reach everything through `snug_sim`.
+//! # snug-sim — workspace facade
+//!
+//! Re-exports the workspace crates behind one name so examples and
+//! integration tests can reach everything through `snug_sim`. The crate
+//! map, data flow and result-store key schema are documented in
+//! `ARCHITECTURE.md`; the committed evaluation is `EXPERIMENTS.md`.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use snug_experiments as experiments;
 pub use snug_harness as harness;

@@ -97,7 +97,7 @@ fn snug_outperforms_baseline_on_the_c1_stress_test() {
     // The headline mechanism: 4 identical class-A programs, takers find
     // givers only through index-bit flipping.
     // Needs eval-scale sampling periods: the quick stage lengths starve
-    // the monitors (see DESIGN.md §5 on identification fidelity).
+    // the monitors, so scaled runs sample continuously to keep fidelity.
     let mut cfg = CompareConfig::default_eval();
     cfg.budget.measure_cycles = 4_500_000;
     let combo = all_combos()

@@ -1,12 +1,14 @@
-//! Integration test for the snug-harness result cache: results served
+//! Integration tests for the snug-harness result cache: results served
 //! from the content-addressed store are bit-identical to fresh runs,
 //! across processes (the store is re-opened from disk) and across the
-//! JSON encode/decode boundary.
+//! JSON encode/decode boundary; a scheme-config edit re-runs only that
+//! scheme's unit jobs; and v1 store entries migrate into v2 units.
 
 use snug_harness::{
-    cached_results, job_key, run_sweep, BudgetPreset, JsonCodec, ResultStore, SweepEvent, SweepSpec,
+    cached_results, legacy_combo_key, run_sweep, run_unit_jobs, unit_jobs_for, BudgetPreset,
+    JsonCodec, ResultStore, StoredResult, SweepEvent, SweepSpec,
 };
-use snug_sim::experiments::run_combo;
+use snug_sim::experiments::{run_combo, SchemePoint};
 use snug_workloads::ComboClass;
 use std::path::PathBuf;
 
@@ -28,6 +30,8 @@ fn tiny_spec() -> SweepSpec {
     }
 }
 
+const UNITS: usize = SchemePoint::COUNT;
+
 #[test]
 fn cached_combo_results_are_bit_identical_to_fresh_runs() {
     let spec = tiny_spec();
@@ -36,7 +40,7 @@ fn cached_combo_results_are_bit_identical_to_fresh_runs() {
     // First sweep: everything executes.
     let mut store = ResultStore::open(&dir).unwrap();
     let first = run_sweep(&spec, &mut store, 2, |_| {}).unwrap();
-    assert_eq!(first.executed, 3, "C5 has three combos");
+    assert_eq!(first.executed, 3 * UNITS, "C5: three combos of nine units");
     assert_eq!(first.cache_hits, 0);
     drop(store);
 
@@ -44,29 +48,28 @@ fn cached_combo_results_are_bit_identical_to_fresh_runs() {
     let mut reopened = ResultStore::open(&dir).unwrap();
     let mut hits_reported = None;
     let second = run_sweep(&spec, &mut reopened, 2, |e| {
-        if let SweepEvent::Planned { total, hits } = e {
+        if let SweepEvent::Planned { total, hits, .. } = e {
             hits_reported = Some((total, hits));
         }
     })
     .unwrap();
     assert_eq!(
         hits_reported,
-        Some((3, 3)),
+        Some((3 * UNITS, 3 * UNITS)),
         "second run plans zero executions"
     );
     assert_eq!(second.executed, 0);
-    assert!(second.jobs.iter().all(|j| j.from_cache));
+    assert!(second.combos.iter().all(|c| c.from_cache));
 
     // The decoded results equal the stored ones bit-for-bit (ComboResult
     // is PartialEq over f64s — exact equality, not approximate).
     assert_eq!(second.results(), first.results());
 
-    // ... and both equal a from-scratch simulation of the same jobs.
+    // ... and both equal a from-scratch simulation of the same combos.
     let cfg = spec.compare_config();
-    for (job, outcome) in spec.jobs().iter().zip(second.jobs.iter()) {
+    for (job, outcome) in spec.combo_jobs().iter().zip(second.combos.iter()) {
         let fresh = run_combo(&job.combo, &cfg);
         assert_eq!(outcome.result, fresh, "{}", job.combo.label());
-        assert_eq!(outcome.key, job_key(&job.combo, &cfg));
     }
 
     std::fs::remove_dir_all(&dir).unwrap();
@@ -78,7 +81,8 @@ fn json_boundary_preserves_every_float_bit() {
     // and metrics are arbitrary f64s produced by the simulator, so this
     // exercises float round-tripping on realistic values.
     let spec = tiny_spec();
-    let job = &spec.jobs()[0];
+    let jobs = spec.combo_jobs();
+    let job = &jobs[0];
     let result = run_combo(&job.combo, &job.config);
     let decoded = snug_sim::experiments::ComboResult::from_json(
         &snug_harness::json::parse(&result.to_json().render()).unwrap(),
@@ -105,6 +109,101 @@ fn report_from_cache_matches_report_from_run() {
         md_fresh, md_cached,
         "identical report, including every throughput digit"
     );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn snug_config_edit_reruns_only_snug_units() {
+    let spec = tiny_spec();
+    let dir = tmp_dir("scheme-edit");
+    let mut store = ResultStore::open(&dir).unwrap();
+    run_sweep(&spec, &mut store, 0, |_| {}).unwrap();
+
+    // Edit SNUG's stage lengths only: of the 27 C5 units, exactly the 3
+    // SNUG points must re-run.
+    let mut edited = spec.compare_config();
+    edited.snug.stage2_cycles += 1;
+    let jobs: Vec<_> = spec
+        .combos()
+        .iter()
+        .flat_map(|combo| unit_jobs_for(combo, &edited))
+        .collect();
+    let outcomes = run_unit_jobs(&jobs, &mut store, 0, &mut |_| {}).unwrap();
+    let executed: Vec<&str> = outcomes
+        .iter()
+        .zip(&jobs)
+        .filter(|(o, _)| !o.from_cache)
+        .map(|(o, _)| o.run.scheme.as_str())
+        .collect();
+    assert_eq!(executed, vec!["snug"; 3], "only the SNUG units re-ran");
+    assert_eq!(
+        outcomes.iter().filter(|o| o.from_cache).count(),
+        3 * UNITS - 3
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn v1_store_entries_migrate_and_round_trip() {
+    let spec = tiny_spec();
+    let cfg = spec.compare_config();
+    let dir = tmp_dir("v1-migration");
+
+    // Build a v1-format store by hand: one legacy combo entry per C5
+    // combo, exactly as PR 1's harness would have written it.
+    let mut store = ResultStore::open(&dir).unwrap();
+    let fresh: Vec<_> = spec
+        .combos()
+        .iter()
+        .map(|combo| {
+            let result = run_combo(combo, &cfg);
+            store
+                .insert(
+                    legacy_combo_key(combo, &cfg),
+                    format!("{combo:?} | {cfg:?}"),
+                    StoredResult::Combo(result.clone()),
+                )
+                .unwrap();
+            result
+        })
+        .collect();
+    drop(store);
+
+    // A sweep over the reopened store migrates the provable units —
+    // L2P, L2S, DSR, SNUG and the winning CC point (5 of 9 per combo) —
+    // and re-runs only the four losing CC points per combo.
+    let mut reopened = ResultStore::open(&dir).unwrap();
+    assert_eq!(reopened.legacy_count(), 3);
+    let mut planned = None;
+    let outcome = run_sweep(&spec, &mut reopened, 0, |e| {
+        if let SweepEvent::Planned {
+            total,
+            hits,
+            migrated,
+        } = e
+        {
+            planned = Some((total, hits, migrated));
+        }
+    })
+    .unwrap();
+    assert_eq!(planned, Some((3 * UNITS, 3 * 5, 3 * 5)));
+    assert_eq!(outcome.migrated, 15);
+    assert_eq!(outcome.cache_hits, 15);
+    assert_eq!(outcome.executed, 12, "four losing CC points per combo");
+
+    // Round trip: the assembled results are bit-identical to the v1
+    // originals — migration changed the storage granularity, not one
+    // simulated number.
+    assert_eq!(outcome.results(), fresh);
+
+    // And the store is now fully v2 for this spec: a further sweep runs
+    // nothing.
+    let again = run_sweep(&spec, &mut reopened, 0, |_| {}).unwrap();
+    assert_eq!(again.executed, 0);
+    assert_eq!(again.migrated, 0);
+    assert_eq!(again.cache_hits, 3 * UNITS);
 
     std::fs::remove_dir_all(&dir).unwrap();
 }
