@@ -22,6 +22,7 @@ use sim_cmp::{ChipResources, L2Fill, L2Org, L2Outcome, SystemConfig};
 use sim_mem::BlockAddr;
 
 /// The CC organisation.
+#[derive(Clone)]
 pub struct Cc {
     chassis: PrivateChassis,
     /// Probability of spilling a clean owned victim.
@@ -62,6 +63,15 @@ impl Cc {
     /// The configured spill probability.
     pub fn spill_probability(&self) -> f64 {
         self.p_spill
+    }
+
+    /// Retune the spill probability mid-flight (used by the shared
+    /// warm-up sweep mode: one warmed snapshot is measured once per §4.1
+    /// sweep point). Cache contents, RNG and round-robin state are
+    /// untouched.
+    pub fn set_spill_probability(&mut self, p_spill: f64) {
+        assert!((0.0..=1.0).contains(&p_spill));
+        self.p_spill = p_spill;
     }
 
     /// Access to the underlying chassis (tests/diagnostics).
@@ -195,6 +205,10 @@ impl L2Org for Cc {
 
     fn reset_stats(&mut self) {
         self.chassis.reset_stats();
+    }
+
+    fn clone_dyn(&self) -> Box<dyn L2Org> {
+        Box::new(self.clone())
     }
 }
 

@@ -17,6 +17,7 @@ use sim_cmp::{ChipResources, SystemConfig};
 use sim_mem::BlockAddr;
 
 /// Per-core private slices plus write buffers.
+#[derive(Clone)]
 pub struct PrivateChassis {
     /// The system configuration.
     pub cfg: SystemConfig,

@@ -57,6 +57,7 @@ impl DsrConfig {
 }
 
 /// The DSR organisation.
+#[derive(Clone)]
 pub struct Dsr {
     chassis: PrivateChassis,
     cfg: DsrConfig,
@@ -242,6 +243,10 @@ impl L2Org for Dsr {
 
     fn reset_stats(&mut self) {
         self.chassis.reset_stats();
+    }
+
+    fn clone_dyn(&self) -> Box<dyn L2Org> {
+        Box::new(self.clone())
     }
 }
 

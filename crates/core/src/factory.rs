@@ -1,8 +1,16 @@
 //! Scheme specification and construction — the five L2 organisations of
 //! the paper's §4.1 behind one factory.
+//!
+//! [`SchemeSpec`] is the single parse/print path for scheme names:
+//! `Display` renders the paper's figure labels (`L2P`, `CC(50%)`, …) and
+//! [`FromStr`] parses both those labels and the store's compact job
+//! labels (`l2p`, `cc@50%`, …), so CLI arguments, report headers and
+//! store audits all agree on one vocabulary.
 
 use crate::{Cc, Dsr, DsrConfig, L2p, L2s, Snug, SnugConfig};
 use sim_cmp::{L2Org, SystemConfig};
+use std::fmt;
+use std::str::FromStr;
 
 /// Which organisation to build, with its policy parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,20 +30,60 @@ pub enum SchemeSpec {
     Snug(SnugConfig),
 }
 
-impl SchemeSpec {
-    /// The display name used in the paper's figures.
-    pub fn name(&self) -> String {
+/// The display name used in the paper's figures, e.g. `CC(50%)`.
+impl fmt::Display for SchemeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SchemeSpec::L2p => "L2P".into(),
-            SchemeSpec::L2s => "L2S".into(),
+            SchemeSpec::L2p => write!(f, "L2P"),
+            SchemeSpec::L2s => write!(f, "L2S"),
             SchemeSpec::Cc { spill_probability } => {
-                format!("CC({:.0}%)", spill_probability * 100.0)
+                write!(f, "CC({:.0}%)", spill_probability * 100.0)
             }
-            SchemeSpec::Dsr(_) => "DSR".into(),
-            SchemeSpec::Snug(_) => "SNUG".into(),
+            SchemeSpec::Dsr(_) => write!(f, "DSR"),
+            SchemeSpec::Snug(_) => write!(f, "SNUG"),
         }
     }
+}
 
+/// Parse a scheme name: the figure labels (`L2P`, `CC(50%)`) and the
+/// store job labels (`l2p`, `cc@50%`) both round-trip, case-insensitive.
+/// DSR and SNUG parse to their paper parameters (a parsed spec names the
+/// *scheme*; run configurations supply tuned parameters separately).
+impl FromStr for SchemeSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.trim().to_ascii_lowercase();
+        match lower.as_str() {
+            "l2p" => return Ok(SchemeSpec::L2p),
+            "l2s" => return Ok(SchemeSpec::L2s),
+            "dsr" => return Ok(SchemeSpec::Dsr(DsrConfig::paper())),
+            "snug" => return Ok(SchemeSpec::Snug(SnugConfig::paper())),
+            _ => {}
+        }
+        // `cc@50%` (store label) or `cc(50%)` (figure label).
+        let percent = lower
+            .strip_prefix("cc@")
+            .or_else(|| lower.strip_prefix("cc(").and_then(|r| r.strip_suffix(')')));
+        if let Some(percent) = percent {
+            let digits = percent.strip_suffix('%').unwrap_or(percent);
+            let value: f64 = digits
+                .parse()
+                .map_err(|_| format!("bad CC spill probability `{digits}` in `{s}`"))?;
+            if !(0.0..=100.0).contains(&value) {
+                return Err(format!("CC spill probability `{digits}%` outside 0–100%"));
+            }
+            return Ok(SchemeSpec::Cc {
+                spill_probability: value / 100.0,
+            });
+        }
+        Err(format!(
+            "unknown scheme `{s}` (expected L2P, L2S, CC(<p>%), cc@<p>%, DSR or SNUG)"
+        ))
+    }
+}
+
+impl SchemeSpec {
     /// Construct the organisation.
     pub fn build(&self, cfg: SystemConfig) -> Box<dyn L2Org> {
         match *self {
@@ -57,17 +105,71 @@ mod tests {
 
     #[test]
     fn names_match_paper() {
-        assert_eq!(SchemeSpec::L2p.name(), "L2P");
-        assert_eq!(SchemeSpec::L2s.name(), "L2S");
+        assert_eq!(SchemeSpec::L2p.to_string(), "L2P");
+        assert_eq!(SchemeSpec::L2s.to_string(), "L2S");
         assert_eq!(
             SchemeSpec::Cc {
                 spill_probability: 0.5
             }
-            .name(),
+            .to_string(),
             "CC(50%)"
         );
-        assert_eq!(SchemeSpec::Dsr(DsrConfig::paper()).name(), "DSR");
-        assert_eq!(SchemeSpec::Snug(SnugConfig::paper()).name(), "SNUG");
+        assert_eq!(SchemeSpec::Dsr(DsrConfig::paper()).to_string(), "DSR");
+        assert_eq!(SchemeSpec::Snug(SnugConfig::paper()).to_string(), "SNUG");
+    }
+
+    #[test]
+    fn parse_accepts_figure_and_store_labels() {
+        for (text, expected) in [
+            ("L2P", SchemeSpec::L2p),
+            ("l2p", SchemeSpec::L2p),
+            ("L2S", SchemeSpec::L2s),
+            ("DSR", SchemeSpec::Dsr(DsrConfig::paper())),
+            ("snug", SchemeSpec::Snug(SnugConfig::paper())),
+            (
+                "CC(50%)",
+                SchemeSpec::Cc {
+                    spill_probability: 0.5,
+                },
+            ),
+            (
+                "cc@25%",
+                SchemeSpec::Cc {
+                    spill_probability: 0.25,
+                },
+            ),
+            (
+                "cc@100",
+                SchemeSpec::Cc {
+                    spill_probability: 1.0,
+                },
+            ),
+        ] {
+            assert_eq!(text.parse::<SchemeSpec>().unwrap(), expected, "{text}");
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        for spec in [
+            SchemeSpec::L2p,
+            SchemeSpec::L2s,
+            SchemeSpec::Cc {
+                spill_probability: 0.75,
+            },
+            SchemeSpec::Dsr(DsrConfig::paper()),
+            SchemeSpec::Snug(SnugConfig::paper()),
+        ] {
+            assert_eq!(spec.to_string().parse::<SchemeSpec>().unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_nonsense() {
+        assert!("l3".parse::<SchemeSpec>().is_err());
+        assert!("cc@".parse::<SchemeSpec>().is_err());
+        assert!("cc@150%".parse::<SchemeSpec>().is_err());
+        assert!("cc(half)".parse::<SchemeSpec>().is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@ use sim_cmp::{ChipResources, L2Fill, L2Org, L2Outcome, SystemConfig};
 use sim_mem::BlockAddr;
 
 /// The private baseline.
+#[derive(Clone)]
 pub struct L2p {
     chassis: PrivateChassis,
 }
@@ -84,6 +85,10 @@ impl L2Org for L2p {
 
     fn reset_stats(&mut self) {
         self.chassis.reset_stats();
+    }
+
+    fn clone_dyn(&self) -> Box<dyn L2Org> {
+        Box::new(self.clone())
     }
 }
 

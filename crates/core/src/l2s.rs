@@ -16,6 +16,7 @@ use sim_cmp::{ChipResources, L2Fill, L2Org, L2Outcome, SystemConfig};
 use sim_mem::BlockAddr;
 
 /// The shared-L2 organisation.
+#[derive(Clone)]
 pub struct L2s {
     cfg: SystemConfig,
     banks: Vec<SetAssocCache>,
@@ -198,6 +199,10 @@ impl L2Org for L2s {
 
     fn name(&self) -> &'static str {
         "L2S"
+    }
+
+    fn clone_dyn(&self) -> Box<dyn L2Org> {
+        Box::new(self.clone())
     }
 
     fn reset_stats(&mut self) {

@@ -20,7 +20,9 @@
 use crate::chassis::{PeerHit, PrivateChassis};
 use crate::gt::{GroupCase, GtVector};
 use sim_cache::{CacheStats, Evicted, ShadowArray};
-use sim_cmp::{ChipResources, L2Fill, L2Org, L2Outcome, SystemConfig};
+use sim_cmp::{
+    ChipResources, L2Fill, L2Org, L2Outcome, SchemeEvent, SchemeEventKind, SystemConfig,
+};
 use sim_mem::BlockAddr;
 
 /// SNUG configuration.
@@ -117,6 +119,7 @@ pub struct SnugEvents {
 }
 
 /// The SNUG organisation.
+#[derive(Clone)]
 pub struct Snug {
     chassis: PrivateChassis,
     cfg: SnugConfig,
@@ -126,6 +129,9 @@ pub struct Snug {
     period_start: u64,
     next_peer: usize,
     events: SnugEvents,
+    /// Buffered stage/G-T transitions for session probes (drained via
+    /// [`L2Org::drain_events`]; bounded by the period count).
+    event_log: Vec<SchemeEvent>,
 }
 
 impl Snug {
@@ -145,6 +151,7 @@ impl Snug {
             period_start: 0,
             next_peer: 1,
             events: SnugEvents::default(),
+            event_log: Vec::new(),
         }
     }
 
@@ -190,6 +197,11 @@ impl Snug {
                         }
                     }
                     self.stage = Stage::Grouped;
+                    self.event_log.push(SchemeEvent {
+                        cycle: boundary,
+                        kind: SchemeEventKind::GroupedBegin,
+                        takers: self.gt.iter().map(|gt| gt.taker_count() as u32).collect(),
+                    });
                 }
                 Stage::Grouped => {
                     let boundary = self.period_start + self.cfg.period();
@@ -199,6 +211,11 @@ impl Snug {
                     self.period_start = boundary;
                     self.stage = Stage::Identify;
                     self.events.periods += 1;
+                    self.event_log.push(SchemeEvent {
+                        cycle: boundary,
+                        kind: SchemeEventKind::IdentifyBegin,
+                        takers: Vec::new(),
+                    });
                     for sh in &mut self.shadows {
                         if !self.cfg.continuous_sampling {
                             sh.reset_monitors();
@@ -377,6 +394,18 @@ impl L2Org for Snug {
     fn reset_stats(&mut self) {
         self.chassis.reset_stats();
         self.events = SnugEvents::default();
+        // `event_log` deliberately survives: it is a transition log for
+        // probes, not a statistic — clearing it here would drop any
+        // stage/G-T event that fired between the last probe drain and
+        // the warm-up boundary from recorded traces.
+    }
+
+    fn clone_dyn(&self) -> Box<dyn L2Org> {
+        Box::new(self.clone())
+    }
+
+    fn drain_events(&mut self) -> Vec<SchemeEvent> {
+        std::mem::take(&mut self.event_log)
     }
 }
 

@@ -141,10 +141,7 @@ fn combo_cmd(names: &[String]) {
         let m = MetricSet::compute(&IpcVector::new(r.ipcs()), &base_ipcs);
         println!(
             "| {} | {:.3} | {:.3} | {:.3} |",
-            spec.name(),
-            m.throughput,
-            m.aws,
-            m.fair
+            spec, m.throughput, m.aws, m.fair
         );
     }
 }

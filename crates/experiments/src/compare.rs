@@ -6,9 +6,9 @@
 //! combination. Class results aggregate with the geometric mean (§5).
 
 use serde::{Deserialize, Serialize};
-use sim_cmp::{CmpSystem, SystemConfig, SystemResult};
+use sim_cmp::{L2Org, SimSession, SystemConfig, SystemResult};
 use sim_mem::OpStream;
-use snug_core::{DsrConfig, SchemeSpec, SnugConfig};
+use snug_core::{Cc, DsrConfig, SchemeSpec, SnugConfig};
 use snug_metrics::{geomean, IpcVector, MetricSet, Table};
 use snug_workloads::{Combo, ComboClass};
 
@@ -160,17 +160,41 @@ impl ComboResult {
     }
 }
 
-/// Run one combo under one scheme spec; returns the raw system result.
-pub fn run_scheme(combo: &Combo, spec: &SchemeSpec, cfg: &CompareConfig) -> SystemResult {
-    let org = spec.build(cfg.system);
-    let mut sys = CmpSystem::new(cfg.system, org);
-    let streams: Vec<Box<dyn OpStream>> = combo
+/// One op stream per core for a combo on the given platform.
+pub fn combo_streams(combo: &Combo, system: &SystemConfig) -> Vec<Box<dyn OpStream>> {
+    combo
         .apps
         .iter()
         .enumerate()
-        .map(|(core, b)| Box::new(b.spec().stream(cfg.system.l2_slice, core)) as Box<dyn OpStream>)
-        .collect();
-    sys.run(streams, cfg.budget.warmup_cycles, cfg.budget.measure_cycles)
+        .map(|(core, b)| Box::new(b.spec().stream(system.l2_slice, core)) as Box<dyn OpStream>)
+        .collect()
+}
+
+/// Build a ready-to-drive session for one combo under one organisation:
+/// combo streams attached, budget set, nothing run yet. The scheme-spec
+/// form is [`session_for`]; this one takes a concrete organisation so
+/// callers keep typed access to it (e.g. the shared-warm-up CC sweep).
+pub fn session_for_org<O: L2Org>(combo: &Combo, org: O, cfg: &CompareConfig) -> SimSession<O> {
+    SimSession::builder(cfg.system, org)
+        .streams(combo_streams(combo, &cfg.system))
+        .budget(cfg.budget.warmup_cycles, cfg.budget.measure_cycles)
+        .build()
+}
+
+/// Build a ready-to-drive session for one combo under one scheme spec.
+pub fn session_for(
+    combo: &Combo,
+    spec: &SchemeSpec,
+    cfg: &CompareConfig,
+) -> SimSession<Box<dyn L2Org>> {
+    session_for_org(combo, spec.build(cfg.system), cfg)
+}
+
+/// Run one combo under one scheme spec; returns the raw system result.
+/// (The original one-shot entry point, now a thin wrapper over
+/// [`session_for`].)
+pub fn run_scheme(combo: &Combo, spec: &SchemeSpec, cfg: &CompareConfig) -> SystemResult {
+    session_for(combo, spec, cfg).run_to_completion()
 }
 
 /// One point of the five-scheme comparison — the unit of simulation and
@@ -266,6 +290,52 @@ pub fn run_point(combo: &Combo, point: &SchemePoint, cfg: &CompareConfig) -> Sch
         scheme: point.label(),
         ipcs: r.ipcs(),
     }
+}
+
+/// Run a subset of the §4.1 CC spill sweep from **one shared warm-up**:
+/// a single CC session is warmed with spilling inhibited (`p = 0`), its
+/// post-warm-up state is snapshotted, and each requested spill point
+/// restores the snapshot, retunes `p` and runs only the measured window.
+///
+/// This is the session API's warm-up-reuse fast path: `k` spill points
+/// cost one warm-up instead of `k`. It is a *methodology variant*, not a
+/// reproduction of the canonical per-point runs — under canonical
+/// semantics each probability also shapes the warm-up (spills happen
+/// during warm-up too), so shared-warm-up results are close to but not
+/// bit-identical with the default sweep and are cached under their own
+/// store keys. Matched warm-up state across the sweep also removes
+/// warm-up variance from the CC(Best) selection.
+pub fn run_cc_points_shared(
+    combo: &Combo,
+    points: &[SchemePoint],
+    cfg: &CompareConfig,
+) -> Vec<(SchemePoint, SchemeRun)> {
+    assert!(
+        points.iter().all(|p| matches!(p, SchemePoint::Cc { .. })),
+        "shared warm-up applies to the CC spill sweep"
+    );
+    let mut warm = session_for_org(combo, Cc::new(cfg.system, 0.0), cfg);
+    warm.run_until(cfg.budget.warmup_cycles);
+    debug_assert!(warm.measuring(), "warm-up boundary crossed");
+    let snap = warm.snapshot().expect("synthetic streams snapshot");
+    points
+        .iter()
+        .map(|point| {
+            let SchemePoint::Cc { spill_probability } = *point else {
+                unreachable!("asserted above");
+            };
+            let mut sess = snap.to_session().expect("snapshot streams clone");
+            sess.org_mut().set_spill_probability(spill_probability);
+            let r = sess.run_to_completion();
+            (
+                *point,
+                SchemeRun {
+                    scheme: point.label(),
+                    ipcs: r.ipcs(),
+                },
+            )
+        })
+        .collect()
 }
 
 /// Index of the winning CC point in a `(spill probability, normalised

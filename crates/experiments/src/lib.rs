@@ -6,7 +6,12 @@
 //!   set-level capacity-demand distributions;
 //! * [`compare`] — Figures 9–11: the five-scheme comparison over the
 //!   21 workload combinations, with CC(Best) sweeping §4.1's spill
-//!   probabilities;
+//!   probabilities. Every simulation is driven through a
+//!   [`sim_cmp::SimSession`]; `run_scheme`/`run_point` are thin
+//!   one-shot wrappers, and `run_cc_points_shared` measures the CC
+//!   sweep from one shared warm-up snapshot;
+//! * [`trace`] — phase-resolved time series ([`trace::trace_point`])
+//!   behind the `snug trace` CLI;
 //! * [`runner`] — parallel sweep driver (deterministic results).
 //!
 //! Storage-overhead Tables 2–3 are pure arithmetic and live in
@@ -18,11 +23,13 @@
 pub mod characterize;
 pub mod compare;
 pub mod runner;
+pub mod trace;
 
 pub use characterize::{characterize, CharacterizeConfig, DemandCharacterization};
 pub use compare::{
-    assemble_combo, best_cc_index, figure_table, run_combo, run_point, run_scheme, summarize,
-    ClassSummary, ComboResult, CompareConfig, Figure, RunBudget, SchemePoint, SchemeResult,
-    SchemeRun, FIGURE_SCHEMES,
+    assemble_combo, best_cc_index, combo_streams, figure_table, run_cc_points_shared, run_combo,
+    run_point, run_scheme, session_for, session_for_org, summarize, ClassSummary, ComboResult,
+    CompareConfig, Figure, RunBudget, SchemePoint, SchemeResult, SchemeRun, FIGURE_SCHEMES,
 };
 pub use runner::run_all;
+pub use trace::{default_stride, trace_point, TraceSeries};

@@ -17,9 +17,11 @@
 //! renders the committed `EXPERIMENTS.md` and `--check` fails if the
 //! committed file is stale.
 
+use snug_core::SchemeSpec;
+use snug_experiments::{default_stride, trace_point, SchemePoint};
 use snug_harness::{
     cached_results, check_experiments_md, render_experiments_md, render_markdown, run_sweep,
-    BudgetPreset, CheckOutcome, JsonCodec, ResultStore, SweepEvent, SweepSpec,
+    trace_key, BudgetPreset, CheckOutcome, JsonCodec, ResultStore, SweepEvent, SweepSpec,
 };
 use snug_metrics::TableFormat;
 use snug_workloads::{all_combos, Benchmark, ComboClass};
@@ -40,6 +42,8 @@ fn main() -> ExitCode {
         "report" => cmd_report(rest),
         "compare" => cmd_compare(rest),
         "characterize" => cmd_characterize(rest),
+        "trace" => cmd_trace(rest),
+        "store" => cmd_store(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -61,20 +65,33 @@ snug — SNUG experiment orchestration
 USAGE:
   snug sweep        [--class C1..C6]... [--quick|--mid|--eval|--warmup N --measure N]
                     [--threads N] [--results DIR] [--name NAME] [--spec FILE]
+                    [--shared-warmup]
   snug report       [--class ...] [--quick|--mid|--eval|--warmup N --measure N]
                     [--results DIR] [--out DIR] [--format md|csv] [--name NAME]
                     [--experiments-md [--check] [--md-path FILE]]
   snug compare      --combo LABEL | --class C [budget flags] [--threads N] [--results DIR]
+  snug trace        COMBO SCHEME [--stride N] [budget flags] [--results DIR]
+                    [--format md|csv]
+  snug store gc     [--results DIR]
   snug characterize [--bench NAME[,NAME]...] [--intervals N] [--accesses N] [--out DIR]
 
 Sweeps are cached at per-(combo, scheme, config-point) granularity: each
 unit job is keyed by a content hash of exactly the inputs it depends on
 and stored as JSONL under --results (default: results/). Re-running a
 sweep executes only jobs whose inputs changed — a scheme-parameter edit
-re-runs only that scheme's jobs. `snug report` renders Figures 9-11 and
-the per-combo table from the store; `snug report --experiments-md`
-renders the committed EXPERIMENTS.md (budget defaults to --mid there)
-and --check fails if the committed file is stale.";
+re-runs only that scheme's jobs. `snug sweep --shared-warmup` measures
+the CC spill sweep from one shared warm-up snapshot per combo (faster; a
+methodology variant cached under its own keys). `snug report` renders
+Figures 9-11 and the per-combo table from the store; `snug report
+--experiments-md` renders the committed EXPERIMENTS.md (budget defaults
+to --mid there) and --check fails if the committed file is stale.
+
+`snug trace` records a per-period time series of one (combo, scheme)
+simulation — per-core IPC, the L2 fill/spill mix and SNUG stage/G-T
+transitions on a probe stride — caching it in the store and rendering it
+as a table. SCHEME accepts figure labels (SNUG, CC(50%)) and store
+labels (snug, cc@50%). `snug store gc` rewrites the store keeping only
+the newest entry per key.";
 
 /// Flag parsing shared by the subcommands.
 struct Flags {
@@ -96,6 +113,8 @@ struct Flags {
     experiments_md: bool,
     check: bool,
     md_path: PathBuf,
+    shared_warmup: bool,
+    stride: Option<u64>,
 }
 
 impl Flags {
@@ -116,6 +135,8 @@ impl Flags {
             experiments_md: false,
             check: false,
             md_path: PathBuf::from(snug_harness::experiments_md::EXPERIMENTS_FILE),
+            shared_warmup: false,
+            stride: None,
         };
         let mut custom: (Option<u64>, Option<u64>) = (None, None);
         let mut it = args.iter();
@@ -163,6 +184,8 @@ impl Flags {
                 }
                 "--intervals" => f.intervals = parse_num(&value("--intervals")?)? as usize,
                 "--accesses" => f.accesses = parse_num(&value("--accesses")?)? as usize,
+                "--shared-warmup" => f.shared_warmup = true,
+                "--stride" => f.stride = Some(parse_num(&value("--stride")?)?),
                 other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
             }
         }
@@ -200,8 +223,8 @@ impl Flags {
 
     fn spec_with_default(&self, default_budget: BudgetPreset) -> Result<SweepSpec, String> {
         if let Some(path) = &self.spec_file {
-            if !self.classes.is_empty() || self.name.is_some() {
-                return Err("--spec cannot be combined with --class/--name".into());
+            if !self.classes.is_empty() || self.name.is_some() || self.shared_warmup {
+                return Err("--spec cannot be combined with --class/--name/--shared-warmup".into());
             }
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("reading {}: {e}", path.display()))?;
@@ -225,6 +248,7 @@ impl Flags {
             classes: self.classes.clone(),
             combos: Vec::new(),
             budget: self.budget.unwrap_or(default_budget),
+            shared_warmup: self.shared_warmup,
         })
     }
 }
@@ -327,6 +351,13 @@ fn cmd_experiments_md(flags: &Flags) -> Result<(), String> {
         return Err(
             "--experiments-md renders the full evaluation; it cannot be combined \
                     with --class/--name/--spec"
+                .into(),
+        );
+    }
+    if flags.shared_warmup {
+        return Err(
+            "--experiments-md documents the canonical per-point runs; --shared-warmup \
+             results live under their own keys and are not part of it"
                 .into(),
         );
     }
@@ -434,6 +465,113 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
         outcome.executed, outcome.cache_hits
     );
     Ok(())
+}
+
+/// `snug trace COMBO SCHEME`: record (or serve from the store) the
+/// per-period time series of one simulation and render it.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let positional: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
+    let [combo_label, scheme_name] = positional.as_slice() else {
+        return Err("trace needs two arguments: COMBO SCHEME (e.g. \
+                    `snug trace ammp+ammp+ammp+ammp snug`)"
+            .into());
+    };
+    let flags = Flags::parse(&args[positional.len()..])?;
+    flags.reject_experiments_md_flags("trace")?;
+    if flags.shared_warmup {
+        return Err("--shared-warmup does not apply to `snug trace`".into());
+    }
+
+    let all = all_combos();
+    let combo = all
+        .iter()
+        .find(|c| c.label() == **combo_label)
+        .ok_or_else(|| {
+            format!(
+                "unknown combo `{combo_label}` (see Table 8 labels, e.g. \
+                 `ammp+parser+swim+mesa`)"
+            )
+        })?;
+    let spec: SchemeSpec = scheme_name.parse()?;
+    let point = match spec {
+        SchemeSpec::L2p => SchemePoint::L2p,
+        SchemeSpec::L2s => SchemePoint::L2s,
+        SchemeSpec::Cc { spill_probability } => SchemePoint::Cc { spill_probability },
+        SchemeSpec::Dsr(_) => SchemePoint::Dsr,
+        SchemeSpec::Snug(_) => SchemePoint::Snug,
+    };
+
+    let budget = flags.budget.unwrap_or(BudgetPreset::Mid);
+    let cfg = budget.compare_config();
+    let stride = flags.stride.unwrap_or_else(|| default_stride(&cfg));
+    if stride == 0 {
+        return Err("--stride must be positive".into());
+    }
+
+    let mut store = ResultStore::open(&flags.results_dir).map_err(|e| e.to_string())?;
+    let key = trace_key(combo, &point, &cfg, stride);
+    let (series, from_cache) = match store.get_series(&key) {
+        Some(series) => (series.clone(), true),
+        None => {
+            let series = trace_point(combo, &point, &cfg, stride);
+            let inputs = format!(
+                "trace | {:?} | {} | {:?} | stride={stride}",
+                combo,
+                point.label(),
+                cfg
+            );
+            store
+                .insert_series(key, inputs, series.clone())
+                .map_err(|e| e.to_string())?;
+            (series, false)
+        }
+    };
+
+    let table = series.table(&combo.label());
+    match flags.format.unwrap_or(TableFormat::Markdown) {
+        TableFormat::Markdown => print!("{}", table.to_markdown()),
+        TableFormat::Csv => print!("{}", table.render(TableFormat::Csv)),
+    }
+    eprintln!(
+        "\ntrace {} [{}] budget {} stride {stride}: {} samples, {} scheme events, \
+         mean throughput {:.3}{}",
+        combo.label(),
+        series.scheme,
+        budget.label(),
+        series.samples.len(),
+        series.event_count(),
+        series.mean_throughput(),
+        if from_cache { " (from cache)" } else { "" },
+    );
+    Ok(())
+}
+
+/// `snug store gc`: compact the JSONL store to the newest entry per key.
+fn cmd_store(args: &[String]) -> Result<(), String> {
+    let (sub, rest) = match args.split_first() {
+        Some((s, rest)) => (s.as_str(), rest),
+        None => return Err("store needs a subcommand: `snug store gc`".into()),
+    };
+    match sub {
+        "gc" => {
+            let flags = Flags::parse(rest)?;
+            flags.reject_experiments_md_flags("store gc")?;
+            let mut store = ResultStore::open(&flags.results_dir).map_err(|e| e.to_string())?;
+            let before = store.file_lines();
+            let (kept, dropped) = store.compact().map_err(|e| e.to_string())?;
+            println!(
+                "store gc: {before} lines -> {kept} ({dropped} superseded dropped) in {}",
+                flags
+                    .results_dir
+                    .join(snug_harness::store::STORE_FILE)
+                    .display()
+            );
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown store subcommand `{other}` (expected `gc`)"
+        )),
+    }
 }
 
 fn cmd_characterize(args: &[String]) -> Result<(), String> {

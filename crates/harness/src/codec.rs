@@ -7,7 +7,9 @@
 //! pins down.
 
 use crate::json::{JsonError, Value};
-use snug_experiments::{ComboResult, SchemeResult, SchemeRun};
+use sim_cache::CacheStats;
+use sim_cmp::{PeriodSample, SchemeEvent, SchemeEventKind};
+use snug_experiments::{ComboResult, SchemeResult, SchemeRun, TraceSeries};
 use snug_metrics::MetricSet;
 use snug_workloads::ComboClass;
 
@@ -75,6 +77,153 @@ impl JsonCodec for SchemeRun {
         Ok(SchemeRun {
             scheme: v.get("scheme")?.as_str()?.to_string(),
             ipcs: f64_vec(v.get("ipcs")?)?,
+        })
+    }
+}
+
+fn u64_vec(v: &Value) -> Result<Vec<u64>, JsonError> {
+    v.as_arr()?
+        .iter()
+        .map(|x| x.as_num().map(|n| n as u64))
+        .collect()
+}
+
+fn u64_arr(xs: &[u64]) -> Value {
+    Value::Arr(xs.iter().map(|&x| Value::num(x as f64)).collect())
+}
+
+impl JsonCodec for CacheStats {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("hits", Value::num(self.hits as f64)),
+            ("misses", Value::num(self.misses as f64)),
+            ("cc_hits", Value::num(self.cc_hits as f64)),
+            ("evictions", Value::num(self.evictions as f64)),
+            ("writebacks", Value::num(self.writebacks as f64)),
+            ("spills_out", Value::num(self.spills_out as f64)),
+            ("spills_in", Value::num(self.spills_in as f64)),
+            ("forwards", Value::num(self.forwards as f64)),
+            (
+                "retrieved_from_peer",
+                Value::num(self.retrieved_from_peer as f64),
+            ),
+            ("shadow_hits", Value::num(self.shadow_hits as f64)),
+            (
+                "write_buffer_hits",
+                Value::num(self.write_buffer_hits as f64),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let field = |name: &str| -> Result<u64, JsonError> { Ok(v.get(name)?.as_num()? as u64) };
+        Ok(CacheStats {
+            hits: field("hits")?,
+            misses: field("misses")?,
+            cc_hits: field("cc_hits")?,
+            evictions: field("evictions")?,
+            writebacks: field("writebacks")?,
+            spills_out: field("spills_out")?,
+            spills_in: field("spills_in")?,
+            forwards: field("forwards")?,
+            retrieved_from_peer: field("retrieved_from_peer")?,
+            shadow_hits: field("shadow_hits")?,
+            write_buffer_hits: field("write_buffer_hits")?,
+        })
+    }
+}
+
+impl JsonCodec for SchemeEvent {
+    fn to_json(&self) -> Value {
+        let kind = match self.kind {
+            SchemeEventKind::IdentifyBegin => "identify",
+            SchemeEventKind::GroupedBegin => "grouped",
+        };
+        Value::obj(vec![
+            ("cycle", Value::num(self.cycle as f64)),
+            ("kind", Value::str(kind)),
+            (
+                "takers",
+                Value::Arr(self.takers.iter().map(|&t| Value::num(t as f64)).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let kind = match v.get("kind")?.as_str()? {
+            "identify" => SchemeEventKind::IdentifyBegin,
+            "grouped" => SchemeEventKind::GroupedBegin,
+            other => return Err(JsonError(format!("unknown scheme event kind `{other}`"))),
+        };
+        Ok(SchemeEvent {
+            cycle: v.get("cycle")?.as_num()? as u64,
+            kind,
+            takers: v
+                .get("takers")?
+                .as_arr()?
+                .iter()
+                .map(|x| x.as_num().map(|n| n as u32))
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+}
+
+impl JsonCodec for PeriodSample {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("cycle", Value::num(self.cycle as f64)),
+            ("during_warmup", Value::Bool(self.during_warmup)),
+            ("instructions", u64_arr(&self.instructions)),
+            ("cycles", u64_arr(&self.cycles)),
+            ("l2", self.l2.to_json()),
+            (
+                "events",
+                Value::Arr(self.events.iter().map(JsonCodec::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(PeriodSample {
+            cycle: v.get("cycle")?.as_num()? as u64,
+            during_warmup: v.get("during_warmup")?.as_bool()?,
+            instructions: u64_vec(v.get("instructions")?)?,
+            cycles: u64_vec(v.get("cycles")?)?,
+            l2: CacheStats::from_json(v.get("l2")?)?,
+            events: v
+                .get("events")?
+                .as_arr()?
+                .iter()
+                .map(SchemeEvent::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+}
+
+impl JsonCodec for TraceSeries {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("scheme", Value::str(&self.scheme)),
+            ("stride", Value::num(self.stride as f64)),
+            ("warmup_cycles", Value::num(self.warmup_cycles as f64)),
+            (
+                "samples",
+                Value::Arr(self.samples.iter().map(JsonCodec::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(TraceSeries {
+            scheme: v.get("scheme")?.as_str()?.to_string(),
+            stride: v.get("stride")?.as_num()? as u64,
+            warmup_cycles: v.get("warmup_cycles")?.as_num()? as u64,
+            samples: v
+                .get("samples")?
+                .as_arr()?
+                .iter()
+                .map(PeriodSample::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
         })
     }
 }

@@ -56,6 +56,14 @@ impl Value {
         }
     }
 
+    /// The value as a boolean, when it is one.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            v => Err(JsonError::shape("bool", v)),
+        }
+    }
+
     /// The value as a string slice, when it is one.
     pub fn as_str(&self) -> Result<&str, JsonError> {
         match self {

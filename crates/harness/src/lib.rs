@@ -47,8 +47,8 @@ pub use exec::ExecEvent;
 pub use experiments_md::{check_experiments_md, render_experiments_md, CheckOutcome};
 pub use report::{render_markdown, report_tables, write_report};
 pub use spec::{
-    legacy_combo_key, unit_jobs_for, unit_key, BudgetPreset, ComboJob, SweepSpec, UnitJob,
-    SCHEMA_VERSION, SCHEMA_VERSION_V1,
+    legacy_combo_key, trace_key, unit_jobs_for, unit_jobs_for_mode, unit_key, unit_key_mode,
+    BudgetPreset, ComboJob, SweepSpec, UnitJob, SCHEMA_VERSION, SCHEMA_VERSION_V1,
 };
 pub use store::{ResultStore, StoreError, StoredResult};
 pub use sweep::{

@@ -119,6 +119,7 @@ mod tests {
             classes: vec![],
             combos: vec![],
             budget: BudgetPreset::Quick,
+            shared_warmup: false,
         }
     }
 

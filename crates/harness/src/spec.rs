@@ -96,6 +96,14 @@ pub struct SweepSpec {
     pub combos: Vec<String>,
     /// The run budget.
     pub budget: BudgetPreset,
+    /// Measure the §4.1 CC spill sweep from one shared warm-up snapshot
+    /// per combo instead of warming each point separately
+    /// (`snug sweep --shared-warmup`). A faster *methodology variant*:
+    /// results are close to, but not bit-identical with, the canonical
+    /// per-point runs (each probability also shapes its own warm-up
+    /// there), so shared-mode CC jobs are keyed separately and never mix
+    /// with canonical entries.
+    pub shared_warmup: bool,
 }
 
 impl SweepSpec {
@@ -106,6 +114,7 @@ impl SweepSpec {
             classes: Vec::new(),
             combos: Vec::new(),
             budget,
+            shared_warmup: false,
         }
     }
 
@@ -130,7 +139,7 @@ impl SweepSpec {
         self.combos()
             .into_iter()
             .map(|combo| ComboJob {
-                units: unit_jobs_for(&combo, &config),
+                units: unit_jobs_for_mode(&combo, &config, self.shared_warmup),
                 combo,
                 config,
             })
@@ -171,6 +180,7 @@ impl JsonCodec for SweepSpec {
                 Value::Arr(self.combos.iter().map(|s| Value::str(s.as_str())).collect()),
             ),
             ("budget", budget),
+            ("shared_warmup", Value::Bool(self.shared_warmup)),
         ])
     }
 
@@ -194,6 +204,12 @@ impl JsonCodec for SweepSpec {
                 .collect::<Result<Vec<_>, _>>()?,
             Err(_) => Vec::new(),
         };
+        // `shared_warmup` is optional in the JSON form (older specs
+        // omit it; canonical semantics are the default).
+        let shared_warmup = match v.get("shared_warmup") {
+            Ok(flag) => flag.as_bool()?,
+            Err(_) => false,
+        };
         Ok(SweepSpec {
             name: v.get("name")?.as_str()?.to_string(),
             classes: v
@@ -204,6 +220,7 @@ impl JsonCodec for SweepSpec {
                 .collect::<Result<Vec<_>, _>>()?,
             combos,
             budget,
+            shared_warmup,
         })
     }
 }
@@ -221,6 +238,9 @@ pub struct UnitJob {
     /// The full comparison configuration (the key only covers the parts
     /// this point depends on).
     pub config: CompareConfig,
+    /// Whether this job runs under the shared-warm-up variant (CC
+    /// points only; baked into the key).
+    pub shared_warmup: bool,
 }
 
 impl UnitJob {
@@ -242,15 +262,30 @@ pub struct ComboJob {
     pub units: Vec<UnitJob>,
 }
 
-/// The unit jobs of one combo under one configuration.
+/// The unit jobs of one combo under one configuration (canonical
+/// warm-up semantics).
 pub fn unit_jobs_for(combo: &Combo, config: &CompareConfig) -> Vec<UnitJob> {
+    unit_jobs_for_mode(combo, config, false)
+}
+
+/// The unit jobs of one combo; with `shared_warmup`, CC points carry
+/// the shared-warm-up keys and marker.
+pub fn unit_jobs_for_mode(
+    combo: &Combo,
+    config: &CompareConfig,
+    shared_warmup: bool,
+) -> Vec<UnitJob> {
     SchemePoint::all()
         .into_iter()
-        .map(|point| UnitJob {
-            key: unit_key(combo, &point, config),
-            combo: *combo,
-            point,
-            config: *config,
+        .map(|point| {
+            let shared = shared_warmup && matches!(point, SchemePoint::Cc { .. });
+            UnitJob {
+                key: unit_key_mode(combo, &point, config, shared),
+                combo: *combo,
+                point,
+                config: *config,
+                shared_warmup: shared,
+            }
         })
         .collect()
 }
@@ -265,8 +300,38 @@ pub fn unit_jobs_for(combo: &Combo, config: &CompareConfig) -> Vec<UnitJob> {
 /// configuration therefore invalidates only that scheme's cached jobs;
 /// every other point keeps hitting.
 pub fn unit_key(combo: &Combo, point: &SchemePoint, config: &CompareConfig) -> String {
+    unit_key_mode(combo, point, config, false)
+}
+
+/// [`unit_key`] with the execution-mode marker: shared-warm-up CC runs
+/// change the simulation semantics (warm-up happens once, with spilling
+/// inhibited), so their results live under distinct keys.
+pub fn unit_key_mode(
+    combo: &Combo,
+    point: &SchemePoint,
+    config: &CompareConfig,
+    shared_warmup: bool,
+) -> String {
+    let mode = if shared_warmup { "|shared-warmup" } else { "" };
     content_key(&format!(
-        "{SCHEMA_VERSION}|{combo:?}|{point:?}|{:?}|{:?}|{}",
+        "{SCHEMA_VERSION}|{combo:?}|{point:?}|{:?}|{:?}|{}{mode}",
+        config.system,
+        config.budget,
+        point.param_fingerprint(config),
+    ))
+}
+
+/// The content key of a recorded time series (`snug trace`): the unit
+/// key's inputs plus the probe stride, under a distinct record tag so
+/// trace entries never collide with unit results.
+pub fn trace_key(
+    combo: &Combo,
+    point: &SchemePoint,
+    config: &CompareConfig,
+    stride: u64,
+) -> String {
+    content_key(&format!(
+        "{SCHEMA_VERSION}|trace|{combo:?}|{point:?}|{:?}|{:?}|{}|stride={stride}",
         config.system,
         config.budget,
         point.param_fingerprint(config),
@@ -302,6 +367,7 @@ mod tests {
             classes: vec![ComboClass::C5],
             combos: Vec::new(),
             budget: BudgetPreset::Quick,
+            shared_warmup: false,
         };
         let jobs = spec.combo_jobs();
         assert_eq!(jobs.len(), 3, "Table 8: C5 has three combos");
@@ -362,6 +428,39 @@ mod tests {
     }
 
     #[test]
+    fn shared_warmup_rekeys_only_cc_points() {
+        let combo = all_combos()[0];
+        let cfg = BudgetPreset::Quick.compare_config();
+        let canonical = unit_jobs_for_mode(&combo, &cfg, false);
+        let shared = unit_jobs_for_mode(&combo, &cfg, true);
+        for (c, s) in canonical.iter().zip(&shared) {
+            assert_eq!(c.point, s.point);
+            match c.point {
+                SchemePoint::Cc { .. } => {
+                    assert_ne!(c.key, s.key, "CC points get shared-warm-up keys");
+                    assert!(s.shared_warmup);
+                }
+                _ => {
+                    assert_eq!(c.key, s.key, "non-CC points are unaffected");
+                    assert!(!s.shared_warmup);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_keys_are_distinct_from_unit_keys_and_stride_sensitive() {
+        let combo = all_combos()[0];
+        let cfg = BudgetPreset::Quick.compare_config();
+        for point in SchemePoint::all() {
+            let t = trace_key(&combo, &point, &cfg, 50_000);
+            assert_ne!(t, unit_key(&combo, &point, &cfg));
+            assert_ne!(t, trace_key(&combo, &point, &cfg, 25_000));
+            assert_eq!(t, trace_key(&combo, &point, &cfg, 50_000));
+        }
+    }
+
+    #[test]
     fn legacy_keys_are_stable_and_distinct_from_unit_keys() {
         let combo = all_combos()[0];
         let cfg = BudgetPreset::Quick.compare_config();
@@ -382,6 +481,7 @@ mod tests {
                 warmup_cycles: 11,
                 measure_cycles: 22,
             },
+            shared_warmup: false,
         };
         let cfg = spec.compare_config();
         assert_eq!(cfg.budget.warmup_cycles, 11);
@@ -402,6 +502,7 @@ mod tests {
                     warmup_cycles: 5,
                     measure_cycles: 9,
                 },
+                shared_warmup: true,
             },
         ] {
             let text = spec.to_json().render();

@@ -19,7 +19,7 @@
 
 use crate::codec::JsonCodec;
 use crate::json::{parse, JsonError, Value};
-use snug_experiments::{ComboResult, SchemeRun};
+use snug_experiments::{ComboResult, SchemeRun, TraceSeries};
 use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write as _;
@@ -28,12 +28,14 @@ use std::path::{Path, PathBuf};
 /// File name of the JSONL store inside the results directory.
 pub const STORE_FILE: &str = "store.jsonl";
 
-/// What a store entry holds: the unit of the current schema, or a whole
-/// combo result from a v1 store.
+/// What a store entry holds: the unit of the current schema, a recorded
+/// probe time series, or a whole combo result from a v1 store.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StoredResult {
     /// v2: one (combo, scheme point) simulation.
     Unit(SchemeRun),
+    /// v2: a recorded per-period time series (`snug trace`).
+    Series(TraceSeries),
     /// v1 legacy: a whole assembled five-scheme comparison.
     Combo(ComboResult),
 }
@@ -55,6 +57,7 @@ impl StoreEntry {
     fn to_json(&self) -> Value {
         let payload = match &self.result {
             StoredResult::Unit(run) => ("unit", run.to_json()),
+            StoredResult::Series(series) => ("series", series.to_json()),
             StoredResult::Combo(result) => ("result", result.to_json()),
         };
         Value::obj(vec![
@@ -67,6 +70,8 @@ impl StoreEntry {
     fn from_json(v: &Value) -> Result<Self, JsonError> {
         let result = if let Ok(unit) = v.get("unit") {
             StoredResult::Unit(SchemeRun::from_json(unit)?)
+        } else if let Ok(series) = v.get("series") {
+            StoredResult::Series(TraceSeries::from_json(series)?)
         } else {
             StoredResult::Combo(ComboResult::from_json(v.get("result")?)?)
         };
@@ -83,6 +88,10 @@ impl StoreEntry {
 pub struct ResultStore {
     dir: PathBuf,
     entries: BTreeMap<String, StoreEntry>,
+    /// Data lines currently in the JSONL file (blank lines excluded).
+    /// Exceeds `entries.len()` when duplicate keys have accumulated —
+    /// what [`ResultStore::compact`] reclaims.
+    file_lines: usize,
 }
 
 impl ResultStore {
@@ -91,6 +100,7 @@ impl ResultStore {
         let dir = dir.into();
         let path = dir.join(STORE_FILE);
         let mut entries = BTreeMap::new();
+        let mut file_lines = 0usize;
         match fs::read_to_string(&path) {
             Ok(text) => {
                 let lines: Vec<&str> = text.lines().collect();
@@ -104,6 +114,7 @@ impl ResultStore {
                     match parse(line).and_then(|v| StoreEntry::from_json(&v)) {
                         Ok(entry) => {
                             entries.insert(entry.key.clone(), entry);
+                            file_lines += 1;
                         }
                         Err(_) if lineno + 1 == lines.len() => {
                             // A partial trailing line is the expected
@@ -127,7 +138,11 @@ impl ResultStore {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(StoreError::Io(path.display().to_string(), e.to_string())),
         }
-        Ok(ResultStore { dir, entries })
+        Ok(ResultStore {
+            dir,
+            entries,
+            file_lines,
+        })
     }
 
     /// The directory this store persists under.
@@ -166,6 +181,49 @@ impl ResultStore {
         }
     }
 
+    /// Look up a recorded time series by content key.
+    pub fn get_series(&self, key: &str) -> Option<&TraceSeries> {
+        match self.get(key) {
+            Some(StoredResult::Series(series)) => Some(series),
+            _ => None,
+        }
+    }
+
+    /// Data lines currently in the JSONL file. Exceeds
+    /// [`ResultStore::len`] when superseded duplicates have accumulated
+    /// (schema bumps, re-runs) — [`ResultStore::compact`] reclaims them.
+    pub fn file_lines(&self) -> usize {
+        self.file_lines
+    }
+
+    /// Rewrite the JSONL file keeping only the newest entry per key
+    /// (`snug store gc`). The in-memory map already holds exactly those
+    /// — on load, later lines supersede earlier ones — so compaction
+    /// writes it back in key order through a temporary file and an
+    /// atomic rename. Idempotent: a second pass drops nothing. Returns
+    /// `(kept, dropped)` line counts.
+    pub fn compact(&mut self) -> Result<(usize, usize), StoreError> {
+        let kept = self.entries.len();
+        let dropped = self.file_lines.saturating_sub(kept);
+        let path = self.dir.join(STORE_FILE);
+        if self.entries.is_empty() && !path.exists() {
+            return Ok((0, 0));
+        }
+        let io_err =
+            |p: &Path, e: std::io::Error| StoreError::Io(p.display().to_string(), e.to_string());
+        fs::create_dir_all(&self.dir).map_err(|e| io_err(&self.dir, e))?;
+        let tmp = self.dir.join(format!("{STORE_FILE}.tmp"));
+        let mut text = String::new();
+        for entry in self.entries.values() {
+            text.push_str(&entry.to_json().render());
+            text.push('\n');
+        }
+        fs::write(&tmp, &text).map_err(|e| io_err(&tmp, e))?;
+        fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        self.file_lines = kept;
+        Ok((kept, dropped))
+    }
+
     /// Number of v2 unit entries.
     pub fn unit_count(&self) -> usize {
         self.entries
@@ -176,7 +234,18 @@ impl ResultStore {
 
     /// Number of v1 legacy entries still in the store.
     pub fn legacy_count(&self) -> usize {
-        self.len() - self.unit_count()
+        self.entries
+            .values()
+            .filter(|e| matches!(e.result, StoredResult::Combo(_)))
+            .count()
+    }
+
+    /// Number of recorded time-series entries.
+    pub fn series_count(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| matches!(e.result, StoredResult::Series(_)))
+            .count()
     }
 
     /// Insert a fresh unit result and append it to the JSONL file.
@@ -213,7 +282,18 @@ impl ResultStore {
         writeln!(file, "{line}")
             .map_err(|e| StoreError::Io(path.display().to_string(), e.to_string()))?;
         self.entries.insert(key, entry);
+        self.file_lines += 1;
         Ok(())
+    }
+
+    /// Insert a recorded time series.
+    pub fn insert_series(
+        &mut self,
+        key: String,
+        inputs: String,
+        series: TraceSeries,
+    ) -> Result<(), StoreError> {
+        self.insert(key, inputs, StoredResult::Series(series))
     }
 }
 
@@ -398,6 +478,84 @@ mod tests {
         let reopened = ResultStore::open(&dir).unwrap();
         assert_eq!(reopened.len(), 2);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn series_entries_round_trip_and_are_typed() {
+        let dir = tmp_dir("series");
+        let mut store = ResultStore::open(&dir).unwrap();
+        let series = snug_experiments::TraceSeries {
+            scheme: "snug".into(),
+            stride: 50_000,
+            warmup_cycles: 150_000,
+            samples: vec![sim_cmp::PeriodSample {
+                cycle: 50_000,
+                during_warmup: true,
+                instructions: vec![10, 20],
+                cycles: vec![50_000, 50_000],
+                l2: sim_cache::CacheStats {
+                    hits: 7,
+                    misses: 3,
+                    ..Default::default()
+                },
+                events: vec![sim_cmp::SchemeEvent {
+                    cycle: 10_000,
+                    kind: sim_cmp::SchemeEventKind::GroupedBegin,
+                    takers: vec![1, 2],
+                }],
+            }],
+        };
+        store
+            .insert_series("t1".into(), "trace-inputs".into(), series.clone())
+            .unwrap();
+        let back = ResultStore::open(&dir).unwrap();
+        assert_eq!(back.get_series("t1").unwrap(), &series);
+        assert_eq!(back.series_count(), 1);
+        assert!(back.get_unit("t1").is_none(), "typed lookup rejects kind");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_drops_superseded_duplicates_and_is_idempotent() {
+        let dir = tmp_dir("compact");
+        let mut store = ResultStore::open(&dir).unwrap();
+        store
+            .insert("k1".into(), "old".into(), fake("x+y", 1.0))
+            .unwrap();
+        store
+            .insert("k2".into(), "i".into(), fake("a+b", 2.0))
+            .unwrap();
+        // Supersede k1 (as a schema bump or re-run would).
+        store
+            .insert("k1".into(), "new".into(), fake("x+y", 3.0))
+            .unwrap();
+        assert_eq!(store.file_lines(), 3);
+        assert_eq!(store.len(), 2);
+
+        let (kept, dropped) = store.compact().unwrap();
+        assert_eq!((kept, dropped), (2, 1));
+        assert_eq!(store.file_lines(), 2);
+
+        // The newest value per key survived, on disk too.
+        let back = ResultStore::open(&dir).unwrap();
+        assert_eq!(back.file_lines(), 2);
+        assert_eq!(back.get("k1").unwrap(), &fake("x+y", 3.0));
+        assert_eq!(back.get("k2").unwrap(), &fake("a+b", 2.0));
+
+        // Idempotent: nothing more to drop, bytes unchanged.
+        let bytes = fs::read(dir.join(STORE_FILE)).unwrap();
+        let mut again = ResultStore::open(&dir).unwrap();
+        assert_eq!(again.compact().unwrap(), (2, 0));
+        assert_eq!(fs::read(dir.join(STORE_FILE)).unwrap(), bytes);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_on_missing_store_is_a_noop() {
+        let dir = tmp_dir("compact-empty");
+        let mut store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.compact().unwrap(), (0, 0));
+        assert!(!dir.exists(), "no file materialised");
     }
 
     #[test]

@@ -7,7 +7,8 @@ use crate::exec::{self, ExecEvent};
 use crate::spec::{legacy_combo_key, ComboJob, SweepSpec, UnitJob};
 use crate::store::{ResultStore, StoreError};
 use snug_experiments::{
-    assemble_combo, best_cc_index, run_point, ComboResult, SchemePoint, SchemeRun,
+    assemble_combo, best_cc_index, run_cc_points_shared, run_point, ComboResult, SchemePoint,
+    SchemeRun,
 };
 use std::sync::Mutex;
 
@@ -98,6 +99,12 @@ fn migrate_v1_units(job: &ComboJob, store: &mut ResultStore) -> Result<usize, St
     let best_cc_p = best_cc_index(&old.cc_sweep).map(|i| old.cc_sweep[i].0);
     let mut migrated = 0;
     for unit in &job.units {
+        if unit.shared_warmup {
+            // Shared-warm-up keys describe a different warm-up
+            // semantics; canonical v1 values must not masquerade as
+            // them.
+            continue;
+        }
         if store.get_unit(&unit.key).is_some() {
             continue;
         }
@@ -134,11 +141,82 @@ fn scheme_ipcs(result: &ComboResult, scheme: &str) -> Option<Vec<f64>> {
         .map(|s| s.ipcs.clone())
 }
 
+/// One schedulable piece of pending work: a single unit simulation, or
+/// a combo's pending shared-warm-up CC points, which run together so
+/// they share one warm-up snapshot.
+enum ExecUnit<'a> {
+    Single(&'a UnitJob),
+    CcShared(Vec<&'a UnitJob>),
+}
+
+impl ExecUnit<'_> {
+    fn label(&self) -> String {
+        match self {
+            ExecUnit::Single(job) => job.label(),
+            ExecUnit::CcShared(jobs) => format!(
+                "{} [cc sweep x{}, shared warmup]",
+                jobs[0].combo.label(),
+                jobs.len()
+            ),
+        }
+    }
+
+    /// Simulate and return every (job, result) pair of this piece.
+    fn run(&self) -> Vec<(&UnitJob, SchemeRun)> {
+        match self {
+            ExecUnit::Single(job) => {
+                vec![(*job, run_point(&job.combo, &job.point, &job.config))]
+            }
+            ExecUnit::CcShared(jobs) => {
+                let points: Vec<SchemePoint> = jobs.iter().map(|j| j.point).collect();
+                run_cc_points_shared(&jobs[0].combo, &points, &jobs[0].config)
+                    .into_iter()
+                    .zip(jobs.iter())
+                    .map(|((point, run), job)| {
+                        debug_assert_eq!(point, job.point);
+                        (*job, run)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Group pending jobs into schedulable pieces: shared-warm-up CC units
+/// batch per (combo, configuration) — a family shares one warm-up, so
+/// every member must describe the same simulation inputs — in
+/// first-appearance order; everything else runs alone.
+fn plan_exec_units<'a>(pending: &[&'a UnitJob]) -> Vec<ExecUnit<'a>> {
+    let mut units: Vec<ExecUnit<'_>> = Vec::new();
+    let mut family_index: std::collections::HashMap<String, usize> =
+        std::collections::HashMap::new();
+    for job in pending {
+        if job.shared_warmup && matches!(job.point, SchemePoint::Cc { .. }) {
+            let combo = format!("{:?}|{:?}", job.combo, job.config);
+            match family_index.get(&combo) {
+                Some(&i) => match &mut units[i] {
+                    ExecUnit::CcShared(jobs) => jobs.push(job),
+                    ExecUnit::Single(_) => unreachable!("family index points at a family"),
+                },
+                None => {
+                    family_index.insert(combo, units.len());
+                    units.push(ExecUnit::CcShared(vec![job]));
+                }
+            }
+        } else {
+            units.push(ExecUnit::Single(job));
+        }
+    }
+    units
+}
+
 /// Run `jobs` against `store`: cached units are served, missing units
 /// run in parallel on up to `threads` workers (0 = all CPUs) and are
-/// appended to the store as they complete. Outcomes return in job
-/// order. This is the engine under [`run_sweep`]; tests drive it
-/// directly to exercise ad-hoc configurations.
+/// appended to the store as they complete. Shared-warm-up CC units of
+/// one combo execute as a single piece around one warm-up snapshot.
+/// Outcomes return in job order. This is the engine under
+/// [`run_sweep`]; tests drive it directly to exercise ad-hoc
+/// configurations.
 pub fn run_unit_jobs(
     jobs: &[UnitJob],
     store: &mut ResultStore,
@@ -149,40 +227,51 @@ pub fn run_unit_jobs(
         .iter()
         .filter(|j| store.get_unit(&j.key).is_none())
         .collect();
+    let exec_units = plan_exec_units(&pending);
 
-    // Execute the missing units; each result is appended to the store
-    // *as its job finishes* (under the store lock), so an interrupted
+    // Execute the missing pieces; each result is appended to the store
+    // *as its piece finishes* (under the store lock), so an interrupted
     // sweep keeps everything completed so far.
     let progress_cell = Mutex::new(&mut *progress);
     let store_cell = Mutex::new(&mut *store);
     let first_store_error: Mutex<Option<StoreError>> = Mutex::new(None);
     exec::run(
-        pending.len(),
+        exec_units.len(),
         threads,
         |i| {
-            let job = pending[i];
-            let run = run_point(&job.combo, &job.point, &job.config);
-            let inputs = format!("{:?} | {} | {:?}", job.combo, job.point.label(), job.config);
-            let inserted = store_cell.lock().expect("store poisoned").insert_unit(
-                job.key.clone(),
-                inputs,
-                run,
-            );
-            if let Err(e) = inserted {
-                first_store_error
-                    .lock()
-                    .expect("error slot poisoned")
-                    .get_or_insert(e);
+            for (job, run) in exec_units[i].run() {
+                let mode = if job.shared_warmup {
+                    " | shared-warmup"
+                } else {
+                    ""
+                };
+                let inputs = format!(
+                    "{:?} | {} | {:?}{mode}",
+                    job.combo,
+                    job.point.label(),
+                    job.config
+                );
+                let inserted = store_cell.lock().expect("store poisoned").insert_unit(
+                    job.key.clone(),
+                    inputs,
+                    run,
+                );
+                if let Err(e) = inserted {
+                    first_store_error
+                        .lock()
+                        .expect("error slot poisoned")
+                        .get_or_insert(e);
+                }
             }
         },
         |event| {
             let mut p = progress_cell.lock().expect("progress poisoned");
             match event {
                 ExecEvent::Started { index, .. } => (p)(SweepEvent::JobStarted {
-                    label: pending[index].label(),
+                    label: exec_units[index].label(),
                 }),
                 ExecEvent::Finished { index, done, total } => (p)(SweepEvent::JobFinished {
-                    label: pending[index].label(),
+                    label: exec_units[index].label(),
                     done,
                     to_run: total,
                 }),
@@ -302,6 +391,7 @@ mod tests {
                 warmup_cycles: 10_000,
                 measure_cycles: 60_000,
             },
+            shared_warmup: false,
         }
     }
 
@@ -384,6 +474,98 @@ mod tests {
         run_sweep(&spec, &mut store, 0, |_| {}).unwrap();
         let cached = cached_results(&spec, &store).unwrap();
         assert_eq!(cached.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_warmup_sweep_batches_cc_and_caches_separately() {
+        let mut spec = tiny_spec();
+        spec.shared_warmup = true;
+        let (dir, mut store) = tmp_store("shared-warmup");
+
+        // The CC points of each combo run as one batched piece.
+        let mut labels = Vec::new();
+        let first = run_sweep(&spec, &mut store, 2, |e| {
+            if let SweepEvent::JobStarted { label } = e {
+                labels.push(label);
+            }
+        })
+        .unwrap();
+        assert_eq!(first.executed, 3 * UNITS_PER_COMBO);
+        assert_eq!(
+            labels
+                .iter()
+                .filter(|l| l.contains("shared warmup"))
+                .count(),
+            3,
+            "one batched CC piece per combo: {labels:?}"
+        );
+
+        // Second shared run: all cache hits, identical results.
+        let second = run_sweep(&spec, &mut store, 2, |_| {}).unwrap();
+        assert_eq!(second.executed, 0);
+        assert_eq!(second.results(), first.results());
+
+        // A canonical sweep shares the non-CC units but re-runs CC under
+        // its own keys — the two modes never serve each other.
+        let canonical = run_sweep(&tiny_spec(), &mut store, 2, |_| {}).unwrap();
+        let cc_points = snug_core::SchemeSpec::CC_SPILL_SWEEP.len();
+        assert_eq!(canonical.cache_hits, 3 * (UNITS_PER_COMBO - cc_points));
+        assert_eq!(canonical.executed, 3 * cc_points);
+
+        // Both runs agree on the baseline by construction; CC numbers
+        // may differ (different warm-up semantics) but stay plausible.
+        for (s, c) in first.results().iter().zip(&canonical.results()) {
+            assert_eq!(s.baseline_ipcs, c.baseline_ipcs);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_warmup_families_never_mix_configs() {
+        // Same combo at two budgets: the CC families must batch per
+        // (combo, config), or one budget's results would silently be
+        // simulated under the other's.
+        let (dir, mut store) = tmp_store("shared-mixed-config");
+        let combo = snug_workloads::all_combos()
+            .into_iter()
+            .find(|c| c.class == ComboClass::C1)
+            .unwrap();
+        let quick = BudgetPreset::Custom {
+            warmup_cycles: 10_000,
+            measure_cycles: 60_000,
+        }
+        .compare_config();
+        let mut bigger = quick;
+        bigger.budget.measure_cycles = 90_000;
+        let jobs: Vec<UnitJob> = crate::spec::unit_jobs_for_mode(&combo, &quick, true)
+            .into_iter()
+            .chain(crate::spec::unit_jobs_for_mode(&combo, &bigger, true))
+            .filter(|j| j.shared_warmup)
+            .collect();
+
+        let mut family_labels = 0;
+        let outcomes = run_unit_jobs(&jobs, &mut store, 2, &mut |e| {
+            if let SweepEvent::JobStarted { label } = e {
+                if label.contains("shared warmup") {
+                    family_labels += 1;
+                }
+            }
+        })
+        .unwrap();
+        assert_eq!(family_labels, 2, "one family per (combo, config)");
+
+        // Same point, different budget => different IPCs: proof the
+        // second family really ran under its own config.
+        let cc_pairs: Vec<(&UnitOutcome, &UnitOutcome)> = outcomes
+            .iter()
+            .zip(outcomes.iter().skip(jobs.len() / 2))
+            .take(jobs.len() / 2)
+            .collect();
+        assert!(
+            cc_pairs.iter().any(|(a, b)| a.run.ipcs != b.run.ipcs),
+            "budgets produced distinguishable results"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -7,9 +7,12 @@
 //! * [`core`] — the simplified out-of-order core timing model;
 //! * [`bus`] — 16 B split-transaction snoop bus with arbitration;
 //! * [`scheme`] — the [`scheme::L2Org`] trait behind which the five L2
-//!   organisations plug in;
-//! * [`system`] — the driver wiring cores, L1 I/D, bus, DRAM and an L2
-//!   organisation, with warm-up + measured execution.
+//!   organisations plug in, plus the scheme-side event hook;
+//! * [`session`] — steppable [`session::SimSession`]s: incremental
+//!   `step`/`run_until` driving, stride probes, deterministic
+//!   snapshot/restore;
+//! * [`system`] — the legacy one-shot driver, a thin wrapper over a
+//!   session.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,10 +21,14 @@ pub mod bus;
 pub mod config;
 pub mod core;
 pub mod scheme;
+pub mod session;
 pub mod system;
 
 pub use bus::{Bus, BusGrant, BusStats};
 pub use config::{BusConfig, CoreConfig, SystemConfig};
 pub use core::{CoreModel, CoreStats};
-pub use scheme::{ChipResources, L2Fill, L2Org, L2Outcome};
+pub use scheme::{ChipResources, CloneOrg, L2Fill, L2Org, L2Outcome, SchemeEvent, SchemeEventKind};
+pub use session::{
+    PeriodSample, Probe, SessionBuilder, SessionSnapshot, SimSession, SnapshotError,
+};
 pub use system::{CmpSystem, CoreResult, SystemResult};

@@ -40,6 +40,35 @@ pub struct L2Outcome {
     pub fill: L2Fill,
 }
 
+/// What kind of scheme-side event fired (see [`SchemeEvent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchemeEventKind {
+    /// A staged scheme began a new identification/sampling stage (for
+    /// SNUG: a new sampling period started and monitors are counting).
+    IdentifyBegin,
+    /// A staged scheme latched fresh policy state and entered grouped
+    /// operation (for SNUG: G/T vectors relatched from the monitors).
+    GroupedBegin,
+}
+
+/// A discrete scheme-side event surfaced to session probes.
+///
+/// The five organisations evolve internal policy state (SNUG's two-stage
+/// period machine, DSR's duel) that per-access statistics cannot show.
+/// Schemes buffer these transitions and the driving [`crate::SimSession`]
+/// drains them into the probe time series, so a trace can line IPC and
+/// spill behaviour up against stage boundaries and G/T relatches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemeEvent {
+    /// The cycle at which the transition took effect (stage boundary).
+    pub cycle: u64,
+    /// What happened.
+    pub kind: SchemeEventKind,
+    /// Per-core taker-set counts latched with the event (empty when the
+    /// event carries no G/T information).
+    pub takers: Vec<u32>,
+}
+
 /// An L2 cache organisation for the whole chip.
 ///
 /// Implementations own all L2 state (slices or banks, write buffers,
@@ -86,6 +115,46 @@ pub trait L2Org {
 
     /// Reset statistics at the end of warm-up (cache contents retained).
     fn reset_stats(&mut self);
+
+    /// Deep-copy this organisation behind a fresh box, for session
+    /// snapshots. Every scheme owns plain-data state, so this is a
+    /// straight clone; the type-erased form lets `Box<dyn L2Org>`
+    /// sessions capture their organisation without knowing the concrete
+    /// scheme.
+    fn clone_dyn(&self) -> Box<dyn L2Org>;
+
+    /// Drain buffered scheme-side events (stage transitions, policy
+    /// relatches) accumulated since the last drain. Organisations
+    /// without staged policy state return nothing.
+    fn drain_events(&mut self) -> Vec<SchemeEvent> {
+        Vec::new()
+    }
+}
+
+/// Organisation cloning that preserves the concrete type — what
+/// [`crate::SimSession::snapshot`] needs so a restored session has the
+/// same `O` as the one it was captured from.
+///
+/// Every `L2Org + Clone` type gets this for free; `Box<dyn L2Org>`
+/// (the factory's type-erased form) routes through
+/// [`L2Org::clone_dyn`].
+pub trait CloneOrg: L2Org {
+    /// A deep copy of this organisation.
+    fn clone_org(&self) -> Self
+    where
+        Self: Sized;
+}
+
+impl<T: L2Org + Clone> CloneOrg for T {
+    fn clone_org(&self) -> Self {
+        self.clone()
+    }
+}
+
+impl CloneOrg for Box<dyn L2Org> {
+    fn clone_org(&self) -> Self {
+        (**self).clone_dyn()
+    }
 }
 
 /// Forwarding impl so `CmpSystem<Box<dyn L2Org>>` works with the
@@ -121,6 +190,14 @@ impl L2Org for Box<dyn L2Org> {
     fn reset_stats(&mut self) {
         (**self).reset_stats()
     }
+
+    fn clone_dyn(&self) -> Box<dyn L2Org> {
+        (**self).clone_dyn()
+    }
+
+    fn drain_events(&mut self) -> Vec<SchemeEvent> {
+        (**self).drain_events()
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +207,7 @@ mod tests {
     use sim_mem::DramConfig;
 
     /// A trivial organisation used to exercise the trait's defaults.
+    #[derive(Clone)]
     struct NullOrg {
         stats: Vec<CacheStats>,
     }
@@ -175,6 +253,10 @@ mod tests {
 
         fn reset_stats(&mut self) {
             self.stats.iter_mut().for_each(|s| s.reset());
+        }
+
+        fn clone_dyn(&self) -> Box<dyn L2Org> {
+            Box::new(self.clone())
         }
     }
 

@@ -1,0 +1,822 @@
+//! Steppable simulation sessions.
+//!
+//! [`SimSession`] owns every piece of run state — cores, split L1 I/D
+//! caches, snoop bus, DRAM, the L2 organisation and the per-core op
+//! streams — and exposes the paper's fixed-window methodology as an
+//! *incremental* API:
+//!
+//! * [`SimSession::step`] executes one operation on the core with the
+//!   smallest local clock (globally time-ordered, exactly as the old
+//!   one-shot driver did);
+//! * [`SimSession::run_until`] advances the frontier to a cycle;
+//! * [`SimSession::run_to_completion`] runs the whole warm-up + measure
+//!   window and returns the [`SystemResult`];
+//! * [`Probe`]s fire on a configurable cycle stride and receive
+//!   [`PeriodSample`]s — per-core IPC, the L2 event mix and any
+//!   scheme-side [`SchemeEvent`]s (SNUG stage/G-T transitions) for that
+//!   interval;
+//! * [`SimSession::snapshot`] / [`SessionSnapshot::to_session`] capture
+//!   and replay the full deterministic state, so a post-warm-up snapshot
+//!   can be measured under several policy variants without re-running
+//!   the warm-up.
+//!
+//! Determinism contract: a session driven by any interleaving of
+//! `step`/`run_until` calls — including one that snapshots, restores and
+//! resumes — retires exactly the same operation sequence as a single
+//! `run_to_completion`, because every step picks the globally minimal
+//! core clock and phase transitions are functions of the frontier alone.
+//! The property test in `tests/session_determinism.rs` pins this down
+//! for all five schemes.
+
+use crate::config::SystemConfig;
+use crate::core::CoreModel;
+use crate::scheme::{ChipResources, CloneOrg, L2Org, SchemeEvent};
+use crate::system::{CoreResult, SystemResult};
+use crate::Bus;
+use sim_cache::{CacheStats, SetAssocCache};
+use sim_mem::{AccessKind, Dram, OpStream};
+
+/// One probe-stride sample of the running system — the row type of the
+/// time series `snug trace` records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeriodSample {
+    /// The stride boundary this sample covers (the first boundary the
+    /// frontier crossed since the previous sample).
+    pub cycle: u64,
+    /// Whether the interval ended inside the warm-up phase.
+    pub during_warmup: bool,
+    /// Per-core instructions retired during the interval.
+    pub instructions: Vec<u64>,
+    /// Per-core local-clock advance during the interval.
+    pub cycles: Vec<u64>,
+    /// Aggregate L2 statistics delta over the interval (hits, misses,
+    /// spills, forwards, shadow hits — the fill mix).
+    pub l2: CacheStats,
+    /// Scheme-side events that fired during the interval.
+    pub events: Vec<SchemeEvent>,
+}
+
+impl PeriodSample {
+    /// Per-core IPC over the interval (0 where the clock did not move).
+    pub fn ipcs(&self) -> Vec<f64> {
+        self.instructions
+            .iter()
+            .zip(&self.cycles)
+            .map(|(&i, &c)| if c == 0 { 0.0 } else { i as f64 / c as f64 })
+            .collect()
+    }
+
+    /// Sum of per-core IPCs over the interval.
+    pub fn throughput(&self) -> f64 {
+        self.ipcs().iter().sum()
+    }
+}
+
+/// An observer invoked at every probe stride boundary.
+pub trait Probe {
+    /// Called once per crossed stride boundary with that interval's
+    /// sample.
+    fn on_sample(&mut self, sample: &PeriodSample);
+}
+
+impl<F: FnMut(&PeriodSample)> Probe for F {
+    fn on_sample(&mut self, sample: &PeriodSample) {
+        self(sample)
+    }
+}
+
+/// Why a snapshot could not be taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The stream driving this core does not support deep-copying.
+    StreamNotCloneable(usize),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::StreamNotCloneable(core) => {
+                write!(f, "stream for core {core} does not support snapshotting")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A deterministic capture of a session's full state. Cheap to replay:
+/// [`SessionSnapshot::to_session`] clones the snapshot, so one capture
+/// can seed any number of sessions (the warm-up-reuse pattern).
+pub struct SessionSnapshot<O> {
+    cfg: SystemConfig,
+    cores: Vec<CoreModel>,
+    l1d: Vec<SetAssocCache>,
+    l1i: Vec<SetAssocCache>,
+    bus: Bus,
+    dram: Dram,
+    org: O,
+    streams: Vec<Box<dyn OpStream>>,
+    labels: Vec<String>,
+    warmup_cycles: u64,
+    measure_cycles: u64,
+    measuring: bool,
+    baseline: Vec<(u64, u64)>,
+}
+
+impl<O: CloneOrg> SessionSnapshot<O> {
+    /// Materialise a new session from this snapshot. The snapshot stays
+    /// intact, so the call can be repeated; probes are not part of the
+    /// captured state and start disabled.
+    pub fn to_session(&self) -> Result<SimSession<O>, SnapshotError> {
+        let streams = clone_streams(&self.streams)?;
+        Ok(SimSession {
+            cfg: self.cfg,
+            cores: self.cores.clone(),
+            l1d: self.l1d.clone(),
+            l1i: self.l1i.clone(),
+            bus: self.bus.clone(),
+            dram: self.dram.clone(),
+            org: self.org.clone_org(),
+            streams,
+            labels: self.labels.clone(),
+            warmup_cycles: self.warmup_cycles,
+            measure_cycles: self.measure_cycles,
+            measuring: self.measuring,
+            baseline: self.baseline.clone(),
+            probe_stride: 0,
+            next_probe_at: 0,
+            probe_cores: Vec::new(),
+            probe_l2: CacheStats::default(),
+            probes: Vec::new(),
+            series: None,
+        })
+    }
+
+    /// The organisation as captured (e.g. to tweak a policy parameter
+    /// before [`SessionSnapshot::to_session`] — note the tweak applies
+    /// to *future* sessions only after `org_mut` on the built session).
+    pub fn org(&self) -> &O {
+        &self.org
+    }
+}
+
+fn clone_streams(streams: &[Box<dyn OpStream>]) -> Result<Vec<Box<dyn OpStream>>, SnapshotError> {
+    streams
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.clone_dyn().ok_or(SnapshotError::StreamNotCloneable(i)))
+        .collect()
+}
+
+/// Builder for [`SimSession`]: platform + organisation + streams + the
+/// run window, with optional probing.
+pub struct SessionBuilder<O: L2Org> {
+    cfg: SystemConfig,
+    org: O,
+    streams: Vec<Box<dyn OpStream>>,
+    warmup_cycles: u64,
+    measure_cycles: u64,
+    probe_stride: u64,
+    record: bool,
+    probes: Vec<Box<dyn Probe>>,
+}
+
+impl<O: L2Org> SessionBuilder<O> {
+    /// Start a builder for `cfg` around an organisation.
+    pub fn new(cfg: SystemConfig, org: O) -> Self {
+        assert_eq!(
+            org.num_cores(),
+            cfg.num_cores,
+            "organisation must match core count"
+        );
+        SessionBuilder {
+            cfg,
+            org,
+            streams: Vec::new(),
+            warmup_cycles: 0,
+            measure_cycles: 0,
+            probe_stride: 0,
+            record: false,
+            probes: Vec::new(),
+        }
+    }
+
+    /// Attach one op stream per core (replaces any previous streams).
+    pub fn streams(mut self, streams: Vec<Box<dyn OpStream>>) -> Self {
+        self.streams = streams;
+        self
+    }
+
+    /// Set the warm-up and measured window lengths (absolute cycles:
+    /// measurement begins at `warmup` and the horizon is
+    /// `warmup + measure`).
+    pub fn budget(mut self, warmup_cycles: u64, measure_cycles: u64) -> Self {
+        self.warmup_cycles = warmup_cycles;
+        self.measure_cycles = measure_cycles;
+        self
+    }
+
+    /// Fire probes every `stride` cycles of frontier progress (0
+    /// disables probing).
+    pub fn probe_stride(mut self, stride: u64) -> Self {
+        self.probe_stride = stride;
+        self
+    }
+
+    /// Record every probe sample into an internal time series,
+    /// retrievable with [`SimSession::take_series`]. Implies probing at
+    /// the configured stride.
+    pub fn record_series(mut self, stride: u64) -> Self {
+        self.probe_stride = stride;
+        self.record = true;
+        self
+    }
+
+    /// Attach an external probe.
+    pub fn probe(mut self, probe: Box<dyn Probe>) -> Self {
+        self.probes.push(probe);
+        self
+    }
+
+    /// Build the session.
+    pub fn build(self) -> SimSession<O> {
+        assert_eq!(
+            self.streams.len(),
+            self.cfg.num_cores,
+            "one stream per core"
+        );
+        let labels = self.streams.iter().map(|s| s.label().to_string()).collect();
+        SimSession {
+            cores: (0..self.cfg.num_cores)
+                .map(|_| CoreModel::new(self.cfg.core))
+                .collect(),
+            l1d: (0..self.cfg.num_cores)
+                .map(|_| SetAssocCache::new(self.cfg.l1))
+                .collect(),
+            l1i: (0..self.cfg.num_cores)
+                .map(|_| SetAssocCache::new(self.cfg.l1))
+                .collect(),
+            bus: Bus::new(self.cfg.bus),
+            dram: Dram::new(self.cfg.dram),
+            org: self.org,
+            streams: self.streams,
+            labels,
+            warmup_cycles: self.warmup_cycles,
+            measure_cycles: self.measure_cycles,
+            measuring: false,
+            baseline: Vec::new(),
+            probe_stride: self.probe_stride,
+            next_probe_at: if self.probe_stride > 0 {
+                self.probe_stride
+            } else {
+                0
+            },
+            probe_cores: Vec::new(),
+            probe_l2: CacheStats::default(),
+            probes: self.probes,
+            series: if self.record { Some(Vec::new()) } else { None },
+            cfg: self.cfg,
+        }
+    }
+}
+
+/// A steppable simulation session (see the module docs).
+pub struct SimSession<O: L2Org> {
+    cfg: SystemConfig,
+    cores: Vec<CoreModel>,
+    l1d: Vec<SetAssocCache>,
+    l1i: Vec<SetAssocCache>,
+    bus: Bus,
+    dram: Dram,
+    org: O,
+    streams: Vec<Box<dyn OpStream>>,
+    labels: Vec<String>,
+    warmup_cycles: u64,
+    measure_cycles: u64,
+    /// Whether the measurement phase has begun (stats reset done).
+    measuring: bool,
+    /// Per-core (instructions, cycle) at measurement start.
+    baseline: Vec<(u64, u64)>,
+    probe_stride: u64,
+    next_probe_at: u64,
+    /// Per-core (instructions, cycle) at the previous probe tick.
+    probe_cores: Vec<(u64, u64)>,
+    /// Aggregate L2 stats at the previous probe tick.
+    probe_l2: CacheStats,
+    probes: Vec<Box<dyn Probe>>,
+    series: Option<Vec<PeriodSample>>,
+}
+
+impl<O: L2Org> SimSession<O> {
+    /// Start building a session.
+    pub fn builder(cfg: SystemConfig, org: O) -> SessionBuilder<O> {
+        SessionBuilder::new(cfg, org)
+    }
+
+    /// The simulation frontier: the minimum core-local clock. All state
+    /// at cycles below the frontier is final.
+    pub fn frontier(&self) -> u64 {
+        self.cores.iter().map(|c| c.cycle()).min().unwrap_or(0)
+    }
+
+    /// The end of the run window (`warmup + measure`).
+    pub fn horizon(&self) -> u64 {
+        self.warmup_cycles + self.measure_cycles
+    }
+
+    /// Whether the measurement phase has begun.
+    pub fn measuring(&self) -> bool {
+        self.measuring
+    }
+
+    /// Begin measurement when the frontier has crossed the warm-up
+    /// boundary: reset statistics (cache contents retained) and latch
+    /// the per-core baseline. Frontier-driven, so it happens at the
+    /// same point in the op sequence however the session is stepped.
+    fn sync_phase(&mut self) {
+        if self.measuring || self.frontier() < self.warmup_cycles {
+            return;
+        }
+        self.begin_measurement();
+    }
+
+    /// The warm-up boundary actions (see [`SimSession::sync_phase`]).
+    fn begin_measurement(&mut self) {
+        self.org.reset_stats();
+        for l1 in self.l1d.iter_mut().chain(self.l1i.iter_mut()) {
+            l1.reset_stats();
+        }
+        self.bus.reset_stats();
+        self.dram.reset_stats();
+        self.baseline = self
+            .cores
+            .iter()
+            .map(|c| (c.instructions(), c.cycle()))
+            .collect();
+        // The probe delta baselines restart with the reset counters.
+        self.probe_l2 = CacheStats::default();
+        self.probe_cores = self.baseline.clone();
+        self.measuring = true;
+    }
+
+    /// Execute one operation on the core with the smallest local clock.
+    /// Returns `false` once every core has reached the horizon (the
+    /// session is complete).
+    pub fn step(&mut self) -> bool {
+        // One scan serves three purposes: the global minimum clock IS
+        // the frontier, decides the phase transition, and names the next
+        // core to step (first index on ties, as the one-shot driver
+        // did).
+        let mut min_cycle = u64::MAX;
+        let mut min_core = 0;
+        for (i, core) in self.cores.iter().enumerate() {
+            if core.cycle() < min_cycle {
+                min_cycle = core.cycle();
+                min_core = i;
+            }
+        }
+        if !self.measuring && min_cycle >= self.warmup_cycles {
+            self.begin_measurement();
+        }
+        if min_cycle >= self.horizon() {
+            return false;
+        }
+        self.exec_op(min_core);
+        if self.probe_stride > 0 {
+            self.fire_probes();
+        }
+        true
+    }
+
+    /// Advance until the frontier reaches `cycle` (clamped to the
+    /// horizon) — every core's local clock ends at or beyond the target.
+    pub fn run_until(&mut self, cycle: u64) {
+        let target = cycle.min(self.horizon());
+        while self.frontier() < target {
+            if !self.step() {
+                break;
+            }
+        }
+        self.sync_phase();
+    }
+
+    /// Run the whole window and return the measured result.
+    pub fn run_to_completion(&mut self) -> SystemResult {
+        while self.step() {}
+        self.sync_phase();
+        self.result()
+    }
+
+    /// The measured result so far: per-core IPC over the measured
+    /// window, exactly as the one-shot driver reported it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if measurement has not begun (frontier below warm-up).
+    pub fn result(&self) -> SystemResult {
+        assert!(
+            self.measuring,
+            "result() before the warm-up boundary; drive the session past \
+             warmup_cycles first"
+        );
+        let cores = (0..self.cfg.num_cores)
+            .map(|i| {
+                let (i0, c0) = self.baseline[i];
+                let instructions = self.cores[i].instructions() - i0;
+                let cycles = self.cores[i].cycle().saturating_sub(c0).max(1);
+                CoreResult {
+                    label: self.labels[i].clone(),
+                    instructions,
+                    cycles,
+                    ipc: instructions as f64 / cycles as f64,
+                    stalls: self.cores[i].stats(),
+                    l1d: *self.l1d[i].stats(),
+                }
+            })
+            .collect();
+        SystemResult {
+            scheme: self.org.name().to_string(),
+            cores,
+            l2: self.org.aggregate_stats(),
+        }
+    }
+
+    /// Execute one operation on core `c` (the old driver's inner step,
+    /// verbatim).
+    fn exec_op(&mut self, c: usize) {
+        let op = self.streams[c].next_op();
+        self.cores[c].issue(op.instructions());
+        let now = self.cores[c].cycle();
+        let block = op.access.addr.block(self.cfg.l1.block_bytes);
+        let (l1, stalls_core) = match op.access.kind {
+            AccessKind::IFetch => (&mut self.l1i[c], true),
+            AccessKind::Load => (&mut self.l1d[c], true),
+            AccessKind::Store => (&mut self.l1d[c], false),
+        };
+        let r = l1.access(block, op.access.kind.is_write());
+        if r.hit {
+            // 1-cycle pipelined L1 hit: covered by the issue slot.
+            return;
+        }
+        let mut res = ChipResources {
+            bus: &mut self.bus,
+            dram: &mut self.dram,
+        };
+        // L1 fill displaced a dirty victim: write it back to L2 (off the
+        // critical path, no demand-access accounting).
+        if let Some(ev) = r.evicted {
+            if ev.flags.dirty {
+                self.org.writeback(c, ev.block, now, &mut res);
+            }
+        }
+        let outcome = self
+            .org
+            .access(c, block, op.access.kind.is_write(), now, &mut res);
+        if stalls_core {
+            // L1 hit latency is charged on top of the L2 path.
+            let completes = now + self.cfg.l1_latency + outcome.latency;
+            if op.critical {
+                self.cores[c].stall_until(completes);
+            } else {
+                self.cores[c].track_load(completes);
+            }
+        }
+    }
+
+    /// Emit probe samples for every stride boundary the frontier has
+    /// crossed. When one step jumps several boundaries at once, a single
+    /// sample (labelled with the first crossed boundary) covers them —
+    /// interval deltas stay conservative either way.
+    fn fire_probes(&mut self) {
+        if self.probe_stride == 0 || self.frontier() < self.next_probe_at {
+            return;
+        }
+        let frontier = self.frontier();
+        let boundary = self.next_probe_at;
+        self.next_probe_at = frontier - frontier % self.probe_stride + self.probe_stride;
+
+        let now_cores: Vec<(u64, u64)> = self
+            .cores
+            .iter()
+            .map(|c| (c.instructions(), c.cycle()))
+            .collect();
+        if self.probe_cores.is_empty() {
+            self.probe_cores = vec![(0, 0); now_cores.len()];
+        }
+        let l2_now = self.org.aggregate_stats();
+        let sample = PeriodSample {
+            cycle: boundary,
+            during_warmup: !self.measuring,
+            instructions: now_cores
+                .iter()
+                .zip(&self.probe_cores)
+                .map(|(n, p)| n.0.saturating_sub(p.0))
+                .collect(),
+            cycles: now_cores
+                .iter()
+                .zip(&self.probe_cores)
+                .map(|(n, p)| n.1.saturating_sub(p.1))
+                .collect(),
+            l2: stats_delta(&l2_now, &self.probe_l2),
+            events: self.org.drain_events(),
+        };
+        self.probe_cores = now_cores;
+        self.probe_l2 = l2_now;
+        for p in &mut self.probes {
+            p.on_sample(&sample);
+        }
+        if let Some(series) = &mut self.series {
+            series.push(sample);
+        }
+    }
+
+    /// Take the recorded time series (empty if recording was not
+    /// enabled).
+    pub fn take_series(&mut self) -> Vec<PeriodSample> {
+        self.series.take().unwrap_or_default()
+    }
+
+    /// Enable (or retune) series recording on a built session: probes
+    /// fire every `stride` cycles from the next boundary past the
+    /// current frontier.
+    pub fn enable_recording(&mut self, stride: u64) {
+        assert!(stride > 0, "stride must be positive");
+        self.probe_stride = stride;
+        let frontier = self.frontier();
+        self.next_probe_at = frontier - frontier % stride + stride;
+        if self.series.is_none() {
+            self.series = Some(Vec::new());
+        }
+    }
+
+    /// The L2 organisation.
+    pub fn org(&self) -> &O {
+        &self.org
+    }
+
+    /// Mutable access to the organisation (e.g. to retune a policy
+    /// parameter after restoring a shared warm-up snapshot).
+    pub fn org_mut(&mut self) -> &mut O {
+        &mut self.org
+    }
+
+    /// System configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Bus statistics.
+    pub fn bus_stats(&self) -> crate::bus::BusStats {
+        self.bus.stats()
+    }
+
+    /// DRAM statistics.
+    pub fn dram_stats(&self) -> sim_mem::DramStats {
+        self.dram.stats()
+    }
+
+    /// L1D statistics for one core.
+    pub fn l1d_stats(&self, core: usize) -> &CacheStats {
+        self.l1d[core].stats()
+    }
+
+    /// Replace the streams and run window, keeping all hardware state.
+    /// This is the legacy `CmpSystem::run` entry path; new code should
+    /// configure the builder instead.
+    pub(crate) fn rearm(
+        &mut self,
+        streams: Vec<Box<dyn OpStream>>,
+        warmup_cycles: u64,
+        measure_cycles: u64,
+    ) {
+        assert_eq!(streams.len(), self.cfg.num_cores, "one stream per core");
+        self.labels = streams.iter().map(|s| s.label().to_string()).collect();
+        self.streams = streams;
+        self.warmup_cycles = warmup_cycles;
+        self.measure_cycles = measure_cycles;
+        self.measuring = false;
+        self.baseline.clear();
+    }
+}
+
+impl<O: CloneOrg> SimSession<O> {
+    /// Capture the session's full deterministic state. Fails if any
+    /// stream does not support deep-copying. Probes and any recorded
+    /// series are not captured.
+    pub fn snapshot(&self) -> Result<SessionSnapshot<O>, SnapshotError> {
+        Ok(SessionSnapshot {
+            cfg: self.cfg,
+            cores: self.cores.clone(),
+            l1d: self.l1d.clone(),
+            l1i: self.l1i.clone(),
+            bus: self.bus.clone(),
+            dram: self.dram.clone(),
+            org: self.org.clone_org(),
+            streams: clone_streams(&self.streams)?,
+            labels: self.labels.clone(),
+            warmup_cycles: self.warmup_cycles,
+            measure_cycles: self.measure_cycles,
+            measuring: self.measuring,
+            baseline: self.baseline.clone(),
+        })
+    }
+}
+
+/// Field-wise saturating difference of two cumulative counter blocks.
+fn stats_delta(now: &CacheStats, earlier: &CacheStats) -> CacheStats {
+    CacheStats {
+        hits: now.hits.saturating_sub(earlier.hits),
+        misses: now.misses.saturating_sub(earlier.misses),
+        cc_hits: now.cc_hits.saturating_sub(earlier.cc_hits),
+        evictions: now.evictions.saturating_sub(earlier.evictions),
+        writebacks: now.writebacks.saturating_sub(earlier.writebacks),
+        spills_out: now.spills_out.saturating_sub(earlier.spills_out),
+        spills_in: now.spills_in.saturating_sub(earlier.spills_in),
+        forwards: now.forwards.saturating_sub(earlier.forwards),
+        retrieved_from_peer: now
+            .retrieved_from_peer
+            .saturating_sub(earlier.retrieved_from_peer),
+        shadow_hits: now.shadow_hits.saturating_sub(earlier.shadow_hits),
+        write_buffer_hits: now
+            .write_buffer_hits
+            .saturating_sub(earlier.write_buffer_hits),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_mem::VecStream;
+
+    /// The same minimal private organisation the system tests use.
+    #[derive(Clone)]
+    struct TestOrg {
+        slices: Vec<SetAssocCache>,
+        local_lat: u64,
+    }
+
+    impl TestOrg {
+        fn new(cfg: &SystemConfig) -> Self {
+            TestOrg {
+                slices: (0..cfg.num_cores)
+                    .map(|_| SetAssocCache::new(cfg.l2_slice))
+                    .collect(),
+                local_lat: cfg.l2_local_latency,
+            }
+        }
+    }
+
+    impl L2Org for TestOrg {
+        fn access(
+            &mut self,
+            core: usize,
+            block: sim_mem::BlockAddr,
+            is_write: bool,
+            now: u64,
+            res: &mut ChipResources<'_>,
+        ) -> crate::L2Outcome {
+            let r = self.slices[core].access(block, is_write);
+            if r.hit {
+                crate::L2Outcome {
+                    latency: self.local_lat,
+                    fill: crate::L2Fill::LocalHit,
+                }
+            } else {
+                let done = res.dram.read(now);
+                crate::L2Outcome {
+                    latency: self.local_lat + (done - now),
+                    fill: crate::L2Fill::Dram,
+                }
+            }
+        }
+
+        fn writeback(
+            &mut self,
+            core: usize,
+            block: sim_mem::BlockAddr,
+            _now: u64,
+            _res: &mut ChipResources<'_>,
+        ) {
+            let set = self.slices[core].home_set(block);
+            let _ = self.slices[core].touch_in_set(set, block, true);
+        }
+
+        fn slice_stats(&self, core: usize) -> &CacheStats {
+            self.slices[core].stats()
+        }
+
+        fn num_cores(&self) -> usize {
+            self.slices.len()
+        }
+
+        fn name(&self) -> &'static str {
+            "test-l2p"
+        }
+
+        fn reset_stats(&mut self) {
+            self.slices.iter_mut().for_each(|s| s.reset_stats());
+        }
+
+        fn clone_dyn(&self) -> Box<dyn L2Org> {
+            Box::new(self.clone())
+        }
+    }
+
+    fn streams(blocks: u64, gap: u32) -> Vec<Box<dyn OpStream>> {
+        (0..4)
+            .map(|i| {
+                let addrs: Vec<u64> = (0..blocks).map(|b| (b + 1000 * i) * 64).collect();
+                Box::new(VecStream::loads(format!("w{i}"), addrs, gap)) as Box<dyn OpStream>
+            })
+            .collect()
+    }
+
+    fn session(blocks: u64) -> SimSession<TestOrg> {
+        let cfg = SystemConfig::tiny_test();
+        SimSession::builder(cfg, TestOrg::new(&cfg))
+            .streams(streams(blocks, 3))
+            .budget(2_000, 30_000)
+            .build()
+    }
+
+    #[test]
+    fn stepping_matches_run_to_completion() {
+        let reference = session(64).run_to_completion();
+
+        let mut stepped = session(64);
+        // A deliberately awkward interleaving: single steps, then short
+        // run_until hops, then drain.
+        for _ in 0..100 {
+            stepped.step();
+        }
+        for t in (0..32_000).step_by(1_500) {
+            stepped.run_until(t);
+        }
+        let result = stepped.run_to_completion();
+        assert_eq!(result, reference);
+    }
+
+    #[test]
+    fn snapshot_restore_resume_is_bit_identical() {
+        let reference = session(64).run_to_completion();
+
+        let mut warm = session(64);
+        warm.run_until(2_000);
+        assert!(warm.measuring(), "warm-up boundary crossed");
+        let snap = warm.snapshot().expect("VecStream snapshots");
+        let warm_result = warm.run_to_completion();
+        assert_eq!(warm_result, reference);
+
+        // Replay from the snapshot twice: both identical to the
+        // uninterrupted run.
+        for _ in 0..2 {
+            let result = snap.to_session().unwrap().run_to_completion();
+            assert_eq!(result, reference);
+        }
+    }
+
+    #[test]
+    fn probes_fire_on_stride_and_cover_the_run() {
+        let cfg = SystemConfig::tiny_test();
+        let mut s = SimSession::builder(cfg, TestOrg::new(&cfg))
+            .streams(streams(64, 3))
+            .budget(2_000, 30_000)
+            .record_series(4_000)
+            .build();
+        let _ = s.run_to_completion();
+        let series = s.take_series();
+        assert!(!series.is_empty());
+        assert!(series[0].during_warmup || series[0].cycle >= 2_000);
+        assert!(series.windows(2).all(|w| w[0].cycle < w[1].cycle));
+        let last = series.last().unwrap();
+        assert!(!last.during_warmup);
+        assert!(last.throughput() > 0.0);
+        // Interval accesses add up: each sample's L2 delta is bounded by
+        // what the caches saw in total.
+        assert!(series.iter().all(|p| p.l2.accesses() > 0));
+    }
+
+    #[test]
+    fn external_probe_receives_samples() {
+        let cfg = SystemConfig::tiny_test();
+        let count = std::rc::Rc::new(std::cell::RefCell::new(0usize));
+        let c2 = count.clone();
+        let mut s = SimSession::builder(cfg, TestOrg::new(&cfg))
+            .streams(streams(16, 3))
+            .budget(1_000, 10_000)
+            .probe_stride(2_000)
+            .probe(Box::new(move |_: &PeriodSample| {
+                *c2.borrow_mut() += 1;
+            }))
+            .build();
+        let _ = s.run_to_completion();
+        assert!(*count.borrow() >= 4, "got {}", *count.borrow());
+    }
+
+    #[test]
+    fn result_before_warmup_panics() {
+        let s = session(8);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.result()));
+        assert!(err.is_err());
+    }
+}

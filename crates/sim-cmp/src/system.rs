@@ -1,20 +1,21 @@
-//! The quad-core CMP system driver.
+//! The one-shot CMP driver — a thin wrapper over [`SimSession`].
 //!
-//! Wires cores, split L1 I/D caches, the snoop bus, DRAM and one
-//! [`L2Org`] together, and executes per-core [`OpStream`]s up to a fixed
-//! cycle horizon (after a warm-up phase) — the paper's methodology: all
-//! cores run for the same simulated time and per-core IPC is measured
-//! over that window. Execution is globally time-ordered: at every step
-//! the core with the smallest local clock executes its next operation,
-//! so shared-resource state is mutated in non-decreasing time order.
+//! [`CmpSystem`] keeps the original run-to-completion entry point: wire
+//! an [`L2Org`] into the Table 4 platform and execute per-core
+//! [`OpStream`]s for a fixed warm-up + measurement window (the paper's
+//! methodology: all cores run the same simulated time and per-core IPC
+//! is measured over that window). All stepping, phase handling and
+//! result assembly live in [`crate::session`]; anything that needs to
+//! observe a run mid-flight — probes, snapshots, incremental stepping —
+//! should build a [`SimSession`] directly.
 
 use crate::config::SystemConfig;
-use crate::core::{CoreModel, CoreStats};
-use crate::scheme::{ChipResources, L2Org};
-use crate::Bus;
+use crate::core::CoreStats;
+use crate::scheme::L2Org;
+use crate::session::SimSession;
 use serde::{Deserialize, Serialize};
-use sim_cache::{CacheStats, SetAssocCache};
-use sim_mem::{AccessKind, Dram, OpStream};
+use sim_cache::CacheStats;
+use sim_mem::OpStream;
 
 /// Result for one core after a measured run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -56,80 +57,23 @@ impl SystemResult {
     }
 }
 
-/// The CMP system.
+/// The CMP system: the legacy one-shot facade over a session.
 pub struct CmpSystem<O: L2Org> {
-    cfg: SystemConfig,
-    cores: Vec<CoreModel>,
-    l1d: Vec<SetAssocCache>,
-    l1i: Vec<SetAssocCache>,
-    bus: Bus,
-    dram: Dram,
-    org: O,
+    session: SimSession<O>,
 }
 
 impl<O: L2Org> CmpSystem<O> {
-    /// Build a system around an L2 organisation.
+    /// Build a system around an L2 organisation. Streams and the run
+    /// window are supplied to [`CmpSystem::run`].
     pub fn new(cfg: SystemConfig, org: O) -> Self {
-        assert_eq!(
-            org.num_cores(),
-            cfg.num_cores,
-            "organisation must match core count"
-        );
+        let streams: Vec<Box<dyn OpStream>> = (0..cfg.num_cores)
+            .map(|i| {
+                Box::new(sim_mem::VecStream::loads(format!("idle{i}"), [0u64], 0))
+                    as Box<dyn OpStream>
+            })
+            .collect();
         CmpSystem {
-            cores: (0..cfg.num_cores)
-                .map(|_| CoreModel::new(cfg.core))
-                .collect(),
-            l1d: (0..cfg.num_cores)
-                .map(|_| SetAssocCache::new(cfg.l1))
-                .collect(),
-            l1i: (0..cfg.num_cores)
-                .map(|_| SetAssocCache::new(cfg.l1))
-                .collect(),
-            bus: Bus::new(cfg.bus),
-            dram: Dram::new(cfg.dram),
-            org,
-            cfg,
-        }
-    }
-
-    /// Execute one operation on core `c`.
-    fn step(&mut self, c: usize, streams: &mut [Box<dyn OpStream + '_>]) {
-        let op = streams[c].next_op();
-        self.cores[c].issue(op.instructions());
-        let now = self.cores[c].cycle();
-        let block = op.access.addr.block(self.cfg.l1.block_bytes);
-        let (l1, stalls_core) = match op.access.kind {
-            AccessKind::IFetch => (&mut self.l1i[c], true),
-            AccessKind::Load => (&mut self.l1d[c], true),
-            AccessKind::Store => (&mut self.l1d[c], false),
-        };
-        let r = l1.access(block, op.access.kind.is_write());
-        if r.hit {
-            // 1-cycle pipelined L1 hit: covered by the issue slot.
-            return;
-        }
-        let mut res = ChipResources {
-            bus: &mut self.bus,
-            dram: &mut self.dram,
-        };
-        // L1 fill displaced a dirty victim: write it back to L2 (off the
-        // critical path, no demand-access accounting).
-        if let Some(ev) = r.evicted {
-            if ev.flags.dirty {
-                self.org.writeback(c, ev.block, now, &mut res);
-            }
-        }
-        let outcome = self
-            .org
-            .access(c, block, op.access.kind.is_write(), now, &mut res);
-        if stalls_core {
-            // L1 hit latency is charged on top of the L2 path.
-            let completes = now + self.cfg.l1_latency + outcome.latency;
-            if op.critical {
-                self.cores[c].stall_until(completes);
-            } else {
-                self.cores[c].track_load(completes);
-            }
+            session: SimSession::builder(cfg, org).streams(streams).build(),
         }
     }
 
@@ -139,103 +83,56 @@ impl<O: L2Org> CmpSystem<O> {
     /// per-core and aggregate results.
     pub fn run(
         &mut self,
-        mut streams: Vec<Box<dyn OpStream + '_>>,
+        streams: Vec<Box<dyn OpStream>>,
         warmup_cycles: u64,
         measure_cycles: u64,
     ) -> SystemResult {
-        assert_eq!(streams.len(), self.cfg.num_cores);
-        // Phase 1: warm-up.
-        self.run_until_cycle(&mut streams, warmup_cycles);
-        // Reset statistics; snapshot timing.
-        self.org.reset_stats();
-        for l1 in self.l1d.iter_mut().chain(self.l1i.iter_mut()) {
-            l1.reset_stats();
-        }
-        self.bus.reset_stats();
-        self.dram.reset_stats();
-        let snapshot: Vec<(u64, u64)> = self
-            .cores
-            .iter()
-            .map(|c| (c.instructions(), c.cycle()))
-            .collect();
-        // Phase 2: measurement.
-        self.run_until_cycle(&mut streams, warmup_cycles + measure_cycles);
-        let cores = (0..self.cfg.num_cores)
-            .map(|i| {
-                let (i0, c0) = snapshot[i];
-                let instructions = self.cores[i].instructions() - i0;
-                let cycles = self.cores[i].cycle().saturating_sub(c0).max(1);
-                CoreResult {
-                    label: streams[i].label().to_string(),
-                    instructions,
-                    cycles,
-                    ipc: instructions as f64 / cycles as f64,
-                    stalls: self.cores[i].stats(),
-                    l1d: *self.l1d[i].stats(),
-                }
-            })
-            .collect();
-        SystemResult {
-            scheme: self.org.name().to_string(),
-            cores,
-            l2: self.org.aggregate_stats(),
-        }
+        self.session.rearm(streams, warmup_cycles, measure_cycles);
+        self.session.run_to_completion()
     }
 
-    /// Advance all cores (min-clock first) until every local clock has
-    /// reached `target` cycles.
-    fn run_until_cycle(&mut self, streams: &mut [Box<dyn OpStream + '_>], target: u64) {
-        loop {
-            let mut next: Option<usize> = None;
-            let mut min_cycle = u64::MAX;
-            for (i, core) in self.cores.iter().enumerate() {
-                if core.cycle() < target && core.cycle() < min_cycle {
-                    min_cycle = core.cycle();
-                    next = Some(i);
-                }
-            }
-            match next {
-                Some(c) => self.step(c, streams),
-                None => break,
-            }
-        }
+    /// The underlying session (for mid-run inspection from new code).
+    pub fn session(&self) -> &SimSession<O> {
+        &self.session
     }
 
     /// The L2 organisation (for post-run inspection).
     pub fn org(&self) -> &O {
-        &self.org
+        self.session.org()
     }
 
     /// System configuration.
     pub fn config(&self) -> &SystemConfig {
-        &self.cfg
+        self.session.config()
     }
 
     /// Bus statistics.
     pub fn bus_stats(&self) -> crate::bus::BusStats {
-        self.bus.stats()
+        self.session.bus_stats()
     }
 
     /// DRAM statistics.
     pub fn dram_stats(&self) -> sim_mem::DramStats {
-        self.dram.stats()
+        self.session.dram_stats()
     }
 
     /// L1D statistics for one core.
     pub fn l1d_stats(&self, core: usize) -> &CacheStats {
-        self.l1d[core].stats()
+        self.session.l1d_stats(core)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheme::{L2Fill, L2Outcome};
+    use crate::scheme::{ChipResources, L2Fill, L2Outcome};
+    use sim_cache::SetAssocCache;
     use sim_mem::{BlockAddr, VecStream};
 
     /// Minimal private-L2 organisation: every slice is an isolated cache
     /// backed by DRAM (no write buffer, no sharing). Enough to test the
     /// driver.
+    #[derive(Clone)]
     struct TestOrg {
         slices: Vec<SetAssocCache>,
         local_lat: u64,
@@ -306,6 +203,10 @@ mod tests {
 
         fn reset_stats(&mut self) {
             self.slices.iter_mut().for_each(|s| s.reset_stats());
+        }
+
+        fn clone_dyn(&self) -> Box<dyn L2Org> {
+            Box::new(self.clone())
         }
     }
 

@@ -120,6 +120,14 @@ pub trait OpStream {
 
     /// A short human-readable name (benchmark name) for reports.
     fn label(&self) -> &str;
+
+    /// Deep-copy this stream (including its generator state) for session
+    /// snapshots. Streams that cannot be captured return `None`, which
+    /// makes `SimSession::snapshot` fail loudly instead of silently
+    /// diverging on resume.
+    fn clone_dyn(&self) -> Option<Box<dyn OpStream>> {
+        None
+    }
 }
 
 /// A replayable in-memory stream, useful in tests and for trace replay.
@@ -170,6 +178,10 @@ impl OpStream for VecStream {
 
     fn label(&self) -> &str {
         &self.label
+    }
+
+    fn clone_dyn(&self) -> Option<Box<dyn OpStream>> {
+        Some(Box::new(self.clone()))
     }
 }
 

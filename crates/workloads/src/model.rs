@@ -446,6 +446,10 @@ impl OpStream for SyntheticStream {
     fn label(&self) -> &str {
         &self.spec.name
     }
+
+    fn clone_dyn(&self) -> Option<Box<dyn OpStream>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 #[cfg(test)]

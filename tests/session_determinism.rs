@@ -1,0 +1,143 @@
+//! The session API's determinism contract, pinned for every scheme:
+//!
+//! 1. any interleaving of `step()` / `run_until()` calls retires the
+//!    same operation sequence — and therefore the same measured result —
+//!    as one `run_to_completion()` (which is also what the legacy
+//!    `CmpSystem::run` wrapper drives);
+//! 2. snapshot → restore → resume is bit-identical to the uninterrupted
+//!    run, however the original session continues afterwards.
+
+use proptest::prelude::*;
+use sim_cmp::{CmpSystem, L2Org, SimSession, SystemConfig, SystemResult};
+use sim_mem::OpStream;
+use snug_core::{DsrConfig, SchemeSpec, SnugConfig};
+use snug_workloads::Benchmark;
+
+const WARMUP: u64 = 3_000;
+const MEASURE: u64 = 30_000;
+
+/// Small SNUG stages so several sampling periods fit the tiny window.
+fn tiny_snug() -> SnugConfig {
+    let mut c = SnugConfig::paper();
+    c.stage1_cycles = 2_000;
+    c.stage2_cycles = 8_000;
+    c.continuous_sampling = true;
+    c
+}
+
+/// The five schemes under test, in a stable order for proptest
+/// indexing.
+fn schemes() -> Vec<SchemeSpec> {
+    vec![
+        SchemeSpec::L2p,
+        SchemeSpec::L2s,
+        SchemeSpec::Cc {
+            spill_probability: 0.75,
+        },
+        SchemeSpec::Dsr(DsrConfig::tiny()),
+        SchemeSpec::Snug(tiny_snug()),
+    ]
+}
+
+/// A mixed multiprogrammed workload on the tiny platform: synthetic
+/// streams (with RNG state) so snapshots must capture generator state
+/// faithfully.
+fn streams(cfg: &SystemConfig) -> Vec<Box<dyn OpStream>> {
+    [
+        Benchmark::Ammp,
+        Benchmark::Vortex,
+        Benchmark::Art,
+        Benchmark::Applu,
+    ]
+    .iter()
+    .enumerate()
+    .map(|(core, b)| Box::new(b.spec().stream(cfg.l2_slice, core)) as Box<dyn OpStream>)
+    .collect()
+}
+
+fn session(spec: &SchemeSpec) -> SimSession<Box<dyn L2Org>> {
+    let cfg = SystemConfig::tiny_test();
+    SimSession::builder(cfg, spec.build(cfg))
+        .streams(streams(&cfg))
+        .budget(WARMUP, MEASURE)
+        .build()
+}
+
+fn reference(spec: &SchemeSpec) -> SystemResult {
+    session(spec).run_to_completion()
+}
+
+#[test]
+fn one_shot_wrapper_equals_session_for_every_scheme() {
+    for spec in schemes() {
+        let cfg = SystemConfig::tiny_test();
+        let mut sys = CmpSystem::new(cfg, spec.build(cfg));
+        let wrapper = sys.run(streams(&cfg), WARMUP, MEASURE);
+        assert_eq!(wrapper, reference(&spec), "{spec}");
+    }
+}
+
+#[test]
+fn fixed_awkward_interleaving_matches_for_every_scheme() {
+    for spec in schemes() {
+        let expected = reference(&spec);
+        let mut s = session(&spec);
+        for _ in 0..500 {
+            s.step();
+        }
+        for t in (0..WARMUP + MEASURE + 2_000).step_by(1_234) {
+            s.run_until(t);
+            s.step();
+        }
+        assert_eq!(s.run_to_completion(), expected, "{spec}");
+    }
+}
+
+proptest! {
+    /// Random step/run_until interleavings are bit-identical to the
+    /// one-shot run for a randomly chosen scheme.
+    #[test]
+    fn interleaved_driving_is_bit_identical(
+        scheme_idx in 0usize..5,
+        step_runs in proptest::collection::vec(1usize..400, 0..6),
+        hops in proptest::collection::vec(1u64..9_000, 0..8),
+    ) {
+        let spec = schemes()[scheme_idx];
+        let expected = reference(&spec);
+        let mut s = session(&spec);
+        let mut cursor = 0;
+        for (i, hop) in hops.iter().enumerate() {
+            cursor += hop;
+            s.run_until(cursor);
+            if let Some(n) = step_runs.get(i) {
+                for _ in 0..*n {
+                    s.step();
+                }
+            }
+        }
+        prop_assert_eq!(s.run_to_completion(), expected);
+    }
+
+    /// Snapshot → restore → resume reproduces the uninterrupted run,
+    /// wherever the snapshot is taken — before, at, or after the
+    /// warm-up boundary.
+    #[test]
+    fn snapshot_restore_resume_is_bit_identical(
+        scheme_idx in 0usize..5,
+        snap_at in 1u64..(WARMUP + MEASURE),
+    ) {
+        let spec = schemes()[scheme_idx];
+        let expected = reference(&spec);
+
+        let mut original = session(&spec);
+        original.run_until(snap_at);
+        let snap = original.snapshot().expect("streams snapshot");
+
+        // The original, resumed, still matches.
+        prop_assert_eq!(original.run_to_completion(), expected.clone());
+
+        // A session restored from the snapshot matches too.
+        let mut restored = snap.to_session().expect("snapshot replays");
+        prop_assert_eq!(restored.run_to_completion(), expected);
+    }
+}

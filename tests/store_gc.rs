@@ -1,0 +1,65 @@
+//! Store compaction (`snug store gc`) against the committed result
+//! store: gc is idempotent, and a gc'd copy of `results/store.jsonl`
+//! still renders the committed `EXPERIMENTS.md` byte-identically.
+
+use snug_harness::{cached_results, render_experiments_md, BudgetPreset, ResultStore, SweepSpec};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("snug-gc-test-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Copy the committed store into a scratch dir, appending `dup_lines`
+/// re-appended (superseded) copies of its first line.
+fn committed_store_copy(dir: &Path, dup_lines: usize) {
+    let committed = repo_root().join("results/store.jsonl");
+    let text = fs::read_to_string(&committed).expect("committed store present");
+    let first = text.lines().next().expect("non-empty store").to_string();
+    let mut out = text;
+    for _ in 0..dup_lines {
+        out.push_str(&first);
+        out.push('\n');
+    }
+    fs::write(dir.join("store.jsonl"), out).unwrap();
+}
+
+#[test]
+fn gc_is_idempotent_and_preserves_experiments_md() {
+    let dir = tmp_dir("experiments");
+    committed_store_copy(&dir, 2);
+
+    let mut store = ResultStore::open(&dir).unwrap();
+    let entries = store.len();
+    assert_eq!(store.file_lines(), entries + 2, "duplicates on disk");
+
+    // First gc drops exactly the superseded lines; second drops none
+    // and leaves the bytes untouched.
+    let (kept, dropped) = store.compact().unwrap();
+    assert_eq!((kept, dropped), (entries, 2));
+    let bytes = fs::read(dir.join("store.jsonl")).unwrap();
+    assert_eq!(store.compact().unwrap(), (entries, 0));
+    assert_eq!(fs::read(dir.join("store.jsonl")).unwrap(), bytes);
+
+    // The gc'd store reproduces the committed EXPERIMENTS.md
+    // byte-identically.
+    let reopened = ResultStore::open(&dir).unwrap();
+    let spec = SweepSpec::full(BudgetPreset::Mid);
+    let results =
+        cached_results(&spec, &reopened).expect("gc'd store still serves the full mid evaluation");
+    let rendered = render_experiments_md(&spec, &results);
+    let committed_md = fs::read_to_string(repo_root().join("EXPERIMENTS.md")).unwrap();
+    assert_eq!(
+        rendered, committed_md,
+        "gc must not change what the store renders to"
+    );
+
+    fs::remove_dir_all(&dir).unwrap();
+}
