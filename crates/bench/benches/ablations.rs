@@ -79,8 +79,7 @@ fn print_reproduction() {
 fn bench(c: &mut Criterion) {
     print_reproduction();
     let mut cfg = CompareConfig::quick();
-    cfg.budget.warmup_cycles = 30_000;
-    cfg.budget.measure_cycles = 150_000;
+    cfg.plan = snug_experiments::RunPlan::fixed(30_000, 150_000);
     let combo = all_combos()[0];
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);

@@ -6,51 +6,53 @@
 //! combination. Class results aggregate with the geometric mean (§5).
 
 use serde::{Deserialize, Serialize};
-use sim_cmp::{L2Org, SimSession, SystemConfig, SystemResult};
+use sim_cmp::{L2Org, RunPlan, SimSession, SystemConfig, SystemResult};
 use sim_mem::OpStream;
 use snug_core::{Cc, DsrConfig, SchemeSpec, SnugConfig};
 use snug_metrics::{geomean, IpcVector, MetricSet, Table};
 use snug_workloads::{Combo, ComboClass};
 
-/// How long to run each simulation (in cycles — every core runs the
-/// full window, as in the paper's fixed-3 B-cycle methodology).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct RunBudget {
-    /// Unmeasured warm-up cycles.
-    pub warmup_cycles: u64,
-    /// Measured cycles.
-    pub measure_cycles: u64,
+/// Default relative-spread threshold for convergence-based early exit
+/// (`snug sweep --until-converged` without `--rel-eps`): the baseline's
+/// throughput over the last four sample windows must agree to within
+/// 2 %. Calibrated at the `--mid` budget: with baseline pacing a
+/// converged sweep reproduces the committed fixed-budget store's
+/// per-combo winning scheme on all 21 combinations while simulating
+/// ~6 % fewer total cycles (0.03 still holds 21/21 at ~6.5 %; 0.04
+/// starts flipping the two hairline ≤0.1 %-margin combos, so 0.02
+/// leaves a safety margin).
+pub const DEFAULT_REL_EPSILON: f64 = 0.02;
+
+/// The default convergence sample window for a plan: a tenth of the
+/// measured ceiling (at the calibrated `--mid` budget this is 300 K
+/// cycles — exactly one SNUG sampling period, so each sample integrates
+/// over the periodic stage-transition transients).
+pub fn default_window(plan: &RunPlan) -> u64 {
+    (plan.measure_cycles() / 10).max(1)
 }
 
-impl RunBudget {
-    /// The default evaluation budget: ~4 SNUG sampling periods under the
+/// The fixed-window run plans of the three presets (every core runs
+/// the full window, as in the paper's fixed-3 B-cycle methodology).
+impl CompareConfig {
+    /// The default evaluation plan: ~4 SNUG sampling periods under the
     /// default_eval SNUG stage lengths (250 K + 1.25 M cycles).
-    pub fn default_eval() -> Self {
-        RunBudget {
-            warmup_cycles: 600_000,
-            measure_cycles: 6_300_000,
-        }
+    pub fn default_eval_plan() -> RunPlan {
+        RunPlan::fixed(600_000, 6_300_000)
     }
 
-    /// A fast budget for tests and smoke benches (pair with the quick
+    /// A fast plan for tests and smoke benches (pair with the quick
     /// SNUG stage lengths, period 300 K cycles).
-    pub fn quick() -> Self {
-        RunBudget {
-            warmup_cycles: 150_000,
-            measure_cycles: 1_200_000,
-        }
+    pub fn quick_plan() -> RunPlan {
+        RunPlan::fixed(150_000, 1_200_000)
     }
 
-    /// The calibrated mid budget: the smallest window with non-trivial
+    /// The calibrated mid plan: the smallest window with non-trivial
     /// scheme separation on the capacity-sensitive classes — on average
     /// SNUG ≥ DSR, both above L2P, L2S far worst — while keeping a full
     /// 21-combo sweep under a minute on one core. Picked empirically —
     /// see `examples/calibrate_mid.rs`.
-    pub fn mid() -> Self {
-        RunBudget {
-            warmup_cycles: 300_000,
-            measure_cycles: 3_000_000,
-        }
+    pub fn mid_plan() -> RunPlan {
+        RunPlan::fixed(300_000, 3_000_000)
     }
 }
 
@@ -59,10 +61,11 @@ impl RunBudget {
 pub struct CompareConfig {
     /// Platform (Table 4).
     pub system: SystemConfig,
-    /// Budget per (combo, scheme) simulation.
-    pub budget: RunBudget,
+    /// Run plan per (combo, scheme) simulation: warm-up + stop policy.
+    pub plan: RunPlan,
     /// SNUG parameters. The stage lengths must fit several periods into
-    /// the budget; `SnugConfig::scaled` keeps the paper's 1:20 ratio.
+    /// the plan's measured window; `SnugConfig::scaled` keeps the
+    /// paper's 1:20 ratio.
     pub snug: SnugConfig,
     /// DSR parameters.
     pub dsr: DsrConfig,
@@ -82,7 +85,7 @@ impl CompareConfig {
         snug.continuous_sampling = true;
         CompareConfig {
             system: SystemConfig::paper(),
-            budget: RunBudget::default_eval(),
+            plan: CompareConfig::default_eval_plan(),
             snug,
             dsr: DsrConfig::paper(),
         }
@@ -96,7 +99,7 @@ impl CompareConfig {
         snug.continuous_sampling = true;
         CompareConfig {
             system: SystemConfig::paper(),
-            budget: RunBudget::quick(),
+            plan: CompareConfig::quick_plan(),
             snug,
             dsr: DsrConfig::paper(),
         }
@@ -104,7 +107,7 @@ impl CompareConfig {
 
     /// The calibrated mid configuration behind `snug sweep --mid`: the
     /// CI-fast paper reproduction. Ten short SNUG sampling periods fit
-    /// the [`RunBudget::mid`] window — at this scale frequent
+    /// the [`CompareConfig::mid_plan`] window — at this scale frequent
     /// re-identification beats the paper's 1:20 stage amortisation
     /// (Stage I costs only 3 % of each period, and fresher G/T vectors
     /// lift the capacity-sensitive mixed classes the most). Picked
@@ -117,10 +120,21 @@ impl CompareConfig {
         snug.continuous_sampling = true;
         CompareConfig {
             system: SystemConfig::paper(),
-            budget: RunBudget::mid(),
+            plan: CompareConfig::mid_plan(),
             snug,
             dsr: DsrConfig::paper(),
         }
+    }
+
+    /// Swap the plan's stop policy for convergence-based early exit:
+    /// the current measured window becomes the ceiling, `window_cycles`
+    /// defaults to [`default_window`] and `rel_epsilon` to
+    /// [`DEFAULT_REL_EPSILON`].
+    pub fn until_converged(mut self, window_cycles: Option<u64>, rel_epsilon: Option<f64>) -> Self {
+        let window = window_cycles.unwrap_or_else(|| default_window(&self.plan));
+        let eps = rel_epsilon.unwrap_or(DEFAULT_REL_EPSILON);
+        self.plan = self.plan.until_converged(window, eps);
+        self
     }
 }
 
@@ -177,7 +191,7 @@ pub fn combo_streams(combo: &Combo, system: &SystemConfig) -> Vec<Box<dyn OpStre
 pub fn session_for_org<O: L2Org>(combo: &Combo, org: O, cfg: &CompareConfig) -> SimSession<O> {
     SimSession::builder(cfg.system, org)
         .streams(combo_streams(combo, &cfg.system))
-        .budget(cfg.budget.warmup_cycles, cfg.budget.measure_cycles)
+        .plan(cfg.plan)
         .build()
 }
 
@@ -281,15 +295,57 @@ pub struct SchemeRun {
     pub scheme: String,
     /// Measured per-core IPCs.
     pub ipcs: Vec<f64>,
+    /// Measured cycles when a stop policy ended the run early (`None`:
+    /// the run used its full measured window — every fixed-plan run,
+    /// and converged runs that never stabilised).
+    pub measured_cycles: Option<u64>,
 }
 
 /// Run one scheme point of one combo.
 pub fn run_point(combo: &Combo, point: &SchemePoint, cfg: &CompareConfig) -> SchemeRun {
-    let r = run_scheme(combo, &point.spec(cfg), cfg);
+    let mut session = session_for(combo, &point.spec(cfg), cfg);
+    let r = session.run_to_completion();
     SchemeRun {
         scheme: point.label(),
         ipcs: r.ipcs(),
+        measured_cycles: session
+            .stopped_at()
+            .map(|c| c.saturating_sub(cfg.plan.warmup_cycles)),
     }
+}
+
+/// `cfg` with its plan replaced by a fixed window of `measured_window`
+/// cycles — how a combo's non-baseline points run once the baseline's
+/// convergence has fixed the pace.
+pub fn paced_config(cfg: &CompareConfig, measured_window: u64) -> CompareConfig {
+    let mut paced = *cfg;
+    paced.plan = RunPlan::fixed(cfg.plan.warmup_cycles, measured_window);
+    paced
+}
+
+/// Run one scheme point over an exact `measured_window` (the pace a
+/// converged baseline run set for its combo). The window is recorded in
+/// the run when it beats the plan's ceiling, so cached entries carry
+/// the cycles they actually simulated.
+pub fn run_point_paced(
+    combo: &Combo,
+    point: &SchemePoint,
+    cfg: &CompareConfig,
+    measured_window: u64,
+) -> SchemeRun {
+    let mut run = run_point(combo, point, &paced_config(cfg, measured_window));
+    if measured_window < cfg.plan.measure_cycles() {
+        run.measured_cycles = Some(measured_window);
+    }
+    run
+}
+
+/// The measured window a converged baseline run sets for its combo:
+/// its early-stop cycle, or the full ceiling if it never stabilised.
+pub fn pace_of(baseline: &SchemeRun, cfg: &CompareConfig) -> u64 {
+    baseline
+        .measured_cycles
+        .unwrap_or_else(|| cfg.plan.measure_cycles())
 }
 
 /// Run a subset of the §4.1 CC spill sweep from **one shared warm-up**:
@@ -315,7 +371,7 @@ pub fn run_cc_points_shared(
         "shared warm-up applies to the CC spill sweep"
     );
     let mut warm = session_for_org(combo, Cc::new(cfg.system, 0.0), cfg);
-    warm.run_until(cfg.budget.warmup_cycles);
+    warm.run_until(cfg.plan.warmup_cycles);
     debug_assert!(warm.measuring(), "warm-up boundary crossed");
     let snap = warm.snapshot().expect("synthetic streams snapshot");
     points
@@ -327,11 +383,15 @@ pub fn run_cc_points_shared(
             let mut sess = snap.to_session().expect("snapshot streams clone");
             sess.org_mut().set_spill_probability(spill_probability);
             let r = sess.run_to_completion();
+            let measured_cycles = sess
+                .stopped_at()
+                .map(|c| c.saturating_sub(cfg.plan.warmup_cycles));
             (
                 *point,
                 SchemeRun {
                     scheme: point.label(),
                     ipcs: r.ipcs(),
+                    measured_cycles,
                 },
             )
         })
@@ -422,10 +482,32 @@ pub fn assemble_combo(combo: &Combo, runs: &[(SchemePoint, SchemeRun)]) -> Combo
 
 /// Run the full five-scheme comparison on one combo: every point of
 /// [`SchemePoint::all`], assembled by [`assemble_combo`].
+///
+/// Under a convergence plan the combo is **baseline-paced**: the L2P
+/// point (the normalisation denominator) runs under the stop policy,
+/// and every other point measures over exactly the window the baseline
+/// settled on. One window per combo keeps every normalised ratio
+/// window-consistent — mixing per-scheme stop cycles inside one combo
+/// would bias the CC(Best)/DSR/SNUG comparison by whatever each
+/// scheme's tail contributed — while still stopping as soon as the
+/// measured system is stable instead of at a guessed cycle count.
 pub fn run_combo(combo: &Combo, cfg: &CompareConfig) -> ComboResult {
-    let runs: Vec<(SchemePoint, SchemeRun)> = SchemePoint::all()
-        .into_iter()
-        .map(|point| (point, run_point(combo, &point, cfg)))
+    let baseline = run_point(combo, &SchemePoint::L2p, cfg);
+    let pace = pace_of(&baseline, cfg);
+    let runs: Vec<(SchemePoint, SchemeRun)> = std::iter::once((SchemePoint::L2p, baseline))
+        .chain(
+            SchemePoint::all()
+                .into_iter()
+                .filter(|p| *p != SchemePoint::L2p)
+                .map(|point| {
+                    let run = if cfg.plan.can_stop_early() {
+                        run_point_paced(combo, &point, cfg, pace)
+                    } else {
+                        run_point(combo, &point, cfg)
+                    };
+                    (point, run)
+                }),
+        )
         .collect();
     assemble_combo(combo, &runs)
 }
@@ -528,6 +610,7 @@ pub fn figure_table(summaries: &[ClassSummary], figure: Figure) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sim_cmp::StopSpec;
 
     fn fake_result(class: ComboClass, snug_tp: f64) -> ComboResult {
         let mk = |name: &str, tp: f64| SchemeResult {
@@ -578,7 +661,45 @@ mod tests {
     }
 
     #[test]
-    fn budget_presets_are_ordered() {
-        assert!(RunBudget::quick().measure_cycles < RunBudget::default_eval().measure_cycles);
+    fn plan_presets_are_ordered() {
+        assert!(
+            CompareConfig::quick_plan().measure_cycles()
+                < CompareConfig::default_eval_plan().measure_cycles()
+        );
+    }
+
+    #[test]
+    fn until_converged_defaults_derive_from_the_plan() {
+        let cfg = CompareConfig::mid().until_converged(None, None);
+        match cfg.plan.stop {
+            StopSpec::Converged {
+                window_cycles,
+                rel_epsilon,
+                max_cycles,
+                ..
+            } => {
+                assert_eq!(window_cycles, 300_000, "a tenth of the mid window");
+                assert_eq!(rel_epsilon, DEFAULT_REL_EPSILON);
+                assert_eq!(max_cycles, 3_000_000, "budget becomes the ceiling");
+            }
+            other => panic!("expected a converged plan, got {other:?}"),
+        }
+        assert_eq!(
+            cfg.plan.warmup_cycles,
+            CompareConfig::mid().plan.warmup_cycles
+        );
+
+        let tuned = CompareConfig::mid().until_converged(Some(50_000), Some(0.02));
+        match tuned.plan.stop {
+            StopSpec::Converged {
+                window_cycles,
+                rel_epsilon,
+                ..
+            } => {
+                assert_eq!(window_cycles, 50_000);
+                assert_eq!(rel_epsilon, 0.02);
+            }
+            other => panic!("expected a converged plan, got {other:?}"),
+        }
     }
 }

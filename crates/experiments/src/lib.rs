@@ -27,9 +27,11 @@ pub mod trace;
 
 pub use characterize::{characterize, CharacterizeConfig, DemandCharacterization};
 pub use compare::{
-    assemble_combo, best_cc_index, combo_streams, figure_table, run_cc_points_shared, run_combo,
-    run_point, run_scheme, session_for, session_for_org, summarize, ClassSummary, ComboResult,
-    CompareConfig, Figure, RunBudget, SchemePoint, SchemeResult, SchemeRun, FIGURE_SCHEMES,
+    assemble_combo, best_cc_index, combo_streams, default_window, figure_table, pace_of,
+    paced_config, run_cc_points_shared, run_combo, run_point, run_point_paced, run_scheme,
+    session_for, session_for_org, summarize, ClassSummary, ComboResult, CompareConfig, Figure,
+    SchemePoint, SchemeResult, SchemeRun, DEFAULT_REL_EPSILON, FIGURE_SCHEMES,
 };
 pub use runner::run_all;
+pub use sim_cmp::{RunPlan, StopSpec};
 pub use trace::{default_stride, trace_point, TraceSeries};

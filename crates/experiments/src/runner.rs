@@ -66,8 +66,7 @@ mod tests {
             .take(2)
             .collect();
         let mut cfg = CompareConfig::quick();
-        cfg.budget.warmup_cycles = 20_000;
-        cfg.budget.measure_cycles = 120_000;
+        cfg.plan = sim_cmp::RunPlan::fixed(20_000, 120_000);
         let seq: Vec<ComboResult> = combos.iter().map(|c| run_combo(c, &cfg)).collect();
         let par = run_all(&combos, &cfg, 2);
         assert_eq!(seq, par);

@@ -117,11 +117,11 @@ fn render_events(events: &[SchemeEvent]) -> String {
         .join(" ")
 }
 
-/// The default probe stride for a budget: 24 samples across the
-/// measured window (at the calibrated `--mid` budget this lands ~2.4
-/// samples inside every SNUG sampling period).
+/// The default probe stride for a plan: 24 samples across the measured
+/// window (at the calibrated `--mid` budget this lands ~2.4 samples
+/// inside every SNUG sampling period).
 pub fn default_stride(cfg: &CompareConfig) -> u64 {
-    (cfg.budget.measure_cycles / 24).max(1)
+    (cfg.plan.measure_cycles() / 24).max(1)
 }
 
 /// Run one (combo, scheme point) simulation with a recording probe and
@@ -139,7 +139,7 @@ pub fn trace_point(
     TraceSeries {
         scheme: point.label(),
         stride,
-        warmup_cycles: cfg.budget.warmup_cycles,
+        warmup_cycles: cfg.plan.warmup_cycles,
         samples: session.take_series(),
     }
 }
@@ -151,8 +151,7 @@ mod tests {
 
     fn tiny_cfg() -> CompareConfig {
         let mut cfg = CompareConfig::quick();
-        cfg.budget.warmup_cycles = 20_000;
-        cfg.budget.measure_cycles = 200_000;
+        cfg.plan = sim_cmp::RunPlan::fixed(20_000, 200_000);
         cfg.snug.stage1_cycles = 10_000;
         cfg.snug.stage2_cycles = 40_000;
         cfg

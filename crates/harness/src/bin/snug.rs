@@ -21,7 +21,8 @@ use snug_core::SchemeSpec;
 use snug_experiments::{default_stride, trace_point, SchemePoint};
 use snug_harness::{
     cached_results, check_experiments_md, render_experiments_md, render_markdown, run_sweep,
-    trace_key, BudgetPreset, CheckOutcome, JsonCodec, ResultStore, SweepEvent, SweepSpec,
+    trace_key, BudgetPreset, CheckOutcome, JsonCodec, ResultStore, StopPreset, SweepEvent,
+    SweepSpec,
 };
 use snug_metrics::TableFormat;
 use snug_workloads::{all_combos, Benchmark, ComboClass};
@@ -63,17 +64,27 @@ const USAGE: &str = "\
 snug — SNUG experiment orchestration
 
 USAGE:
-  snug sweep        [--class C1..C6]... [--quick|--mid|--eval|--warmup N --measure N]
-                    [--threads N] [--results DIR] [--name NAME] [--spec FILE]
-                    [--shared-warmup]
-  snug report       [--class ...] [--quick|--mid|--eval|--warmup N --measure N]
-                    [--results DIR] [--out DIR] [--format md|csv] [--name NAME]
+  snug sweep        [--class C1..C6]... [budget flags] [--threads N]
+                    [--results DIR] [--name NAME] [--spec FILE] [--shared-warmup]
+  snug report       [--class ...] [budget flags] [--results DIR] [--out DIR]
+                    [--format md|csv] [--name NAME]
                     [--experiments-md [--check] [--md-path FILE]]
   snug compare      --combo LABEL | --class C [budget flags] [--threads N] [--results DIR]
-  snug trace        COMBO SCHEME [--stride N] [budget flags] [--results DIR]
-                    [--format md|csv]
+  snug trace        COMBO SCHEME [--stride N] [--quick|--mid|--eval|--warmup N
+                    --measure N] [--results DIR] [--format md|csv]
   snug store gc     [--results DIR]
+  snug store merge  SHARD.jsonl... [--results DIR]
   snug characterize [--bench NAME[,NAME]...] [--intervals N] [--accesses N] [--out DIR]
+
+Budget flags (shared by sweep/compare/report; trace takes the fixed
+subset): --quick | --mid | --eval | --warmup N --measure N pick the run
+budget, and --until-converged [--rel-eps E] [--window N] swaps the fixed
+window for convergence-based early exit: each combo's L2P baseline stops
+at the first window boundary where its last four window throughputs
+agree to within E (default 0.02), and every other scheme measures over
+that same window — never past the budget ceiling. Converged runs are
+keyed separately from the canonical fixed-budget entries. Subcommands
+reject flags they would otherwise silently ignore.
 
 Sweeps are cached at per-(combo, scheme, config-point) granularity: each
 unit job is keyed by a content hash of exactly the inputs it depends on
@@ -91,16 +102,120 @@ simulation — per-core IPC, the L2 fill/spill mix and SNUG stage/G-T
 transitions on a probe stride — caching it in the store and rendering it
 as a table. SCHEME accepts figure labels (SNUG, CC(50%)) and store
 labels (snug, cc@50%). `snug store gc` rewrites the store keeping only
-the newest entry per key.";
+the newest entry per key; `snug store merge` folds sharded stores from
+multi-machine sweeps into one with the same newest-entry-per-key rule.";
+
+/// The budget/stop flag family — one parser and one defaulting rule
+/// shared by `sweep`, `compare`, `report` and `trace`, and rejected
+/// wholesale by subcommands that would otherwise silently ignore it.
+#[derive(Default)]
+struct BudgetFlags {
+    /// `None` means "not given": each command picks its default
+    /// (`--quick` for sweeps, `--mid` for `trace` and
+    /// `--experiments-md`).
+    preset: Option<BudgetPreset>,
+    warmup: Option<u64>,
+    measure: Option<u64>,
+    until_converged: bool,
+    rel_eps: Option<f64>,
+    window: Option<u64>,
+}
+
+impl BudgetFlags {
+    /// Try to consume `arg` as one of the family's flags; returns
+    /// whether it was consumed.
+    fn parse_flag(
+        &mut self,
+        arg: &str,
+        value: &mut dyn FnMut(&str) -> Result<String, String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--quick" => self.preset = Some(BudgetPreset::Quick),
+            "--mid" => self.preset = Some(BudgetPreset::Mid),
+            "--eval" => self.preset = Some(BudgetPreset::Eval),
+            "--warmup" => self.warmup = Some(parse_num(&value("--warmup")?)?),
+            "--measure" => self.measure = Some(parse_num(&value("--measure")?)?),
+            "--until-converged" => self.until_converged = true,
+            "--rel-eps" => self.rel_eps = Some(parse_float(&value("--rel-eps")?)?),
+            "--window" => self.window = Some(parse_num(&value("--window")?)?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Whether any flag of the family was given.
+    fn any_given(&self) -> bool {
+        self.preset.is_some()
+            || self.warmup.is_some()
+            || self.measure.is_some()
+            || self.any_convergence_given()
+    }
+
+    /// Whether any of the convergence flags was given.
+    fn any_convergence_given(&self) -> bool {
+        self.until_converged || self.rel_eps.is_some() || self.window.is_some()
+    }
+
+    /// The budget preset, falling back to the subcommand's default. An
+    /// explicit `--warmup N --measure N` pair overrides a named preset.
+    fn budget(&self, default: BudgetPreset) -> Result<BudgetPreset, String> {
+        match (self.warmup, self.measure) {
+            (None, None) => Ok(self.preset.unwrap_or(default)),
+            (Some(w), Some(m)) => Ok(BudgetPreset::Custom {
+                warmup_cycles: w,
+                measure_cycles: m,
+            }),
+            _ => Err("--warmup and --measure must be given together".into()),
+        }
+    }
+
+    /// The stop preset the convergence flags describe.
+    fn stop(&self) -> Result<StopPreset, String> {
+        if !self.until_converged {
+            if self.rel_eps.is_some() || self.window.is_some() {
+                return Err("--rel-eps/--window require --until-converged".into());
+            }
+            return Ok(StopPreset::Fixed);
+        }
+        if self.window == Some(0) {
+            return Err("--window must be positive".into());
+        }
+        Ok(StopPreset::Converged {
+            window_cycles: self.window,
+            rel_epsilon: self.rel_eps,
+        })
+    }
+
+    /// Reject the whole family on a subcommand that ignores it
+    /// (mirroring `reject_experiments_md_flags`).
+    fn reject(&self, command: &str) -> Result<(), String> {
+        if self.any_given() {
+            return Err(format!(
+                "budget flags (--quick/--mid/--eval/--warmup/--measure/--until-converged/\
+                 --rel-eps/--window) do not apply to `snug {command}`"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Reject only the convergence flags (for `trace`, which takes the
+    /// fixed budget subset, and `--experiments-md`, which documents the
+    /// canonical fixed-budget runs).
+    fn reject_convergence(&self, command: &str) -> Result<(), String> {
+        if self.any_convergence_given() {
+            return Err(format!(
+                "--until-converged/--rel-eps/--window do not apply to `snug {command}`"
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// Flag parsing shared by the subcommands.
 struct Flags {
     classes: Vec<ComboClass>,
     spec_file: Option<PathBuf>,
-    /// `None` means "not given": each command picks its default
-    /// (`--quick` everywhere except `--experiments-md`, whose canonical
-    /// budget is `--mid`).
-    budget: Option<BudgetPreset>,
+    budget: BudgetFlags,
     threads: usize,
     results_dir: PathBuf,
     out_dir: Option<PathBuf>,
@@ -122,7 +237,7 @@ impl Flags {
         let mut f = Flags {
             classes: Vec::new(),
             spec_file: None,
-            budget: None,
+            budget: BudgetFlags::default(),
             threads: 0,
             results_dir: PathBuf::from("results"),
             out_dir: None,
@@ -138,7 +253,6 @@ impl Flags {
             shared_warmup: false,
             stride: None,
         };
-        let mut custom: (Option<u64>, Option<u64>) = (None, None);
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             let mut value = |flag: &str| {
@@ -146,15 +260,13 @@ impl Flags {
                     .map(|s| s.to_string())
                     .ok_or_else(|| format!("{flag} needs a value"))
             };
+            if f.budget.parse_flag(arg.as_str(), &mut value)? {
+                continue;
+            }
             match arg.as_str() {
-                "--quick" => f.budget = Some(BudgetPreset::Quick),
-                "--mid" => f.budget = Some(BudgetPreset::Mid),
-                "--eval" => f.budget = Some(BudgetPreset::Eval),
                 "--experiments-md" => f.experiments_md = true,
                 "--check" => f.check = true,
                 "--md-path" => f.md_path = PathBuf::from(value("--md-path")?),
-                "--warmup" => custom.0 = Some(parse_num(&value("--warmup")?)?),
-                "--measure" => custom.1 = Some(parse_num(&value("--measure")?)?),
                 "--class" => {
                     for part in value("--class")?.split(',') {
                         f.classes.push(part.trim().parse()?);
@@ -189,16 +301,6 @@ impl Flags {
                 other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
             }
         }
-        match custom {
-            (None, None) => {}
-            (Some(w), Some(m)) => {
-                f.budget = Some(BudgetPreset::Custom {
-                    warmup_cycles: w,
-                    measure_cycles: m,
-                })
-            }
-            _ => return Err("--warmup and --measure must be given together".into()),
-        }
         Ok(f)
     }
 
@@ -221,10 +323,27 @@ impl Flags {
         Ok(())
     }
 
+    /// Reject `--stride` outside `snug trace` (same pattern).
+    fn reject_stride(&self, command: &str) -> Result<(), String> {
+        if self.stride.is_some() {
+            return Err(format!(
+                "--stride only applies to `snug trace`, not `snug {command}`"
+            ));
+        }
+        Ok(())
+    }
+
     fn spec_with_default(&self, default_budget: BudgetPreset) -> Result<SweepSpec, String> {
         if let Some(path) = &self.spec_file {
             if !self.classes.is_empty() || self.name.is_some() || self.shared_warmup {
                 return Err("--spec cannot be combined with --class/--name/--shared-warmup".into());
+            }
+            if self.budget.any_given() {
+                return Err(
+                    "--spec carries the budget and stop policy; budget flags cannot be \
+                     combined with it"
+                        .into(),
+                );
             }
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("reading {}: {e}", path.display()))?;
@@ -243,11 +362,21 @@ impl Flags {
                     .join("+")
             }
         });
+        let stop = self.budget.stop()?;
+        if self.shared_warmup && !matches!(stop, StopPreset::Fixed) {
+            // Shared warm-up batches a combo's CC points around one
+            // warm-up snapshot; converged sweeps batch the whole combo
+            // around its baseline's pace. Composing the two batching
+            // disciplines is unimplemented, so the combination is
+            // rejected rather than silently mis-windowed.
+            return Err("--shared-warmup cannot be combined with --until-converged".into());
+        }
         Ok(SweepSpec {
             name,
             classes: self.classes.clone(),
             combos: Vec::new(),
-            budget: self.budget.unwrap_or(default_budget),
+            budget: self.budget.budget(default_budget)?,
+            stop,
             shared_warmup: self.shared_warmup,
         })
     }
@@ -259,9 +388,17 @@ fn parse_num(s: &str) -> Result<u64, String> {
         .map_err(|_| format!("`{s}` is not a number"))
 }
 
+fn parse_float(s: &str) -> Result<f64, String> {
+    s.parse::<f64>()
+        .ok()
+        .filter(|v| v.is_finite() && *v >= 0.0)
+        .ok_or_else(|| format!("`{s}` is not a non-negative number"))
+}
+
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     flags.reject_experiments_md_flags("sweep")?;
+    flags.reject_stride("sweep")?;
     let spec = flags.spec()?;
     let mut store = ResultStore::open(&flags.results_dir).map_err(|e| e.to_string())?;
     let outcome = run_sweep(&spec, &mut store, flags.threads, |event| match event {
@@ -278,7 +415,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             println!(
                 "sweep `{}` ({}): {total} unit jobs, {hits} cache hits{migrated_note}, {} to run",
                 spec.name,
-                spec.budget.label(),
+                spec.budget_label(),
                 total - hits
             );
         }
@@ -301,11 +438,20 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             .join(snug_harness::store::STORE_FILE)
             .display()
     );
+    if outcome.simulated_cycles < outcome.budgeted_cycles {
+        let saved =
+            100.0 * (1.0 - outcome.simulated_cycles as f64 / outcome.budgeted_cycles as f64);
+        println!(
+            "early exit: simulated {} of {} budgeted cycles ({saved:.1}% saved)",
+            outcome.simulated_cycles, outcome.budgeted_cycles
+        );
+    }
     Ok(())
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
+    flags.reject_stride("report")?;
     if flags.experiments_md {
         return cmd_experiments_md(&flags);
     }
@@ -361,6 +507,9 @@ fn cmd_experiments_md(flags: &Flags) -> Result<(), String> {
                 .into(),
         );
     }
+    // Converged runs are likewise keyed separately — the committed
+    // document is defined over the canonical fixed-budget entries.
+    flags.budget.reject_convergence("report --experiments-md")?;
     if flags.out_dir.is_some() || flags.format.is_some() {
         return Err(
             "--experiments-md writes Markdown to --md-path; --out/--format do not apply".into(),
@@ -416,6 +565,7 @@ fn cmd_experiments_md(flags: &Flags) -> Result<(), String> {
 fn cmd_compare(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     flags.reject_experiments_md_flags("compare")?;
+    flags.reject_stride("compare")?;
     let mut spec = flags.spec()?;
     if let Some(label) = &flags.combo {
         let all = all_combos();
@@ -478,6 +628,10 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     };
     let flags = Flags::parse(&args[positional.len()..])?;
     flags.reject_experiments_md_flags("trace")?;
+    // Traces record the full fixed window (the point is seeing the
+    // whole time series), so the convergence flags are rejected rather
+    // than silently ignored.
+    flags.budget.reject_convergence("trace")?;
     if flags.shared_warmup {
         return Err("--shared-warmup does not apply to `snug trace`".into());
     }
@@ -501,7 +655,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         SchemeSpec::Snug(_) => SchemePoint::Snug,
     };
 
-    let budget = flags.budget.unwrap_or(BudgetPreset::Mid);
+    let budget = flags.budget.budget(BudgetPreset::Mid)?;
     let cfg = budget.compare_config();
     let stride = flags.stride.unwrap_or_else(|| default_stride(&cfg));
     if stride == 0 {
@@ -546,16 +700,19 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `snug store gc`: compact the JSONL store to the newest entry per key.
+/// `snug store gc | merge`: compact the JSONL store to the newest entry
+/// per key, or fold sharded stores into it under the same rule.
 fn cmd_store(args: &[String]) -> Result<(), String> {
     let (sub, rest) = match args.split_first() {
         Some((s, rest)) => (s.as_str(), rest),
-        None => return Err("store needs a subcommand: `snug store gc`".into()),
+        None => return Err("store needs a subcommand: `snug store gc|merge`".into()),
     };
     match sub {
         "gc" => {
             let flags = Flags::parse(rest)?;
             flags.reject_experiments_md_flags("store gc")?;
+            flags.budget.reject("store gc")?;
+            flags.reject_stride("store gc")?;
             let mut store = ResultStore::open(&flags.results_dir).map_err(|e| e.to_string())?;
             let before = store.file_lines();
             let (kept, dropped) = store.compact().map_err(|e| e.to_string())?;
@@ -568,8 +725,43 @@ fn cmd_store(args: &[String]) -> Result<(), String> {
             );
             Ok(())
         }
+        "merge" => {
+            let shards: Vec<&String> = rest.iter().take_while(|a| !a.starts_with("--")).collect();
+            if shards.is_empty() {
+                return Err(
+                    "store merge needs at least one shard file: `snug store merge \
+                     SHARD.jsonl... [--results DIR]`"
+                        .into(),
+                );
+            }
+            let flags = Flags::parse(&rest[shards.len()..])?;
+            flags.reject_experiments_md_flags("store merge")?;
+            flags.budget.reject("store merge")?;
+            flags.reject_stride("store merge")?;
+            let mut store = ResultStore::open(&flags.results_dir).map_err(|e| e.to_string())?;
+            for shard in &shards {
+                let stats = store
+                    .merge_file(std::path::Path::new(shard.as_str()))
+                    .map_err(|e| e.to_string())?;
+                println!(
+                    "merged {shard}: {} entries read, {} added, {} superseded, {} unchanged",
+                    stats.read, stats.added, stats.superseded, stats.unchanged
+                );
+            }
+            // Merging appends shard entries; one compaction pass leaves
+            // the newest entry per key (merge ∘ gc is idempotent).
+            let (kept, dropped) = store.compact().map_err(|e| e.to_string())?;
+            println!(
+                "store merge: {kept} entries ({dropped} superseded dropped) in {}",
+                flags
+                    .results_dir
+                    .join(snug_harness::store::STORE_FILE)
+                    .display()
+            );
+            Ok(())
+        }
         other => Err(format!(
-            "unknown store subcommand `{other}` (expected `gc`)"
+            "unknown store subcommand `{other}` (expected `gc` or `merge`)"
         )),
     }
 }
@@ -578,6 +770,10 @@ fn cmd_characterize(args: &[String]) -> Result<(), String> {
     use snug_experiments::{characterize, CharacterizeConfig};
     let flags = Flags::parse(args)?;
     flags.reject_experiments_md_flags("characterize")?;
+    // Characterisation has its own interval/access sizing; the sweep
+    // budget family would be silently ignored, so reject it.
+    flags.budget.reject("characterize")?;
+    flags.reject_stride("characterize")?;
     let benches = if flags.benches.is_empty() {
         vec![Benchmark::Ammp, Benchmark::Vortex, Benchmark::Applu]
     } else {

@@ -67,16 +67,26 @@ impl JsonCodec for SchemeResult {
 
 impl JsonCodec for SchemeRun {
     fn to_json(&self) -> Value {
-        Value::obj(vec![
+        let mut fields = vec![
             ("scheme", Value::str(&self.scheme)),
             ("ipcs", f64_arr(&self.ipcs)),
-        ])
+        ];
+        // Written only for early-stopped runs, so canonical fixed-plan
+        // entries render exactly as they always did.
+        if let Some(cycles) = self.measured_cycles {
+            fields.push(("measured_cycles", Value::num(cycles as f64)));
+        }
+        Value::obj(fields)
     }
 
     fn from_json(v: &Value) -> Result<Self, JsonError> {
         Ok(SchemeRun {
             scheme: v.get("scheme")?.as_str()?.to_string(),
             ipcs: f64_vec(v.get("ipcs")?)?,
+            measured_cycles: match v.get("measured_cycles") {
+                Ok(c) => Some(c.as_num()? as u64),
+                Err(_) => None,
+            },
         })
     }
 }
@@ -328,14 +338,22 @@ mod tests {
 
     #[test]
     fn scheme_run_round_trips_bit_identically() {
-        let run = SchemeRun {
-            scheme: "cc@25%".into(),
-            ipcs: vec![0.1 + 0.2, 1.0 / 3.0, 0.7],
-        };
-        let text = run.to_json().render();
-        let back = SchemeRun::from_json(&crate::json::parse(&text).unwrap()).unwrap();
-        assert_eq!(back, run);
-        assert_eq!(back.to_json().render(), text);
+        for measured_cycles in [None, Some(1_234_567u64)] {
+            let run = SchemeRun {
+                scheme: "cc@25%".into(),
+                ipcs: vec![0.1 + 0.2, 1.0 / 3.0, 0.7],
+                measured_cycles,
+            };
+            let text = run.to_json().render();
+            let back = SchemeRun::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, run);
+            assert_eq!(back.to_json().render(), text);
+            assert_eq!(
+                text.contains("measured_cycles"),
+                measured_cycles.is_some(),
+                "the field only appears for early-stopped runs"
+            );
+        }
     }
 
     #[test]

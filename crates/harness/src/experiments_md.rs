@@ -100,7 +100,7 @@ pub fn render_experiments_md(spec: &SweepSpec, results: &[ComboResult]) -> Strin
     push_table(&mut out, &overhead_table());
 
     out.push_str("## Provenance\n\n");
-    let budget = cfg.budget;
+    let plan = cfg.plan;
     out.push_str(&format!(
         "- Key schema: `{SCHEMA_VERSION}` (one content-addressed job per\n\
          \x20 (combination, scheme point); a scheme-parameter edit invalidates\n\
@@ -110,8 +110,8 @@ pub fn render_experiments_md(spec: &SweepSpec, results: &[ComboResult]) -> Strin
          - Sweep: {} combinations × {} scheme points = {} unit jobs, all\n\
          \x20 served from `results/store.jsonl`\n",
         spec.budget.label(),
-        budget.warmup_cycles,
-        budget.measure_cycles,
+        plan.warmup_cycles,
+        plan.measure_cycles(),
         cfg.snug.stage1_cycles,
         cfg.snug.stage2_cycles,
         results.len(),

@@ -48,9 +48,9 @@ pub use experiments_md::{check_experiments_md, render_experiments_md, CheckOutco
 pub use report::{render_markdown, report_tables, write_report};
 pub use spec::{
     legacy_combo_key, trace_key, unit_jobs_for, unit_jobs_for_mode, unit_key, unit_key_mode,
-    BudgetPreset, ComboJob, SweepSpec, UnitJob, SCHEMA_VERSION, SCHEMA_VERSION_V1,
+    BudgetPreset, ComboJob, StopPreset, SweepSpec, UnitJob, SCHEMA_VERSION, SCHEMA_VERSION_V1,
 };
-pub use store::{ResultStore, StoreError, StoredResult};
+pub use store::{MergeStats, ResultStore, StoreError, StoredResult};
 pub use sweep::{
     cached_results, run_sweep, run_unit_jobs, ComboOutcome, SweepEvent, SweepOutcome, UnitOutcome,
 };

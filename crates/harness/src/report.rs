@@ -42,7 +42,7 @@ pub fn render_markdown(spec: &SweepSpec, results: &[ComboResult]) -> String {
     let mut out = format!(
         "# SNUG sweep report — {}\n\nBudget: {} · combos: {} · schemes: {}\n\n",
         spec.name,
-        spec.budget.label(),
+        spec.budget_label(),
         results.len(),
         FIGURE_SCHEMES.join(", "),
     );
@@ -119,6 +119,7 @@ mod tests {
             classes: vec![],
             combos: vec![],
             budget: BudgetPreset::Quick,
+            stop: crate::spec::StopPreset::Fixed,
             shared_warmup: false,
         }
     }

@@ -11,7 +11,7 @@ use crate::codec::JsonCodec;
 use crate::hash::content_key;
 use crate::json::{JsonError, Value};
 use serde::{Deserialize, Serialize};
-use snug_experiments::{CompareConfig, RunBudget, SchemePoint};
+use snug_experiments::{CompareConfig, RunPlan, SchemePoint};
 use snug_workloads::{all_combos, Combo, ComboClass};
 
 /// Version prefix baked into every job key: bump when the simulators or
@@ -58,10 +58,7 @@ impl BudgetPreset {
                 measure_cycles,
             } => {
                 let mut cfg = CompareConfig::quick();
-                cfg.budget = RunBudget {
-                    warmup_cycles,
-                    measure_cycles,
-                };
+                cfg.plan = RunPlan::fixed(warmup_cycles, measure_cycles);
                 cfg
             }
         }
@@ -83,6 +80,41 @@ impl BudgetPreset {
     }
 }
 
+/// How a sweep's runs stop: at the fixed budget horizon, or early on
+/// measured-throughput convergence (`snug sweep --until-converged`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StopPreset {
+    /// Run the full measured window — the canonical methodology every
+    /// committed store entry uses.
+    Fixed,
+    /// Stop once the rolling-window throughput stabilises; the budget
+    /// becomes the ceiling. Converged runs are keyed separately from
+    /// fixed runs (the plan fingerprint carries the policy), so the
+    /// canonical store is never polluted.
+    Converged {
+        /// Sample-window length in cycles
+        /// (`snug_experiments::default_window` of the budget when
+        /// `None` — a tenth of the measured ceiling).
+        window_cycles: Option<u64>,
+        /// Relative spread threshold
+        /// ([`snug_experiments::DEFAULT_REL_EPSILON`] when `None`).
+        rel_epsilon: Option<f64>,
+    },
+}
+
+impl StopPreset {
+    /// Apply this preset to a budget's comparison configuration.
+    pub fn apply(&self, cfg: CompareConfig) -> CompareConfig {
+        match *self {
+            StopPreset::Fixed => cfg,
+            StopPreset::Converged {
+                window_cycles,
+                rel_epsilon,
+            } => cfg.until_converged(window_cycles, rel_epsilon),
+        }
+    }
+}
+
 /// A declarative sweep: combos (by class) × schemes × budget.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepSpec {
@@ -96,6 +128,8 @@ pub struct SweepSpec {
     pub combos: Vec<String>,
     /// The run budget.
     pub budget: BudgetPreset,
+    /// The stop policy: fixed horizon or convergence-based early exit.
+    pub stop: StopPreset,
     /// Measure the §4.1 CC spill sweep from one shared warm-up snapshot
     /// per combo instead of warming each point separately
     /// (`snug sweep --shared-warmup`). A faster *methodology variant*:
@@ -107,14 +141,24 @@ pub struct SweepSpec {
 }
 
 impl SweepSpec {
-    /// A sweep over everything at the given budget.
+    /// A sweep over everything at the given budget, fixed stop.
     pub fn full(budget: BudgetPreset) -> Self {
         SweepSpec {
             name: "full".into(),
             classes: Vec::new(),
             combos: Vec::new(),
             budget,
+            stop: StopPreset::Fixed,
             shared_warmup: false,
+        }
+    }
+
+    /// Display label covering budget and stop policy ("mid",
+    /// "mid+converged").
+    pub fn budget_label(&self) -> String {
+        match self.stop {
+            StopPreset::Fixed => self.budget.label(),
+            StopPreset::Converged { .. } => format!("{}+converged", self.budget.label()),
         }
     }
 
@@ -127,9 +171,10 @@ impl SweepSpec {
             .collect()
     }
 
-    /// The comparison configuration every job runs under.
+    /// The comparison configuration every job runs under: the budget's
+    /// configuration with the stop preset applied to its plan.
     pub fn compare_config(&self) -> CompareConfig {
-        self.budget.compare_config()
+        self.stop.apply(self.budget.compare_config())
     }
 
     /// Expand into per-(combo, scheme point) unit jobs with content
@@ -169,7 +214,7 @@ impl JsonCodec for SweepSpec {
                 ("measure_cycles", Value::num(measure_cycles as f64)),
             ]),
         };
-        Value::obj(vec![
+        let mut fields = vec![
             ("name", Value::str(&self.name)),
             (
                 "classes",
@@ -181,7 +226,22 @@ impl JsonCodec for SweepSpec {
             ),
             ("budget", budget),
             ("shared_warmup", Value::Bool(self.shared_warmup)),
-        ])
+        ];
+        if let StopPreset::Converged {
+            window_cycles,
+            rel_epsilon,
+        } = self.stop
+        {
+            let mut stop = Vec::new();
+            if let Some(w) = window_cycles {
+                stop.push(("window_cycles", Value::num(w as f64)));
+            }
+            if let Some(e) = rel_epsilon {
+                stop.push(("rel_epsilon", Value::num(e)));
+            }
+            fields.push(("until_converged", Value::obj(stop)));
+        }
+        Value::obj(fields)
     }
 
     fn from_json(v: &Value) -> Result<Self, JsonError> {
@@ -210,6 +270,21 @@ impl JsonCodec for SweepSpec {
             Ok(flag) => flag.as_bool()?,
             Err(_) => false,
         };
+        // `until_converged` is optional too: absent means the fixed
+        // stop policy every pre-plan spec used.
+        let stop = match v.get("until_converged") {
+            Ok(obj) => StopPreset::Converged {
+                window_cycles: match obj.get("window_cycles") {
+                    Ok(w) => Some(w.as_num()? as u64),
+                    Err(_) => None,
+                },
+                rel_epsilon: match obj.get("rel_epsilon") {
+                    Ok(e) => Some(e.as_num()?),
+                    Err(_) => None,
+                },
+            },
+            Err(_) => StopPreset::Fixed,
+        };
         Ok(SweepSpec {
             name: v.get("name")?.as_str()?.to_string(),
             classes: v
@@ -220,6 +295,7 @@ impl JsonCodec for SweepSpec {
                 .collect::<Result<Vec<_>, _>>()?,
             combos,
             budget,
+            stop,
             shared_warmup,
         })
     }
@@ -294,11 +370,14 @@ pub fn unit_jobs_for_mode(
 ///
 /// Hashes exactly the inputs that simulation depends on under
 /// [`SCHEMA_VERSION`]: the combo, the point, the platform, the run
-/// budget, and — via [`SchemePoint::param_fingerprint`] — the scheme's
-/// own parameters only (`cfg.snug` for SNUG points, `cfg.dsr` for DSR
-/// points, nothing extra for the rest). Editing one scheme's
-/// configuration therefore invalidates only that scheme's cached jobs;
-/// every other point keeps hitting.
+/// plan (via [`RunPlan::fingerprint`] — fixed plans render exactly as
+/// the legacy `RunBudget` debug string, so pre-plan store entries keep
+/// matching, while converged plans key separately), and — via
+/// [`SchemePoint::param_fingerprint`] — the scheme's own parameters
+/// only (`cfg.snug` for SNUG points, `cfg.dsr` for DSR points, nothing
+/// extra for the rest). Editing one scheme's configuration therefore
+/// invalidates only that scheme's cached jobs; every other point keeps
+/// hitting.
 pub fn unit_key(combo: &Combo, point: &SchemePoint, config: &CompareConfig) -> String {
     unit_key_mode(combo, point, config, false)
 }
@@ -314,9 +393,9 @@ pub fn unit_key_mode(
 ) -> String {
     let mode = if shared_warmup { "|shared-warmup" } else { "" };
     content_key(&format!(
-        "{SCHEMA_VERSION}|{combo:?}|{point:?}|{:?}|{:?}|{}{mode}",
+        "{SCHEMA_VERSION}|{combo:?}|{point:?}|{:?}|{}|{}{mode}",
         config.system,
-        config.budget,
+        config.plan.fingerprint(),
         point.param_fingerprint(config),
     ))
 }
@@ -331,18 +410,28 @@ pub fn trace_key(
     stride: u64,
 ) -> String {
     content_key(&format!(
-        "{SCHEMA_VERSION}|trace|{combo:?}|{point:?}|{:?}|{:?}|{}|stride={stride}",
+        "{SCHEMA_VERSION}|trace|{combo:?}|{point:?}|{:?}|{}|{}|stride={stride}",
         config.system,
-        config.budget,
+        config.plan.fingerprint(),
         point.param_fingerprint(config),
     ))
 }
 
 /// The v1 content key of a whole (combo, config) five-scheme
 /// comparison. New code never writes entries under these keys; sweeps
-/// compute them to find v1 store entries worth migrating.
+/// compute them to find v1 store entries worth migrating. The v1-era
+/// `CompareConfig` debug string (with its `budget: RunBudget { … }`
+/// field) is reconstructed from the plan fingerprint so genuinely old
+/// stores keep migrating across the plan refactor; converged plans
+/// never had v1 entries, so their synthetic keys simply never match.
 pub fn legacy_combo_key(combo: &Combo, config: &CompareConfig) -> String {
-    content_key(&format!("{SCHEMA_VERSION_V1}|{combo:?}|{config:?}"))
+    content_key(&format!(
+        "{SCHEMA_VERSION_V1}|{combo:?}|CompareConfig {{ system: {:?}, budget: {}, snug: {:?}, dsr: {:?} }}",
+        config.system,
+        config.plan.fingerprint(),
+        config.snug,
+        config.dsr,
+    ))
 }
 
 #[cfg(test)]
@@ -367,6 +456,7 @@ mod tests {
             classes: vec![ComboClass::C5],
             combos: Vec::new(),
             budget: BudgetPreset::Quick,
+            stop: StopPreset::Fixed,
             shared_warmup: false,
         };
         let jobs = spec.combo_jobs();
@@ -481,11 +571,36 @@ mod tests {
                 warmup_cycles: 11,
                 measure_cycles: 22,
             },
+            stop: StopPreset::Fixed,
             shared_warmup: false,
         };
         let cfg = spec.compare_config();
-        assert_eq!(cfg.budget.warmup_cycles, 11);
-        assert_eq!(cfg.budget.measure_cycles, 22);
+        assert_eq!(cfg.plan.warmup_cycles, 11);
+        assert_eq!(cfg.plan.measure_cycles(), 22);
+    }
+
+    #[test]
+    fn converged_stop_rekeys_every_unit_and_label() {
+        let mut spec = SweepSpec::full(BudgetPreset::Mid);
+        let fixed_keys: Vec<String> = spec.unit_jobs().into_iter().map(|j| j.key).collect();
+        spec.stop = StopPreset::Converged {
+            window_cycles: None,
+            rel_epsilon: None,
+        };
+        let converged_keys: Vec<String> = spec.unit_jobs().into_iter().map(|j| j.key).collect();
+        assert!(
+            fixed_keys.iter().zip(&converged_keys).all(|(f, c)| f != c),
+            "converged runs never collide with canonical entries"
+        );
+        assert_eq!(spec.budget_label(), "mid+converged");
+
+        // Tuning the policy re-keys again.
+        spec.stop = StopPreset::Converged {
+            window_cycles: Some(150_000),
+            rel_epsilon: None,
+        };
+        let tuned: Vec<String> = spec.unit_jobs().into_iter().map(|j| j.key).collect();
+        assert!(converged_keys.iter().zip(&tuned).all(|(a, b)| a != b));
     }
 
     #[test]
@@ -502,7 +617,30 @@ mod tests {
                     warmup_cycles: 5,
                     measure_cycles: 9,
                 },
+                stop: StopPreset::Fixed,
                 shared_warmup: true,
+            },
+            SweepSpec {
+                name: "conv".into(),
+                classes: Vec::new(),
+                combos: Vec::new(),
+                budget: BudgetPreset::Mid,
+                stop: StopPreset::Converged {
+                    window_cycles: None,
+                    rel_epsilon: None,
+                },
+                shared_warmup: false,
+            },
+            SweepSpec {
+                name: "conv-tuned".into(),
+                classes: Vec::new(),
+                combos: Vec::new(),
+                budget: BudgetPreset::Mid,
+                stop: StopPreset::Converged {
+                    window_cycles: Some(150_000),
+                    rel_epsilon: Some(0.25),
+                },
+                shared_warmup: false,
             },
         ] {
             let text = spec.to_json().render();

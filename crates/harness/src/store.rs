@@ -295,6 +295,63 @@ impl ResultStore {
     ) -> Result<(), StoreError> {
         self.insert(key, inputs, StoredResult::Series(series))
     }
+
+    /// Merge a sharded store file (another store's `store.jsonl`, e.g.
+    /// from a multi-machine sweep) into this store, reusing gc's
+    /// newest-entry-per-key rule: shard entries supersede existing
+    /// entries under the same key — exactly as if the shard's lines had
+    /// been appended and the store compacted. Entries identical to what
+    /// the store already holds are skipped, so re-merging the same
+    /// shard is a no-op and `merge ∘ gc` is idempotent. A partial
+    /// trailing line in the shard (interrupted run) is ignored;
+    /// corruption anywhere else is fatal. Run
+    /// [`ResultStore::compact`] afterwards to drop the superseded
+    /// duplicates from disk.
+    pub fn merge_file(&mut self, path: &Path) -> Result<MergeStats, StoreError> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| StoreError::Io(path.display().to_string(), e.to_string()))?;
+        let lines: Vec<&str> = text.lines().collect();
+        let mut stats = MergeStats::default();
+        for (lineno, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let entry = match parse(line).and_then(|v| StoreEntry::from_json(&v)) {
+                Ok(entry) => entry,
+                // A partial trailing line is the expected artifact of an
+                // interrupted shard; the shard is read-only, so it is
+                // skipped rather than truncated.
+                Err(_) if lineno + 1 == lines.len() => break,
+                Err(e) => return Err(StoreError::corrupt(path, lineno, e)),
+            };
+            stats.read += 1;
+            match self.entries.get(&entry.key) {
+                Some(existing) if *existing == entry => stats.unchanged += 1,
+                Some(_) => {
+                    stats.superseded += 1;
+                    self.insert(entry.key.clone(), entry.inputs, entry.result)?;
+                }
+                None => {
+                    stats.added += 1;
+                    self.insert(entry.key.clone(), entry.inputs, entry.result)?;
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// Per-shard outcome of [`ResultStore::merge_file`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Intact entries read from the shard.
+    pub read: usize,
+    /// Entries new to the store.
+    pub added: usize,
+    /// Entries that superseded an existing (different) value.
+    pub superseded: usize,
+    /// Entries identical to what the store already held (skipped).
+    pub unchanged: usize,
 }
 
 /// Errors from opening or appending to the store.
@@ -344,6 +401,7 @@ mod tests {
         StoredResult::Unit(SchemeRun {
             scheme: label.into(),
             ipcs: vec![1.0, 0.5, tp],
+            measured_cycles: None,
         })
     }
 
@@ -376,6 +434,7 @@ mod tests {
                 SchemeRun {
                     scheme: "cc@50%".into(),
                     ipcs: vec![0.5, 0.25],
+                    measured_cycles: None,
                 },
             )
             .unwrap();

@@ -4,11 +4,11 @@
 //! persist as they finish, and assemble per-combo results.
 
 use crate::exec::{self, ExecEvent};
-use crate::spec::{legacy_combo_key, ComboJob, SweepSpec, UnitJob};
+use crate::spec::{legacy_combo_key, unit_key, ComboJob, SweepSpec, UnitJob};
 use crate::store::{ResultStore, StoreError};
 use snug_experiments::{
-    assemble_combo, best_cc_index, run_cc_points_shared, run_point, ComboResult, SchemePoint,
-    SchemeRun,
+    assemble_combo, best_cc_index, pace_of, run_cc_points_shared, run_point, run_point_paced,
+    ComboResult, SchemePoint, SchemeRun,
 };
 use std::sync::Mutex;
 
@@ -75,6 +75,14 @@ pub struct SweepOutcome {
     pub migrated: usize,
     /// Unit jobs executed fresh.
     pub executed: usize,
+    /// Cycles actually simulated across all units (warm-up + measured;
+    /// early-stopped units count their recorded stop cycle, cached ones
+    /// included).
+    pub simulated_cycles: u64,
+    /// Cycles the fixed budget would have simulated for the same units
+    /// (warm-up + full measured window each). The gap is what
+    /// convergence-based early exit saved.
+    pub budgeted_cycles: u64,
 }
 
 impl SweepOutcome {
@@ -125,6 +133,7 @@ fn migrate_v1_units(job: &ComboJob, store: &mut ResultStore) -> Result<usize, St
                 SchemeRun {
                     scheme: unit.point.label(),
                     ipcs,
+                    measured_cycles: None,
                 },
             )?;
             migrated += 1;
@@ -141,20 +150,31 @@ fn scheme_ipcs(result: &ComboResult, scheme: &str) -> Option<Vec<f64>> {
         .map(|s| s.ipcs.clone())
 }
 
-/// One schedulable piece of pending work: a single unit simulation, or
-/// a combo's pending shared-warm-up CC points, which run together so
-/// they share one warm-up snapshot.
+/// One schedulable piece of pending work: a single unit simulation
+/// (optionally paced to a fixed measured window a cached baseline set),
+/// a combo's pending shared-warm-up CC points (which run together so
+/// they share one warm-up snapshot), or a converged-plan combo whose
+/// baseline is itself pending — the L2P unit runs the stop policy
+/// first and every sibling then measures over the window it settled on.
 enum ExecUnit<'a> {
     Single(&'a UnitJob),
+    Paced(&'a UnitJob, u64),
     CcShared(Vec<&'a UnitJob>),
+    PacedCombo(Vec<&'a UnitJob>),
 }
 
 impl ExecUnit<'_> {
     fn label(&self) -> String {
         match self {
             ExecUnit::Single(job) => job.label(),
+            ExecUnit::Paced(job, _) => format!("{} [paced]", job.label()),
             ExecUnit::CcShared(jobs) => format!(
                 "{} [cc sweep x{}, shared warmup]",
+                jobs[0].combo.label(),
+                jobs.len()
+            ),
+            ExecUnit::PacedCombo(jobs) => format!(
+                "{} [x{}, baseline-paced]",
                 jobs[0].combo.label(),
                 jobs.len()
             ),
@@ -167,6 +187,12 @@ impl ExecUnit<'_> {
             ExecUnit::Single(job) => {
                 vec![(*job, run_point(&job.combo, &job.point, &job.config))]
             }
+            ExecUnit::Paced(job, pace) => {
+                vec![(
+                    *job,
+                    run_point_paced(&job.combo, &job.point, &job.config, *pace),
+                )]
+            }
             ExecUnit::CcShared(jobs) => {
                 let points: Vec<SchemePoint> = jobs.iter().map(|j| j.point).collect();
                 run_cc_points_shared(&jobs[0].combo, &points, &jobs[0].config)
@@ -178,36 +204,90 @@ impl ExecUnit<'_> {
                     })
                     .collect()
             }
+            ExecUnit::PacedCombo(jobs) => {
+                let baseline_job = jobs
+                    .iter()
+                    .find(|j| j.point == SchemePoint::L2p)
+                    .expect("paced combos include their pending baseline");
+                let cfg = &baseline_job.config;
+                let baseline = run_point(&baseline_job.combo, &SchemePoint::L2p, cfg);
+                let pace = pace_of(&baseline, cfg);
+                jobs.iter()
+                    .map(|job| {
+                        if job.point == SchemePoint::L2p {
+                            (*job, baseline.clone())
+                        } else {
+                            (*job, run_point_paced(&job.combo, &job.point, cfg, pace))
+                        }
+                    })
+                    .collect()
+            }
         }
     }
 }
 
-/// Group pending jobs into schedulable pieces: shared-warm-up CC units
-/// batch per (combo, configuration) — a family shares one warm-up, so
-/// every member must describe the same simulation inputs — in
-/// first-appearance order; everything else runs alone.
-fn plan_exec_units<'a>(pending: &[&'a UnitJob]) -> Vec<ExecUnit<'a>> {
+/// Group pending jobs into schedulable pieces:
+///
+/// * shared-warm-up CC units batch per (combo, configuration) — a
+///   family shares one warm-up, so every member must describe the same
+///   simulation inputs — in first-appearance order;
+/// * converged-plan units batch per (combo, configuration) around
+///   their pending L2P baseline ([`ExecUnit::PacedCombo`]); when the
+///   baseline is already in the store, its recorded window paces each
+///   pending sibling individually ([`ExecUnit::Paced`]), keeping unit
+///   granularity (a scheme-parameter edit re-runs that scheme's units
+///   in parallel, paced by the cached baselines);
+/// * everything else runs alone.
+fn plan_exec_units<'a>(pending: &[&'a UnitJob], store: &ResultStore) -> Vec<ExecUnit<'a>> {
     let mut units: Vec<ExecUnit<'_>> = Vec::new();
     let mut family_index: std::collections::HashMap<String, usize> =
         std::collections::HashMap::new();
     for job in pending {
         if job.shared_warmup && matches!(job.point, SchemePoint::Cc { .. }) {
-            let combo = format!("{:?}|{:?}", job.combo, job.config);
+            let combo = format!("cc|{:?}|{:?}", job.combo, job.config);
             match family_index.get(&combo) {
                 Some(&i) => match &mut units[i] {
                     ExecUnit::CcShared(jobs) => jobs.push(job),
-                    ExecUnit::Single(_) => unreachable!("family index points at a family"),
+                    _ => unreachable!("family index points at a CC family"),
                 },
                 None => {
                     family_index.insert(combo, units.len());
                     units.push(ExecUnit::CcShared(vec![job]));
                 }
             }
+        } else if job.config.plan.can_stop_early() {
+            let baseline_key = unit_key(&job.combo, &SchemePoint::L2p, &job.config);
+            if let Some(baseline) = store.get_unit(&baseline_key) {
+                units.push(ExecUnit::Paced(job, pace_of(baseline, &job.config)));
+                continue;
+            }
+            let combo = format!("paced|{:?}|{:?}", job.combo, job.config);
+            match family_index.get(&combo) {
+                Some(&i) => match &mut units[i] {
+                    ExecUnit::PacedCombo(jobs) => jobs.push(job),
+                    _ => unreachable!("family index points at a paced combo"),
+                },
+                None => {
+                    family_index.insert(combo, units.len());
+                    units.push(ExecUnit::PacedCombo(vec![job]));
+                }
+            }
         } else {
             units.push(ExecUnit::Single(job));
         }
     }
+    // A paced combo whose baseline is neither cached nor among the
+    // pending jobs (a caller-supplied subset) cannot be paced; its
+    // members fall back to independent converged runs.
     units
+        .into_iter()
+        .flat_map(|unit| match unit {
+            ExecUnit::PacedCombo(jobs) if !jobs.iter().any(|j| j.point == SchemePoint::L2p) => {
+                jobs.into_iter().map(ExecUnit::Single).collect()
+            }
+            other => vec![other],
+        })
+        .collect()
 }
 
 /// Run `jobs` against `store`: cached units are served, missing units
@@ -227,7 +307,7 @@ pub fn run_unit_jobs(
         .iter()
         .filter(|j| store.get_unit(&j.key).is_none())
         .collect();
-    let exec_units = plan_exec_units(&pending);
+    let exec_units = plan_exec_units(&pending, store);
 
     // Execute the missing pieces; each result is appended to the store
     // *as its piece finishes* (under the store lock), so an interrupted
@@ -334,10 +414,18 @@ pub fn run_sweep(
     let mut combos = Vec::with_capacity(combo_jobs.len());
     let mut cache_hits = 0;
     let mut executed = 0;
+    let mut simulated_cycles = 0u64;
+    let mut budgeted_cycles = 0u64;
     for job in &combo_jobs {
         let units: Vec<UnitOutcome> = iter.by_ref().take(job.units.len()).collect();
         cache_hits += units.iter().filter(|u| u.from_cache).count();
         executed += units.iter().filter(|u| !u.from_cache).count();
+        let plan = job.config.plan;
+        for unit in &units {
+            simulated_cycles +=
+                plan.warmup_cycles + unit.run.measured_cycles.unwrap_or(plan.measure_cycles());
+            budgeted_cycles += plan.warmup_cycles + plan.measure_cycles();
+        }
         let runs: Vec<(SchemePoint, SchemeRun)> = job
             .units
             .iter()
@@ -356,6 +444,8 @@ pub fn run_sweep(
         cache_hits,
         migrated,
         executed,
+        simulated_cycles,
+        budgeted_cycles,
     })
 }
 
@@ -391,6 +481,7 @@ mod tests {
                 warmup_cycles: 10_000,
                 measure_cycles: 60_000,
             },
+            stop: crate::spec::StopPreset::Fixed,
             shared_warmup: false,
         }
     }
@@ -537,7 +628,7 @@ mod tests {
         }
         .compare_config();
         let mut bigger = quick;
-        bigger.budget.measure_cycles = 90_000;
+        bigger.plan = snug_experiments::RunPlan::fixed(10_000, 90_000);
         let jobs: Vec<UnitJob> = crate::spec::unit_jobs_for_mode(&combo, &quick, true)
             .into_iter()
             .chain(crate::spec::unit_jobs_for_mode(&combo, &bigger, true))
@@ -566,6 +657,78 @@ mod tests {
             cc_pairs.iter().any(|(a, b)| a.run.ipcs != b.run.ipcs),
             "budgets produced distinguishable results"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn converged_sweep_caches_separately_and_reports_the_saving() {
+        let mut spec = tiny_spec();
+        let (dir, mut store) = tmp_store("converged");
+        let fixed = run_sweep(&spec, &mut store, 2, |_| {}).unwrap();
+        assert_eq!(
+            fixed.simulated_cycles, fixed.budgeted_cycles,
+            "fixed runs use their whole budget"
+        );
+
+        // A very loose epsilon so the tiny synthetic runs all converge:
+        // 4 windows of 6 K cycles → stop at ~24 K of the 60 K window.
+        spec.stop = crate::spec::StopPreset::Converged {
+            window_cycles: None,
+            rel_epsilon: Some(0.9),
+        };
+        let mut labels = Vec::new();
+        let converged = run_sweep(&spec, &mut store, 2, |e| {
+            if let SweepEvent::JobStarted { label } = e {
+                labels.push(label);
+            }
+        })
+        .unwrap();
+        assert_eq!(
+            converged.executed,
+            3 * UNITS_PER_COMBO,
+            "converged runs never reuse fixed entries"
+        );
+        assert_eq!(
+            labels
+                .iter()
+                .filter(|l| l.contains("baseline-paced"))
+                .count(),
+            3,
+            "one baseline-paced piece per combo: {labels:?}"
+        );
+        assert!(
+            converged.simulated_cycles < converged.budgeted_cycles,
+            "early exit saved cycles: {} vs {}",
+            converged.simulated_cycles,
+            converged.budgeted_cycles
+        );
+        // Baseline pacing: within each combo every unit measured the
+        // same window — the one its L2P baseline converged at.
+        for job in spec.combo_jobs() {
+            let windows: std::collections::HashSet<Option<u64>> = job
+                .units
+                .iter()
+                .map(|u| store.get_unit(&u.key).expect("unit stored").measured_cycles)
+                .collect();
+            assert_eq!(
+                windows.len(),
+                1,
+                "{}: one window per combo",
+                job.combo.label()
+            );
+        }
+
+        // Re-running the converged sweep is all cache hits with the
+        // identical saving (measured_cycles persisted per unit).
+        let rerun = run_sweep(&spec, &mut store, 2, |_| {}).unwrap();
+        assert_eq!(rerun.executed, 0);
+        assert_eq!(rerun.simulated_cycles, converged.simulated_cycles);
+        assert_eq!(rerun.results(), converged.results());
+
+        // And the fixed entries are still served untouched.
+        let fixed_again = run_sweep(&tiny_spec(), &mut store, 2, |_| {}).unwrap();
+        assert_eq!(fixed_again.executed, 0);
+        assert_eq!(fixed_again.results(), fixed.results());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

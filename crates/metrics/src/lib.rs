@@ -3,15 +3,19 @@
 //! * [`perf`] — the paper's Table 5 metrics: throughput, average
 //!   weighted speedup, fair speedup;
 //! * [`stats`] — geometric means and friends (per-class aggregation);
+//! * [`convergence`] — the rolling-window throughput estimator behind
+//!   convergence-based early exit;
 //! * [`table`] — Markdown/CSV table rendering for EXPERIMENTS.md.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod convergence;
 pub mod perf;
 pub mod stats;
 pub mod table;
 
+pub use convergence::RollingThroughput;
 pub use perf::{
     average_weighted_speedup, fair_speedup, normalized_throughput, IpcVector, MetricSet,
 };

@@ -8,9 +8,12 @@
 //! * [`bus`] — 16 B split-transaction snoop bus with arbitration;
 //! * [`scheme`] — the [`scheme::L2Org`] trait behind which the five L2
 //!   organisations plug in, plus the scheme-side event hook;
+//! * [`plan`] — [`plan::RunPlan`]s: warm-up spec + first-class
+//!   stopping policies ([`plan::StopPolicy`] with fixed-window and
+//!   convergence-based implementations);
 //! * [`session`] — steppable [`session::SimSession`]s: incremental
-//!   `step`/`run_until` driving, stride probes, deterministic
-//!   snapshot/restore;
+//!   `step`/`run_until` driving, stride probes, policy-driven early
+//!   exit, deterministic snapshot/restore;
 //! * [`system`] — the legacy one-shot driver, a thin wrapper over a
 //!   session.
 
@@ -20,6 +23,7 @@
 pub mod bus;
 pub mod config;
 pub mod core;
+pub mod plan;
 pub mod scheme;
 pub mod session;
 pub mod system;
@@ -27,6 +31,9 @@ pub mod system;
 pub use bus::{Bus, BusGrant, BusStats};
 pub use config::{BusConfig, CoreConfig, SystemConfig};
 pub use core::{CoreModel, CoreStats};
+pub use plan::{
+    Converged, FixedCycles, RunPlan, StopObservation, StopPolicy, StopSpec, WINDOW_SAMPLES,
+};
 pub use scheme::{ChipResources, CloneOrg, L2Fill, L2Org, L2Outcome, SchemeEvent, SchemeEventKind};
 pub use session::{
     PeriodSample, Probe, SessionBuilder, SessionSnapshot, SimSession, SnapshotError,

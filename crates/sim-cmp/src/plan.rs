@@ -1,0 +1,365 @@
+//! Run plans: a warm-up spec plus a first-class stopping policy.
+//!
+//! Every run used to be a raw `(warmup_cycles, measure_cycles)` pair —
+//! a guessed constant calibrated offline. A [`RunPlan`] makes "how long
+//! is long enough" a policy decision instead:
+//!
+//! * [`StopSpec::FixedCycles`] reproduces the paper's fixed-window
+//!   methodology exactly (and fingerprints identically to the legacy
+//!   `RunBudget`, so existing content-addressed results keep matching);
+//! * [`StopSpec::Converged`] stops at the first window boundary where
+//!   the rolling-window throughput estimator
+//!   ([`snug_metrics::RollingThroughput`]) reports the measured
+//!   throughput stable to within `rel_epsilon`, bounded by
+//!   `min_cycles`/`max_cycles`.
+//!
+//! The split between [`StopSpec`] (plain `Copy` data: what goes into
+//! configurations, store keys and CLI flags) and [`StopPolicy`] (the
+//! stateful trait object a [`crate::SimSession`] drives) keeps plans
+//! hashable and comparable while the runtime side carries the
+//! estimator state — which session snapshots capture, so early exit is
+//! deterministic and snapshot/restore-safe.
+
+use snug_metrics::RollingThroughput;
+
+/// Samples a [`Converged`] policy's rolling window holds: convergence
+/// is judged over the last `WINDOW_SAMPLES` intervals of
+/// `window_cycles` each, so the earliest possible stop is
+/// `WINDOW_SAMPLES * window_cycles` measured cycles.
+pub const WINDOW_SAMPLES: usize = 4;
+
+/// A run plan: warm-up length plus the stopping policy for the
+/// measured window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunPlan {
+    /// Unmeasured warm-up cycles.
+    pub warmup_cycles: u64,
+    /// When the measured window ends.
+    pub stop: StopSpec,
+}
+
+/// The data form of a stopping policy (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopSpec {
+    /// Run exactly `measure_cycles` of measured execution — the paper's
+    /// fixed-window methodology.
+    FixedCycles {
+        /// Measured cycles.
+        measure_cycles: u64,
+    },
+    /// Stop at the first `window_cycles` boundary (past `min_cycles`,
+    /// with a full rolling window) where the last [`WINDOW_SAMPLES`]
+    /// interval throughputs agree to within `rel_epsilon`; never run
+    /// past `max_cycles`.
+    Converged {
+        /// Length of one throughput sample interval in cycles.
+        window_cycles: u64,
+        /// Relative spread threshold ((max − min) / mean) under which
+        /// the window counts as converged.
+        rel_epsilon: f64,
+        /// Measured cycles before which the run never stops (0: only
+        /// the full-window requirement gates the earliest stop).
+        min_cycles: u64,
+        /// Hard ceiling on measured cycles (the fixed budget this plan
+        /// is an early-exit variant of).
+        max_cycles: u64,
+    },
+}
+
+impl RunPlan {
+    /// A fixed-window plan — the drop-in replacement for the legacy
+    /// `RunBudget`.
+    pub fn fixed(warmup_cycles: u64, measure_cycles: u64) -> RunPlan {
+        RunPlan {
+            warmup_cycles,
+            stop: StopSpec::FixedCycles { measure_cycles },
+        }
+    }
+
+    /// Swap this plan's stop policy for convergence-based early exit:
+    /// the current measured window becomes the `max_cycles` ceiling.
+    pub fn until_converged(self, window_cycles: u64, rel_epsilon: f64) -> RunPlan {
+        assert!(window_cycles > 0, "window must be positive");
+        assert!(rel_epsilon >= 0.0, "epsilon must be non-negative");
+        RunPlan {
+            warmup_cycles: self.warmup_cycles,
+            stop: StopSpec::Converged {
+                window_cycles,
+                rel_epsilon,
+                min_cycles: 0,
+                max_cycles: self.measure_cycles(),
+            },
+        }
+    }
+
+    /// The measured-window ceiling: the full window for fixed plans,
+    /// `max_cycles` for converged ones.
+    pub fn measure_cycles(&self) -> u64 {
+        match self.stop {
+            StopSpec::FixedCycles { measure_cycles } => measure_cycles,
+            StopSpec::Converged { max_cycles, .. } => max_cycles,
+        }
+    }
+
+    /// The absolute cycle past which no plan ever runs.
+    pub fn horizon(&self) -> u64 {
+        self.warmup_cycles + self.measure_cycles()
+    }
+
+    /// Whether this plan can stop before its horizon.
+    pub fn can_stop_early(&self) -> bool {
+        matches!(self.stop, StopSpec::Converged { .. })
+    }
+
+    /// Materialise the runtime policy a session drives.
+    pub fn policy(&self) -> Box<dyn StopPolicy> {
+        match self.stop {
+            StopSpec::FixedCycles { measure_cycles } => Box::new(FixedCycles { measure_cycles }),
+            StopSpec::Converged {
+                window_cycles,
+                rel_epsilon,
+                min_cycles,
+                max_cycles,
+            } => Box::new(Converged::new(
+                window_cycles,
+                rel_epsilon,
+                min_cycles,
+                max_cycles,
+            )),
+        }
+    }
+
+    /// Stable content-key fragment. Fixed plans render exactly as the
+    /// legacy `RunBudget` debug string, so every result keyed before
+    /// the plan layer existed keeps matching; converged plans render
+    /// their full parameters and therefore live under their own keys.
+    pub fn fingerprint(&self) -> String {
+        match self.stop {
+            StopSpec::FixedCycles { measure_cycles } => format!(
+                "RunBudget {{ warmup_cycles: {}, measure_cycles: {} }}",
+                self.warmup_cycles, measure_cycles
+            ),
+            StopSpec::Converged { .. } => format!("{self:?}"),
+        }
+    }
+}
+
+/// One measured-window observation delivered to a stop policy at its
+/// stride boundaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopObservation {
+    /// Frontier cycle of the observation.
+    pub cycle: u64,
+    /// Measured cycles completed so far (frontier − warm-up).
+    pub measured_cycles: u64,
+    /// Sum of per-core IPCs over the interval since the previous
+    /// observation.
+    pub throughput: f64,
+}
+
+/// The runtime side of a stopping policy: stateful, driven by the
+/// session at `observe_stride` boundaries of the measured window.
+///
+/// Implementations must be deterministic functions of the observation
+/// sequence — the session clones them into snapshots (via
+/// [`StopPolicy::clone_policy`]) so a restored run resumes with the
+/// identical stopping state.
+pub trait StopPolicy: Send {
+    /// Hard ceiling on the measured window, in cycles.
+    fn max_measure_cycles(&self) -> u64;
+
+    /// Cycle stride at which the policy wants observations (0: never
+    /// observe — the run always reaches the ceiling).
+    fn observe_stride(&self) -> u64 {
+        0
+    }
+
+    /// Feed one observation; `true` stops the run at this boundary.
+    fn observe(&mut self, _obs: &StopObservation) -> bool {
+        false
+    }
+
+    /// Deep copy, estimator state included.
+    fn clone_policy(&self) -> Box<dyn StopPolicy>;
+
+    /// Short human-readable description for logs.
+    fn describe(&self) -> String;
+}
+
+/// Fixed-window stopping: run the whole `measure_cycles`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedCycles {
+    /// Measured cycles.
+    pub measure_cycles: u64,
+}
+
+impl StopPolicy for FixedCycles {
+    fn max_measure_cycles(&self) -> u64 {
+        self.measure_cycles
+    }
+
+    fn clone_policy(&self) -> Box<dyn StopPolicy> {
+        Box::new(*self)
+    }
+
+    fn describe(&self) -> String {
+        format!("fixed({} cycles)", self.measure_cycles)
+    }
+}
+
+/// Convergence-based stopping: a rolling window of interval
+/// throughputs must agree to within `rel_epsilon` (see
+/// [`StopSpec::Converged`] for the parameter semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Converged {
+    /// Length of one throughput sample interval in cycles.
+    pub window_cycles: u64,
+    /// Relative spread threshold.
+    pub rel_epsilon: f64,
+    /// Measured cycles before which the run never stops.
+    pub min_cycles: u64,
+    /// Hard ceiling on measured cycles.
+    pub max_cycles: u64,
+    window: RollingThroughput,
+}
+
+impl Converged {
+    /// Build the policy with an empty rolling window.
+    pub fn new(window_cycles: u64, rel_epsilon: f64, min_cycles: u64, max_cycles: u64) -> Self {
+        assert!(window_cycles > 0, "window must be positive");
+        Converged {
+            window_cycles,
+            rel_epsilon,
+            min_cycles,
+            max_cycles,
+            window: RollingThroughput::new(WINDOW_SAMPLES),
+        }
+    }
+}
+
+impl StopPolicy for Converged {
+    fn max_measure_cycles(&self) -> u64 {
+        self.max_cycles
+    }
+
+    fn observe_stride(&self) -> u64 {
+        self.window_cycles
+    }
+
+    fn observe(&mut self, obs: &StopObservation) -> bool {
+        self.window.push(obs.throughput);
+        obs.measured_cycles >= self.min_cycles && self.window.converged(self.rel_epsilon)
+    }
+
+    fn clone_policy(&self) -> Box<dyn StopPolicy> {
+        Box::new(self.clone())
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "converged(window {} cycles, eps {}, {}..={} cycles)",
+            self.window_cycles, self.rel_epsilon, self.min_cycles, self.max_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_fingerprint_matches_the_legacy_run_budget_debug() {
+        // The exact string `{:?}` printed for the old `RunBudget` —
+        // pinned so every pre-plan store key keeps matching.
+        assert_eq!(
+            RunPlan::fixed(300_000, 3_000_000).fingerprint(),
+            "RunBudget { warmup_cycles: 300000, measure_cycles: 3000000 }"
+        );
+    }
+
+    #[test]
+    fn converged_fingerprint_is_distinct_and_parameter_sensitive() {
+        let fixed = RunPlan::fixed(300_000, 3_000_000);
+        let conv = fixed.until_converged(300_000, 0.01);
+        assert_ne!(conv.fingerprint(), fixed.fingerprint());
+        assert_ne!(
+            conv.fingerprint(),
+            fixed.until_converged(300_000, 0.02).fingerprint(),
+            "epsilon is part of the key"
+        );
+        assert_ne!(
+            conv.fingerprint(),
+            fixed.until_converged(150_000, 0.01).fingerprint(),
+            "window is part of the key"
+        );
+        assert_eq!(conv.fingerprint(), conv.fingerprint());
+    }
+
+    #[test]
+    fn until_converged_keeps_the_budget_as_ceiling() {
+        let plan = RunPlan::fixed(10_000, 60_000).until_converged(5_000, 0.1);
+        assert_eq!(plan.warmup_cycles, 10_000);
+        assert_eq!(plan.measure_cycles(), 60_000);
+        assert_eq!(plan.horizon(), 70_000);
+        assert!(plan.can_stop_early());
+        assert!(!RunPlan::fixed(1, 2).can_stop_early());
+    }
+
+    #[test]
+    fn fixed_policy_never_observes_or_stops() {
+        let policy = RunPlan::fixed(0, 500).policy();
+        assert_eq!(policy.max_measure_cycles(), 500);
+        assert_eq!(policy.observe_stride(), 0);
+    }
+
+    #[test]
+    fn converged_policy_stops_on_a_full_stable_window() {
+        let mut policy = Converged::new(100, 0.05, 0, 10_000);
+        let obs = |k: u64, tp: f64| StopObservation {
+            cycle: 1_000 + k * 100,
+            measured_cycles: k * 100,
+            throughput: tp,
+        };
+        // Three stable samples: window not yet full.
+        for k in 1..=3 {
+            assert!(!policy.observe(&obs(k, 2.0)));
+        }
+        // Fourth: full window, zero spread → stop.
+        assert!(policy.observe(&obs(4, 2.0)));
+    }
+
+    #[test]
+    fn converged_policy_respects_min_cycles_and_rolls_outliers_out() {
+        let mut policy = Converged::new(100, 0.05, 600, 10_000);
+        let obs = |k: u64, tp: f64| StopObservation {
+            cycle: 1_000 + k * 100,
+            measured_cycles: k * 100,
+            throughput: tp,
+        };
+        assert!(!policy.observe(&obs(1, 9.0)), "outlier first sample");
+        for k in 2..=5 {
+            // Stable from sample 2 on; window is stable at k = 5 but
+            // min_cycles = 600 holds the run until k = 6.
+            assert!(!policy.observe(&obs(k, 2.0)), "sample {k}");
+        }
+        assert!(policy.observe(&obs(6, 2.0)));
+    }
+
+    #[test]
+    fn clone_policy_carries_the_estimator_state() {
+        let mut policy = Converged::new(100, 0.05, 0, 10_000);
+        let obs = |k: u64| StopObservation {
+            cycle: k * 100,
+            measured_cycles: k * 100,
+            throughput: 2.0,
+        };
+        for k in 1..=3 {
+            policy.observe(&obs(k));
+        }
+        let mut cloned = policy.clone_policy();
+        // One more stable sample converges both the original and the
+        // clone at the same boundary.
+        assert!(policy.observe(&obs(4)));
+        assert!(cloned.observe(&obs(4)));
+    }
+}

@@ -10,7 +10,9 @@
 //!   one-shot driver did);
 //! * [`SimSession::run_until`] advances the frontier to a cycle;
 //! * [`SimSession::run_to_completion`] runs the whole warm-up + measure
-//!   window and returns the [`SystemResult`];
+//!   window — or, under a [`RunPlan`] with a convergence stop policy,
+//!   until the policy ends the run early — and returns the
+//!   [`SystemResult`];
 //! * [`Probe`]s fire on a configurable cycle stride and receive
 //!   [`PeriodSample`]s — per-core IPC, the L2 event mix and any
 //!   scheme-side [`SchemeEvent`]s (SNUG stage/G-T transitions) for that
@@ -25,11 +27,16 @@
 //! resumes — retires exactly the same operation sequence as a single
 //! `run_to_completion`, because every step picks the globally minimal
 //! core clock and phase transitions are functions of the frontier alone.
-//! The property test in `tests/session_determinism.rs` pins this down
-//! for all five schemes.
+//! Stop policies keep the contract: they observe only at fixed
+//! frontier-derived boundaries, their state is part of the snapshot,
+//! and the early-exit decision latches after the exact same operation
+//! in every interleaving. The property tests in
+//! `tests/session_determinism.rs` pin this down for all five schemes,
+//! fixed and converged plans alike.
 
 use crate::config::SystemConfig;
 use crate::core::CoreModel;
+use crate::plan::{RunPlan, StopObservation, StopPolicy};
 use crate::scheme::{ChipResources, CloneOrg, L2Org, SchemeEvent};
 use crate::system::{CoreResult, SystemResult};
 use crate::Bus;
@@ -118,7 +125,10 @@ pub struct SessionSnapshot<O> {
     streams: Vec<Box<dyn OpStream>>,
     labels: Vec<String>,
     warmup_cycles: u64,
-    measure_cycles: u64,
+    policy: Box<dyn StopPolicy>,
+    stopped_at: Option<u64>,
+    policy_next_at: u64,
+    policy_cores: Vec<(u64, u64)>,
     measuring: bool,
     baseline: Vec<(u64, u64)>,
 }
@@ -140,7 +150,10 @@ impl<O: CloneOrg> SessionSnapshot<O> {
             streams,
             labels: self.labels.clone(),
             warmup_cycles: self.warmup_cycles,
-            measure_cycles: self.measure_cycles,
+            policy: self.policy.clone_policy(),
+            stopped_at: self.stopped_at,
+            policy_next_at: self.policy_next_at,
+            policy_cores: self.policy_cores.clone(),
             measuring: self.measuring,
             baseline: self.baseline.clone(),
             probe_stride: 0,
@@ -169,13 +182,12 @@ fn clone_streams(streams: &[Box<dyn OpStream>]) -> Result<Vec<Box<dyn OpStream>>
 }
 
 /// Builder for [`SimSession`]: platform + organisation + streams + the
-/// run window, with optional probing.
+/// run plan, with optional probing.
 pub struct SessionBuilder<O: L2Org> {
     cfg: SystemConfig,
     org: O,
     streams: Vec<Box<dyn OpStream>>,
-    warmup_cycles: u64,
-    measure_cycles: u64,
+    plan: RunPlan,
     probe_stride: u64,
     record: bool,
     probes: Vec<Box<dyn Probe>>,
@@ -193,8 +205,7 @@ impl<O: L2Org> SessionBuilder<O> {
             cfg,
             org,
             streams: Vec::new(),
-            warmup_cycles: 0,
-            measure_cycles: 0,
+            plan: RunPlan::fixed(0, 0),
             probe_stride: 0,
             record: false,
             probes: Vec::new(),
@@ -207,12 +218,16 @@ impl<O: L2Org> SessionBuilder<O> {
         self
     }
 
-    /// Set the warm-up and measured window lengths (absolute cycles:
-    /// measurement begins at `warmup` and the horizon is
-    /// `warmup + measure`).
-    pub fn budget(mut self, warmup_cycles: u64, measure_cycles: u64) -> Self {
-        self.warmup_cycles = warmup_cycles;
-        self.measure_cycles = measure_cycles;
+    /// Set a fixed-window run plan (absolute cycles: measurement begins
+    /// at `warmup` and the horizon is `warmup + measure`). Sugar for
+    /// [`SessionBuilder::plan`] with [`RunPlan::fixed`].
+    pub fn budget(self, warmup_cycles: u64, measure_cycles: u64) -> Self {
+        self.plan(RunPlan::fixed(warmup_cycles, measure_cycles))
+    }
+
+    /// Set the run plan (replaces any previous plan or budget).
+    pub fn plan(mut self, plan: RunPlan) -> Self {
+        self.plan = plan;
         self
     }
 
@@ -261,8 +276,11 @@ impl<O: L2Org> SessionBuilder<O> {
             org: self.org,
             streams: self.streams,
             labels,
-            warmup_cycles: self.warmup_cycles,
-            measure_cycles: self.measure_cycles,
+            warmup_cycles: self.plan.warmup_cycles,
+            policy: self.plan.policy(),
+            stopped_at: None,
+            policy_next_at: 0,
+            policy_cores: Vec::new(),
             measuring: false,
             baseline: Vec::new(),
             probe_stride: self.probe_stride,
@@ -292,7 +310,18 @@ pub struct SimSession<O: L2Org> {
     streams: Vec<Box<dyn OpStream>>,
     labels: Vec<String>,
     warmup_cycles: u64,
-    measure_cycles: u64,
+    /// The stop policy governing the measured window (state included —
+    /// cloned into snapshots).
+    policy: Box<dyn StopPolicy>,
+    /// The frontier cycle at which the policy ended the run early
+    /// (`None`: still running, or the run reaches the horizon).
+    stopped_at: Option<u64>,
+    /// The next measured-window boundary the policy observes at
+    /// (`warmup + k * stride`; 0 before measurement).
+    policy_next_at: u64,
+    /// Per-core (instructions, cycle) at the previous policy
+    /// observation.
+    policy_cores: Vec<(u64, u64)>,
     /// Whether the measurement phase has begun (stats reset done).
     measuring: bool,
     /// Per-core (instructions, cycle) at measurement start.
@@ -319,9 +348,24 @@ impl<O: L2Org> SimSession<O> {
         self.cores.iter().map(|c| c.cycle()).min().unwrap_or(0)
     }
 
-    /// The end of the run window (`warmup + measure`).
+    /// The end of the run window (`warmup` + the policy's measured
+    /// ceiling). A convergence policy may end the run earlier — see
+    /// [`SimSession::stopped_at`].
     pub fn horizon(&self) -> u64 {
-        self.warmup_cycles + self.measure_cycles
+        self.warmup_cycles + self.policy.max_measure_cycles()
+    }
+
+    /// The frontier cycle at which the stop policy ended the run early,
+    /// or `None` while the session is running or when it reached the
+    /// horizon.
+    pub fn stopped_at(&self) -> Option<u64> {
+        self.stopped_at
+    }
+
+    /// Measured cycles completed so far (0 before the warm-up
+    /// boundary).
+    pub fn measured_cycles(&self) -> u64 {
+        self.frontier().saturating_sub(self.warmup_cycles)
     }
 
     /// Whether the measurement phase has begun.
@@ -356,13 +400,25 @@ impl<O: L2Org> SimSession<O> {
         // The probe delta baselines restart with the reset counters.
         self.probe_l2 = CacheStats::default();
         self.probe_cores = self.baseline.clone();
+        // The stop policy observes from the warm-up boundary on. The
+        // boundary is frontier-derived, so this latches at the same
+        // point in the op sequence in every interleaving.
+        let stride = self.policy.observe_stride();
+        let rel = self.frontier().saturating_sub(self.warmup_cycles);
+        if let Some(crossed) = rel.checked_div(stride) {
+            self.policy_cores = self.baseline.clone();
+            self.policy_next_at = self.warmup_cycles + (crossed + 1) * stride;
+        }
         self.measuring = true;
     }
 
     /// Execute one operation on the core with the smallest local clock.
-    /// Returns `false` once every core has reached the horizon (the
-    /// session is complete).
+    /// Returns `false` once every core has reached the horizon or the
+    /// stop policy has ended the run (the session is complete).
     pub fn step(&mut self) -> bool {
+        if self.stopped_at.is_some() {
+            return false;
+        }
         // One scan serves three purposes: the global minimum clock IS
         // the frontier, decides the phase transition, and names the next
         // core to step (first index on ties, as the one-shot driver
@@ -385,6 +441,7 @@ impl<O: L2Org> SimSession<O> {
         if self.probe_stride > 0 {
             self.fire_probes();
         }
+        self.observe_policy();
         true
     }
 
@@ -530,6 +587,61 @@ impl<O: L2Org> SimSession<O> {
         }
     }
 
+    /// Deliver the interval throughput to the stop policy at every
+    /// crossed policy boundary (`warmup + k * stride`). Like
+    /// `fire_probes`, a step that jumps several boundaries delivers one
+    /// combined observation — boundaries are frontier-derived, so the
+    /// observation sequence (and therefore the early-exit decision) is
+    /// identical in every interleaving.
+    fn observe_policy(&mut self) {
+        if self.stopped_at.is_some() || !self.measuring {
+            return;
+        }
+        let stride = self.policy.observe_stride();
+        if stride == 0 {
+            return;
+        }
+        let frontier = self.frontier();
+        if frontier < self.policy_next_at {
+            return;
+        }
+        let rel = frontier - self.warmup_cycles;
+        // An observation at or past the ceiling cannot stop anything
+        // early — the run is ending anyway — and must never latch a
+        // stop cycle beyond the horizon (a run that reaches the
+        // ceiling reports the full window, not an "early" stop there).
+        if rel >= self.policy.max_measure_cycles() {
+            return;
+        }
+        self.policy_next_at = self.warmup_cycles + (rel / stride + 1) * stride;
+        let now: Vec<(u64, u64)> = self
+            .cores
+            .iter()
+            .map(|c| (c.instructions(), c.cycle()))
+            .collect();
+        let throughput = now
+            .iter()
+            .zip(&self.policy_cores)
+            .map(|(n, p)| {
+                let cycles = n.1.saturating_sub(p.1);
+                if cycles == 0 {
+                    0.0
+                } else {
+                    n.0.saturating_sub(p.0) as f64 / cycles as f64
+                }
+            })
+            .sum();
+        self.policy_cores = now;
+        let obs = StopObservation {
+            cycle: frontier,
+            measured_cycles: rel,
+            throughput,
+        };
+        if self.policy.observe(&obs) {
+            self.stopped_at = Some(frontier);
+        }
+    }
+
     /// Take the recorded time series (empty if recording was not
     /// enabled).
     pub fn take_series(&mut self) -> Vec<PeriodSample> {
@@ -590,10 +702,14 @@ impl<O: L2Org> SimSession<O> {
         measure_cycles: u64,
     ) {
         assert_eq!(streams.len(), self.cfg.num_cores, "one stream per core");
+        let plan = RunPlan::fixed(warmup_cycles, measure_cycles);
         self.labels = streams.iter().map(|s| s.label().to_string()).collect();
         self.streams = streams;
-        self.warmup_cycles = warmup_cycles;
-        self.measure_cycles = measure_cycles;
+        self.warmup_cycles = plan.warmup_cycles;
+        self.policy = plan.policy();
+        self.stopped_at = None;
+        self.policy_next_at = 0;
+        self.policy_cores.clear();
         self.measuring = false;
         self.baseline.clear();
     }
@@ -615,7 +731,10 @@ impl<O: CloneOrg> SimSession<O> {
             streams: clone_streams(&self.streams)?,
             labels: self.labels.clone(),
             warmup_cycles: self.warmup_cycles,
-            measure_cycles: self.measure_cycles,
+            policy: self.policy.clone_policy(),
+            stopped_at: self.stopped_at,
+            policy_next_at: self.policy_next_at,
+            policy_cores: self.policy_cores.clone(),
             measuring: self.measuring,
             baseline: self.baseline.clone(),
         })
@@ -811,6 +930,68 @@ mod tests {
             .build();
         let _ = s.run_to_completion();
         assert!(*count.borrow() >= 4, "got {}", *count.borrow());
+    }
+
+    #[test]
+    fn converged_plan_stops_early_and_deterministically() {
+        let cfg = SystemConfig::tiny_test();
+        let plan = RunPlan::fixed(2_000, 30_000).until_converged(1_000, 0.5);
+        let build = || {
+            SimSession::builder(cfg, TestOrg::new(&cfg))
+                .streams(streams(64, 3))
+                .plan(plan)
+                .build()
+        };
+        let mut s = build();
+        let result = s.run_to_completion();
+        let stop = s.stopped_at().expect("steady tiny loop converges");
+        assert!(
+            stop < s.horizon(),
+            "stopped at {stop} before horizon {}",
+            s.horizon()
+        );
+        assert!(stop >= 2_000 + 4 * 1_000, "needs a full rolling window");
+
+        // A rerun stops at the identical cycle with the identical
+        // result.
+        let mut again = build();
+        assert_eq!(again.run_to_completion(), result);
+        assert_eq!(again.stopped_at(), Some(stop));
+
+        // Snapshot mid-measurement (estimator partially filled),
+        // restore, resume: the restored session makes the identical
+        // early-exit decision.
+        let mut warm = build();
+        warm.run_until(3_500);
+        let mut restored = warm.snapshot().unwrap().to_session().unwrap();
+        assert_eq!(restored.run_to_completion(), result);
+        assert_eq!(restored.stopped_at(), Some(stop));
+        assert_eq!(warm.run_to_completion(), result);
+        assert_eq!(warm.stopped_at(), Some(stop));
+    }
+
+    #[test]
+    fn convergence_at_the_ceiling_is_not_an_early_stop() {
+        // The window divides the measured ceiling exactly, so the first
+        // full rolling window lands on the final boundary: stopping
+        // there saves nothing and must not latch a stop cycle at (or,
+        // via a frontier jump, beyond) the horizon.
+        let cfg = SystemConfig::tiny_test();
+        let plan = RunPlan::fixed(2_000, 8_000).until_converged(2_000, 0.9);
+        let mut s = SimSession::builder(cfg, TestOrg::new(&cfg))
+            .streams(streams(64, 3))
+            .plan(plan)
+            .build();
+        let _ = s.run_to_completion();
+        assert_eq!(s.stopped_at(), None, "ran the full window");
+    }
+
+    #[test]
+    fn fixed_plan_never_stops_early() {
+        let mut s = session(64);
+        let _ = s.run_to_completion();
+        assert_eq!(s.stopped_at(), None);
+        assert_eq!(s.measured_cycles(), s.frontier() - 2_000);
     }
 
     #[test]

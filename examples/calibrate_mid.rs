@@ -12,7 +12,7 @@
 //! cargo run --release --example calibrate_mid -- --all   # every candidate
 //! ```
 
-use snug_sim::experiments::{run_combo, summarize, CompareConfig, Figure, RunBudget};
+use snug_sim::experiments::{run_combo, summarize, CompareConfig, Figure, RunPlan};
 use snug_sim::workloads::all_combos;
 use std::time::Instant;
 
@@ -86,10 +86,7 @@ struct Candidate {
 
 fn config_for(c: &Candidate) -> CompareConfig {
     let mut cfg = CompareConfig::quick();
-    cfg.budget = RunBudget {
-        warmup_cycles: c.warmup,
-        measure_cycles: c.measure,
-    };
+    cfg.plan = RunPlan::fixed(c.warmup, c.measure);
     cfg.snug.stage1_cycles = c.stage1;
     cfg.snug.stage2_cycles = c.stage2;
     cfg.snug.continuous_sampling = true;

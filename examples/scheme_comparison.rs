@@ -21,7 +21,7 @@ fn main() {
     eprintln!(
         "running {} combos × 8 simulations (L2P + L2S + 5×CC + DSR + SNUG), {} measured cycles each...",
         combos.len(),
-        cfg.budget.measure_cycles
+        cfg.plan.measure_cycles()
     );
     let t0 = std::time::Instant::now();
     let results = run_all(&combos, &cfg, 0);

@@ -15,18 +15,18 @@
 use sim_cmp::{CmpSystem, SystemConfig};
 use sim_mem::OpStream;
 use snug_core::{SchemeSpec, Snug, SnugConfig};
-use snug_experiments::RunBudget;
+use snug_experiments::{CompareConfig, RunPlan};
 use snug_metrics::{IpcVector, MetricSet};
 use snug_workloads::Benchmark;
 
-fn run(bench: Benchmark, spec: &SchemeSpec, budget: &RunBudget) -> Vec<f64> {
+fn run(bench: Benchmark, spec: &SchemeSpec, plan: &RunPlan) -> Vec<f64> {
     let system = SystemConfig::paper();
     let org = spec.build(system);
     let mut sys = CmpSystem::new(system, org);
     let streams: Vec<Box<dyn OpStream>> = (0..4)
         .map(|core| Box::new(bench.spec().stream(system.l2_slice, core)) as Box<dyn OpStream>)
         .collect();
-    sys.run(streams, budget.warmup_cycles, budget.measure_cycles)
+    sys.run(streams, plan.warmup_cycles, plan.measure_cycles())
         .ipcs()
 }
 
@@ -38,13 +38,14 @@ fn main() {
         snug_workloads::AppClass::A,
         "C1 stress tests use class-A applications"
     );
-    let budget = RunBudget::default_eval();
+    let plan = CompareConfig::default_eval_plan();
     println!(
         "C1 stress test: 4 × {} (class A), {} measured cycles\n",
-        name, budget.measure_cycles
+        name,
+        plan.measure_cycles()
     );
 
-    let base = IpcVector::new(run(bench, &SchemeSpec::L2p, &budget));
+    let base = IpcVector::new(run(bench, &SchemeSpec::L2p, &plan));
     println!("L2P baseline throughput: {:.3}", base.throughput());
 
     let mut snug_on = SnugConfig::scaled(100);
@@ -63,7 +64,7 @@ fn main() {
         ("SNUG (flipping ON)", SchemeSpec::Snug(snug_on)),
         ("SNUG (flipping OFF)", SchemeSpec::Snug(snug_off)),
     ] {
-        let ipcs = IpcVector::new(run(bench, &spec, &budget));
+        let ipcs = IpcVector::new(run(bench, &spec, &plan));
         let m = MetricSet::compute(&ipcs, &base);
         println!(
             "{label:<20} throughput {:.3}  ({:+.1} %)   AWS {:.3}   FS {:.3}",
@@ -80,7 +81,7 @@ fn main() {
     let streams: Vec<Box<dyn OpStream>> = (0..4)
         .map(|core| Box::new(bench.spec().stream(system.l2_slice, core)) as Box<dyn OpStream>)
         .collect();
-    sys.run(streams, budget.warmup_cycles, budget.measure_cycles);
+    sys.run(streams, plan.warmup_cycles, plan.measure_cycles());
     let ev = sys.org().events();
     println!("\nSNUG spill placement in the stress test:");
     println!("  same-index spills : {}", ev.spills_same_index);

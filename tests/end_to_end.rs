@@ -10,8 +10,7 @@ use snug_workloads::{all_combos, Benchmark, ComboClass};
 
 fn tiny_cfg() -> CompareConfig {
     let mut cfg = CompareConfig::quick();
-    cfg.budget.warmup_cycles = 40_000;
-    cfg.budget.measure_cycles = 250_000;
+    cfg.plan = snug_experiments::RunPlan::fixed(40_000, 250_000);
     cfg.snug.stage1_cycles = 20_000;
     cfg.snug.stage2_cycles = 80_000;
     cfg
@@ -37,7 +36,7 @@ fn every_scheme_completes_a_mixed_combo() {
         assert_eq!(r.cores.len(), 4);
         for core in &r.cores {
             assert!(core.ipc > 0.0, "{}: core produced no progress", r.scheme);
-            assert!(core.cycles >= cfg.budget.measure_cycles * 9 / 10);
+            assert!(core.cycles >= cfg.plan.measure_cycles() * 9 / 10);
         }
         assert!(r.l2.accesses() > 0, "{}: L2 never accessed", r.scheme);
     }
@@ -99,7 +98,7 @@ fn snug_outperforms_baseline_on_the_c1_stress_test() {
     // Needs eval-scale sampling periods: the quick stage lengths starve
     // the monitors, so scaled runs sample continuously to keep fidelity.
     let mut cfg = CompareConfig::default_eval();
-    cfg.budget.measure_cycles = 4_500_000;
+    cfg.plan = snug_experiments::RunPlan::fixed(cfg.plan.warmup_cycles, 4_500_000);
     let combo = all_combos()
         .into_iter()
         .find(|c| c.class == ComboClass::C1)

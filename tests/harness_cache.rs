@@ -27,6 +27,7 @@ fn tiny_spec() -> SweepSpec {
             warmup_cycles: 15_000,
             measure_cycles: 80_000,
         },
+        stop: snug_harness::StopPreset::Fixed,
         shared_warmup: false,
     }
 }

@@ -5,10 +5,14 @@
 //!    as one `run_to_completion()` (which is also what the legacy
 //!    `CmpSystem::run` wrapper drives);
 //! 2. snapshot → restore → resume is bit-identical to the uninterrupted
-//!    run, however the original session continues afterwards.
+//!    run, however the original session continues afterwards;
+//! 3. a `Converged`-policy run stops at the same cycle and retires the
+//!    identical op sequence across interleaved stepping and
+//!    snapshot → restore → resume (the early-exit decision is a pure
+//!    function of the frontier-derived observation sequence).
 
 use proptest::prelude::*;
-use sim_cmp::{CmpSystem, L2Org, SimSession, SystemConfig, SystemResult};
+use sim_cmp::{CmpSystem, L2Org, RunPlan, SimSession, SystemConfig, SystemResult};
 use sim_mem::OpStream;
 use snug_core::{DsrConfig, SchemeSpec, SnugConfig};
 use snug_workloads::Benchmark;
@@ -65,6 +69,35 @@ fn session(spec: &SchemeSpec) -> SimSession<Box<dyn L2Org>> {
 
 fn reference(spec: &SchemeSpec) -> SystemResult {
     session(spec).run_to_completion()
+}
+
+/// A converged-policy plan loose enough that every scheme's steady
+/// synthetic streams stop well before the horizon: 2 K-cycle sample
+/// windows, 50 % tolerance, earliest stop 4 windows into measurement.
+fn converged_plan() -> RunPlan {
+    RunPlan::fixed(WARMUP, MEASURE).until_converged(2_000, 0.5)
+}
+
+fn converged_session(spec: &SchemeSpec) -> SimSession<Box<dyn L2Org>> {
+    let cfg = SystemConfig::tiny_test();
+    SimSession::builder(cfg, spec.build(cfg))
+        .streams(streams(&cfg))
+        .plan(converged_plan())
+        .build()
+}
+
+#[test]
+fn converged_policy_stops_every_scheme_early() {
+    for spec in schemes() {
+        let mut s = converged_session(&spec);
+        let result = s.run_to_completion();
+        let stop = s
+            .stopped_at()
+            .unwrap_or_else(|| panic!("{spec}: loose epsilon must converge"));
+        assert!(stop < s.horizon(), "{spec}: stop {stop}");
+        assert!(stop >= WARMUP + 4 * 2_000, "{spec}: full window first");
+        assert!(result.throughput() > 0.0, "{spec}");
+    }
 }
 
 #[test]
@@ -139,5 +172,52 @@ proptest! {
         // A session restored from the snapshot matches too.
         let mut restored = snap.to_session().expect("snapshot replays");
         prop_assert_eq!(restored.run_to_completion(), expected);
+    }
+
+    /// A `Converged`-policy run stops at the same cycle and retires the
+    /// identical op sequence (same `SystemResult`, same per-core
+    /// instruction counts) whether driven one-shot, through a random
+    /// interleaving of `run_until`/`step`, or through a mid-run
+    /// snapshot → restore → resume — the estimator state travels with
+    /// the snapshot.
+    #[test]
+    fn converged_stop_cycle_is_interleaving_and_snapshot_invariant(
+        scheme_idx in 0usize..5,
+        hops in proptest::collection::vec(1u64..6_000, 0..8),
+        step_runs in proptest::collection::vec(1usize..300, 0..6),
+        snap_at in 1u64..(WARMUP + MEASURE),
+    ) {
+        let spec = schemes()[scheme_idx];
+        let mut one_shot = converged_session(&spec);
+        let expected = one_shot.run_to_completion();
+        let expected_stop = one_shot.stopped_at();
+        prop_assert!(expected_stop.is_some(), "loose epsilon converges");
+
+        // Random interleaving.
+        let mut interleaved = converged_session(&spec);
+        let mut cursor = 0;
+        for (i, hop) in hops.iter().enumerate() {
+            cursor += hop;
+            interleaved.run_until(cursor);
+            if let Some(n) = step_runs.get(i) {
+                for _ in 0..*n {
+                    interleaved.step();
+                }
+            }
+        }
+        prop_assert_eq!(interleaved.run_to_completion(), expected.clone());
+        prop_assert_eq!(interleaved.stopped_at(), expected_stop);
+
+        // Snapshot → restore → resume (and the original, resumed).
+        let mut original = converged_session(&spec);
+        original.run_until(snap_at);
+        if original.stopped_at().is_none() {
+            let snap = original.snapshot().expect("streams snapshot");
+            let mut restored = snap.to_session().expect("snapshot replays");
+            prop_assert_eq!(restored.run_to_completion(), expected.clone());
+            prop_assert_eq!(restored.stopped_at(), expected_stop);
+        }
+        prop_assert_eq!(original.run_to_completion(), expected);
+        prop_assert_eq!(original.stopped_at(), expected_stop);
     }
 }
