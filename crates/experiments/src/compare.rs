@@ -6,11 +6,11 @@
 //! combination. Class results aggregate with the geometric mean (§5).
 
 use serde::{Deserialize, Serialize};
-use sim_cmp::{L2Org, RunPlan, SimSession, SystemConfig, SystemResult};
+use sim_cmp::{L2Org, RunPlan, SimSession, StopSpec, SystemConfig, SystemResult};
 use sim_mem::OpStream;
 use snug_core::{Cc, DsrConfig, SchemeSpec, SnugConfig};
 use snug_metrics::{geomean, IpcVector, MetricSet, Table};
-use snug_workloads::{Combo, ComboClass};
+use snug_workloads::{Combo, ComboClass, PhaseSchedule};
 
 /// Default relative-spread threshold for convergence-based early exit
 /// (`snug sweep --until-converged` without `--rel-eps`): the baseline's
@@ -136,6 +136,22 @@ impl CompareConfig {
         self.plan = self.plan.until_converged(window, eps);
         self
     }
+
+    /// Swap the plan's stop policy for re-convergence under a
+    /// phase-change schedule (`snug sweep --until-reconverged`): same
+    /// defaults as [`CompareConfig::until_converged`], but the run only
+    /// stops once throughput has re-stabilised after the workload's
+    /// last scheduled shift, with per-phase plateau means recorded.
+    pub fn until_reconverged(
+        mut self,
+        window_cycles: Option<u64>,
+        rel_epsilon: Option<f64>,
+    ) -> Self {
+        let window = window_cycles.unwrap_or_else(|| default_window(&self.plan));
+        let eps = rel_epsilon.unwrap_or(DEFAULT_REL_EPSILON);
+        self.plan = self.plan.until_reconverged(window, eps);
+        self
+    }
 }
 
 /// Result of one scheme on one combo.
@@ -189,9 +205,23 @@ pub fn combo_streams(combo: &Combo, system: &SystemConfig) -> Vec<Box<dyn OpStre
 /// form is [`session_for`]; this one takes a concrete organisation so
 /// callers keep typed access to it (e.g. the shared-warm-up CC sweep).
 pub fn session_for_org<O: L2Org>(combo: &Combo, org: O, cfg: &CompareConfig) -> SimSession<O> {
+    session_for_org_phased(combo, org, cfg, None)
+}
+
+/// [`session_for_org`] with an optional phase-change schedule: the
+/// session applies the scheduled stream shifts at frontier boundaries,
+/// and a [`StopSpec::Reconverged`] plan segments its measured window at
+/// the schedule's shift cycles.
+pub fn session_for_org_phased<O: L2Org>(
+    combo: &Combo,
+    org: O,
+    cfg: &CompareConfig,
+    phase: Option<&PhaseSchedule>,
+) -> SimSession<O> {
     SimSession::builder(cfg.system, org)
         .streams(combo_streams(combo, &cfg.system))
         .plan(cfg.plan)
+        .phase_shifts(phase.map(|p| p.shifts().to_vec()).unwrap_or_default())
         .build()
 }
 
@@ -202,6 +232,16 @@ pub fn session_for(
     cfg: &CompareConfig,
 ) -> SimSession<Box<dyn L2Org>> {
     session_for_org(combo, spec.build(cfg.system), cfg)
+}
+
+/// [`session_for`] with an optional phase-change schedule.
+pub fn session_for_phased(
+    combo: &Combo,
+    spec: &SchemeSpec,
+    cfg: &CompareConfig,
+    phase: Option<&PhaseSchedule>,
+) -> SimSession<Box<dyn L2Org>> {
+    session_for_org_phased(combo, spec.build(cfg.system), cfg, phase)
 }
 
 /// Run one combo under one scheme spec; returns the raw system result.
@@ -286,6 +326,42 @@ impl SchemePoint {
     }
 }
 
+/// Why an early-exit-capable run ended where it did. `None` on a
+/// [`SchemeRun`] means the run had no early-exit machinery at all (the
+/// canonical fixed-plan methodology); a bare "used the whole window"
+/// used to be ambiguous between that and a convergence run that never
+/// stabilised — which is exactly what L2S does on every `--mid` combo,
+/// so downstream numbers silently mixed plateau and mid-ramp
+/// measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The stop policy found a stable plateau (for paced siblings: the
+    /// combo's baseline did, and this run measured that window).
+    Converged,
+    /// The run hit the `max_cycles` ceiling without ever stabilising —
+    /// its numbers are mid-ramp, not plateau.
+    Ceiling,
+}
+
+impl StopReason {
+    /// Short store/report label ("converged" / "ceiling").
+    pub fn label(&self) -> &'static str {
+        match self {
+            StopReason::Converged => "converged",
+            StopReason::Ceiling => "ceiling",
+        }
+    }
+
+    /// Parse a [`StopReason::label`] string.
+    pub fn from_label(label: &str) -> Option<StopReason> {
+        match label {
+            "converged" => Some(StopReason::Converged),
+            "ceiling" => Some(StopReason::Ceiling),
+            _ => None,
+        }
+    }
+}
+
 /// The raw output of one (combo, scheme point) simulation: the per-core
 /// IPCs everything else derives from. This is what the harness store
 /// persists per unit job.
@@ -299,18 +375,70 @@ pub struct SchemeRun {
     /// the run used its full measured window — every fixed-plan run,
     /// and converged runs that never stabilised).
     pub measured_cycles: Option<u64>,
+    /// Why the run ended: present on every early-exit-capable run
+    /// (converged/reconverged sweeps, including their baseline-paced
+    /// siblings), absent on canonical fixed-plan runs — so the
+    /// committed fixed-plan store entries render exactly as they always
+    /// did.
+    pub stop_reason: Option<StopReason>,
+    /// Per-phase plateau mean throughputs under a re-convergence
+    /// policy (empty otherwise): one entry per workload phase, the last
+    /// being the final plateau the run stopped on.
+    pub plateaus: Vec<f64>,
 }
 
 /// Run one scheme point of one combo.
 pub fn run_point(combo: &Combo, point: &SchemePoint, cfg: &CompareConfig) -> SchemeRun {
-    let mut session = session_for(combo, &point.spec(cfg), cfg);
+    run_point_phased(combo, point, cfg, None)
+}
+
+/// The stop reason and per-phase plateaus of a completed session under
+/// `plan` — the single derivation both the per-point and shared-warm-up
+/// paths record: `Some(reason)` exactly when the plan can stop early,
+/// plateau means exactly under a re-convergence policy.
+fn early_exit_outcome<O: L2Org>(
+    session: &SimSession<O>,
+    plan: &RunPlan,
+) -> (Option<StopReason>, Vec<f64>) {
+    let stop_reason = plan.can_stop_early().then(|| {
+        if session.stopped_at().is_some() {
+            StopReason::Converged
+        } else {
+            StopReason::Ceiling
+        }
+    });
+    let plateaus = if matches!(plan.stop, StopSpec::Reconverged { .. }) {
+        session
+            .phase_plateaus()
+            .iter()
+            .map(|p| p.mean_throughput)
+            .collect()
+    } else {
+        Vec::new()
+    };
+    (stop_reason, plateaus)
+}
+
+/// Run one scheme point of one combo under an optional phase-change
+/// schedule, recording the explicit stop reason on early-exit-capable
+/// plans.
+pub fn run_point_phased(
+    combo: &Combo,
+    point: &SchemePoint,
+    cfg: &CompareConfig,
+    phase: Option<&PhaseSchedule>,
+) -> SchemeRun {
+    let mut session = session_for_phased(combo, &point.spec(cfg), cfg, phase);
     let r = session.run_to_completion();
+    let (stop_reason, plateaus) = early_exit_outcome(&session, &cfg.plan);
     SchemeRun {
         scheme: point.label(),
         ipcs: r.ipcs(),
         measured_cycles: session
             .stopped_at()
             .map(|c| c.saturating_sub(cfg.plan.warmup_cycles)),
+        stop_reason,
+        plateaus,
     }
 }
 
@@ -323,29 +451,62 @@ pub fn paced_config(cfg: &CompareConfig, measured_window: u64) -> CompareConfig 
     paced
 }
 
-/// Run one scheme point over an exact `measured_window` (the pace a
-/// converged baseline run set for its combo). The window is recorded in
-/// the run when it beats the plan's ceiling, so cached entries carry
-/// the cycles they actually simulated.
+/// The measurement window a converged baseline fixed for its combo,
+/// plus how it got there — every paced sibling inherits both, so a
+/// combo whose baseline never stabilised is marked `Ceiling` on every
+/// scheme instead of masquerading as a full clean window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pace {
+    /// Measured cycles every scheme of the combo runs.
+    pub measured_window: u64,
+    /// The baseline's stop reason, inherited by the siblings.
+    pub stop_reason: StopReason,
+}
+
+/// Run one scheme point over an exact pace (the window a converged
+/// baseline run set for its combo). The window is recorded in the run
+/// when it beats the plan's ceiling, and the baseline's stop reason is
+/// inherited, so cached entries carry both the cycles they actually
+/// simulated and whether those cycles were a plateau.
 pub fn run_point_paced(
     combo: &Combo,
     point: &SchemePoint,
     cfg: &CompareConfig,
-    measured_window: u64,
+    pace: &Pace,
+    phase: Option<&PhaseSchedule>,
 ) -> SchemeRun {
-    let mut run = run_point(combo, point, &paced_config(cfg, measured_window));
-    if measured_window < cfg.plan.measure_cycles() {
-        run.measured_cycles = Some(measured_window);
+    let mut run = run_point_phased(
+        combo,
+        point,
+        &paced_config(cfg, pace.measured_window),
+        phase,
+    );
+    if pace.measured_window < cfg.plan.measure_cycles() {
+        run.measured_cycles = Some(pace.measured_window);
     }
+    run.stop_reason = Some(pace.stop_reason);
     run
 }
 
-/// The measured window a converged baseline run sets for its combo:
-/// its early-stop cycle, or the full ceiling if it never stabilised.
-pub fn pace_of(baseline: &SchemeRun, cfg: &CompareConfig) -> u64 {
-    baseline
-        .measured_cycles
-        .unwrap_or_else(|| cfg.plan.measure_cycles())
+/// The pace a converged baseline run sets for its combo: its early-stop
+/// cycle, or the full ceiling if it never stabilised. The stop reason
+/// prefers the baseline's recorded one; the inference fallback is
+/// belt-and-braces for hand-merged or edited stores — every entry
+/// written under the current early-exit key revision records its
+/// reason, and pre-revision entries can no longer be looked up.
+pub fn pace_of(baseline: &SchemeRun, cfg: &CompareConfig) -> Pace {
+    let stop_reason = baseline
+        .stop_reason
+        .unwrap_or(match baseline.measured_cycles {
+            Some(_) => StopReason::Converged,
+            None => StopReason::Ceiling,
+        });
+    Pace {
+        measured_window: baseline
+            .measured_cycles
+            .unwrap_or_else(|| cfg.plan.measure_cycles()),
+        stop_reason,
+    }
 }
 
 /// Run a subset of the §4.1 CC spill sweep from **one shared warm-up**:
@@ -366,12 +527,32 @@ pub fn run_cc_points_shared(
     points: &[SchemePoint],
     cfg: &CompareConfig,
 ) -> Vec<(SchemePoint, SchemeRun)> {
+    run_cc_points_shared_phased(combo, points, cfg, None, None)
+}
+
+/// [`run_cc_points_shared`] under an optional phase-change schedule
+/// and/or an optional baseline pace. With a pace, the whole family
+/// measures over exactly the window the combo's converged baseline
+/// settled on (the composition `--shared-warmup --until-converged`
+/// uses: one warm-up snapshot, then baseline-paced fixed-window
+/// measurement from it) and inherits the baseline's stop reason.
+pub fn run_cc_points_shared_phased(
+    combo: &Combo,
+    points: &[SchemePoint],
+    cfg: &CompareConfig,
+    phase: Option<&PhaseSchedule>,
+    pace: Option<&Pace>,
+) -> Vec<(SchemePoint, SchemeRun)> {
     assert!(
         points.iter().all(|p| matches!(p, SchemePoint::Cc { .. })),
         "shared warm-up applies to the CC spill sweep"
     );
-    let mut warm = session_for_org(combo, Cc::new(cfg.system, 0.0), cfg);
-    warm.run_until(cfg.plan.warmup_cycles);
+    let run_cfg = match pace {
+        Some(p) => paced_config(cfg, p.measured_window),
+        None => *cfg,
+    };
+    let mut warm = session_for_org_phased(combo, Cc::new(cfg.system, 0.0), &run_cfg, phase);
+    warm.run_until(run_cfg.plan.warmup_cycles);
     debug_assert!(warm.measuring(), "warm-up boundary crossed");
     let snap = warm.snapshot().expect("synthetic streams snapshot");
     points
@@ -383,15 +564,28 @@ pub fn run_cc_points_shared(
             let mut sess = snap.to_session().expect("snapshot streams clone");
             sess.org_mut().set_spill_probability(spill_probability);
             let r = sess.run_to_completion();
-            let measured_cycles = sess
+            let mut measured_cycles = sess
                 .stopped_at()
-                .map(|c| c.saturating_sub(cfg.plan.warmup_cycles));
+                .map(|c| c.saturating_sub(run_cfg.plan.warmup_cycles));
+            // The family ran under `run_cfg`: the original early-exit
+            // plan when unpaced, the baseline's fixed window when
+            // paced — in which case the pace's window and stop reason
+            // override, exactly as `run_point_paced` records them.
+            let (mut stop_reason, plateaus) = early_exit_outcome(&sess, &run_cfg.plan);
+            if let Some(p) = pace {
+                if p.measured_window < cfg.plan.measure_cycles() {
+                    measured_cycles = Some(p.measured_window);
+                }
+                stop_reason = Some(p.stop_reason);
+            }
             (
                 *point,
                 SchemeRun {
                     scheme: point.label(),
                     ipcs: r.ipcs(),
                     measured_cycles,
+                    stop_reason,
+                    plateaus,
                 },
             )
         })
@@ -501,7 +695,7 @@ pub fn run_combo(combo: &Combo, cfg: &CompareConfig) -> ComboResult {
                 .filter(|p| *p != SchemePoint::L2p)
                 .map(|point| {
                     let run = if cfg.plan.can_stop_early() {
-                        run_point_paced(combo, &point, cfg, pace)
+                        run_point_paced(combo, &point, cfg, &pace, None)
                     } else {
                         run_point(combo, &point, cfg)
                     };

@@ -28,10 +28,12 @@ pub mod trace;
 pub use characterize::{characterize, CharacterizeConfig, DemandCharacterization};
 pub use compare::{
     assemble_combo, best_cc_index, combo_streams, default_window, figure_table, pace_of,
-    paced_config, run_cc_points_shared, run_combo, run_point, run_point_paced, run_scheme,
-    session_for, session_for_org, summarize, ClassSummary, ComboResult, CompareConfig, Figure,
-    SchemePoint, SchemeResult, SchemeRun, DEFAULT_REL_EPSILON, FIGURE_SCHEMES,
+    paced_config, run_cc_points_shared, run_cc_points_shared_phased, run_combo, run_point,
+    run_point_paced, run_point_phased, run_scheme, session_for, session_for_org,
+    session_for_org_phased, session_for_phased, summarize, ClassSummary, ComboResult,
+    CompareConfig, Figure, Pace, SchemePoint, SchemeResult, SchemeRun, StopReason,
+    DEFAULT_REL_EPSILON, FIGURE_SCHEMES,
 };
 pub use runner::run_all;
 pub use sim_cmp::{RunPlan, StopSpec};
-pub use trace::{default_stride, trace_point, TraceSeries};
+pub use trace::{default_stride, trace_point, trace_point_phased, TraceSeries};

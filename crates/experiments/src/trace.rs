@@ -11,10 +11,10 @@
 //! boundaries — become a [`TraceSeries`] the harness stores and the
 //! `snug trace` CLI renders.
 
-use crate::compare::{session_for, CompareConfig, SchemePoint};
+use crate::compare::{session_for_phased, CompareConfig, SchemePoint};
 use sim_cmp::{PeriodSample, SchemeEvent, SchemeEventKind};
 use snug_metrics::{mean, Table};
-use snug_workloads::Combo;
+use snug_workloads::{Combo, PhaseSchedule};
 
 /// A recorded probe time series for one (combo, scheme point) run.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +50,30 @@ impl TraceSeries {
     /// Total scheme events recorded (stage transitions, G/T relatches).
     pub fn event_count(&self) -> usize {
         self.samples.iter().map(|s| s.events.len()).sum()
+    }
+
+    /// Total workload phase shifts recorded.
+    pub fn shift_count(&self) -> usize {
+        self.samples.iter().map(|s| s.shifts.len()).sum()
+    }
+
+    /// Mean throughput per workload phase over the measured window: the
+    /// measured samples split at every sample that recorded a shift
+    /// (the straddling sample starts the new phase). One entry for a
+    /// stationary run; `boundary + 1` entries once shifts fired inside
+    /// the measured window.
+    pub fn phase_throughputs(&self) -> Vec<f64> {
+        let mut phases: Vec<Vec<f64>> = vec![Vec::new()];
+        for s in self.measured() {
+            if !s.shifts.is_empty() && !phases.last().expect("non-empty").is_empty() {
+                phases.push(Vec::new());
+            }
+            phases.last_mut().expect("non-empty").push(s.throughput());
+        }
+        phases
+            .into_iter()
+            .map(|tps| if tps.is_empty() { 0.0 } else { mean(&tps) })
+            .collect()
     }
 
     /// Render the series as a table: one row per sample with per-core
@@ -88,7 +112,21 @@ impl TraceSeries {
             row.push(s.l2.spills_in.to_string());
             row.push(s.l2.retrieved_from_peer.to_string());
             row.push(s.l2.shadow_hits.to_string());
-            row.push(render_events(&s.events));
+            let mut events = render_events(&s.events);
+            if !s.shifts.is_empty() {
+                let shifts = s
+                    .shifts
+                    .iter()
+                    .map(|sh| format!("S@{}({})", sh.at_cycle, sh.directive))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                if events.is_empty() {
+                    events = shifts;
+                } else {
+                    events = format!("{shifts} {events}");
+                }
+            }
+            row.push(events);
             t.push_row(row);
         }
         t
@@ -133,7 +171,22 @@ pub fn trace_point(
     cfg: &CompareConfig,
     stride: u64,
 ) -> TraceSeries {
-    let mut session = session_for(combo, &point.spec(cfg), cfg);
+    trace_point_phased(combo, point, cfg, stride, None)
+}
+
+/// [`trace_point`] under an optional phase-change schedule: the shifts
+/// are applied mid-run and appear as phase-boundary events in the
+/// recorded samples ([`PeriodSample::shifts`]), which is how `snug
+/// trace --phase-shift` shows a scheme reacting — or failing to react —
+/// to a workload change.
+pub fn trace_point_phased(
+    combo: &Combo,
+    point: &SchemePoint,
+    cfg: &CompareConfig,
+    stride: u64,
+    phase: Option<&PhaseSchedule>,
+) -> TraceSeries {
+    let mut session = session_for_phased(combo, &point.spec(cfg), cfg, phase);
     session.enable_recording(stride);
     let _ = session.run_to_completion();
     TraceSeries {
@@ -147,6 +200,7 @@ pub fn trace_point(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compare::session_for;
     use snug_workloads::all_combos;
 
     fn tiny_cfg() -> CompareConfig {
@@ -192,6 +246,34 @@ mod tests {
         let t = series.table(&combo.label());
         assert_eq!(t.len(), series.samples.len());
         assert!(t.to_markdown().contains("ipc0"));
+    }
+
+    #[test]
+    fn phased_trace_records_shift_boundaries_and_phase_means() {
+        let combo = all_combos()[0];
+        let cfg = tiny_cfg();
+        let sched = PhaseSchedule::parse("120000:demand=300").unwrap();
+        let series = trace_point_phased(&combo, &SchemePoint::Snug, &cfg, 25_000, Some(&sched));
+        assert_eq!(series.shift_count(), 1, "one phase boundary recorded");
+        let phases = series.phase_throughputs();
+        assert_eq!(phases.len(), 2, "one mean per workload phase");
+        assert!(phases.iter().all(|t| *t > 0.0), "{phases:?}");
+        assert!(
+            series
+                .table(&combo.label())
+                .to_markdown()
+                .contains("S@120000(demand=300)"),
+            "phase boundary rendered as an event"
+        );
+        // A stationary trace has a single phase and no shift events.
+        let plain = trace_point(&combo, &SchemePoint::Snug, &cfg, 25_000);
+        assert_eq!(plain.shift_count(), 0);
+        assert_eq!(plain.phase_throughputs().len(), 1);
+        assert_ne!(
+            plain.mean_throughput(),
+            series.mean_throughput(),
+            "the shift changed the measured behaviour"
+        );
     }
 
     #[test]

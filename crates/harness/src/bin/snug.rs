@@ -18,14 +18,14 @@
 //! committed file is stale.
 
 use snug_core::SchemeSpec;
-use snug_experiments::{default_stride, trace_point, SchemePoint};
+use snug_experiments::{default_stride, trace_point_phased, SchemePoint};
 use snug_harness::{
     cached_results, check_experiments_md, render_experiments_md, render_markdown, run_sweep,
-    trace_key, BudgetPreset, CheckOutcome, JsonCodec, ResultStore, StopPreset, SweepEvent,
-    SweepSpec,
+    stop_summary_table, trace_key, BudgetPreset, CheckOutcome, JsonCodec, ResultStore, StopPreset,
+    SweepEvent, SweepSpec, CEILING_FOOTNOTE,
 };
 use snug_metrics::TableFormat;
-use snug_workloads::{all_combos, Benchmark, ComboClass};
+use snug_workloads::{all_combos, Benchmark, ComboClass, PhaseSchedule};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -64,14 +64,17 @@ const USAGE: &str = "\
 snug — SNUG experiment orchestration
 
 USAGE:
-  snug sweep        [--class C1..C6]... [budget flags] [--threads N]
-                    [--results DIR] [--name NAME] [--spec FILE] [--shared-warmup]
-  snug report       [--class ...] [budget flags] [--results DIR] [--out DIR]
-                    [--format md|csv] [--name NAME]
+  snug sweep        [--class C1..C6]... [budget flags] [--phase-shift SPEC]...
+                    [--threads N] [--results DIR] [--name NAME] [--spec FILE]
+                    [--shared-warmup]
+  snug report       [--class ...] [budget flags] [--phase-shift SPEC]...
+                    [--results DIR] [--out DIR] [--format md|csv] [--name NAME]
                     [--experiments-md [--check] [--md-path FILE]]
-  snug compare      --combo LABEL | --class C [budget flags] [--threads N] [--results DIR]
-  snug trace        COMBO SCHEME [--stride N] [--quick|--mid|--eval|--warmup N
-                    --measure N] [--results DIR] [--format md|csv]
+  snug compare      --combo LABEL | --class C [budget flags] [--phase-shift SPEC]...
+                    [--threads N] [--results DIR]
+  snug trace        COMBO SCHEME [--stride N] [--phase-shift SPEC]...
+                    [--quick|--mid|--eval|--warmup N --measure N]
+                    [--results DIR] [--format md|csv]
   snug store gc     [--results DIR]
   snug store merge  SHARD.jsonl... [--results DIR]
   snug characterize [--bench NAME[,NAME]...] [--intervals N] [--accesses N] [--out DIR]
@@ -83,8 +86,23 @@ window for convergence-based early exit: each combo's L2P baseline stops
 at the first window boundary where its last four window throughputs
 agree to within E (default 0.02), and every other scheme measures over
 that same window — never past the budget ceiling. Converged runs are
-keyed separately from the canonical fixed-budget entries. Subcommands
-reject flags they would otherwise silently ignore.
+keyed separately from the canonical fixed-budget entries, and every
+early-exit-capable run persists an explicit stop_reason
+(converged/ceiling), so runs that never stabilised inside the budget are
+never mistaken for plateau measurements. Subcommands reject flags they
+would otherwise silently ignore.
+
+Phase-change scenarios: --phase-shift SPEC re-parameterises the per-core
+synthetic streams mid-run at scheduled cycles. SPEC is
+CYCLE:DIRECTIVE[@CORE,...] with directives demand=P (scale per-set
+capacity demand to P%), near=P (set the near-reuse fraction), streaming,
+and profile=NAME (adopt another benchmark's model); semicolons or
+repeated flags compose a schedule. Pair with --until-reconverged
+[--rel-eps E] [--window N] to stop only once throughput has
+re-stabilised after the last shift, recording per-phase plateau means —
+this is the scenario axis that exercises SNUG's stage-based G/T
+re-latching against static configurations. Shifted runs are keyed
+separately from the canonical stationary entries.
 
 Sweeps are cached at per-(combo, scheme, config-point) granularity: each
 unit job is keyed by a content hash of exactly the inputs it depends on
@@ -92,18 +110,22 @@ and stored as JSONL under --results (default: results/). Re-running a
 sweep executes only jobs whose inputs changed — a scheme-parameter edit
 re-runs only that scheme's jobs. `snug sweep --shared-warmup` measures
 the CC spill sweep from one shared warm-up snapshot per combo (faster; a
-methodology variant cached under its own keys). `snug report` renders
-Figures 9-11 and the per-combo table from the store; `snug report
---experiments-md` renders the committed EXPERIMENTS.md (budget defaults
-to --mid there) and --check fails if the committed file is stale.
+methodology variant cached under its own keys); combined with
+--until-converged the family measures the baseline-paced window from
+that one snapshot. `snug report` renders Figures 9-11 and the per-combo
+table from the store (plus the per-combo stop summary on early-exit
+specs); `snug report --experiments-md` renders the committed
+EXPERIMENTS.md (budget defaults to --mid there) and --check fails if the
+committed file is stale.
 
 `snug trace` records a per-period time series of one (combo, scheme)
-simulation — per-core IPC, the L2 fill/spill mix and SNUG stage/G-T
-transitions on a probe stride — caching it in the store and rendering it
-as a table. SCHEME accepts figure labels (SNUG, CC(50%)) and store
-labels (snug, cc@50%). `snug store gc` rewrites the store keeping only
-the newest entry per key; `snug store merge` folds sharded stores from
-multi-machine sweeps into one with the same newest-entry-per-key rule.";
+simulation — per-core IPC, the L2 fill/spill mix, SNUG stage/G-T
+transitions and any phase-shift boundaries on a probe stride — caching
+it in the store and rendering it as a table. SCHEME accepts figure
+labels (SNUG, CC(50%)) and store labels (snug, cc@50%). `snug store gc`
+rewrites the store keeping only the newest entry per key; `snug store
+merge` folds sharded stores from multi-machine sweeps into one with the
+same newest-entry-per-key rule.";
 
 /// The budget/stop flag family — one parser and one defaulting rule
 /// shared by `sweep`, `compare`, `report` and `trace`, and rejected
@@ -117,6 +139,7 @@ struct BudgetFlags {
     warmup: Option<u64>,
     measure: Option<u64>,
     until_converged: bool,
+    until_reconverged: bool,
     rel_eps: Option<f64>,
     window: Option<u64>,
 }
@@ -136,6 +159,7 @@ impl BudgetFlags {
             "--warmup" => self.warmup = Some(parse_num(&value("--warmup")?)?),
             "--measure" => self.measure = Some(parse_num(&value("--measure")?)?),
             "--until-converged" => self.until_converged = true,
+            "--until-reconverged" => self.until_reconverged = true,
             "--rel-eps" => self.rel_eps = Some(parse_float(&value("--rel-eps")?)?),
             "--window" => self.window = Some(parse_num(&value("--window")?)?),
             _ => return Ok(false),
@@ -153,7 +177,10 @@ impl BudgetFlags {
 
     /// Whether any of the convergence flags was given.
     fn any_convergence_given(&self) -> bool {
-        self.until_converged || self.rel_eps.is_some() || self.window.is_some()
+        self.until_converged
+            || self.until_reconverged
+            || self.rel_eps.is_some()
+            || self.window.is_some()
     }
 
     /// The budget preset, falling back to the subcommand's default. An
@@ -171,19 +198,31 @@ impl BudgetFlags {
 
     /// The stop preset the convergence flags describe.
     fn stop(&self) -> Result<StopPreset, String> {
-        if !self.until_converged {
+        if self.until_converged && self.until_reconverged {
+            return Err("--until-converged and --until-reconverged are mutually exclusive".into());
+        }
+        if !self.until_converged && !self.until_reconverged {
             if self.rel_eps.is_some() || self.window.is_some() {
-                return Err("--rel-eps/--window require --until-converged".into());
+                return Err(
+                    "--rel-eps/--window require --until-converged or --until-reconverged".into(),
+                );
             }
             return Ok(StopPreset::Fixed);
         }
         if self.window == Some(0) {
             return Err("--window must be positive".into());
         }
-        Ok(StopPreset::Converged {
-            window_cycles: self.window,
-            rel_epsilon: self.rel_eps,
-        })
+        if self.until_reconverged {
+            Ok(StopPreset::Reconverged {
+                window_cycles: self.window,
+                rel_epsilon: self.rel_eps,
+            })
+        } else {
+            Ok(StopPreset::Converged {
+                window_cycles: self.window,
+                rel_epsilon: self.rel_eps,
+            })
+        }
     }
 
     /// Reject the whole family on a subcommand that ignores it
@@ -192,7 +231,7 @@ impl BudgetFlags {
         if self.any_given() {
             return Err(format!(
                 "budget flags (--quick/--mid/--eval/--warmup/--measure/--until-converged/\
-                 --rel-eps/--window) do not apply to `snug {command}`"
+                 --until-reconverged/--rel-eps/--window) do not apply to `snug {command}`"
             ));
         }
         Ok(())
@@ -204,7 +243,8 @@ impl BudgetFlags {
     fn reject_convergence(&self, command: &str) -> Result<(), String> {
         if self.any_convergence_given() {
             return Err(format!(
-                "--until-converged/--rel-eps/--window do not apply to `snug {command}`"
+                "--until-converged/--until-reconverged/--rel-eps/--window do not apply to \
+                 `snug {command}`"
             ));
         }
         Ok(())
@@ -230,6 +270,7 @@ struct Flags {
     md_path: PathBuf,
     shared_warmup: bool,
     stride: Option<u64>,
+    phase_shift: Vec<String>,
 }
 
 impl Flags {
@@ -252,6 +293,7 @@ impl Flags {
             md_path: PathBuf::from(snug_harness::experiments_md::EXPERIMENTS_FILE),
             shared_warmup: false,
             stride: None,
+            phase_shift: Vec::new(),
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -298,6 +340,7 @@ impl Flags {
                 "--accesses" => f.accesses = parse_num(&value("--accesses")?)? as usize,
                 "--shared-warmup" => f.shared_warmup = true,
                 "--stride" => f.stride = Some(parse_num(&value("--stride")?)?),
+                "--phase-shift" => f.phase_shift.push(value("--phase-shift")?),
                 other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
             }
         }
@@ -333,10 +376,37 @@ impl Flags {
         Ok(())
     }
 
+    /// Reject `--phase-shift` on subcommands whose workload is not
+    /// simulated (same pattern).
+    fn reject_phase_shift(&self, command: &str) -> Result<(), String> {
+        if !self.phase_shift.is_empty() {
+            return Err(format!("--phase-shift does not apply to `snug {command}`"));
+        }
+        Ok(())
+    }
+
+    /// The canonical phase schedule of the `--phase-shift` flags
+    /// (repeats compose into one schedule), or `None`.
+    fn phase_schedule(&self) -> Result<Option<PhaseSchedule>, String> {
+        if self.phase_shift.is_empty() {
+            return Ok(None);
+        }
+        PhaseSchedule::parse(&self.phase_shift.join(";"))
+            .map(Some)
+            .map_err(|e| format!("--phase-shift: {e}"))
+    }
+
     fn spec_with_default(&self, default_budget: BudgetPreset) -> Result<SweepSpec, String> {
         if let Some(path) = &self.spec_file {
             if !self.classes.is_empty() || self.name.is_some() || self.shared_warmup {
                 return Err("--spec cannot be combined with --class/--name/--shared-warmup".into());
+            }
+            if !self.phase_shift.is_empty() {
+                return Err(
+                    "--spec carries the phase schedule; --phase-shift cannot be combined \
+                     with it"
+                        .into(),
+                );
             }
             if self.budget.any_given() {
                 return Err(
@@ -363,20 +433,13 @@ impl Flags {
             }
         });
         let stop = self.budget.stop()?;
-        if self.shared_warmup && !matches!(stop, StopPreset::Fixed) {
-            // Shared warm-up batches a combo's CC points around one
-            // warm-up snapshot; converged sweeps batch the whole combo
-            // around its baseline's pace. Composing the two batching
-            // disciplines is unimplemented, so the combination is
-            // rejected rather than silently mis-windowed.
-            return Err("--shared-warmup cannot be combined with --until-converged".into());
-        }
         Ok(SweepSpec {
             name,
             classes: self.classes.clone(),
             combos: Vec::new(),
             budget: self.budget.budget(default_budget)?,
             stop,
+            phase_shift: self.phase_schedule()?.map(|p| p.fingerprint()),
             shared_warmup: self.shared_warmup,
         })
     }
@@ -395,11 +458,48 @@ fn parse_float(s: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("`{s}` is not a non-negative number"))
 }
 
+/// Reject a phase schedule the run can never execute as described: a
+/// shift at or past the budget's horizon would re-key the run as
+/// "shifted" while leaving the workload stationary, and a core filter
+/// outside the platform targets nothing. (Analogous to the
+/// unknown-benchmark check in `PhaseSchedule::parse` — only this layer
+/// knows the budget and the platform.)
+fn check_phase_schedule(
+    schedule: &PhaseSchedule,
+    cfg: &snug_experiments::CompareConfig,
+) -> Result<(), String> {
+    let horizon = cfg.plan.horizon();
+    let cores = cfg.system.num_cores;
+    for shift in schedule.shifts() {
+        if shift.at_cycle >= horizon {
+            return Err(format!(
+                "--phase-shift `{shift}` never fires: this budget's horizon is {horizon} cycles"
+            ));
+        }
+        if let Some(&bad) = shift.cores.iter().find(|&&c| c >= cores) {
+            return Err(format!(
+                "--phase-shift `{shift}` targets core {bad}, but the platform has {cores} cores"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// [`check_phase_schedule`] for a built sweep spec (covers both the
+/// flag and `--spec` paths).
+fn check_spec_phase_schedule(spec: &SweepSpec) -> Result<(), String> {
+    match spec.phase_schedule() {
+        Some(schedule) => check_phase_schedule(&schedule, &spec.compare_config()),
+        None => Ok(()),
+    }
+}
+
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     flags.reject_experiments_md_flags("sweep")?;
     flags.reject_stride("sweep")?;
     let spec = flags.spec()?;
+    check_spec_phase_schedule(&spec)?;
     let mut store = ResultStore::open(&flags.results_dir).map_err(|e| e.to_string())?;
     let outcome = run_sweep(&spec, &mut store, flags.threads, |event| match event {
         SweepEvent::Planned {
@@ -446,6 +546,40 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             outcome.simulated_cycles, outcome.budgeted_cycles
         );
     }
+    // Early-exit sweeps get an explicit stop-reason roll-up: a combo
+    // whose baseline hit the ceiling never stabilised, so its numbers
+    // are mid-ramp and must not read as plateau measurements. Counted
+    // from the typed stop reasons, not the rendered table.
+    if spec.compare_config().plan.can_stop_early() {
+        let reasons: Vec<snug_experiments::StopReason> = spec
+            .combo_jobs()
+            .iter()
+            .filter_map(|job| {
+                let baseline = job
+                    .units
+                    .iter()
+                    .find(|u| u.point == snug_experiments::SchemePoint::L2p)?;
+                let run = store.get_unit(&baseline.key)?;
+                Some(snug_experiments::pace_of(run, &job.config).stop_reason)
+            })
+            .collect();
+        let ceilings = reasons
+            .iter()
+            .filter(|r| **r == snug_experiments::StopReason::Ceiling)
+            .count();
+        if ceilings > 0 {
+            println!(
+                "stop reasons: {ceilings}/{} combos hit the ceiling without stabilising \
+                 (mid-ramp numbers; `snug report` with the same flags shows per-combo detail)",
+                reasons.len()
+            );
+        } else {
+            println!(
+                "stop reasons: all {} combos converged before the ceiling",
+                reasons.len()
+            );
+        }
+    }
     Ok(())
 }
 
@@ -459,6 +593,7 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         return Err("--check only applies to --experiments-md".into());
     }
     let spec = flags.spec()?;
+    check_spec_phase_schedule(&spec)?;
     let store = ResultStore::open(&flags.results_dir).map_err(|e| e.to_string())?;
     let results = cached_results(&spec, &store).ok_or_else(|| {
         format!(
@@ -466,17 +601,28 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             flags.results_dir.display()
         )
     })?;
+    let stop_summary = stop_summary_table(&spec, &store);
     match flags.format.unwrap_or(TableFormat::Markdown) {
-        TableFormat::Markdown => print!("{}", render_markdown(&spec, &results)),
+        TableFormat::Markdown => {
+            print!("{}", render_markdown(&spec, &results));
+            if let Some(table) = &stop_summary {
+                println!("{}", table.to_markdown());
+                println!("{CEILING_FOOTNOTE}");
+            }
+        }
         TableFormat::Csv => {
             for table in snug_harness::report_tables(&results) {
+                println!("# {}", table.title);
+                print!("{}", table.render(TableFormat::Csv));
+            }
+            if let Some(table) = &stop_summary {
                 println!("# {}", table.title);
                 print!("{}", table.render(TableFormat::Csv));
             }
         }
     }
     if let Some(out) = &flags.out_dir {
-        let written = snug_harness::write_report(out, &spec, &results)
+        let written = snug_harness::write_report(out, &spec, &results, stop_summary.as_ref())
             .map_err(|e| format!("writing report: {e}"))?;
         for path in written {
             eprintln!("wrote {}", path.display());
@@ -507,9 +653,11 @@ fn cmd_experiments_md(flags: &Flags) -> Result<(), String> {
                 .into(),
         );
     }
-    // Converged runs are likewise keyed separately — the committed
-    // document is defined over the canonical fixed-budget entries.
+    // Converged and shifted runs are likewise keyed separately — the
+    // committed document is defined over the canonical fixed-budget,
+    // stationary-workload entries.
     flags.budget.reject_convergence("report --experiments-md")?;
+    flags.reject_phase_shift("report --experiments-md")?;
     if flags.out_dir.is_some() || flags.format.is_some() {
         return Err(
             "--experiments-md writes Markdown to --md-path; --out/--format do not apply".into(),
@@ -580,6 +728,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     } else if flags.classes.is_empty() {
         return Err("compare needs --combo LABEL or --class C".into());
     }
+    check_spec_phase_schedule(&spec)?;
 
     let mut store = ResultStore::open(&flags.results_dir).map_err(|e| e.to_string())?;
     let outcome = run_sweep(&spec, &mut store, flags.threads, |_| {}).map_err(|e| e.to_string())?;
@@ -661,15 +810,23 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     if stride == 0 {
         return Err("--stride must be positive".into());
     }
+    let phase = flags.phase_schedule()?;
+    if let Some(schedule) = &phase {
+        check_phase_schedule(schedule, &cfg)?;
+    }
 
     let mut store = ResultStore::open(&flags.results_dir).map_err(|e| e.to_string())?;
-    let key = trace_key(combo, &point, &cfg, stride);
+    let key = trace_key(combo, &point, &cfg, stride, phase.as_ref());
     let (series, from_cache) = match store.get_series(&key) {
         Some(series) => (series.clone(), true),
         None => {
-            let series = trace_point(combo, &point, &cfg, stride);
+            let series = trace_point_phased(combo, &point, &cfg, stride, phase.as_ref());
+            let phase_inputs = phase
+                .as_ref()
+                .map(|p| format!(" | phase={}", p.fingerprint()))
+                .unwrap_or_default();
             let inputs = format!(
-                "trace | {:?} | {} | {:?} | stride={stride}",
+                "trace | {:?} | {} | {:?} | stride={stride}{phase_inputs}",
                 combo,
                 point.label(),
                 cfg
@@ -697,6 +854,19 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         series.mean_throughput(),
         if from_cache { " (from cache)" } else { "" },
     );
+    if phase.is_some() {
+        let means = series
+            .phase_throughputs()
+            .iter()
+            .map(|t| format!("{t:.3}"))
+            .collect::<Vec<_>>()
+            .join(" → ");
+        eprintln!(
+            "phase plateaus (mean throughput per workload phase): {means} \
+             ({} phase boundaries recorded)",
+            series.shift_count(),
+        );
+    }
     Ok(())
 }
 
@@ -713,6 +883,7 @@ fn cmd_store(args: &[String]) -> Result<(), String> {
             flags.reject_experiments_md_flags("store gc")?;
             flags.budget.reject("store gc")?;
             flags.reject_stride("store gc")?;
+            flags.reject_phase_shift("store gc")?;
             let mut store = ResultStore::open(&flags.results_dir).map_err(|e| e.to_string())?;
             let before = store.file_lines();
             let (kept, dropped) = store.compact().map_err(|e| e.to_string())?;
@@ -738,6 +909,7 @@ fn cmd_store(args: &[String]) -> Result<(), String> {
             flags.reject_experiments_md_flags("store merge")?;
             flags.budget.reject("store merge")?;
             flags.reject_stride("store merge")?;
+            flags.reject_phase_shift("store merge")?;
             let mut store = ResultStore::open(&flags.results_dir).map_err(|e| e.to_string())?;
             for shard in &shards {
                 let stats = store
@@ -774,6 +946,7 @@ fn cmd_characterize(args: &[String]) -> Result<(), String> {
     // budget family would be silently ignored, so reject it.
     flags.budget.reject("characterize")?;
     flags.reject_stride("characterize")?;
+    flags.reject_phase_shift("characterize")?;
     let benches = if flags.benches.is_empty() {
         vec![Benchmark::Ammp, Benchmark::Vortex, Benchmark::Applu]
     } else {

@@ -71,10 +71,16 @@ impl JsonCodec for SchemeRun {
             ("scheme", Value::str(&self.scheme)),
             ("ipcs", f64_arr(&self.ipcs)),
         ];
-        // Written only for early-stopped runs, so canonical fixed-plan
-        // entries render exactly as they always did.
+        // The optional fields are written only when set, so canonical
+        // fixed-plan entries render exactly as they always did.
         if let Some(cycles) = self.measured_cycles {
             fields.push(("measured_cycles", Value::num(cycles as f64)));
+        }
+        if let Some(reason) = self.stop_reason {
+            fields.push(("stop_reason", Value::str(reason.label())));
+        }
+        if !self.plateaus.is_empty() {
+            fields.push(("plateaus", f64_arr(&self.plateaus)));
         }
         Value::obj(fields)
     }
@@ -86,6 +92,20 @@ impl JsonCodec for SchemeRun {
             measured_cycles: match v.get("measured_cycles") {
                 Ok(c) => Some(c.as_num()? as u64),
                 Err(_) => None,
+            },
+            stop_reason: match v.get("stop_reason") {
+                Ok(r) => {
+                    let label = r.as_str()?;
+                    Some(
+                        snug_experiments::StopReason::from_label(label)
+                            .ok_or_else(|| JsonError(format!("unknown stop reason `{label}`")))?,
+                    )
+                }
+                Err(_) => None,
+            },
+            plateaus: match v.get("plateaus") {
+                Ok(p) => f64_vec(p)?,
+                Err(_) => Vec::new(),
             },
         })
     }
@@ -180,7 +200,7 @@ impl JsonCodec for SchemeEvent {
 
 impl JsonCodec for PeriodSample {
     fn to_json(&self) -> Value {
-        Value::obj(vec![
+        let mut fields = vec![
             ("cycle", Value::num(self.cycle as f64)),
             ("during_warmup", Value::Bool(self.during_warmup)),
             ("instructions", u64_arr(&self.instructions)),
@@ -190,10 +210,38 @@ impl JsonCodec for PeriodSample {
                 "events",
                 Value::Arr(self.events.iter().map(JsonCodec::to_json).collect()),
             ),
-        ])
+        ];
+        // Written only when a shift fired in the interval, so
+        // stationary traces (every pre-phase-schedule store entry)
+        // render exactly as they always did. Each shift round-trips
+        // through its canonical `CYCLE:DIRECTIVE[@CORES]` string.
+        if !self.shifts.is_empty() {
+            fields.push((
+                "shifts",
+                Value::Arr(
+                    self.shifts
+                        .iter()
+                        .map(|s| Value::str(s.to_string()))
+                        .collect(),
+                ),
+            ));
+        }
+        Value::obj(fields)
     }
 
     fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let shifts = match v.get("shifts") {
+            Ok(list) => list
+                .as_arr()?
+                .iter()
+                .map(|s| {
+                    s.as_str()?
+                        .parse::<sim_mem::StreamShift>()
+                        .map_err(JsonError)
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            Err(_) => Vec::new(),
+        };
         Ok(PeriodSample {
             cycle: v.get("cycle")?.as_num()? as u64,
             during_warmup: v.get("during_warmup")?.as_bool()?,
@@ -206,6 +254,7 @@ impl JsonCodec for PeriodSample {
                 .iter()
                 .map(SchemeEvent::from_json)
                 .collect::<Result<Vec<_>, _>>()?,
+            shifts,
         })
     }
 }
@@ -338,11 +387,24 @@ mod tests {
 
     #[test]
     fn scheme_run_round_trips_bit_identically() {
-        for measured_cycles in [None, Some(1_234_567u64)] {
+        use snug_experiments::StopReason;
+        let cases = [
+            (None, None, Vec::new()),
+            (Some(1_234_567u64), Some(StopReason::Converged), Vec::new()),
+            (None, Some(StopReason::Ceiling), Vec::new()),
+            (
+                Some(1_500_000),
+                Some(StopReason::Converged),
+                vec![2.1, 1.0 / 3.0],
+            ),
+        ];
+        for (measured_cycles, stop_reason, plateaus) in cases {
             let run = SchemeRun {
                 scheme: "cc@25%".into(),
                 ipcs: vec![0.1 + 0.2, 1.0 / 3.0, 0.7],
                 measured_cycles,
+                stop_reason,
+                plateaus: plateaus.clone(),
             };
             let text = run.to_json().render();
             let back = SchemeRun::from_json(&crate::json::parse(&text).unwrap()).unwrap();
@@ -353,7 +415,31 @@ mod tests {
                 measured_cycles.is_some(),
                 "the field only appears for early-stopped runs"
             );
+            assert_eq!(
+                text.contains("stop_reason"),
+                stop_reason.is_some(),
+                "the field only appears on early-exit-capable runs"
+            );
+            assert_eq!(
+                text.contains("plateaus"),
+                !plateaus.is_empty(),
+                "the field only appears on re-convergence runs"
+            );
         }
+        // Canonical fixed-plan entries render exactly as before the
+        // stop-reason field existed: scheme + ipcs only.
+        let canonical = SchemeRun {
+            scheme: "l2p".into(),
+            ipcs: vec![1.0, 2.0],
+            measured_cycles: None,
+            stop_reason: None,
+            plateaus: Vec::new(),
+        };
+        let legacy_form = Value::obj(vec![
+            ("scheme", Value::str("l2p")),
+            ("ipcs", f64_arr(&[1.0, 2.0])),
+        ]);
+        assert_eq!(canonical.to_json().render(), legacy_form.render());
     }
 
     #[test]

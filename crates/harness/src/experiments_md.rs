@@ -79,6 +79,18 @@ pub fn render_experiments_md(spec: &SweepSpec, results: &[ComboResult]) -> Strin
              picked). The stress classes C1/C2 separate only at the larger\n\
              `--eval` budget.\n\n",
         );
+        out.push_str(
+            "**Mid-ramp caveat (L2S).** The stop-policy layer records an\n\
+             explicit `stop_reason` on every early-exit-capable run, and it\n\
+             shows that under `--until-converged` L2S reaches the 3 M-cycle\n\
+             ceiling with `stop_reason: ceiling` on every combination — its\n\
+             shared cache is still warming when the window ends. The fixed-\n\
+             window L2S numbers below are therefore mid-ramp measurements,\n\
+             not steady-state plateaus — they understate L2S's eventual\n\
+             performance — and per-combo L2S comparisons should be read\n\
+             with that in mind (`snug report --until-converged` prints the\n\
+             per-combo stop summary).\n\n",
+        );
     }
     out.push_str("## Figures 9–11: per-class comparison\n\n");
     for fig in FIGURES {

@@ -45,10 +45,13 @@ pub mod sweep;
 pub use codec::JsonCodec;
 pub use exec::ExecEvent;
 pub use experiments_md::{check_experiments_md, render_experiments_md, CheckOutcome};
-pub use report::{render_markdown, report_tables, write_report};
+pub use report::{
+    render_markdown, report_tables, stop_summary_table, write_report, CEILING_FOOTNOTE,
+};
 pub use spec::{
-    legacy_combo_key, trace_key, unit_jobs_for, unit_jobs_for_mode, unit_key, unit_key_mode,
-    BudgetPreset, ComboJob, StopPreset, SweepSpec, UnitJob, SCHEMA_VERSION, SCHEMA_VERSION_V1,
+    legacy_combo_key, trace_key, unit_jobs_for, unit_jobs_for_mode, unit_jobs_phased, unit_key,
+    unit_key_mode, unit_key_phased, BudgetPreset, ComboJob, StopPreset, SweepSpec, UnitJob,
+    SCHEMA_VERSION, SCHEMA_VERSION_V1,
 };
 pub use store::{MergeStats, ResultStore, StoreError, StoredResult};
 pub use sweep::{

@@ -2,7 +2,10 @@
 //! rendered from stored sweep results as Markdown and CSV.
 
 use crate::spec::SweepSpec;
-use snug_experiments::{figure_table, summarize, ComboResult, Figure, FIGURE_SCHEMES};
+use crate::store::ResultStore;
+use snug_experiments::{
+    figure_table, pace_of, summarize, ComboResult, Figure, SchemePoint, StopReason, FIGURE_SCHEMES,
+};
 use snug_metrics::{f3, Table};
 use std::path::{Path, PathBuf};
 
@@ -37,6 +40,63 @@ pub fn per_combo_table(results: &[ComboResult]) -> Table {
     t
 }
 
+/// The footnote accompanying [`stop_summary_table`]'s ceiling marker.
+pub const CEILING_FOOTNOTE: &str = "† hit the budget ceiling without stabilising — \
+     these are mid-ramp numbers, not plateau measurements.";
+
+/// Per-combo stop summary of an early-exit sweep (`--until-converged` /
+/// `--until-reconverged`): every scheme of a combo measures the window
+/// its L2P baseline settled on, so one row per combo shows that window,
+/// the explicit stop reason, and — under a re-convergence policy — the
+/// baseline's per-phase plateau means. A combo whose baseline hit the
+/// ceiling without stabilising is marked `ceiling †` (see
+/// [`CEILING_FOOTNOTE`]): before stop reasons were persisted such runs
+/// were indistinguishable from clean full-window measurements.
+///
+/// Returns `None` for fixed-stop specs (nothing to summarise) or when
+/// the store is missing the spec's baselines.
+pub fn stop_summary_table(spec: &SweepSpec, store: &ResultStore) -> Option<Table> {
+    if !spec.compare_config().plan.can_stop_early() {
+        return None;
+    }
+    let mut t = Table::new(
+        "Stop summary (per-combo window, baseline-paced)",
+        vec![
+            "Combination".to_string(),
+            "Class".to_string(),
+            "Window (cycles)".to_string(),
+            "Stop".to_string(),
+            "Baseline plateaus".to_string(),
+        ],
+    );
+    for job in spec.combo_jobs() {
+        let baseline = job.units.iter().find(|u| u.point == SchemePoint::L2p)?;
+        let run = store.get_unit(&baseline.key)?;
+        let pace = pace_of(run, &job.config);
+        let stop = match pace.stop_reason {
+            StopReason::Converged => "converged".to_string(),
+            StopReason::Ceiling => "ceiling †".to_string(),
+        };
+        let plateaus = if run.plateaus.is_empty() {
+            "-".to_string()
+        } else {
+            run.plateaus
+                .iter()
+                .map(|p| f3(*p))
+                .collect::<Vec<_>>()
+                .join(" → ")
+        };
+        t.push_row(vec![
+            job.combo.label(),
+            job.combo.class.name().to_string(),
+            pace.measured_window.to_string(),
+            stop,
+            plateaus,
+        ]);
+    }
+    Some(t)
+}
+
 /// Render the full report as one Markdown document.
 pub fn render_markdown(spec: &SweepSpec, results: &[ComboResult]) -> String {
     let mut out = format!(
@@ -54,17 +114,27 @@ pub fn render_markdown(spec: &SweepSpec, results: &[ComboResult]) -> String {
 }
 
 /// Write the report files under `dir`: `report.md` plus one CSV per
-/// table. Returns the written paths.
+/// table. Early-exit specs append their [`stop_summary_table`] to the
+/// Markdown (with the ceiling footnote) and emit `stop_summary.csv` —
+/// the persisted artifacts must carry the mid-ramp marking, not just
+/// stdout. Returns the written paths.
 pub fn write_report(
     dir: &Path,
     spec: &SweepSpec,
     results: &[ComboResult],
+    stop_summary: Option<&Table>,
 ) -> std::io::Result<Vec<PathBuf>> {
     std::fs::create_dir_all(dir)?;
     let mut written = Vec::new();
 
     let md = dir.join("report.md");
-    std::fs::write(&md, render_markdown(spec, results))?;
+    let mut md_text = render_markdown(spec, results);
+    if let Some(table) = stop_summary {
+        md_text.push_str(&table.to_markdown());
+        md_text.push_str(CEILING_FOOTNOTE);
+        md_text.push('\n');
+    }
+    std::fs::write(&md, md_text)?;
     written.push(md);
 
     let slugs = [
@@ -75,6 +145,11 @@ pub fn write_report(
     ];
     for (table, slug) in report_tables(results).iter().zip(slugs) {
         let path = dir.join(format!("{slug}.csv"));
+        std::fs::write(&path, table.to_csv())?;
+        written.push(path);
+    }
+    if let Some(table) = stop_summary {
+        let path = dir.join("stop_summary.csv");
         std::fs::write(&path, table.to_csv())?;
         written.push(path);
     }
@@ -120,6 +195,7 @@ mod tests {
             combos: vec![],
             budget: BudgetPreset::Quick,
             stop: crate::spec::StopPreset::Fixed,
+            phase_shift: None,
             shared_warmup: false,
         }
     }
@@ -151,13 +227,39 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("snug-report-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let results = vec![fake("a+b+c+d", ComboClass::C4, 1.05)];
-        let written = write_report(&dir, &spec(), &results).unwrap();
+        let written = write_report(&dir, &spec(), &results, None).unwrap();
         assert_eq!(written.len(), 5, "report.md + 4 CSVs");
         for path in &written {
             assert!(path.exists(), "{path:?}");
         }
         let csv = std::fs::read_to_string(dir.join("fig9_throughput.csv")).unwrap();
         assert!(csv.starts_with("Class,"), "CSV header: {csv}");
+        assert!(
+            !std::fs::read_to_string(dir.join("report.md"))
+                .unwrap()
+                .contains("Stop summary"),
+            "fixed-stop reports carry no stop summary"
+        );
+
+        // An early-exit report persists the stop summary in both the
+        // Markdown (with the ceiling footnote) and its own CSV.
+        let mut summary = Table::new(
+            "Stop summary (per-combo window, baseline-paced)",
+            vec![
+                "Combination",
+                "Class",
+                "Window (cycles)",
+                "Stop",
+                "Baseline plateaus",
+            ],
+        );
+        summary.push_row(vec!["a+b+c+d", "C4", "3000000", "ceiling †", "-"]);
+        let written = write_report(&dir, &spec(), &results, Some(&summary)).unwrap();
+        assert_eq!(written.len(), 6, "report.md + 4 CSVs + stop_summary.csv");
+        let md = std::fs::read_to_string(dir.join("report.md")).unwrap();
+        assert!(md.contains("Stop summary"));
+        assert!(md.contains(CEILING_FOOTNOTE));
+        assert!(dir.join("stop_summary.csv").exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

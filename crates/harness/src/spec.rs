@@ -12,7 +12,7 @@ use crate::hash::content_key;
 use crate::json::{JsonError, Value};
 use serde::{Deserialize, Serialize};
 use snug_experiments::{CompareConfig, RunPlan, SchemePoint};
-use snug_workloads::{all_combos, Combo, ComboClass};
+use snug_workloads::{all_combos, Combo, ComboClass, PhaseSchedule};
 
 /// Version prefix baked into every job key: bump when the simulators or
 /// the stored schema change meaning, and old cache entries stop
@@ -100,6 +100,19 @@ pub enum StopPreset {
         /// ([`snug_experiments::DEFAULT_REL_EPSILON`] when `None`).
         rel_epsilon: Option<f64>,
     },
+    /// Stop once throughput has *re*-stabilised after the workload's
+    /// last scheduled phase shift (`snug sweep --until-reconverged`,
+    /// meant to pair with `--phase-shift`; without shifts it behaves as
+    /// plain convergence). Keyed separately from both fixed and
+    /// converged runs.
+    Reconverged {
+        /// Sample-window length in cycles (defaults as for
+        /// [`StopPreset::Converged`]).
+        window_cycles: Option<u64>,
+        /// Relative spread threshold (defaults as for
+        /// [`StopPreset::Converged`]).
+        rel_epsilon: Option<f64>,
+    },
 }
 
 impl StopPreset {
@@ -111,6 +124,10 @@ impl StopPreset {
                 window_cycles,
                 rel_epsilon,
             } => cfg.until_converged(window_cycles, rel_epsilon),
+            StopPreset::Reconverged {
+                window_cycles,
+                rel_epsilon,
+            } => cfg.until_reconverged(window_cycles, rel_epsilon),
         }
     }
 }
@@ -130,6 +147,17 @@ pub struct SweepSpec {
     pub budget: BudgetPreset,
     /// The stop policy: fixed horizon or convergence-based early exit.
     pub stop: StopPreset,
+    /// Canonical phase-change schedule spec (`--phase-shift`): the
+    /// per-core streams re-parameterise mid-run at the scheduled
+    /// cycles. `None` is the stationary canonical workload; a schedule
+    /// re-keys every unit (the workload itself is different), so
+    /// shifted runs never collide with canonical entries. Must be a
+    /// valid schedule in [`PhaseSchedule::fingerprint`] form — the CLI
+    /// and JSON paths validate and canonicalise on entry; code setting
+    /// the field directly owns that contract
+    /// ([`SweepSpec::phase_schedule`] panics on a string that does not
+    /// parse).
+    pub phase_shift: Option<String>,
     /// Measure the §4.1 CC spill sweep from one shared warm-up snapshot
     /// per combo instead of warming each point separately
     /// (`snug sweep --shared-warmup`). A faster *methodology variant*:
@@ -149,17 +177,39 @@ impl SweepSpec {
             combos: Vec::new(),
             budget,
             stop: StopPreset::Fixed,
+            phase_shift: None,
             shared_warmup: false,
         }
     }
 
-    /// Display label covering budget and stop policy ("mid",
-    /// "mid+converged").
+    /// Display label covering budget, stop policy and workload shifts
+    /// ("mid", "mid+converged", "mid+shifted+reconverged").
     pub fn budget_label(&self) -> String {
+        let shifted = if self.phase_shift.is_some() {
+            "+shifted"
+        } else {
+            ""
+        };
         match self.stop {
-            StopPreset::Fixed => self.budget.label(),
-            StopPreset::Converged { .. } => format!("{}+converged", self.budget.label()),
+            StopPreset::Fixed => format!("{}{shifted}", self.budget.label()),
+            StopPreset::Converged { .. } => format!("{}{shifted}+converged", self.budget.label()),
+            StopPreset::Reconverged { .. } => {
+                format!("{}{shifted}+reconverged", self.budget.label())
+            }
         }
+    }
+
+    /// The parsed phase schedule, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stored spec string does not parse — specs built by
+    /// the CLI are canonicalised at parse time, so this only trips on a
+    /// hand-edited JSON spec, which `from_json` already rejects.
+    pub fn phase_schedule(&self) -> Option<PhaseSchedule> {
+        self.phase_shift
+            .as_deref()
+            .map(|s| PhaseSchedule::parse(s).expect("spec carries a valid phase schedule"))
     }
 
     /// The combos this spec selects, in Table 8 order.
@@ -181,10 +231,11 @@ impl SweepSpec {
     /// keys, grouped per combo in Table 8 order.
     pub fn combo_jobs(&self) -> Vec<ComboJob> {
         let config = self.compare_config();
+        let phase = self.phase_schedule();
         self.combos()
             .into_iter()
             .map(|combo| ComboJob {
-                units: unit_jobs_for_mode(&combo, &config, self.shared_warmup),
+                units: unit_jobs_phased(&combo, &config, self.shared_warmup, phase.as_ref()),
                 combo,
                 config,
             })
@@ -227,19 +278,23 @@ impl JsonCodec for SweepSpec {
             ("budget", budget),
             ("shared_warmup", Value::Bool(self.shared_warmup)),
         ];
-        if let StopPreset::Converged {
-            window_cycles,
-            rel_epsilon,
-        } = self.stop
-        {
-            let mut stop = Vec::new();
-            if let Some(w) = window_cycles {
-                stop.push(("window_cycles", Value::num(w as f64)));
+        if let Some(spec) = &self.phase_shift {
+            fields.push(("phase_shift", Value::str(spec)));
+        }
+        match self.stop {
+            StopPreset::Fixed => {}
+            StopPreset::Converged {
+                window_cycles,
+                rel_epsilon,
+            } => {
+                fields.push(("until_converged", stop_params(window_cycles, rel_epsilon)));
             }
-            if let Some(e) = rel_epsilon {
-                stop.push(("rel_epsilon", Value::num(e)));
+            StopPreset::Reconverged {
+                window_cycles,
+                rel_epsilon,
+            } => {
+                fields.push(("until_reconverged", stop_params(window_cycles, rel_epsilon)));
             }
-            fields.push(("until_converged", Value::obj(stop)));
         }
         Value::obj(fields)
     }
@@ -270,20 +325,41 @@ impl JsonCodec for SweepSpec {
             Ok(flag) => flag.as_bool()?,
             Err(_) => false,
         };
-        // `until_converged` is optional too: absent means the fixed
+        // The stop presets are optional too: absent means the fixed
         // stop policy every pre-plan spec used.
-        let stop = match v.get("until_converged") {
-            Ok(obj) => StopPreset::Converged {
-                window_cycles: match obj.get("window_cycles") {
-                    Ok(w) => Some(w.as_num()? as u64),
-                    Err(_) => None,
-                },
-                rel_epsilon: match obj.get("rel_epsilon") {
-                    Ok(e) => Some(e.as_num()?),
-                    Err(_) => None,
-                },
-            },
-            Err(_) => StopPreset::Fixed,
+        let stop = match (v.get("until_converged"), v.get("until_reconverged")) {
+            (Ok(_), Ok(_)) => {
+                return Err(JsonError(
+                    "a spec cannot carry both until_converged and until_reconverged".into(),
+                ))
+            }
+            (Ok(obj), Err(_)) => {
+                let (window_cycles, rel_epsilon) = parse_stop_params(obj)?;
+                StopPreset::Converged {
+                    window_cycles,
+                    rel_epsilon,
+                }
+            }
+            (Err(_), Ok(obj)) => {
+                let (window_cycles, rel_epsilon) = parse_stop_params(obj)?;
+                StopPreset::Reconverged {
+                    window_cycles,
+                    rel_epsilon,
+                }
+            }
+            (Err(_), Err(_)) => StopPreset::Fixed,
+        };
+        // `phase_shift` is optional: absent means the stationary
+        // canonical workload. The stored string is validated and
+        // canonicalised on load so bad hand-written specs fail here,
+        // not mid-sweep.
+        let phase_shift = match v.get("phase_shift") {
+            Ok(spec) => Some(
+                PhaseSchedule::parse(spec.as_str()?)
+                    .map_err(|e| JsonError(format!("phase_shift: {e}")))?
+                    .fingerprint(),
+            ),
+            Err(_) => None,
         };
         Ok(SweepSpec {
             name: v.get("name")?.as_str()?.to_string(),
@@ -296,9 +372,36 @@ impl JsonCodec for SweepSpec {
             combos,
             budget,
             stop,
+            phase_shift,
             shared_warmup,
         })
     }
+}
+
+/// Render a stop preset's optional tuning knobs.
+fn stop_params(window_cycles: Option<u64>, rel_epsilon: Option<f64>) -> Value {
+    let mut stop = Vec::new();
+    if let Some(w) = window_cycles {
+        stop.push(("window_cycles", Value::num(w as f64)));
+    }
+    if let Some(e) = rel_epsilon {
+        stop.push(("rel_epsilon", Value::num(e)));
+    }
+    Value::obj(stop)
+}
+
+/// Decode a stop preset's optional tuning knobs.
+fn parse_stop_params(obj: &Value) -> Result<(Option<u64>, Option<f64>), JsonError> {
+    Ok((
+        match obj.get("window_cycles") {
+            Ok(w) => Some(w.as_num()? as u64),
+            Err(_) => None,
+        },
+        match obj.get("rel_epsilon") {
+            Ok(e) => Some(e.as_num()?),
+            Err(_) => None,
+        },
+    ))
 }
 
 /// One unit job: run a single scheme point on one combo — the cache
@@ -314,6 +417,9 @@ pub struct UnitJob {
     /// The full comparison configuration (the key only covers the parts
     /// this point depends on).
     pub config: CompareConfig,
+    /// The phase-change schedule this job's workload runs under
+    /// (`None`: stationary canonical workload; baked into the key).
+    pub phase: Option<PhaseSchedule>,
     /// Whether this job runs under the shared-warm-up variant (CC
     /// points only; baked into the key).
     pub shared_warmup: bool,
@@ -339,7 +445,7 @@ pub struct ComboJob {
 }
 
 /// The unit jobs of one combo under one configuration (canonical
-/// warm-up semantics).
+/// warm-up semantics, stationary workload).
 pub fn unit_jobs_for(combo: &Combo, config: &CompareConfig) -> Vec<UnitJob> {
     unit_jobs_for_mode(combo, config, false)
 }
@@ -351,15 +457,27 @@ pub fn unit_jobs_for_mode(
     config: &CompareConfig,
     shared_warmup: bool,
 ) -> Vec<UnitJob> {
+    unit_jobs_phased(combo, config, shared_warmup, None)
+}
+
+/// The unit jobs of one combo, optionally under a phase-change
+/// schedule (which re-keys every unit — the workload is different).
+pub fn unit_jobs_phased(
+    combo: &Combo,
+    config: &CompareConfig,
+    shared_warmup: bool,
+    phase: Option<&PhaseSchedule>,
+) -> Vec<UnitJob> {
     SchemePoint::all()
         .into_iter()
         .map(|point| {
             let shared = shared_warmup && matches!(point, SchemePoint::Cc { .. });
             UnitJob {
-                key: unit_key_mode(combo, &point, config, shared),
+                key: unit_key_phased(combo, &point, config, shared, phase),
                 combo: *combo,
                 point,
                 config: *config,
+                phase: phase.cloned(),
                 shared_warmup: shared,
             }
         })
@@ -391,9 +509,27 @@ pub fn unit_key_mode(
     config: &CompareConfig,
     shared_warmup: bool,
 ) -> String {
+    unit_key_phased(combo, point, config, shared_warmup, None)
+}
+
+/// [`unit_key_mode`] with an optional phase-change schedule. A schedule
+/// is part of the workload, so its canonical fingerprint joins the key
+/// input; the stationary case contributes nothing, keeping every
+/// pre-phase-schedule key byte-identical.
+pub fn unit_key_phased(
+    combo: &Combo,
+    point: &SchemePoint,
+    config: &CompareConfig,
+    shared_warmup: bool,
+    phase: Option<&PhaseSchedule>,
+) -> String {
     let mode = if shared_warmup { "|shared-warmup" } else { "" };
+    let phase = match phase {
+        Some(p) => format!("|phase={}", p.fingerprint()),
+        None => String::new(),
+    };
     content_key(&format!(
-        "{SCHEMA_VERSION}|{combo:?}|{point:?}|{:?}|{}|{}{mode}",
+        "{SCHEMA_VERSION}|{combo:?}|{point:?}|{:?}|{}|{}{mode}{phase}",
         config.system,
         config.plan.fingerprint(),
         point.param_fingerprint(config),
@@ -401,16 +537,22 @@ pub fn unit_key_mode(
 }
 
 /// The content key of a recorded time series (`snug trace`): the unit
-/// key's inputs plus the probe stride, under a distinct record tag so
-/// trace entries never collide with unit results.
+/// key's inputs plus the probe stride (and any phase schedule), under a
+/// distinct record tag so trace entries never collide with unit
+/// results.
 pub fn trace_key(
     combo: &Combo,
     point: &SchemePoint,
     config: &CompareConfig,
     stride: u64,
+    phase: Option<&PhaseSchedule>,
 ) -> String {
+    let phase = match phase {
+        Some(p) => format!("|phase={}", p.fingerprint()),
+        None => String::new(),
+    };
     content_key(&format!(
-        "{SCHEMA_VERSION}|trace|{combo:?}|{point:?}|{:?}|{}|{}|stride={stride}",
+        "{SCHEMA_VERSION}|trace|{combo:?}|{point:?}|{:?}|{}|{}|stride={stride}{phase}",
         config.system,
         config.plan.fingerprint(),
         point.param_fingerprint(config),
@@ -457,6 +599,7 @@ mod tests {
             combos: Vec::new(),
             budget: BudgetPreset::Quick,
             stop: StopPreset::Fixed,
+            phase_shift: None,
             shared_warmup: false,
         };
         let jobs = spec.combo_jobs();
@@ -542,11 +685,17 @@ mod tests {
     fn trace_keys_are_distinct_from_unit_keys_and_stride_sensitive() {
         let combo = all_combos()[0];
         let cfg = BudgetPreset::Quick.compare_config();
+        let sched = PhaseSchedule::parse("1800000:demand=200").unwrap();
         for point in SchemePoint::all() {
-            let t = trace_key(&combo, &point, &cfg, 50_000);
+            let t = trace_key(&combo, &point, &cfg, 50_000, None);
             assert_ne!(t, unit_key(&combo, &point, &cfg));
-            assert_ne!(t, trace_key(&combo, &point, &cfg, 25_000));
-            assert_eq!(t, trace_key(&combo, &point, &cfg, 50_000));
+            assert_ne!(t, trace_key(&combo, &point, &cfg, 25_000, None));
+            assert_eq!(t, trace_key(&combo, &point, &cfg, 50_000, None));
+            assert_ne!(
+                t,
+                trace_key(&combo, &point, &cfg, 50_000, Some(&sched)),
+                "the phase schedule is part of the trace key"
+            );
         }
     }
 
@@ -572,6 +721,7 @@ mod tests {
                 measure_cycles: 22,
             },
             stop: StopPreset::Fixed,
+            phase_shift: None,
             shared_warmup: false,
         };
         let cfg = spec.compare_config();
@@ -604,6 +754,57 @@ mod tests {
     }
 
     #[test]
+    fn phase_schedule_rekeys_every_unit_and_label() {
+        let mut spec = SweepSpec::full(BudgetPreset::Mid);
+        let canonical: Vec<String> = spec.unit_jobs().into_iter().map(|j| j.key).collect();
+        spec.phase_shift = Some("1800000:demand=200".into());
+        let shifted: Vec<String> = spec.unit_jobs().into_iter().map(|j| j.key).collect();
+        assert!(
+            canonical.iter().zip(&shifted).all(|(c, s)| c != s),
+            "a shifted workload never collides with canonical entries"
+        );
+        assert_eq!(spec.budget_label(), "mid+shifted");
+        assert!(spec.unit_jobs().iter().all(|j| j.phase.is_some()));
+
+        // A different schedule re-keys again; the stationary spec keeps
+        // its original keys.
+        spec.phase_shift = Some("1800000:demand=300".into());
+        let other: Vec<String> = spec.unit_jobs().into_iter().map(|j| j.key).collect();
+        assert!(shifted.iter().zip(&other).all(|(a, b)| a != b));
+        spec.phase_shift = None;
+        let back: Vec<String> = spec.unit_jobs().into_iter().map(|j| j.key).collect();
+        assert_eq!(back, canonical, "canonical keys are untouched");
+    }
+
+    #[test]
+    fn reconverged_stop_rekeys_distinctly_from_converged() {
+        let mut spec = SweepSpec::full(BudgetPreset::Mid);
+        spec.stop = StopPreset::Converged {
+            window_cycles: None,
+            rel_epsilon: None,
+        };
+        let converged: Vec<String> = spec.unit_jobs().into_iter().map(|j| j.key).collect();
+        spec.stop = StopPreset::Reconverged {
+            window_cycles: None,
+            rel_epsilon: None,
+        };
+        let reconverged: Vec<String> = spec.unit_jobs().into_iter().map(|j| j.key).collect();
+        assert!(converged.iter().zip(&reconverged).all(|(a, b)| a != b));
+        assert_eq!(spec.budget_label(), "mid+reconverged");
+        spec.phase_shift = Some("1800000:demand=200".into());
+        assert_eq!(spec.budget_label(), "mid+shifted+reconverged");
+    }
+
+    #[test]
+    fn bad_phase_shift_specs_fail_json_decoding() {
+        let mut spec = SweepSpec::full(BudgetPreset::Quick);
+        spec.phase_shift = Some("1000:demand=200".into());
+        let mut obj = spec.to_json().as_obj().unwrap().clone();
+        obj.insert("phase_shift".into(), Value::str("1000:warp=9"));
+        assert!(SweepSpec::from_json(&Value::Obj(obj)).is_err());
+    }
+
+    #[test]
     fn spec_round_trips_through_json() {
         for spec in [
             SweepSpec::full(BudgetPreset::Quick),
@@ -618,6 +819,7 @@ mod tests {
                     measure_cycles: 9,
                 },
                 stop: StopPreset::Fixed,
+                phase_shift: None,
                 shared_warmup: true,
             },
             SweepSpec {
@@ -629,6 +831,7 @@ mod tests {
                     window_cycles: None,
                     rel_epsilon: None,
                 },
+                phase_shift: None,
                 shared_warmup: false,
             },
             SweepSpec {
@@ -640,7 +843,32 @@ mod tests {
                     window_cycles: Some(150_000),
                     rel_epsilon: Some(0.25),
                 },
+                phase_shift: None,
                 shared_warmup: false,
+            },
+            SweepSpec {
+                name: "shifted-reconv".into(),
+                classes: vec![ComboClass::C1],
+                combos: Vec::new(),
+                budget: BudgetPreset::Mid,
+                stop: StopPreset::Reconverged {
+                    window_cycles: Some(150_000),
+                    rel_epsilon: None,
+                },
+                phase_shift: Some("1500000:near=10;1800000:demand=200@0,2".into()),
+                shared_warmup: false,
+            },
+            SweepSpec {
+                name: "shifted-shared-conv".into(),
+                classes: Vec::new(),
+                combos: Vec::new(),
+                budget: BudgetPreset::Quick,
+                stop: StopPreset::Converged {
+                    window_cycles: None,
+                    rel_epsilon: Some(0.5),
+                },
+                phase_shift: Some("400000:profile=mcf".into()),
+                shared_warmup: true,
             },
         ] {
             let text = spec.to_json().render();

@@ -402,6 +402,8 @@ mod tests {
             scheme: label.into(),
             ipcs: vec![1.0, 0.5, tp],
             measured_cycles: None,
+            stop_reason: None,
+            plateaus: Vec::new(),
         })
     }
 
@@ -435,6 +437,8 @@ mod tests {
                     scheme: "cc@50%".into(),
                     ipcs: vec![0.5, 0.25],
                     measured_cycles: None,
+                    stop_reason: None,
+                    plateaus: Vec::new(),
                 },
             )
             .unwrap();
@@ -561,6 +565,11 @@ mod tests {
                     cycle: 10_000,
                     kind: sim_cmp::SchemeEventKind::GroupedBegin,
                     takers: vec![1, 2],
+                }],
+                shifts: vec![sim_mem::StreamShift {
+                    at_cycle: 30_000,
+                    cores: vec![0, 1],
+                    directive: sim_mem::ShiftDirective::DemandScale { percent: 200 },
                 }],
             }],
         };

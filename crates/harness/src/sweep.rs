@@ -4,11 +4,11 @@
 //! persist as they finish, and assemble per-combo results.
 
 use crate::exec::{self, ExecEvent};
-use crate::spec::{legacy_combo_key, unit_key, ComboJob, SweepSpec, UnitJob};
+use crate::spec::{legacy_combo_key, unit_key_phased, ComboJob, SweepSpec, UnitJob};
 use crate::store::{ResultStore, StoreError};
 use snug_experiments::{
-    assemble_combo, best_cc_index, pace_of, run_cc_points_shared, run_point, run_point_paced,
-    ComboResult, SchemePoint, SchemeRun,
+    assemble_combo, best_cc_index, pace_of, run_cc_points_shared_phased, run_point_paced,
+    run_point_phased, ComboResult, Pace, SchemePoint, SchemeRun,
 };
 use std::sync::Mutex;
 
@@ -100,6 +100,11 @@ impl SweepOutcome {
 /// CC points are not reconstructible and stay pending. Returns the
 /// number of units migrated.
 fn migrate_v1_units(job: &ComboJob, store: &mut ResultStore) -> Result<usize, StoreError> {
+    // v1 entries only ever described the stationary canonical
+    // workload; a shifted combo's units must never be served from them.
+    if job.units.iter().any(|u| u.phase.is_some()) {
+        return Ok(0);
+    }
     let legacy_key = legacy_combo_key(&job.combo, &job.config);
     let Some(old) = store.get_legacy_combo(&legacy_key).cloned() else {
         return Ok(0);
@@ -134,6 +139,8 @@ fn migrate_v1_units(job: &ComboJob, store: &mut ResultStore) -> Result<usize, St
                     scheme: unit.point.label(),
                     ipcs,
                     measured_cycles: None,
+                    stop_reason: None,
+                    plateaus: Vec::new(),
                 },
             )?;
             migrated += 1;
@@ -153,13 +160,14 @@ fn scheme_ipcs(result: &ComboResult, scheme: &str) -> Option<Vec<f64>> {
 /// One schedulable piece of pending work: a single unit simulation
 /// (optionally paced to a fixed measured window a cached baseline set),
 /// a combo's pending shared-warm-up CC points (which run together so
-/// they share one warm-up snapshot), or a converged-plan combo whose
-/// baseline is itself pending — the L2P unit runs the stop policy
+/// they share one warm-up snapshot — paced too when the combo's
+/// converged baseline is already known), or a converged-plan combo
+/// whose baseline is itself pending — the L2P unit runs the stop policy
 /// first and every sibling then measures over the window it settled on.
 enum ExecUnit<'a> {
     Single(&'a UnitJob),
-    Paced(&'a UnitJob, u64),
-    CcShared(Vec<&'a UnitJob>),
+    Paced(&'a UnitJob, Pace),
+    CcShared(Vec<&'a UnitJob>, Option<Pace>),
     PacedCombo(Vec<&'a UnitJob>),
 }
 
@@ -168,10 +176,11 @@ impl ExecUnit<'_> {
         match self {
             ExecUnit::Single(job) => job.label(),
             ExecUnit::Paced(job, _) => format!("{} [paced]", job.label()),
-            ExecUnit::CcShared(jobs) => format!(
-                "{} [cc sweep x{}, shared warmup]",
+            ExecUnit::CcShared(jobs, pace) => format!(
+                "{} [cc sweep x{}, shared warmup{}]",
                 jobs[0].combo.label(),
-                jobs.len()
+                jobs.len(),
+                if pace.is_some() { ", paced" } else { "" },
             ),
             ExecUnit::PacedCombo(jobs) => format!(
                 "{} [x{}, baseline-paced]",
@@ -185,83 +194,161 @@ impl ExecUnit<'_> {
     fn run(&self) -> Vec<(&UnitJob, SchemeRun)> {
         match self {
             ExecUnit::Single(job) => {
-                vec![(*job, run_point(&job.combo, &job.point, &job.config))]
+                vec![(
+                    *job,
+                    run_point_phased(&job.combo, &job.point, &job.config, job.phase.as_ref()),
+                )]
             }
             ExecUnit::Paced(job, pace) => {
                 vec![(
                     *job,
-                    run_point_paced(&job.combo, &job.point, &job.config, *pace),
+                    run_point_paced(
+                        &job.combo,
+                        &job.point,
+                        &job.config,
+                        pace,
+                        job.phase.as_ref(),
+                    ),
                 )]
             }
-            ExecUnit::CcShared(jobs) => {
-                let points: Vec<SchemePoint> = jobs.iter().map(|j| j.point).collect();
-                run_cc_points_shared(&jobs[0].combo, &points, &jobs[0].config)
-                    .into_iter()
-                    .zip(jobs.iter())
-                    .map(|((point, run), job)| {
-                        debug_assert_eq!(point, job.point);
-                        (*job, run)
-                    })
-                    .collect()
-            }
+            ExecUnit::CcShared(jobs, pace) => run_cc_family(jobs, pace.as_ref()),
             ExecUnit::PacedCombo(jobs) => {
                 let baseline_job = jobs
                     .iter()
                     .find(|j| j.point == SchemePoint::L2p)
                     .expect("paced combos include their pending baseline");
                 let cfg = &baseline_job.config;
-                let baseline = run_point(&baseline_job.combo, &SchemePoint::L2p, cfg);
+                let phase = baseline_job.phase.as_ref();
+                let baseline = run_point_phased(&baseline_job.combo, &SchemePoint::L2p, cfg, phase);
                 let pace = pace_of(&baseline, cfg);
-                jobs.iter()
+                // Shared-warm-up CC members keep their one-snapshot
+                // semantics inside a paced combo: they run as one
+                // family over the baseline's window.
+                let cc_shared: Vec<&UnitJob> =
+                    jobs.iter().copied().filter(|j| j.shared_warmup).collect();
+                let mut results: Vec<(&UnitJob, SchemeRun)> = jobs
+                    .iter()
+                    .filter(|j| !j.shared_warmup)
                     .map(|job| {
                         if job.point == SchemePoint::L2p {
                             (*job, baseline.clone())
                         } else {
-                            (*job, run_point_paced(&job.combo, &job.point, cfg, pace))
+                            (
+                                *job,
+                                run_point_paced(&job.combo, &job.point, cfg, &pace, phase),
+                            )
                         }
                     })
-                    .collect()
+                    .collect();
+                if !cc_shared.is_empty() {
+                    results.extend(run_cc_family(&cc_shared, Some(&pace)));
+                }
+                results
             }
         }
     }
 }
 
+/// Run a shared-warm-up CC family (optionally baseline-paced) and pair
+/// each result back with its job.
+fn run_cc_family<'a>(jobs: &[&'a UnitJob], pace: Option<&Pace>) -> Vec<(&'a UnitJob, SchemeRun)> {
+    let points: Vec<SchemePoint> = jobs.iter().map(|j| j.point).collect();
+    run_cc_points_shared_phased(
+        &jobs[0].combo,
+        &points,
+        &jobs[0].config,
+        jobs[0].phase.as_ref(),
+        pace,
+    )
+    .into_iter()
+    .zip(jobs.iter())
+    .map(|((point, run), job)| {
+        debug_assert_eq!(point, job.point);
+        (*job, run)
+    })
+    .collect()
+}
+
 /// Group pending jobs into schedulable pieces:
 ///
-/// * shared-warm-up CC units batch per (combo, configuration) — a
-///   family shares one warm-up, so every member must describe the same
-///   simulation inputs — in first-appearance order;
-/// * converged-plan units batch per (combo, configuration) around
-///   their pending L2P baseline ([`ExecUnit::PacedCombo`]); when the
-///   baseline is already in the store, its recorded window paces each
-///   pending sibling individually ([`ExecUnit::Paced`]), keeping unit
-///   granularity (a scheme-parameter edit re-runs that scheme's units
-///   in parallel, paced by the cached baselines);
+/// * shared-warm-up CC units batch per (combo, configuration, phase) —
+///   a family shares one warm-up, so every member must describe the
+///   same simulation inputs — in first-appearance order; under an
+///   early-exit plan with a cached baseline, the family runs paced to
+///   the baseline's window (the `--shared-warmup --until-converged`
+///   composition);
+/// * other early-exit units batch per (combo, configuration, phase)
+///   around their pending L2P baseline ([`ExecUnit::PacedCombo`]);
+///   when the baseline is already in the store, its recorded window
+///   paces each pending sibling individually ([`ExecUnit::Paced`]),
+///   keeping unit granularity (a scheme-parameter edit re-runs that
+///   scheme's units in parallel, paced by the cached baselines);
 /// * everything else runs alone.
 fn plan_exec_units<'a>(pending: &[&'a UnitJob], store: &ResultStore) -> Vec<ExecUnit<'a>> {
     let mut units: Vec<ExecUnit<'_>> = Vec::new();
     let mut family_index: std::collections::HashMap<String, usize> =
         std::collections::HashMap::new();
+    let family_tag = |kind: &str, job: &UnitJob| {
+        format!(
+            "{kind}|{:?}|{:?}|{:?}",
+            job.combo,
+            job.config,
+            job.phase.as_ref().map(|p| p.fingerprint())
+        )
+    };
     for job in pending {
+        let cached_pace = job.config.plan.can_stop_early().then(|| {
+            let baseline_key = unit_key_phased(
+                &job.combo,
+                &SchemePoint::L2p,
+                &job.config,
+                false,
+                job.phase.as_ref(),
+            );
+            store
+                .get_unit(&baseline_key)
+                .map(|baseline| pace_of(baseline, &job.config))
+        });
         if job.shared_warmup && matches!(job.point, SchemePoint::Cc { .. }) {
-            let combo = format!("cc|{:?}|{:?}", job.combo, job.config);
-            match family_index.get(&combo) {
-                Some(&i) => match &mut units[i] {
-                    ExecUnit::CcShared(jobs) => jobs.push(job),
-                    _ => unreachable!("family index points at a CC family"),
-                },
-                None => {
-                    family_index.insert(combo, units.len());
-                    units.push(ExecUnit::CcShared(vec![job]));
+            match cached_pace {
+                // Early-exit plan, baseline still pending: the CC
+                // family joins the combo's baseline-paced piece.
+                Some(None) => {
+                    let combo = family_tag("paced", job);
+                    match family_index.get(&combo) {
+                        Some(&i) => match &mut units[i] {
+                            ExecUnit::PacedCombo(jobs) => jobs.push(job),
+                            _ => unreachable!("family index points at a paced combo"),
+                        },
+                        None => {
+                            family_index.insert(combo, units.len());
+                            units.push(ExecUnit::PacedCombo(vec![job]));
+                        }
+                    }
+                }
+                // Fixed plan (None) or cached baseline (Some(Some)):
+                // one shared-warm-up family, paced if known.
+                pace => {
+                    let pace = pace.flatten();
+                    let combo = family_tag("cc", job);
+                    match family_index.get(&combo) {
+                        Some(&i) => match &mut units[i] {
+                            ExecUnit::CcShared(jobs, _) => jobs.push(job),
+                            _ => unreachable!("family index points at a CC family"),
+                        },
+                        None => {
+                            family_index.insert(combo, units.len());
+                            units.push(ExecUnit::CcShared(vec![job], pace));
+                        }
+                    }
                 }
             }
-        } else if job.config.plan.can_stop_early() {
-            let baseline_key = unit_key(&job.combo, &SchemePoint::L2p, &job.config);
-            if let Some(baseline) = store.get_unit(&baseline_key) {
-                units.push(ExecUnit::Paced(job, pace_of(baseline, &job.config)));
+        } else if let Some(pace) = cached_pace {
+            if let Some(pace) = pace {
+                units.push(ExecUnit::Paced(job, pace));
                 continue;
             }
-            let combo = format!("paced|{:?}|{:?}", job.combo, job.config);
+            let combo = family_tag("paced", job);
             match family_index.get(&combo) {
                 Some(&i) => match &mut units[i] {
                     ExecUnit::PacedCombo(jobs) => jobs.push(job),
@@ -278,12 +365,19 @@ fn plan_exec_units<'a>(pending: &[&'a UnitJob], store: &ResultStore) -> Vec<Exec
     }
     // A paced combo whose baseline is neither cached nor among the
     // pending jobs (a caller-supplied subset) cannot be paced; its
-    // members fall back to independent converged runs.
+    // members fall back to independent converged runs — shared-warm-up
+    // CC members still batch as one (unpaced) family.
     units
         .into_iter()
         .flat_map(|unit| match unit {
             ExecUnit::PacedCombo(jobs) if !jobs.iter().any(|j| j.point == SchemePoint::L2p) => {
-                jobs.into_iter().map(ExecUnit::Single).collect()
+                let (cc_shared, rest): (Vec<&UnitJob>, Vec<&UnitJob>) =
+                    jobs.into_iter().partition(|j| j.shared_warmup);
+                let mut out: Vec<ExecUnit<'_>> = rest.into_iter().map(ExecUnit::Single).collect();
+                if !cc_shared.is_empty() {
+                    out.push(ExecUnit::CcShared(cc_shared, None));
+                }
+                out
             }
             other => vec![other],
         })
@@ -325,8 +419,13 @@ pub fn run_unit_jobs(
                 } else {
                     ""
                 };
+                let phase = job
+                    .phase
+                    .as_ref()
+                    .map(|p| format!(" | phase={}", p.fingerprint()))
+                    .unwrap_or_default();
                 let inputs = format!(
-                    "{:?} | {} | {:?}{mode}",
+                    "{:?} | {} | {:?}{mode}{phase}",
                     job.combo,
                     job.point.label(),
                     job.config
@@ -482,6 +581,7 @@ mod tests {
                 measure_cycles: 60_000,
             },
             stop: crate::spec::StopPreset::Fixed,
+            phase_shift: None,
             shared_warmup: false,
         }
     }
@@ -729,6 +829,150 @@ mod tests {
         let fixed_again = run_sweep(&tiny_spec(), &mut store, 2, |_| {}).unwrap();
         assert_eq!(fixed_again.executed, 0);
         assert_eq!(fixed_again.results(), fixed.results());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_warmup_composes_with_converged_stops() {
+        // The PR-4 follow-up: one warm-up snapshot per combo AND
+        // baseline-paced converged measurement, composed instead of
+        // rejected.
+        let mut spec = tiny_spec();
+        spec.shared_warmup = true;
+        spec.stop = crate::spec::StopPreset::Converged {
+            window_cycles: None,
+            rel_epsilon: Some(0.9),
+        };
+        let (dir, mut store) = tmp_store("shared-converged");
+        let mut labels = Vec::new();
+        let outcome = run_sweep(&spec, &mut store, 2, |e| {
+            if let SweepEvent::JobStarted { label } = e {
+                labels.push(label);
+            }
+        })
+        .unwrap();
+        assert_eq!(outcome.executed, 3 * UNITS_PER_COMBO);
+        assert_eq!(
+            labels
+                .iter()
+                .filter(|l| l.contains("baseline-paced"))
+                .count(),
+            3,
+            "one paced piece per combo: {labels:?}"
+        );
+        assert!(
+            outcome.simulated_cycles < outcome.budgeted_cycles,
+            "early exit still saves cycles"
+        );
+        // Baseline pacing holds across the shared CC family too: one
+        // window and one stop reason per combo, on every unit.
+        for job in spec.combo_jobs() {
+            let runs: Vec<&SchemeRun> = job
+                .units
+                .iter()
+                .map(|u| store.get_unit(&u.key).expect("unit stored"))
+                .collect();
+            let windows: std::collections::HashSet<Option<u64>> =
+                runs.iter().map(|r| r.measured_cycles).collect();
+            assert_eq!(windows.len(), 1, "{}", job.combo.label());
+            assert!(
+                runs.iter().all(|r| r.stop_reason.is_some()),
+                "every early-exit-capable unit records its stop reason"
+            );
+        }
+
+        // Re-run: all cache hits; and the plain shared-warmup fixed
+        // sweep still runs under its own keys.
+        let rerun = run_sweep(&spec, &mut store, 2, |_| {}).unwrap();
+        assert_eq!(rerun.executed, 0);
+        let mut fixed_shared = tiny_spec();
+        fixed_shared.shared_warmup = true;
+        let fixed = run_sweep(&fixed_shared, &mut store, 2, |_| {}).unwrap();
+        assert_eq!(
+            fixed.executed,
+            3 * UNITS_PER_COMBO,
+            "converged and fixed shared runs never share keys"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shifted_reconverged_sweep_is_keyed_apart_and_records_reasons() {
+        let mut spec = tiny_spec();
+        // One demand-doubling shift mid-measurement (warm-up 10 K +
+        // 60 K window → shift at 40 K), reconverged stop with a loose
+        // epsilon so the tiny streams re-stabilise.
+        spec.phase_shift = Some("40000:demand=200".into());
+        spec.stop = crate::spec::StopPreset::Reconverged {
+            window_cycles: None,
+            rel_epsilon: Some(0.9),
+        };
+        let (dir, mut store) = tmp_store("shifted-reconverged");
+        let stationary = run_sweep(&tiny_spec(), &mut store, 2, |_| {}).unwrap();
+        let shifted = run_sweep(&spec, &mut store, 2, |_| {}).unwrap();
+        assert_eq!(
+            shifted.executed,
+            3 * UNITS_PER_COMBO,
+            "shifted runs never reuse stationary entries"
+        );
+        assert_ne!(
+            shifted.results(),
+            stationary.results(),
+            "the workload shift changes the measured results"
+        );
+        // Every unit persists an explicit stop reason; baselines under
+        // the re-convergence policy record per-phase plateau means.
+        for job in spec.combo_jobs() {
+            for unit in &job.units {
+                let run = store.get_unit(&unit.key).expect("unit stored");
+                assert!(run.stop_reason.is_some(), "{}", unit.label());
+                if unit.point == SchemePoint::L2p {
+                    assert_eq!(
+                        run.plateaus.len(),
+                        2,
+                        "{}: one plateau per workload phase",
+                        unit.label()
+                    );
+                }
+            }
+        }
+        // Deterministic: a rerun is all cache hits and bit-identical.
+        let rerun = run_sweep(&spec, &mut store, 2, |_| {}).unwrap();
+        assert_eq!(rerun.executed, 0);
+        assert_eq!(rerun.results(), shifted.results());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn converged_units_persist_stop_reasons() {
+        let mut spec = tiny_spec();
+        spec.stop = crate::spec::StopPreset::Converged {
+            window_cycles: None,
+            rel_epsilon: Some(0.9),
+        };
+        let (dir, mut store) = tmp_store("stop-reasons");
+        run_sweep(&spec, &mut store, 2, |_| {}).unwrap();
+        for job in spec.combo_jobs() {
+            for unit in &job.units {
+                let run = store.get_unit(&unit.key).expect("unit stored");
+                let reason = run.stop_reason.expect("early-exit-capable run");
+                // The loose epsilon converges everything here, and the
+                // recorded reason must agree with the recorded window.
+                assert_eq!(
+                    reason == snug_experiments::StopReason::Converged,
+                    run.measured_cycles.is_some(),
+                    "{}",
+                    unit.label()
+                );
+            }
+        }
+        // Fixed-plan entries stay bare: no stop reason at all.
+        run_sweep(&tiny_spec(), &mut store, 2, |_| {}).unwrap();
+        for job in tiny_spec().combo_jobs() {
+            for unit in &job.units {
+                assert_eq!(store.get_unit(&unit.key).unwrap().stop_reason, None);
+            }
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

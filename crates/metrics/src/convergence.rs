@@ -46,6 +46,13 @@ impl RollingThroughput {
         self.samples.push_back(throughput);
     }
 
+    /// Drop every sample, keeping the capacity — a re-convergence
+    /// policy clears the window at a workload phase boundary so
+    /// pre-shift plateau samples never vouch for the post-shift regime.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+
     /// Samples currently held.
     pub fn len(&self) -> usize {
         self.samples.len()
@@ -97,6 +104,32 @@ impl RollingThroughput {
     /// Whether a full window agrees to within `rel_epsilon`.
     pub fn converged(&self, rel_epsilon: f64) -> bool {
         self.rel_spread() <= rel_epsilon
+    }
+}
+
+/// One workload phase's plateau as a re-convergence stop policy saw it:
+/// the segment between two phase boundaries (or the window edges), and
+/// whether/where the rolling window stabilised inside it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasePlateau {
+    /// Zero-based phase index (0 = before the first shift).
+    pub phase: usize,
+    /// Measured cycle the phase begins at (0 for the first).
+    pub start_cycle: u64,
+    /// Measured cycle the rolling window first reported convergence
+    /// inside this phase, or `None` if the phase ended (shift or
+    /// ceiling) while still ramping.
+    pub converged_at: Option<u64>,
+    /// Mean throughput of the rolling window at the end of the phase —
+    /// the plateau level when `converged_at` is set, a mid-ramp reading
+    /// otherwise (0 when the phase produced no full sample).
+    pub mean_throughput: f64,
+}
+
+impl PhasePlateau {
+    /// Whether the phase reached a stable plateau before it ended.
+    pub fn converged(&self) -> bool {
+        self.converged_at.is_some()
     }
 }
 
@@ -153,5 +186,24 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn capacity_below_two_is_rejected() {
         RollingThroughput::new(1);
+    }
+
+    #[test]
+    fn clear_resets_the_window_but_keeps_capacity() {
+        let mut w = RollingThroughput::new(3);
+        for _ in 0..3 {
+            w.push(2.0);
+        }
+        assert!(w.converged(0.0));
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.capacity(), 3);
+        assert_eq!(w.rel_spread(), f64::INFINITY, "cleared window is partial");
+        // Refilling converges again only once full.
+        w.push(1.0);
+        w.push(1.0);
+        assert!(!w.converged(1e9));
+        w.push(1.0);
+        assert!(w.converged(0.0));
     }
 }

@@ -15,7 +15,7 @@ pub mod perf;
 pub mod stats;
 pub mod table;
 
-pub use convergence::RollingThroughput;
+pub use convergence::{PhasePlateau, RollingThroughput};
 pub use perf::{
     average_weighted_speedup, fair_speedup, normalized_throughput, IpcVector, MetricSet,
 };

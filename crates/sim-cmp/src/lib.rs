@@ -32,7 +32,8 @@ pub use bus::{Bus, BusGrant, BusStats};
 pub use config::{BusConfig, CoreConfig, SystemConfig};
 pub use core::{CoreModel, CoreStats};
 pub use plan::{
-    Converged, FixedCycles, RunPlan, StopObservation, StopPolicy, StopSpec, WINDOW_SAMPLES,
+    Converged, FixedCycles, Reconverged, RunPlan, StopObservation, StopPolicy, StopSpec,
+    WINDOW_SAMPLES,
 };
 pub use scheme::{ChipResources, CloneOrg, L2Fill, L2Org, L2Outcome, SchemeEvent, SchemeEventKind};
 pub use session::{

@@ -41,7 +41,8 @@ use crate::scheme::{ChipResources, CloneOrg, L2Org, SchemeEvent};
 use crate::system::{CoreResult, SystemResult};
 use crate::Bus;
 use sim_cache::{CacheStats, SetAssocCache};
-use sim_mem::{AccessKind, Dram, OpStream};
+use sim_mem::{AccessKind, Dram, OpStream, StreamShift};
+use snug_metrics::PhasePlateau;
 
 /// One probe-stride sample of the running system — the row type of the
 /// time series `snug trace` records.
@@ -61,6 +62,9 @@ pub struct PeriodSample {
     pub l2: CacheStats,
     /// Scheme-side events that fired during the interval.
     pub events: Vec<SchemeEvent>,
+    /// Workload phase shifts applied during the interval (phase-change
+    /// scenarios; empty for stationary runs).
+    pub shifts: Vec<StreamShift>,
 }
 
 impl PeriodSample {
@@ -128,9 +132,13 @@ pub struct SessionSnapshot<O> {
     policy: Box<dyn StopPolicy>,
     stopped_at: Option<u64>,
     policy_next_at: u64,
+    policy_origin: u64,
+    policy_prev_cycle: u64,
     policy_cores: Vec<(u64, u64)>,
     measuring: bool,
     baseline: Vec<(u64, u64)>,
+    shifts: Vec<StreamShift>,
+    next_shift: usize,
 }
 
 impl<O: CloneOrg> SessionSnapshot<O> {
@@ -153,9 +161,14 @@ impl<O: CloneOrg> SessionSnapshot<O> {
             policy: self.policy.clone_policy(),
             stopped_at: self.stopped_at,
             policy_next_at: self.policy_next_at,
+            policy_origin: self.policy_origin,
+            policy_prev_cycle: self.policy_prev_cycle,
             policy_cores: self.policy_cores.clone(),
             measuring: self.measuring,
             baseline: self.baseline.clone(),
+            shifts: self.shifts.clone(),
+            next_shift: self.next_shift,
+            fired_shifts: Vec::new(),
             probe_stride: 0,
             next_probe_at: 0,
             probe_cores: Vec::new(),
@@ -188,6 +201,7 @@ pub struct SessionBuilder<O: L2Org> {
     org: O,
     streams: Vec<Box<dyn OpStream>>,
     plan: RunPlan,
+    shifts: Vec<StreamShift>,
     probe_stride: u64,
     record: bool,
     probes: Vec<Box<dyn Probe>>,
@@ -206,6 +220,7 @@ impl<O: L2Org> SessionBuilder<O> {
             org,
             streams: Vec::new(),
             plan: RunPlan::fixed(0, 0),
+            shifts: Vec::new(),
             probe_stride: 0,
             record: false,
             probes: Vec::new(),
@@ -228,6 +243,19 @@ impl<O: L2Org> SessionBuilder<O> {
     /// Set the run plan (replaces any previous plan or budget).
     pub fn plan(mut self, plan: RunPlan) -> Self {
         self.plan = plan;
+        self
+    }
+
+    /// Schedule deterministic mid-run workload shifts (a phase-change
+    /// scenario): each shift is applied to its target cores' streams at
+    /// the first frontier boundary at or past its cycle, so shifted
+    /// runs stay deterministic across stepping interleavings and
+    /// snapshot/restore. Replaces any previous schedule. Under a
+    /// [`crate::StopSpec::Reconverged`] plan the shift cycles inside
+    /// the measured window also become the policy's phase boundaries.
+    pub fn phase_shifts(mut self, mut shifts: Vec<StreamShift>) -> Self {
+        shifts.sort_by_key(|s| s.at_cycle);
+        self.shifts = shifts;
         self
     }
 
@@ -261,6 +289,18 @@ impl<O: L2Org> SessionBuilder<O> {
             "one stream per core"
         );
         let labels = self.streams.iter().map(|s| s.label().to_string()).collect();
+        // A reconverged policy segments the measured window at the
+        // schedule's shift cycles; shifts during warm-up or past the
+        // ceiling never segment it.
+        let warmup = self.plan.warmup_cycles;
+        let horizon = warmup + self.plan.measure_cycles();
+        let mut boundaries: Vec<u64> = self
+            .shifts
+            .iter()
+            .filter(|s| s.at_cycle > warmup && s.at_cycle < horizon)
+            .map(|s| s.at_cycle - warmup)
+            .collect();
+        boundaries.dedup();
         SimSession {
             cores: (0..self.cfg.num_cores)
                 .map(|_| CoreModel::new(self.cfg.core))
@@ -277,12 +317,17 @@ impl<O: L2Org> SessionBuilder<O> {
             streams: self.streams,
             labels,
             warmup_cycles: self.plan.warmup_cycles,
-            policy: self.plan.policy(),
+            policy: self.plan.policy_with_boundaries(&boundaries),
             stopped_at: None,
             policy_next_at: 0,
+            policy_origin: 0,
+            policy_prev_cycle: 0,
             policy_cores: Vec::new(),
             measuring: false,
             baseline: Vec::new(),
+            shifts: self.shifts,
+            next_shift: 0,
+            fired_shifts: Vec::new(),
             probe_stride: self.probe_stride,
             next_probe_at: if self.probe_stride > 0 {
                 self.probe_stride
@@ -317,8 +362,18 @@ pub struct SimSession<O: L2Org> {
     /// (`None`: still running, or the run reaches the horizon).
     stopped_at: Option<u64>,
     /// The next measured-window boundary the policy observes at
-    /// (`warmup + k * stride`; 0 before measurement).
+    /// (`origin + k * stride`; 0 before measurement).
     policy_next_at: u64,
+    /// The frontier cycle measurement began at: the anchor of the
+    /// policy's observation grid. Anchoring at the *actual* start
+    /// (rather than the nominal warm-up boundary the frontier may have
+    /// jumped past) keeps every observation interval a full stride —
+    /// a partial first interval would feed the estimator a sample that
+    /// integrates fewer operations than its peers.
+    policy_origin: u64,
+    /// Frontier cycle of the previous policy observation (interval
+    /// lengths for partial-stride rejection).
+    policy_prev_cycle: u64,
     /// Per-core (instructions, cycle) at the previous policy
     /// observation.
     policy_cores: Vec<(u64, u64)>,
@@ -326,6 +381,13 @@ pub struct SimSession<O: L2Org> {
     measuring: bool,
     /// Per-core (instructions, cycle) at measurement start.
     baseline: Vec<(u64, u64)>,
+    /// The phase-change schedule, sorted by cycle.
+    shifts: Vec<StreamShift>,
+    /// Index of the next unapplied shift.
+    next_shift: usize,
+    /// Shifts applied since the last probe sample (drained into
+    /// [`PeriodSample::shifts`]; not part of snapshots, like probes).
+    fired_shifts: Vec<StreamShift>,
     probe_stride: u64,
     next_probe_at: u64,
     /// Per-core (instructions, cycle) at the previous probe tick.
@@ -400,14 +462,18 @@ impl<O: L2Org> SimSession<O> {
         // The probe delta baselines restart with the reset counters.
         self.probe_l2 = CacheStats::default();
         self.probe_cores = self.baseline.clone();
-        // The stop policy observes from the warm-up boundary on. The
-        // boundary is frontier-derived, so this latches at the same
-        // point in the op sequence in every interleaving.
+        // The stop policy observes from the measurement-start frontier
+        // on. The anchor is frontier-derived (and the frontier at the
+        // warm-up transition is the same in every interleaving), so the
+        // observation grid — and therefore the early-exit decision —
+        // latches at the same point in the op sequence however the
+        // session is driven.
         let stride = self.policy.observe_stride();
-        let rel = self.frontier().saturating_sub(self.warmup_cycles);
-        if let Some(crossed) = rel.checked_div(stride) {
+        if stride > 0 {
             self.policy_cores = self.baseline.clone();
-            self.policy_next_at = self.warmup_cycles + (crossed + 1) * stride;
+            self.policy_origin = self.frontier();
+            self.policy_prev_cycle = self.policy_origin;
+            self.policy_next_at = self.policy_origin + stride;
         }
         self.measuring = true;
     }
@@ -437,6 +503,13 @@ impl<O: L2Org> SimSession<O> {
         if min_cycle >= self.horizon() {
             return false;
         }
+        // Apply scheduled workload shifts at frontier boundaries:
+        // frontier-derived like the phase transition above, so a shift
+        // lands before the exact same operation in every interleaving
+        // and in every snapshot → restore → resume replay.
+        if self.next_shift < self.shifts.len() {
+            self.sync_shifts(min_cycle);
+        }
         self.exec_op(min_core);
         if self.probe_stride > 0 {
             self.fire_probes();
@@ -455,6 +528,32 @@ impl<O: L2Org> SimSession<O> {
             }
         }
         self.sync_phase();
+    }
+
+    /// Apply every scheduled shift whose cycle the frontier has
+    /// reached, in schedule order. A shift no targeted stream
+    /// understands (streams signal via [`OpStream::apply_shift`]'s
+    /// return — e.g. a demand directive after the pattern went
+    /// streaming, or a core filter matching no stream) is *not*
+    /// recorded into the probe samples: a phantom phase-boundary event
+    /// for a workload that never changed would be worse than silence.
+    fn sync_shifts(&mut self, frontier: u64) {
+        while self.next_shift < self.shifts.len() {
+            if frontier < self.shifts[self.next_shift].at_cycle {
+                break;
+            }
+            let shift = self.shifts[self.next_shift].clone();
+            let mut applied = false;
+            for (core, stream) in self.streams.iter_mut().enumerate() {
+                if shift.targets(core) {
+                    applied |= stream.apply_shift(&shift.directive);
+                }
+            }
+            if applied {
+                self.fired_shifts.push(shift);
+            }
+            self.next_shift += 1;
+        }
     }
 
     /// Run the whole window and return the measured result.
@@ -576,6 +675,7 @@ impl<O: L2Org> SimSession<O> {
                 .collect(),
             l2: stats_delta(&l2_now, &self.probe_l2),
             events: self.org.drain_events(),
+            shifts: std::mem::take(&mut self.fired_shifts),
         };
         self.probe_cores = now_cores;
         self.probe_l2 = l2_now;
@@ -588,11 +688,12 @@ impl<O: L2Org> SimSession<O> {
     }
 
     /// Deliver the interval throughput to the stop policy at every
-    /// crossed policy boundary (`warmup + k * stride`). Like
-    /// `fire_probes`, a step that jumps several boundaries delivers one
-    /// combined observation — boundaries are frontier-derived, so the
-    /// observation sequence (and therefore the early-exit decision) is
-    /// identical in every interleaving.
+    /// crossed policy boundary (`policy_origin + k * stride`, anchored
+    /// at the measurement-start frontier so every interval spans full
+    /// strides). Like `fire_probes`, a step that jumps several
+    /// boundaries delivers one combined observation — boundaries are
+    /// frontier-derived, so the observation sequence (and therefore the
+    /// early-exit decision) is identical in every interleaving.
     fn observe_policy(&mut self) {
         if self.stopped_at.is_some() || !self.measuring {
             return;
@@ -613,7 +714,11 @@ impl<O: L2Org> SimSession<O> {
         if rel >= self.policy.max_measure_cycles() {
             return;
         }
-        self.policy_next_at = self.warmup_cycles + (rel / stride + 1) * stride;
+        // The boundary grid is anchored at the measurement-start
+        // frontier (`policy_origin`), so every interval spans full
+        // strides.
+        self.policy_next_at =
+            self.policy_origin + ((frontier - self.policy_origin) / stride + 1) * stride;
         let now: Vec<(u64, u64)> = self
             .cores
             .iter()
@@ -635,8 +740,10 @@ impl<O: L2Org> SimSession<O> {
         let obs = StopObservation {
             cycle: frontier,
             measured_cycles: rel,
+            interval_cycles: frontier - self.policy_prev_cycle,
             throughput,
         };
+        self.policy_prev_cycle = frontier;
         if self.policy.observe(&obs) {
             self.stopped_at = Some(frontier);
         }
@@ -670,6 +777,13 @@ impl<O: L2Org> SimSession<O> {
     /// parameter after restoring a shared warm-up snapshot).
     pub fn org_mut(&mut self) -> &mut O {
         &mut self.org
+    }
+
+    /// Per-phase plateau records from the stop policy (non-empty only
+    /// under a re-convergence policy; the last entry covers the phase
+    /// in progress when the run ended).
+    pub fn phase_plateaus(&self) -> Vec<PhasePlateau> {
+        self.policy.plateaus()
     }
 
     /// System configuration.
@@ -709,9 +823,14 @@ impl<O: L2Org> SimSession<O> {
         self.policy = plan.policy();
         self.stopped_at = None;
         self.policy_next_at = 0;
+        self.policy_origin = 0;
+        self.policy_prev_cycle = 0;
         self.policy_cores.clear();
         self.measuring = false;
         self.baseline.clear();
+        self.shifts.clear();
+        self.next_shift = 0;
+        self.fired_shifts.clear();
     }
 }
 
@@ -734,9 +853,13 @@ impl<O: CloneOrg> SimSession<O> {
             policy: self.policy.clone_policy(),
             stopped_at: self.stopped_at,
             policy_next_at: self.policy_next_at,
+            policy_origin: self.policy_origin,
+            policy_prev_cycle: self.policy_prev_cycle,
             policy_cores: self.policy_cores.clone(),
             measuring: self.measuring,
             baseline: self.baseline.clone(),
+            shifts: self.shifts.clone(),
+            next_shift: self.next_shift,
         })
     }
 }
@@ -848,6 +971,59 @@ mod tests {
                 Box::new(VecStream::loads(format!("w{i}"), addrs, gap)) as Box<dyn OpStream>
             })
             .collect()
+    }
+
+    /// A shift-aware test stream: cycling loads whose instruction gap
+    /// rescales on a `DemandScale` directive (a percent-scale knob is
+    /// all the shift plumbing needs; the real demand semantics live in
+    /// the workload crate).
+    #[derive(Clone)]
+    struct GapStream {
+        label: String,
+        addrs: Vec<u64>,
+        pos: usize,
+        gap: u32,
+    }
+
+    impl GapStream {
+        fn boxed(core: u64, blocks: u64, gap: u32) -> Box<dyn OpStream> {
+            Box::new(GapStream {
+                label: format!("g{core}"),
+                addrs: (0..blocks).map(|b| (b + 1000 * core) * 64).collect(),
+                pos: 0,
+                gap,
+            })
+        }
+    }
+
+    impl OpStream for GapStream {
+        fn next_op(&mut self) -> sim_mem::CoreOp {
+            let addr = self.addrs[self.pos];
+            self.pos = (self.pos + 1) % self.addrs.len();
+            sim_mem::CoreOp::new(self.gap, sim_mem::Access::load(addr))
+        }
+
+        fn label(&self) -> &str {
+            &self.label
+        }
+
+        fn clone_dyn(&self) -> Option<Box<dyn OpStream>> {
+            Some(Box::new(self.clone()))
+        }
+
+        fn apply_shift(&mut self, directive: &sim_mem::ShiftDirective) -> bool {
+            match directive {
+                sim_mem::ShiftDirective::DemandScale { percent } => {
+                    self.gap = ((self.gap as u64 * *percent as u64) / 100).max(1) as u32;
+                    true
+                }
+                _ => false,
+            }
+        }
+    }
+
+    fn shiftable_streams(gap: u32) -> Vec<Box<dyn OpStream>> {
+        (0..4).map(|i| GapStream::boxed(i, 64, gap)).collect()
     }
 
     fn session(blocks: u64) -> SimSession<TestOrg> {
@@ -984,6 +1160,120 @@ mod tests {
             .build();
         let _ = s.run_to_completion();
         assert_eq!(s.stopped_at(), None, "ran the full window");
+    }
+
+    #[test]
+    fn phase_shifts_fire_at_frontier_boundaries_and_are_recorded() {
+        use sim_mem::{ShiftDirective, StreamShift};
+        let cfg = SystemConfig::tiny_test();
+        let shift = StreamShift::all_cores(10_000, ShiftDirective::DemandScale { percent: 300 });
+        let build = |shifts: Vec<StreamShift>| {
+            SimSession::builder(cfg, TestOrg::new(&cfg))
+                .streams(shiftable_streams(3))
+                .budget(2_000, 30_000)
+                .phase_shifts(shifts)
+                .record_series(4_000)
+                .build()
+        };
+        let mut plain = build(Vec::new());
+        let unshifted = plain.run_to_completion();
+
+        let mut shifted = build(vec![shift.clone()]);
+        let result = shifted.run_to_completion();
+        assert_ne!(result, unshifted, "the shift changed the workload");
+        let series = shifted.take_series();
+        let fired: Vec<&StreamShift> = series.iter().flat_map(|s| &s.shifts).collect();
+        assert_eq!(
+            fired,
+            vec![&shift],
+            "the shift appears in exactly one sample"
+        );
+        let at = series
+            .iter()
+            .find(|s| !s.shifts.is_empty())
+            .map(|s| s.cycle)
+            .unwrap();
+        assert!(
+            at >= 10_000,
+            "recorded at the first boundary past the shift"
+        );
+
+        // Re-running and snapshot → restore → resume reproduce the
+        // shifted run bit-identically (pending shifts travel with the
+        // snapshot).
+        assert_eq!(build(vec![shift.clone()]).run_to_completion(), result);
+        let mut warm = build(vec![shift.clone()]);
+        warm.run_until(6_000);
+        let snap = warm.snapshot().expect("GapStream snapshots");
+        assert_eq!(snap.to_session().unwrap().run_to_completion(), result);
+        assert_eq!(warm.run_to_completion(), result);
+    }
+
+    #[test]
+    fn reconverged_plan_extends_past_the_shift_and_records_plateaus() {
+        use sim_mem::{ShiftDirective, StreamShift};
+        let cfg = SystemConfig::tiny_test();
+        let plan = RunPlan::fixed(2_000, 30_000).until_reconverged(1_000, 0.5);
+        let shift_cycle = 10_000;
+        let build = || {
+            SimSession::builder(cfg, TestOrg::new(&cfg))
+                .streams(shiftable_streams(3))
+                .plan(plan)
+                .phase_shifts(vec![StreamShift::all_cores(
+                    shift_cycle,
+                    ShiftDirective::DemandScale { percent: 300 },
+                )])
+                .build()
+        };
+        let mut s = build();
+        let result = s.run_to_completion();
+        let stop = s.stopped_at().expect("steady loops re-stabilise");
+        assert!(
+            stop > shift_cycle,
+            "the window extended past the shift (stopped at {stop})"
+        );
+        assert!(stop < s.horizon());
+
+        let plateaus = s.phase_plateaus();
+        assert_eq!(plateaus.len(), 2, "one plateau per workload phase");
+        assert!(plateaus[0].converged(), "pre-shift plateau settled");
+        assert!(plateaus[1].converged(), "post-shift plateau re-settled");
+        assert!(
+            plateaus[1].mean_throughput > plateaus[0].mean_throughput,
+            "tripled gap raises IPC: {} -> {}",
+            plateaus[0].mean_throughput,
+            plateaus[1].mean_throughput
+        );
+
+        // Deterministic: rerun and snapshot → restore agree on the stop
+        // cycle and the plateau records.
+        let mut again = build();
+        assert_eq!(again.run_to_completion(), result);
+        assert_eq!(again.stopped_at(), Some(stop));
+        assert_eq!(again.phase_plateaus(), plateaus);
+        let mut warm = build();
+        warm.run_until(11_500);
+        let mut restored = warm.snapshot().unwrap().to_session().unwrap();
+        assert_eq!(restored.run_to_completion(), result);
+        assert_eq!(restored.stopped_at(), Some(stop));
+        assert_eq!(restored.phase_plateaus(), plateaus);
+    }
+
+    #[test]
+    fn without_boundaries_a_reconverged_plan_behaves_like_converged() {
+        let cfg = SystemConfig::tiny_test();
+        let fixed = RunPlan::fixed(2_000, 30_000);
+        let mut conv = SimSession::builder(cfg, TestOrg::new(&cfg))
+            .streams(streams(64, 3))
+            .plan(fixed.until_converged(1_000, 0.5))
+            .build();
+        let conv_result = conv.run_to_completion();
+        let mut reconv = SimSession::builder(cfg, TestOrg::new(&cfg))
+            .streams(streams(64, 3))
+            .plan(fixed.until_reconverged(1_000, 0.5))
+            .build();
+        assert_eq!(reconv.run_to_completion(), conv_result);
+        assert_eq!(reconv.stopped_at(), conv.stopped_at());
     }
 
     #[test]

@@ -128,6 +128,19 @@ pub trait OpStream {
     fn clone_dyn(&self) -> Option<Box<dyn OpStream>> {
         None
     }
+
+    /// Re-parameterise the stream mid-run (a phase-change scenario; see
+    /// [`crate::shift`]). Returns whether the directive was understood
+    /// and applied; the default implementation ignores every directive —
+    /// fixed traces and replay streams have no parameters to shift.
+    ///
+    /// Implementations must stay deterministic: applying the same
+    /// directive at the same point in the op sequence must yield the
+    /// same subsequent ops, and [`OpStream::clone_dyn`] must capture any
+    /// state the shift mutated.
+    fn apply_shift(&mut self, _directive: &crate::shift::ShiftDirective) -> bool {
+        false
+    }
 }
 
 /// A replayable in-memory stream, useful in tests and for trace replay.

@@ -8,6 +8,8 @@
 //!   that workload generators implement;
 //! * [`dram`] — the off-chip DRAM timing model (flat 300-cycle latency
 //!   plus channel occupancy, paper Table 4);
+//! * [`shift`] — mid-run workload shift directives (phase-change
+//!   scenarios) delivered through [`access::OpStream::apply_shift`];
 //! * [`trace`] — trace capture/replay and the 1000 × 100 K-access
 //!   interval sampling plan of the paper's characterisation (§2.2).
 
@@ -17,9 +19,11 @@
 pub mod access;
 pub mod address;
 pub mod dram;
+pub mod shift;
 pub mod trace;
 
 pub use access::{Access, AccessKind, CoreOp, OpStream, VecStream};
 pub use address::{tag_bits, Addr, BlockAddr, Geometry};
 pub use dram::{Dram, DramConfig, DramStats};
+pub use shift::{ShiftDirective, StreamShift};
 pub use trace::{IntervalClock, SamplingPlan, Trace, TraceDecodeError};

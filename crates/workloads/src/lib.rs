@@ -13,15 +13,20 @@
 //!   near/far reference patterns, streaming);
 //! * [`spec`] — the 13 calibrated benchmark models;
 //! * [`combos`] — Tables 7–8: the 6 combination classes and 21
-//!   quad-core workload combinations.
+//!   quad-core workload combinations;
+//! * [`phase`] — phase-change schedules: deterministic mid-run shifts
+//!   of the per-core streams (the scenario axis that exercises SNUG's
+//!   stage-based adaptation).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod combos;
 pub mod model;
+pub mod phase;
 pub mod spec;
 
 pub use combos::{all_combos, combos_in_class, Combo, ComboClass};
 pub use model::{BenchmarkSpec, DemandComponent, DemandProfile, Pattern, Phase, SyntheticStream};
+pub use phase::PhaseSchedule;
 pub use spec::{AppClass, Benchmark};

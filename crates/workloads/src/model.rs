@@ -401,6 +401,77 @@ impl SyntheticStream {
     pub fn spec(&self) -> &BenchmarkSpec {
         &self.spec
     }
+
+    /// Re-derive phase bounds and per-set state from the (mutated) spec:
+    /// the shift entry point's epilogue. Re-entering the current phase
+    /// re-assigns the demand map deterministically from the spec's seed,
+    /// so co-scheduled copies of one program keep agreeing set-by-set
+    /// after a shift.
+    fn reshape(&mut self) {
+        self.compute_phase_bounds();
+        self.enter_phase(self.phase_at(self.access_count));
+    }
+}
+
+impl SyntheticStream {
+    /// Apply a mid-run shift directive (see [`sim_mem::ShiftDirective`])
+    /// by mutating the *spec* — not just the live per-set state — so the
+    /// change survives the benchmark's own internal phase cycling
+    /// (entering a later phase re-derives demands from the mutated
+    /// profiles instead of silently undoing the shift).
+    fn shift(&mut self, directive: &sim_mem::ShiftDirective) -> bool {
+        use sim_mem::ShiftDirective;
+        match directive {
+            ShiftDirective::DemandScale { percent } => {
+                let Pattern::Pooled { phases, .. } = &mut self.spec.pattern else {
+                    return false;
+                };
+                for phase in phases.iter_mut() {
+                    for c in &mut phase.profile.components {
+                        let scale = |v: u16| -> u16 {
+                            ((v as u64 * *percent as u64) / 100).clamp(1, u16::MAX as u64) as u16
+                        };
+                        c.lo = scale(c.lo);
+                        c.hi = scale(c.hi).max(c.lo);
+                    }
+                }
+                self.reshape();
+                true
+            }
+            ShiftDirective::NearFraction { percent } => {
+                let Pattern::Pooled { phases, .. } = &mut self.spec.pattern else {
+                    return false;
+                };
+                let fraction = (*percent as f64 / 100.0).min(1.0);
+                for phase in phases.iter_mut() {
+                    phase.profile.near_fraction = fraction;
+                }
+                // Near-fraction only biases future draws; the demand map
+                // is untouched, so no reshape is needed.
+                true
+            }
+            ShiftDirective::Streaming => {
+                self.spec.pattern = Pattern::Streaming;
+                self.reshape();
+                true
+            }
+            ShiftDirective::Profile { name } => {
+                let Some(benchmark) = crate::spec::Benchmark::from_name(name) else {
+                    return false;
+                };
+                let new = benchmark.spec();
+                // Keep the label: results stay attributed to the core's
+                // original program; everything the generator draws from
+                // becomes the new benchmark's.
+                self.spec = BenchmarkSpec {
+                    name: std::mem::take(&mut self.spec.name),
+                    ..new
+                };
+                self.reshape();
+                true
+            }
+        }
+    }
 }
 
 impl OpStream for SyntheticStream {
@@ -449,6 +520,10 @@ impl OpStream for SyntheticStream {
 
     fn clone_dyn(&self) -> Option<Box<dyn OpStream>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn apply_shift(&mut self, directive: &sim_mem::ShiftDirective) -> bool {
+        self.shift(directive)
     }
 }
 
@@ -631,6 +706,114 @@ mod tests {
             vec![2, 2, 20, 20, 2, 2, 20, 20],
             "phases alternate and repeat"
         );
+    }
+
+    #[test]
+    fn demand_scale_shift_persists_across_internal_phase_cycling() {
+        use sim_mem::ShiftDirective;
+        // Two internal phases with known constant demands.
+        let spec = BenchmarkSpec {
+            name: "phased".into(),
+            dependent_fraction: 0.0,
+            burst_mean: 0,
+            pattern: Pattern::Pooled {
+                phases: vec![
+                    Phase {
+                        fraction: 0.5,
+                        profile: DemandProfile::uniform(4, 4, 0.0),
+                    },
+                    Phase {
+                        fraction: 0.5,
+                        profile: DemandProfile::uniform(20, 20, 0.0),
+                    },
+                ],
+                cycle_accesses: 1000,
+            },
+            gap_mean: 0,
+            write_fraction: 0.0,
+            seed: 9,
+        };
+        let mut s = spec.stream(Geometry::new(64, 8, 4), 0);
+        assert_eq!(s.demand_of(0), 4);
+        assert!(s.apply_shift(&ShiftDirective::DemandScale { percent: 200 }));
+        assert_eq!(s.demand_of(0), 8, "current phase rescaled in place");
+        // Drive through the second internal phase and back into the
+        // first: both re-derive from the mutated profiles.
+        let mut seen = Vec::new();
+        for i in 0..2000 {
+            s.next_op();
+            if i % 500 == 300 {
+                seen.push(s.demand_of(0));
+            }
+        }
+        assert_eq!(seen, vec![8, 40, 8, 40], "doubled demands persist");
+    }
+
+    #[test]
+    fn near_fraction_and_streaming_shifts_apply() {
+        use sim_mem::ShiftDirective;
+        let spec = pooled_spec(vec![DemandComponent::new(1.0, 3, 3)], 0.5);
+        let mut s = spec.stream(Geometry::new(64, 16, 4), 0);
+        assert!(s.apply_shift(&ShiftDirective::NearFraction { percent: 10 }));
+        let Pattern::Pooled { phases, .. } = &s.spec().pattern else {
+            panic!("still pooled")
+        };
+        assert!((phases[0].profile.near_fraction - 0.1).abs() < 1e-12);
+
+        // Switching to streaming: fresh blocks only from here on.
+        for _ in 0..100 {
+            s.next_op();
+        }
+        assert!(s.apply_shift(&ShiftDirective::Streaming));
+        let mut blocks: Vec<u64> = (0..500)
+            .map(|_| s.next_op().access.addr.block(64).0)
+            .collect();
+        // Spatial-locality bursts repeat a block back-to-back; collapse
+        // those runs. The very first run can still be the pre-shift
+        // pooled burst draining out, so it is excluded too — beyond
+        // that nothing recurs.
+        blocks.dedup();
+        let streamed = &blocks[1..];
+        let uniq: std::collections::HashSet<_> = streamed.iter().collect();
+        assert_eq!(uniq.len(), streamed.len(), "no block revisited");
+        // Demand directives no longer apply to a streaming pattern.
+        assert!(!s.apply_shift(&ShiftDirective::DemandScale { percent: 200 }));
+    }
+
+    #[test]
+    fn profile_shift_adopts_the_target_demand_map_and_keeps_the_label() {
+        use crate::spec::Benchmark;
+        use sim_mem::ShiftDirective;
+        let geo = Geometry::new(64, 1024, 16);
+        let mut shifted = Benchmark::Gzip.spec().stream(geo, 1);
+        assert!(shifted.apply_shift(&ShiftDirective::Profile { name: "mcf".into() }));
+        assert_eq!(shifted.label(), "gzip", "label survives the swap");
+        let native = Benchmark::Mcf.spec().stream(geo, 1);
+        for set in (0..1024).step_by(97) {
+            assert_eq!(
+                shifted.demand_of(set),
+                native.demand_of(set),
+                "set {set}: demand map is mcf's"
+            );
+        }
+        assert!(!shifted.apply_shift(&ShiftDirective::Profile {
+            name: "quake".into()
+        }));
+    }
+
+    #[test]
+    fn shifted_streams_clone_faithfully() {
+        use sim_mem::ShiftDirective;
+        let spec = pooled_spec(vec![DemandComponent::new(1.0, 2, 30)], 0.2);
+        let mut s = spec.stream(Geometry::new(64, 64, 4), 0);
+        for _ in 0..500 {
+            s.next_op();
+        }
+        s.apply_shift(&ShiftDirective::DemandScale { percent: 300 });
+        let mut cloned = s.clone_dyn().expect("synthetic streams clone");
+        for _ in 0..500 {
+            assert_eq!(s.next_op(), cloned.next_op());
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn tiny_spec() -> SweepSpec {
             measure_cycles: 80_000,
         },
         stop: snug_harness::StopPreset::Fixed,
+        phase_shift: None,
         shared_warmup: false,
     }
 }

@@ -9,11 +9,16 @@
 //! 3. a `Converged`-policy run stops at the same cycle and retires the
 //!    identical op sequence across interleaved stepping and
 //!    snapshot → restore → resume (the early-exit decision is a pure
-//!    function of the frontier-derived observation sequence).
+//!    function of the frontier-derived observation sequence);
+//! 4. a phase-change schedule (mid-run stream shifts) keeps all of the
+//!    above: shifts land before the identical operation in every
+//!    interleaving and travel with snapshots, and a `Reconverged`
+//!    policy's extended stop cycle and per-phase plateau records are
+//!    interleaving- and snapshot-invariant.
 
 use proptest::prelude::*;
 use sim_cmp::{CmpSystem, L2Org, RunPlan, SimSession, SystemConfig, SystemResult};
-use sim_mem::OpStream;
+use sim_mem::{OpStream, ShiftDirective, StreamShift};
 use snug_core::{DsrConfig, SchemeSpec, SnugConfig};
 use snug_workloads::Benchmark;
 
@@ -84,6 +89,73 @@ fn converged_session(spec: &SchemeSpec) -> SimSession<Box<dyn L2Org>> {
         .streams(streams(&cfg))
         .plan(converged_plan())
         .build()
+}
+
+/// A two-shift phase-change schedule over the synthetic streams: an
+/// all-core demand surge mid-measurement, then two cores swap to mcf's
+/// model — the scenario family the stationary sweep never exercises.
+fn shifts() -> Vec<StreamShift> {
+    vec![
+        StreamShift::all_cores(WARMUP + 8_000, ShiftDirective::DemandScale { percent: 250 }),
+        StreamShift {
+            at_cycle: WARMUP + 16_000,
+            cores: vec![1, 3],
+            directive: ShiftDirective::Profile { name: "mcf".into() },
+        },
+    ]
+}
+
+fn shifted_session(spec: &SchemeSpec) -> SimSession<Box<dyn L2Org>> {
+    let cfg = SystemConfig::tiny_test();
+    SimSession::builder(cfg, spec.build(cfg))
+        .streams(streams(&cfg))
+        .budget(WARMUP, MEASURE)
+        .phase_shifts(shifts())
+        .build()
+}
+
+/// A reconverged plan over the shifted workload: generous epsilon so
+/// every scheme's streams re-stabilise inside the tiny window.
+fn reconverged_session(spec: &SchemeSpec) -> SimSession<Box<dyn L2Org>> {
+    let cfg = SystemConfig::tiny_test();
+    SimSession::builder(cfg, spec.build(cfg))
+        .streams(streams(&cfg))
+        .plan(RunPlan::fixed(WARMUP, MEASURE).until_reconverged(2_000, 0.6))
+        .phase_shifts(shifts())
+        .build()
+}
+
+#[test]
+fn phase_shifts_change_every_schemes_measured_behaviour() {
+    for spec in schemes() {
+        let stationary = reference(&spec);
+        let shifted = shifted_session(&spec).run_to_completion();
+        assert_ne!(shifted, stationary, "{spec}: the shifts must engage");
+    }
+}
+
+#[test]
+fn reconverged_policy_extends_past_the_last_shift_for_every_scheme() {
+    let last_shift = shifts().last().unwrap().at_cycle;
+    for spec in schemes() {
+        let mut s = reconverged_session(&spec);
+        let result = s.run_to_completion();
+        let stop = s
+            .stopped_at()
+            .unwrap_or_else(|| panic!("{spec}: loose epsilon must re-converge"));
+        assert!(
+            stop > last_shift,
+            "{spec}: stop {stop} extends past the last shift at {last_shift}"
+        );
+        assert!(stop < s.horizon(), "{spec}");
+        assert!(result.throughput() > 0.0, "{spec}");
+        let plateaus = s.phase_plateaus();
+        assert_eq!(plateaus.len(), 3, "{spec}: one plateau per phase");
+        assert!(
+            plateaus.last().unwrap().converged(),
+            "{spec}: the final phase re-stabilised"
+        );
+    }
 }
 
 #[test]
@@ -172,6 +244,85 @@ proptest! {
         // A session restored from the snapshot matches too.
         let mut restored = snap.to_session().expect("snapshot replays");
         prop_assert_eq!(restored.run_to_completion(), expected);
+    }
+
+    /// A mid-run phase shift under interleaved stepping and
+    /// snapshot → restore → resume retires the identical op sequence as
+    /// a one-shot run: shifts are frontier-derived and pending shifts
+    /// travel with the snapshot.
+    #[test]
+    fn shifted_runs_are_interleaving_and_snapshot_invariant(
+        scheme_idx in 0usize..5,
+        hops in proptest::collection::vec(1u64..9_000, 0..8),
+        step_runs in proptest::collection::vec(1usize..400, 0..6),
+        snap_at in 1u64..(WARMUP + MEASURE),
+    ) {
+        let spec = schemes()[scheme_idx];
+        let expected = shifted_session(&spec).run_to_completion();
+
+        // Random interleaving.
+        let mut interleaved = shifted_session(&spec);
+        let mut cursor = 0;
+        for (i, hop) in hops.iter().enumerate() {
+            cursor += hop;
+            interleaved.run_until(cursor);
+            if let Some(n) = step_runs.get(i) {
+                for _ in 0..*n {
+                    interleaved.step();
+                }
+            }
+        }
+        prop_assert_eq!(interleaved.run_to_completion(), expected.clone());
+
+        // Snapshot → restore → resume, snapped anywhere — before,
+        // between, or after the scheduled shifts.
+        let mut original = shifted_session(&spec);
+        original.run_until(snap_at);
+        let snap = original.snapshot().expect("synthetic streams snapshot");
+        let mut restored = snap.to_session().expect("snapshot replays");
+        prop_assert_eq!(restored.run_to_completion(), expected.clone());
+        prop_assert_eq!(original.run_to_completion(), expected);
+    }
+
+    /// A `Reconverged`-policy shifted run latches the same extended stop
+    /// cycle and the same per-phase plateau records in every
+    /// interleaving and across snapshot → restore → resume.
+    #[test]
+    fn reconverged_stop_and_plateaus_are_interleaving_and_snapshot_invariant(
+        scheme_idx in 0usize..5,
+        hops in proptest::collection::vec(1u64..6_000, 0..6),
+        snap_at in 1u64..(WARMUP + MEASURE),
+    ) {
+        let spec = schemes()[scheme_idx];
+        let mut one_shot = reconverged_session(&spec);
+        let expected = one_shot.run_to_completion();
+        let expected_stop = one_shot.stopped_at();
+        let expected_plateaus = one_shot.phase_plateaus();
+        prop_assert!(expected_stop.is_some(), "loose epsilon re-converges");
+
+        let mut interleaved = reconverged_session(&spec);
+        let mut cursor = 0;
+        for hop in &hops {
+            cursor += hop;
+            interleaved.run_until(cursor);
+            interleaved.step();
+        }
+        prop_assert_eq!(interleaved.run_to_completion(), expected.clone());
+        prop_assert_eq!(interleaved.stopped_at(), expected_stop);
+        prop_assert_eq!(interleaved.phase_plateaus(), expected_plateaus.clone());
+
+        let mut original = reconverged_session(&spec);
+        original.run_until(snap_at);
+        if original.stopped_at().is_none() {
+            let snap = original.snapshot().expect("synthetic streams snapshot");
+            let mut restored = snap.to_session().expect("snapshot replays");
+            prop_assert_eq!(restored.run_to_completion(), expected.clone());
+            prop_assert_eq!(restored.stopped_at(), expected_stop);
+            prop_assert_eq!(restored.phase_plateaus(), expected_plateaus.clone());
+        }
+        prop_assert_eq!(original.run_to_completion(), expected);
+        prop_assert_eq!(original.stopped_at(), expected_stop);
+        prop_assert_eq!(original.phase_plateaus(), expected_plateaus);
     }
 
     /// A `Converged`-policy run stops at the same cycle and retires the

@@ -19,6 +19,8 @@ fn unit(scheme: &str, tp: f64) -> StoredResult {
         scheme: scheme.into(),
         ipcs: vec![1.0, 0.5, tp],
         measured_cycles: None,
+        stop_reason: None,
+        plateaus: Vec::new(),
     })
 }
 
