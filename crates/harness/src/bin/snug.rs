@@ -18,16 +18,17 @@
 //! committed file is stale.
 
 use snug_core::SchemeSpec;
-use snug_experiments::{default_stride, trace_point_phased, SchemePoint};
+use snug_experiments::{default_stride, session_for, trace_point_phased, SchemePoint};
 use snug_harness::{
     cached_results, check_experiments_md, render_experiments_md, render_markdown, run_sweep,
     stop_summary_table, trace_key, BudgetPreset, CheckOutcome, JsonCodec, ResultStore, StopPreset,
-    SweepEvent, SweepSpec, CEILING_FOOTNOTE,
+    SweepEvent, SweepSpec, UnitSpan, CEILING_FOOTNOTE,
 };
 use snug_metrics::TableFormat;
 use snug_workloads::{all_combos, Benchmark, ComboClass, PhaseSchedule};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +45,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(rest),
         "characterize" => cmd_characterize(rest),
         "trace" => cmd_trace(rest),
+        "profile" => cmd_profile(rest),
         "store" => cmd_store(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -66,7 +68,7 @@ snug — SNUG experiment orchestration
 USAGE:
   snug sweep        [--class C1..C6]... [budget flags] [--phase-shift SPEC]...
                     [--threads N] [--results DIR] [--name NAME] [--spec FILE]
-                    [--shared-warmup]
+                    [--shared-warmup] [--verbose]
   snug report       [--class ...] [budget flags] [--phase-shift SPEC]...
                     [--results DIR] [--out DIR] [--format md|csv] [--name NAME]
                     [--experiments-md [--check] [--md-path FILE]]
@@ -75,6 +77,8 @@ USAGE:
   snug trace        COMBO SCHEME [--stride N] [--phase-shift SPEC]...
                     [--quick|--mid|--eval|--warmup N --measure N]
                     [--results DIR] [--format md|csv]
+  snug profile      COMBO SCHEME [--quick|--mid|--eval|--warmup N --measure N]
+                    [--format md|csv]
   snug store gc     [--results DIR]
   snug store merge  SHARD.jsonl... [--results DIR]
   snug characterize [--bench NAME[,NAME]...] [--intervals N] [--accesses N] [--out DIR]
@@ -125,7 +129,18 @@ it in the store and rendering it as a table. SCHEME accepts figure
 labels (SNUG, CC(50%)) and store labels (snug, cc@50%). `snug store gc`
 rewrites the store keeping only the newest entry per key; `snug store
 merge` folds sharded stores from multi-machine sweeps into one with the
-same newest-entry-per-key rule.";
+same newest-entry-per-key rule.
+
+`snug profile` runs one (combo, scheme) simulation in-process and
+renders its observability counters: per-level hit/miss rates, dispatch
+and traffic counts, the L1 LRU-stack walk-depth histogram and the top
+stall/queue cost centers, plus wall-clock throughput and the measured
+probe overhead (a bare run is timed against an identical probed run).
+Nothing is cached — profiling is about the run you just asked for.
+`snug sweep --verbose` prints each executed piece's wall time and
+throughput on its completion line; every sweep ends with a telemetry
+footer (total simulation wall time, sim-cycles/s, ops/s) aggregated
+from the spans persisted in the store.";
 
 /// The budget/stop flag family — one parser and one defaulting rule
 /// shared by `sweep`, `compare`, `report` and `trace`, and rejected
@@ -271,6 +286,7 @@ struct Flags {
     shared_warmup: bool,
     stride: Option<u64>,
     phase_shift: Vec<String>,
+    verbose: bool,
 }
 
 impl Flags {
@@ -294,6 +310,7 @@ impl Flags {
             shared_warmup: false,
             stride: None,
             phase_shift: Vec::new(),
+            verbose: false,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -339,6 +356,7 @@ impl Flags {
                 "--intervals" => f.intervals = parse_num(&value("--intervals")?)? as usize,
                 "--accesses" => f.accesses = parse_num(&value("--accesses")?)? as usize,
                 "--shared-warmup" => f.shared_warmup = true,
+                "--verbose" => f.verbose = true,
                 "--stride" => f.stride = Some(parse_num(&value("--stride")?)?),
                 "--phase-shift" => f.phase_shift.push(value("--phase-shift")?),
                 other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
@@ -361,6 +379,16 @@ impl Flags {
         {
             return Err(format!(
                 "--experiments-md/--check/--md-path only apply to `snug report`, not `snug {command}`"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Reject `--verbose` outside `snug sweep` (same pattern).
+    fn reject_verbose(&self, command: &str) -> Result<(), String> {
+        if self.verbose {
+            return Err(format!(
+                "--verbose only applies to `snug sweep`, not `snug {command}`"
             ));
         }
         Ok(())
@@ -445,6 +473,20 @@ impl Flags {
     }
 }
 
+/// Engineering-notation rate with a trailing space when a prefix is
+/// used, so call sites can append a unit: `1_234_567.0` → `"1.23 M"`.
+fn fmt_eng(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2} G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2} M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2} k", x / 1e3)
+    } else {
+        format!("{x:.0} ")
+    }
+}
+
 fn parse_num(s: &str) -> Result<u64, String> {
     s.replace('_', "")
         .parse::<u64>()
@@ -501,6 +543,19 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let spec = flags.spec()?;
     check_spec_phase_schedule(&spec)?;
     let mut store = ResultStore::open(&flags.results_dir).map_err(|e| e.to_string())?;
+    if flags.verbose {
+        // Cache hits never reach the executor, so they get their lines
+        // here: every unit already in the store before this sweep.
+        for job in spec.combo_jobs() {
+            for unit in &job.units {
+                if store.get_unit(&unit.key).is_some() {
+                    println!("  hit  {} (from store)", unit.label());
+                }
+            }
+        }
+    }
+    let verbose = flags.verbose;
+    let mut spans: Vec<UnitSpan> = Vec::new();
     let outcome = run_sweep(&spec, &mut store, flags.threads, |event| match event {
         SweepEvent::Planned {
             total,
@@ -524,8 +579,19 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             label,
             done,
             to_run,
+            span,
         } => {
-            println!("  done {label} [{done}/{to_run}]");
+            if verbose {
+                println!(
+                    "  done {label} [{done}/{to_run}] ({:.2} s wall, {}cyc/s, {}ops/s)",
+                    span.wall_nanos as f64 / 1e9,
+                    fmt_eng(span.cycles_per_sec()),
+                    fmt_eng(span.ops_per_sec()),
+                );
+            } else {
+                println!("  done {label} [{done}/{to_run}]");
+            }
+            spans.push(span);
         }
     })
     .map_err(|e| e.to_string())?;
@@ -538,6 +604,29 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             .join(snug_harness::store::STORE_FILE)
             .display()
     );
+    if spans.is_empty() {
+        println!("telemetry: all units served from cache (no simulation wall time)");
+    } else {
+        let wall_nanos: u64 = spans.iter().map(|s| s.wall_nanos).sum();
+        let sim_cycles: u64 = spans.iter().map(|s| s.sim_cycles).sum();
+        let instructions: u64 = spans.iter().map(|s| s.instructions).sum();
+        let secs = wall_nanos as f64 / 1e9;
+        println!(
+            "telemetry: {:.2} s simulation wall across {} pieces · {}cycles/s · {}ops/s",
+            secs,
+            spans.len(),
+            fmt_eng(if secs > 0.0 {
+                sim_cycles as f64 / secs
+            } else {
+                0.0
+            }),
+            fmt_eng(if secs > 0.0 {
+                instructions as f64 / secs
+            } else {
+                0.0
+            }),
+        );
+    }
     if outcome.simulated_cycles < outcome.budgeted_cycles {
         let saved =
             100.0 * (1.0 - outcome.simulated_cycles as f64 / outcome.budgeted_cycles as f64);
@@ -586,6 +675,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
 fn cmd_report(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     flags.reject_stride("report")?;
+    flags.reject_verbose("report")?;
     if flags.experiments_md {
         return cmd_experiments_md(&flags);
     }
@@ -714,6 +804,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     flags.reject_experiments_md_flags("compare")?;
     flags.reject_stride("compare")?;
+    flags.reject_verbose("compare")?;
     let mut spec = flags.spec()?;
     if let Some(label) = &flags.combo {
         let all = all_combos();
@@ -777,6 +868,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     };
     let flags = Flags::parse(&args[positional.len()..])?;
     flags.reject_experiments_md_flags("trace")?;
+    flags.reject_verbose("trace")?;
     // Traces record the full fixed window (the point is seeing the
     // whole time series), so the convergence flags are rejected rather
     // than silently ignored.
@@ -870,6 +962,108 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `snug profile COMBO SCHEME`: run one simulation in-process and
+/// render its observability counters as tables, with wall-clock
+/// throughput and the measured probe overhead in the footer.
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let positional: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
+    let [combo_label, scheme_name] = positional.as_slice() else {
+        return Err("profile needs two arguments: COMBO SCHEME (e.g. \
+                    `snug profile ammp+ammp+ammp+ammp snug`)"
+            .into());
+    };
+    let flags = Flags::parse(&args[positional.len()..])?;
+    flags.reject_experiments_md_flags("profile")?;
+    flags.budget.reject_convergence("profile")?;
+    flags.reject_stride("profile")?;
+    flags.reject_phase_shift("profile")?;
+    flags.reject_verbose("profile")?;
+    if flags.shared_warmup {
+        return Err("--shared-warmup does not apply to `snug profile`".into());
+    }
+
+    let all = all_combos();
+    let combo = all
+        .iter()
+        .find(|c| c.label() == **combo_label)
+        .ok_or_else(|| {
+            format!(
+                "unknown combo `{combo_label}` (see Table 8 labels, e.g. \
+                 `ammp+parser+swim+mesa`)"
+            )
+        })?;
+    let spec: SchemeSpec = scheme_name.parse()?;
+    let budget = flags.budget.budget(BudgetPreset::Quick)?;
+    let cfg = budget.compare_config();
+
+    // The obs counters themselves cannot be toggled at runtime (they
+    // are a compile-time feature), so the measurable overhead is the
+    // probe machinery on top of an identically-compiled bare run.
+    // Bare and probed runs interleave for three repetitions and each
+    // takes its best time, so one-off warm-up costs (page faults, lazy
+    // allocation) do not masquerade as probe overhead.
+    let stride = default_stride(&cfg);
+    let mut bare_nanos = u64::MAX;
+    let mut probed_nanos = u64::MAX;
+    let mut harvested = None;
+    for _ in 0..3 {
+        let bare_started = Instant::now();
+        let mut bare = session_for(combo, &spec, &cfg);
+        bare.run_to_completion();
+        bare_nanos = bare_nanos.min(bare_started.elapsed().as_nanos().max(1) as u64);
+
+        let probed_started = Instant::now();
+        let mut session = session_for(combo, &spec, &cfg);
+        session.enable_recording(stride);
+        let result = session.run_to_completion();
+        probed_nanos = probed_nanos.min(probed_started.elapsed().as_nanos().max(1) as u64);
+        let counters = session.counters();
+        harvested = Some((result, counters));
+    }
+    let (result, counters) = harvested.expect("three repetitions ran");
+
+    let window = cfg.plan.measure_cycles();
+    let format = flags.format.unwrap_or(TableFormat::Markdown);
+    for table in [
+        counters.hit_miss_table(),
+        counters.dispatch_table(window),
+        counters.walk_depth_table(),
+        counters.cost_center_table(window),
+    ] {
+        match format {
+            TableFormat::Markdown => print!("{}", table.to_markdown()),
+            TableFormat::Csv => {
+                println!("# {}", table.title);
+                print!("{}", table.render(TableFormat::Csv));
+            }
+        }
+    }
+
+    let secs = probed_nanos as f64 / 1e9;
+    let sim_cycles = cfg.plan.warmup_cycles + window;
+    let overhead = 100.0 * (probed_nanos as f64 - bare_nanos as f64) / bare_nanos as f64;
+    eprintln!(
+        "\nprofile {} [{}] budget {}: throughput {:.3}, {} retired ops in {:.2} s wall \
+         ({}cycles/s, {}ops/s)",
+        combo.label(),
+        result.scheme,
+        budget.label(),
+        result.throughput(),
+        counters.retired_ops,
+        secs,
+        fmt_eng(sim_cycles as f64 / secs),
+        fmt_eng(counters.retired_ops as f64 / secs),
+    );
+    eprintln!(
+        "probe overhead: {overhead:+.1}% wall vs an unprobed run \
+         ({:.2} s bare, {:.2} s probed, stride {stride})",
+        bare_nanos as f64 / 1e9,
+        secs,
+    );
+    eprintln!("counter summary: {}", counters.summary());
+    Ok(())
+}
+
 /// `snug store gc | merge`: compact the JSONL store to the newest entry
 /// per key, or fold sharded stores into it under the same rule.
 fn cmd_store(args: &[String]) -> Result<(), String> {
@@ -884,6 +1078,7 @@ fn cmd_store(args: &[String]) -> Result<(), String> {
             flags.budget.reject("store gc")?;
             flags.reject_stride("store gc")?;
             flags.reject_phase_shift("store gc")?;
+            flags.reject_verbose("store gc")?;
             let mut store = ResultStore::open(&flags.results_dir).map_err(|e| e.to_string())?;
             let before = store.file_lines();
             let (kept, dropped) = store.compact().map_err(|e| e.to_string())?;
@@ -910,6 +1105,7 @@ fn cmd_store(args: &[String]) -> Result<(), String> {
             flags.budget.reject("store merge")?;
             flags.reject_stride("store merge")?;
             flags.reject_phase_shift("store merge")?;
+            flags.reject_verbose("store merge")?;
             let mut store = ResultStore::open(&flags.results_dir).map_err(|e| e.to_string())?;
             for shard in &shards {
                 let stats = store
@@ -947,6 +1143,7 @@ fn cmd_characterize(args: &[String]) -> Result<(), String> {
     flags.budget.reject("characterize")?;
     flags.reject_stride("characterize")?;
     flags.reject_phase_shift("characterize")?;
+    flags.reject_verbose("characterize")?;
     let benches = if flags.benches.is_empty() {
         vec![Benchmark::Ammp, Benchmark::Vortex, Benchmark::Applu]
     } else {

@@ -10,7 +10,7 @@ use crate::json::{JsonError, Value};
 use sim_cache::CacheStats;
 use sim_cmp::{PeriodSample, SchemeEvent, SchemeEventKind};
 use snug_experiments::{ComboResult, SchemeResult, SchemeRun, TraceSeries};
-use snug_metrics::MetricSet;
+use snug_metrics::{MetricSet, SimCounters, WALK_DEPTH_BUCKETS};
 use snug_workloads::ComboClass;
 
 /// Types storable in the result store.
@@ -163,6 +163,113 @@ impl JsonCodec for CacheStats {
     }
 }
 
+impl JsonCodec for SimCounters {
+    fn to_json(&self) -> Value {
+        let n = |x: u64| Value::num(x as f64);
+        Value::obj(vec![
+            ("retired_ops", n(self.retired_ops)),
+            ("l1i_hits", n(self.l1i_hits)),
+            ("l1i_misses", n(self.l1i_misses)),
+            ("l1d_hits", n(self.l1d_hits)),
+            ("l1d_misses", n(self.l1d_misses)),
+            ("l1_walk_depths", u64_arr(&self.l1_walk_depths)),
+            ("l2_hits", n(self.l2_hits)),
+            ("l2_misses", n(self.l2_misses)),
+            ("l2_cc_hits", n(self.l2_cc_hits)),
+            ("l2_evictions", n(self.l2_evictions)),
+            ("l2_writebacks", n(self.l2_writebacks)),
+            ("spills_out", n(self.spills_out)),
+            ("spills_in", n(self.spills_in)),
+            ("forwards", n(self.forwards)),
+            ("retrieved_from_peer", n(self.retrieved_from_peer)),
+            ("shadow_hits", n(self.shadow_hits)),
+            ("write_buffer_hits", n(self.write_buffer_hits)),
+            ("org_accesses", n(self.org_accesses)),
+            ("org_writebacks", n(self.org_writebacks)),
+            ("relatches", n(self.relatches)),
+            ("identifies", n(self.identifies)),
+            ("bus_address_transactions", n(self.bus_address_transactions)),
+            ("bus_data_transactions", n(self.bus_data_transactions)),
+            ("bus_queue_cycles", n(self.bus_queue_cycles)),
+            ("dram_reads", n(self.dram_reads)),
+            ("dram_writes", n(self.dram_writes)),
+            ("dram_queue_cycles", n(self.dram_queue_cycles)),
+            ("core_rob_stall_cycles", n(self.core_rob_stall_cycles)),
+            ("core_mshr_stall_cycles", n(self.core_mshr_stall_cycles)),
+            ("core_dep_stall_cycles", n(self.core_dep_stall_cycles)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let field = |name: &str| -> Result<u64, JsonError> { Ok(v.get(name)?.as_num()? as u64) };
+        let depths = u64_vec(v.get("l1_walk_depths")?)?;
+        if depths.len() != WALK_DEPTH_BUCKETS {
+            return Err(JsonError(format!(
+                "l1_walk_depths expects {WALK_DEPTH_BUCKETS} buckets, got {}",
+                depths.len()
+            )));
+        }
+        let mut l1_walk_depths = [0u64; WALK_DEPTH_BUCKETS];
+        l1_walk_depths.copy_from_slice(&depths);
+        Ok(SimCounters {
+            retired_ops: field("retired_ops")?,
+            l1i_hits: field("l1i_hits")?,
+            l1i_misses: field("l1i_misses")?,
+            l1d_hits: field("l1d_hits")?,
+            l1d_misses: field("l1d_misses")?,
+            l1_walk_depths,
+            l2_hits: field("l2_hits")?,
+            l2_misses: field("l2_misses")?,
+            l2_cc_hits: field("l2_cc_hits")?,
+            l2_evictions: field("l2_evictions")?,
+            l2_writebacks: field("l2_writebacks")?,
+            spills_out: field("spills_out")?,
+            spills_in: field("spills_in")?,
+            forwards: field("forwards")?,
+            retrieved_from_peer: field("retrieved_from_peer")?,
+            shadow_hits: field("shadow_hits")?,
+            write_buffer_hits: field("write_buffer_hits")?,
+            org_accesses: field("org_accesses")?,
+            org_writebacks: field("org_writebacks")?,
+            relatches: field("relatches")?,
+            identifies: field("identifies")?,
+            bus_address_transactions: field("bus_address_transactions")?,
+            bus_data_transactions: field("bus_data_transactions")?,
+            bus_queue_cycles: field("bus_queue_cycles")?,
+            dram_reads: field("dram_reads")?,
+            dram_writes: field("dram_writes")?,
+            dram_queue_cycles: field("dram_queue_cycles")?,
+            core_rob_stall_cycles: field("core_rob_stall_cycles")?,
+            core_mshr_stall_cycles: field("core_mshr_stall_cycles")?,
+            core_dep_stall_cycles: field("core_dep_stall_cycles")?,
+        })
+    }
+}
+
+impl JsonCodec for crate::sweep::UnitSpan {
+    fn to_json(&self) -> Value {
+        let n = |x: u64| Value::num(x as f64);
+        Value::obj(vec![
+            ("label", Value::str(&self.label)),
+            ("queue_nanos", n(self.queue_nanos)),
+            ("wall_nanos", n(self.wall_nanos)),
+            ("sim_cycles", n(self.sim_cycles)),
+            ("instructions", n(self.instructions)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let field = |name: &str| -> Result<u64, JsonError> { Ok(v.get(name)?.as_num()? as u64) };
+        Ok(crate::sweep::UnitSpan {
+            label: v.get("label")?.as_str()?.to_string(),
+            queue_nanos: field("queue_nanos")?,
+            wall_nanos: field("wall_nanos")?,
+            sim_cycles: field("sim_cycles")?,
+            instructions: field("instructions")?,
+        })
+    }
+}
+
 impl JsonCodec for SchemeEvent {
     fn to_json(&self) -> Value {
         let kind = match self.kind {
@@ -226,6 +333,12 @@ impl JsonCodec for PeriodSample {
                 ),
             ));
         }
+        // Same only-when-present discipline: counter blocks exist only
+        // on samples recorded with the `obs` feature on, and every
+        // committed pre-counter series entry renders unchanged.
+        if let Some(c) = &self.counters {
+            fields.push(("counters", c.to_json()));
+        }
         Value::obj(fields)
     }
 
@@ -255,6 +368,10 @@ impl JsonCodec for PeriodSample {
                 .map(SchemeEvent::from_json)
                 .collect::<Result<Vec<_>, _>>()?,
             shifts,
+            counters: match v.get("counters") {
+                Ok(c) => Some(SimCounters::from_json(c)?),
+                Err(_) => None,
+            },
         })
     }
 }
@@ -448,6 +565,52 @@ mod tests {
             assert_eq!(ComboClass::from_json(&class.to_json()).unwrap(), class);
         }
         assert!(ComboClass::from_json(&Value::str("C9")).is_err());
+    }
+
+    #[test]
+    fn sim_counters_codec_covers_every_field_bijectively() {
+        let zero = SimCounters::default();
+        let keys: Vec<String> = zero.to_json().as_obj().unwrap().keys().cloned().collect();
+        assert_eq!(keys.len(), 30, "one JSON key per counter field");
+        // Bump each key in turn: the decoder must see the change (every
+        // key is read) and re-encoding must reproduce it (every field
+        // is written back) — a field silently dropped on either side
+        // fails its key's iteration.
+        for key in &keys {
+            let mut obj = zero.to_json().as_obj().unwrap().clone();
+            let bumped = if key == "l1_walk_depths" {
+                let mut depths = vec![Value::num(0.0); WALK_DEPTH_BUCKETS];
+                depths[WALK_DEPTH_BUCKETS - 1] = Value::num(7.0);
+                Value::Arr(depths)
+            } else {
+                Value::num(41.0)
+            };
+            obj.insert(key.clone(), bumped);
+            let mutated = Value::Obj(obj);
+            let decoded = SimCounters::from_json(&mutated).unwrap();
+            assert_ne!(decoded, zero, "key `{key}` must reach a field");
+            assert_eq!(decoded.to_json().render(), mutated.render(), "{key}");
+        }
+        let short = Value::obj(vec![("l1_walk_depths", f64_arr(&[1.0]))]);
+        assert!(SimCounters::from_json(&short).is_err(), "bucket count");
+    }
+
+    #[test]
+    fn unit_span_round_trips_bit_identically() {
+        let span = crate::sweep::UnitSpan {
+            label: "C5 | ammp+parser+swim+mesa".into(),
+            queue_nanos: 12,
+            wall_nanos: 3_456_789_012,
+            sim_cycles: 9_450_000,
+            instructions: 59_428_501,
+        };
+        let text = span.to_json().render();
+        let back = crate::sweep::UnitSpan::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, span);
+        assert_eq!(back.to_json().render(), text);
+        // The throughput helpers stay defined at zero wall time.
+        assert_eq!(crate::sweep::UnitSpan::default().cycles_per_sec(), 0.0);
+        assert_eq!(crate::sweep::UnitSpan::default().ops_per_sec(), 0.0);
     }
 
     #[test]

@@ -56,4 +56,5 @@ pub use spec::{
 pub use store::{MergeStats, ResultStore, StoreError, StoredResult};
 pub use sweep::{
     cached_results, run_sweep, run_unit_jobs, ComboOutcome, SweepEvent, SweepOutcome, UnitOutcome,
+    UnitSpan,
 };

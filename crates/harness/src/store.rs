@@ -19,6 +19,7 @@
 
 use crate::codec::JsonCodec;
 use crate::json::{parse, JsonError, Value};
+use crate::sweep::UnitSpan;
 use snug_experiments::{ComboResult, SchemeRun, TraceSeries};
 use std::collections::BTreeMap;
 use std::fs;
@@ -36,6 +37,8 @@ pub enum StoredResult {
     Unit(SchemeRun),
     /// v2: a recorded per-period time series (`snug trace`).
     Series(TraceSeries),
+    /// v2: wall-clock telemetry for one executed sweep piece.
+    Span(UnitSpan),
     /// v1 legacy: a whole assembled five-scheme comparison.
     Combo(ComboResult),
 }
@@ -58,6 +61,7 @@ impl StoreEntry {
         let payload = match &self.result {
             StoredResult::Unit(run) => ("unit", run.to_json()),
             StoredResult::Series(series) => ("series", series.to_json()),
+            StoredResult::Span(span) => ("span", span.to_json()),
             StoredResult::Combo(result) => ("result", result.to_json()),
         };
         Value::obj(vec![
@@ -72,6 +76,8 @@ impl StoreEntry {
             StoredResult::Unit(SchemeRun::from_json(unit)?)
         } else if let Ok(series) = v.get("series") {
             StoredResult::Series(TraceSeries::from_json(series)?)
+        } else if let Ok(span) = v.get("span") {
+            StoredResult::Span(UnitSpan::from_json(span)?)
         } else {
             StoredResult::Combo(ComboResult::from_json(v.get("result")?)?)
         };
@@ -189,6 +195,25 @@ impl ResultStore {
         }
     }
 
+    /// Look up an execution span by content key.
+    pub fn get_span(&self, key: &str) -> Option<&UnitSpan> {
+        match self.get(key) {
+            Some(StoredResult::Span(span)) => Some(span),
+            _ => None,
+        }
+    }
+
+    /// Every stored execution span, in key order.
+    pub fn spans(&self) -> Vec<&UnitSpan> {
+        self.entries
+            .values()
+            .filter_map(|e| match &e.result {
+                StoredResult::Span(span) => Some(span),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Data lines currently in the JSONL file. Exceeds
     /// [`ResultStore::len`] when superseded duplicates have accumulated
     /// (schema bumps, re-runs) — [`ResultStore::compact`] reclaims them.
@@ -248,6 +273,14 @@ impl ResultStore {
             .count()
     }
 
+    /// Number of execution-span entries.
+    pub fn span_count(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| matches!(e.result, StoredResult::Span(_)))
+            .count()
+    }
+
     /// Insert a fresh unit result and append it to the JSONL file.
     pub fn insert_unit(
         &mut self,
@@ -284,6 +317,16 @@ impl ResultStore {
         self.entries.insert(key, entry);
         self.file_lines += 1;
         Ok(())
+    }
+
+    /// Insert an execution span.
+    pub fn insert_span(
+        &mut self,
+        key: String,
+        inputs: String,
+        span: UnitSpan,
+    ) -> Result<(), StoreError> {
+        self.insert(key, inputs, StoredResult::Span(span))
     }
 
     /// Insert a recorded time series.
@@ -571,6 +614,7 @@ mod tests {
                     cores: vec![0, 1],
                     directive: sim_mem::ShiftDirective::DemandScale { percent: 200 },
                 }],
+                counters: None,
             }],
         };
         store
@@ -580,6 +624,29 @@ mod tests {
         assert_eq!(back.get_series("t1").unwrap(), &series);
         assert_eq!(back.series_count(), 1);
         assert!(back.get_unit("t1").is_none(), "typed lookup rejects kind");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn span_entries_round_trip_and_are_typed() {
+        let dir = tmp_dir("span");
+        let mut store = ResultStore::open(&dir).unwrap();
+        let span = UnitSpan {
+            label: "ammp+ammp+ammp+ammp | snug".into(),
+            queue_nanos: 1_234,
+            wall_nanos: 987_654_321,
+            sim_cycles: 1_350_000,
+            instructions: 1_458_748,
+        };
+        store
+            .insert_span("s1".into(), "span | inputs".into(), span.clone())
+            .unwrap();
+        let back = ResultStore::open(&dir).unwrap();
+        assert_eq!(back.get_span("s1").unwrap(), &span);
+        assert_eq!(back.span_count(), 1);
+        assert_eq!(back.spans(), vec![&span]);
+        assert!(back.get_unit("s1").is_none(), "typed lookup rejects kind");
+        assert!(back.get_span("missing").is_none());
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -4,13 +4,17 @@
 //! persist as they finish, and assemble per-combo results.
 
 use crate::exec::{self, ExecEvent};
-use crate::spec::{legacy_combo_key, unit_key_phased, ComboJob, SweepSpec, UnitJob};
+use crate::hash::content_key;
+use crate::spec::{
+    legacy_combo_key, unit_key_phased, ComboJob, SweepSpec, UnitJob, SCHEMA_VERSION,
+};
 use crate::store::{ResultStore, StoreError};
 use snug_experiments::{
     assemble_combo, best_cc_index, pace_of, run_cc_points_shared_phased, run_point_paced,
     run_point_phased, ComboResult, Pace, SchemePoint, SchemeRun,
 };
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Progress events streamed while a sweep runs.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,7 +41,54 @@ pub enum SweepEvent {
         done: usize,
         /// Total to execute this sweep.
         to_run: usize,
+        /// Wall-clock telemetry for the piece that just finished.
+        span: UnitSpan,
     },
+}
+
+/// Wall-clock telemetry for one executed piece of a sweep: how long the
+/// piece waited for a worker, how long it simulated, and how much
+/// simulated work that wall time bought. Recorded by [`run_unit_jobs`]
+/// around every executed piece (cache hits record nothing — they
+/// cost no wall time worth charging), surfaced on
+/// [`SweepEvent::JobFinished`], and persisted in the store as its own
+/// record kind so `snug sweep` footers and later tooling can aggregate
+/// throughput across sweeps.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UnitSpan {
+    /// Label of the executed piece (same shape as the progress lines).
+    pub label: String,
+    /// Nanoseconds between sweep submission and a worker picking the
+    /// piece up.
+    pub queue_nanos: u64,
+    /// Nanoseconds of wall time the piece spent simulating.
+    pub wall_nanos: u64,
+    /// Simulated cycles the piece covered (warm-up + measured window,
+    /// summed over every member unit).
+    pub sim_cycles: u64,
+    /// Instructions retired over the measured windows, reconstructed
+    /// from the per-core IPCs each member unit reported.
+    pub instructions: u64,
+}
+
+impl UnitSpan {
+    /// Simulated cycles per wall-clock second (0 when nothing was
+    /// timed).
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.sim_cycles as f64 / (self.wall_nanos as f64 / 1e9)
+    }
+
+    /// Retired instructions per wall-clock second (0 when nothing was
+    /// timed).
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.instructions as f64 / (self.wall_nanos as f64 / 1e9)
+    }
 }
 
 /// One unit job's outcome within a sweep.
@@ -384,6 +435,14 @@ fn plan_exec_units<'a>(pending: &[&'a UnitJob], store: &ResultStore) -> Vec<Exec
         .collect()
 }
 
+/// Content key for the span record of the piece that executed the
+/// member units with these keys. Derived from the member unit keys, so
+/// re-running the same piece supersedes its previous span (newest
+/// telemetry wins under the store's gc rule) instead of accumulating.
+fn span_key(member_keys: &[&str]) -> String {
+    content_key(&format!("{SCHEMA_VERSION}|span|{}", member_keys.join("+")))
+}
+
 /// Run `jobs` against `store`: cached units are served, missing units
 /// run in parallel on up to `threads` workers (0 = all CPUs) and are
 /// appended to the store as they complete. Shared-warm-up CC units of
@@ -397,6 +456,7 @@ pub fn run_unit_jobs(
     threads: usize,
     progress: &mut (impl FnMut(SweepEvent) + Send),
 ) -> Result<Vec<UnitOutcome>, StoreError> {
+    let submitted = Instant::now();
     let pending: Vec<&UnitJob> = jobs
         .iter()
         .filter(|j| store.get_unit(&j.key).is_none())
@@ -405,15 +465,37 @@ pub fn run_unit_jobs(
 
     // Execute the missing pieces; each result is appended to the store
     // *as its piece finishes* (under the store lock), so an interrupted
-    // sweep keeps everything completed so far.
+    // sweep keeps everything completed so far. Each piece's span slot is
+    // filled inside the job closure, which the executor completes before
+    // emitting `Finished` — the event handler can therefore take it.
     let progress_cell = Mutex::new(&mut *progress);
     let store_cell = Mutex::new(&mut *store);
     let first_store_error: Mutex<Option<StoreError>> = Mutex::new(None);
+    let spans: Vec<Mutex<Option<UnitSpan>>> = exec_units.iter().map(|_| Mutex::new(None)).collect();
     exec::run(
         exec_units.len(),
         threads,
         |i| {
-            for (job, run) in exec_units[i].run() {
+            let picked = Instant::now();
+            let results = exec_units[i].run();
+            let wall_nanos = picked.elapsed().as_nanos() as u64;
+            let mut span = UnitSpan {
+                label: exec_units[i].label(),
+                queue_nanos: picked.duration_since(submitted).as_nanos() as u64,
+                wall_nanos,
+                sim_cycles: 0,
+                instructions: 0,
+            };
+            let mut member_keys: Vec<&str> = Vec::with_capacity(results.len());
+            for (job, run) in &results {
+                let plan = job.config.plan;
+                let measured = run.measured_cycles.unwrap_or(plan.measure_cycles());
+                span.sim_cycles += plan.warmup_cycles + measured;
+                span.instructions +=
+                    (run.ipcs.iter().sum::<f64>() * measured as f64).round() as u64;
+                member_keys.push(job.key.as_str());
+            }
+            for (job, run) in results {
                 let mode = if job.shared_warmup {
                     " | shared-warmup"
                 } else {
@@ -442,6 +524,19 @@ pub fn run_unit_jobs(
                         .get_or_insert(e);
                 }
             }
+            let span_key = span_key(&member_keys);
+            let inserted = store_cell.lock().expect("store poisoned").insert_span(
+                span_key,
+                format!("span | {}", span.label),
+                span.clone(),
+            );
+            if let Err(e) = inserted {
+                first_store_error
+                    .lock()
+                    .expect("error slot poisoned")
+                    .get_or_insert(e);
+            }
+            *spans[i].lock().expect("span slot poisoned") = Some(span);
         },
         |event| {
             let mut p = progress_cell.lock().expect("progress poisoned");
@@ -453,6 +548,11 @@ pub fn run_unit_jobs(
                     label: exec_units[index].label(),
                     done,
                     to_run: total,
+                    span: spans[index]
+                        .lock()
+                        .expect("span slot poisoned")
+                        .take()
+                        .unwrap_or_default(),
                 }),
             }
         },

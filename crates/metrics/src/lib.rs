@@ -5,17 +5,21 @@
 //! * [`stats`] — geometric means and friends (per-class aggregation);
 //! * [`convergence`] — the rolling-window throughput estimator behind
 //!   convergence-based early exit;
+//! * [`counters`] — the [`SimCounters`] observability block the
+//!   simulators fill in and `snug profile` renders;
 //! * [`table`] — Markdown/CSV table rendering for EXPERIMENTS.md.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod convergence;
+pub mod counters;
 pub mod perf;
 pub mod stats;
 pub mod table;
 
 pub use convergence::{PhasePlateau, RollingThroughput};
+pub use counters::{SimCounters, WALK_DEPTH_BUCKETS};
 pub use perf::{
     average_weighted_speedup, fair_speedup, normalized_throughput, IpcVector, MetricSet,
 };

@@ -37,12 +37,12 @@
 use crate::config::SystemConfig;
 use crate::core::CoreModel;
 use crate::plan::{RunPlan, StopObservation, StopPolicy};
-use crate::scheme::{ChipResources, CloneOrg, L2Org, SchemeEvent};
+use crate::scheme::{ChipResources, CloneOrg, L2Org, SchemeEvent, SchemeEventKind};
 use crate::system::{CoreResult, SystemResult};
 use crate::Bus;
 use sim_cache::{CacheStats, SetAssocCache};
 use sim_mem::{AccessKind, Dram, OpStream, StreamShift};
-use snug_metrics::PhasePlateau;
+use snug_metrics::{PhasePlateau, SimCounters, WALK_DEPTH_BUCKETS};
 
 /// One probe-stride sample of the running system — the row type of the
 /// time series `snug trace` records.
@@ -65,6 +65,10 @@ pub struct PeriodSample {
     /// Workload phase shifts applied during the interval (phase-change
     /// scenarios; empty for stationary runs).
     pub shifts: Vec<StreamShift>,
+    /// Observability counter delta over the interval. Populated only
+    /// when the `obs` feature is on; `None` otherwise, so recorded
+    /// series serialise exactly as they did before counters existed.
+    pub counters: Option<SimCounters>,
 }
 
 impl PeriodSample {
@@ -139,6 +143,7 @@ pub struct SessionSnapshot<O> {
     baseline: Vec<(u64, u64)>,
     shifts: Vec<StreamShift>,
     next_shift: usize,
+    tally: SimCounters,
 }
 
 impl<O: CloneOrg> SessionSnapshot<O> {
@@ -175,6 +180,8 @@ impl<O: CloneOrg> SessionSnapshot<O> {
             probe_l2: CacheStats::default(),
             probes: Vec::new(),
             series: None,
+            tally: self.tally,
+            probe_counters: SimCounters::default(),
         })
     }
 
@@ -338,6 +345,8 @@ impl<O: L2Org> SessionBuilder<O> {
             probe_l2: CacheStats::default(),
             probes: self.probes,
             series: if self.record { Some(Vec::new()) } else { None },
+            tally: SimCounters::default(),
+            probe_counters: SimCounters::default(),
             cfg: self.cfg,
         }
     }
@@ -396,6 +405,15 @@ pub struct SimSession<O: L2Org> {
     probe_l2: CacheStats,
     probes: Vec<Box<dyn Probe>>,
     series: Option<Vec<PeriodSample>>,
+    /// Observability tallies the session itself increments on the hot
+    /// path (retired ops, L1 walk depths, L2Org dispatches, scheme
+    /// relatch events); zero-cost when the `obs` feature is off. The
+    /// remaining [`SimCounters`] fields are harvested from component
+    /// statistics at assembly time. Part of snapshots.
+    tally: SimCounters,
+    /// Assembled counters at the previous probe tick (interval deltas;
+    /// not part of snapshots, like the other probe latches).
+    probe_counters: SimCounters,
 }
 
 impl<O: L2Org> SimSession<O> {
@@ -462,6 +480,10 @@ impl<O: L2Org> SimSession<O> {
         // The probe delta baselines restart with the reset counters.
         self.probe_l2 = CacheStats::default();
         self.probe_cores = self.baseline.clone();
+        // Observability counters cover the measured window, like the
+        // component statistics they extend.
+        self.tally = SimCounters::default();
+        self.probe_counters = SimCounters::default();
         // The stop policy observes from the measurement-start frontier
         // on. The anchor is frontier-derived (and the frontier at the
         // warm-up transition is the same in every interleaving), so the
@@ -610,6 +632,12 @@ impl<O: L2Org> SimSession<O> {
             AccessKind::Store => (&mut self.l1d[c], false),
         };
         let r = l1.access(block, op.access.kind.is_write());
+        if cfg!(feature = "obs") {
+            self.tally.retired_ops += 1;
+            if let Some(d) = r.distance {
+                self.tally.l1_walk_depths[d.min(WALK_DEPTH_BUCKETS) - 1] += 1;
+            }
+        }
         if r.hit {
             // 1-cycle pipelined L1 hit: covered by the issue slot.
             return;
@@ -622,8 +650,14 @@ impl<O: L2Org> SimSession<O> {
         // critical path, no demand-access accounting).
         if let Some(ev) = r.evicted {
             if ev.flags.dirty {
+                if cfg!(feature = "obs") {
+                    self.tally.org_writebacks += 1;
+                }
                 self.org.writeback(c, ev.block, now, &mut res);
             }
+        }
+        if cfg!(feature = "obs") {
+            self.tally.org_accesses += 1;
         }
         let outcome = self
             .org
@@ -660,6 +694,16 @@ impl<O: L2Org> SimSession<O> {
             self.probe_cores = vec![(0, 0); now_cores.len()];
         }
         let l2_now = self.org.aggregate_stats();
+        let events = self.org.drain_events();
+        let counters = if cfg!(feature = "obs") {
+            self.note_events(&events);
+            let now = self.assemble_counters();
+            let delta = now.delta(&self.probe_counters);
+            self.probe_counters = now;
+            Some(delta)
+        } else {
+            None
+        };
         let sample = PeriodSample {
             cycle: boundary,
             during_warmup: !self.measuring,
@@ -674,8 +718,9 @@ impl<O: L2Org> SimSession<O> {
                 .map(|(n, p)| n.1.saturating_sub(p.1))
                 .collect(),
             l2: stats_delta(&l2_now, &self.probe_l2),
-            events: self.org.drain_events(),
+            events,
             shifts: std::mem::take(&mut self.fired_shifts),
+            counters,
         };
         self.probe_cores = now_cores;
         self.probe_l2 = l2_now;
@@ -806,6 +851,83 @@ impl<O: L2Org> SimSession<O> {
         self.l1d[core].stats()
     }
 
+    /// Tally scheme events into the observability counters (called as
+    /// events are drained, so each event is counted exactly once).
+    /// Counters cover the measured window, but warm-up-era events can
+    /// surface in *any* later drain — probe recording makes drain
+    /// timing arbitrary — so membership is decided by the event's own
+    /// cycle, not by when the boundary reset happened.
+    fn note_events(&mut self, events: &[SchemeEvent]) {
+        if !cfg!(feature = "obs") {
+            return;
+        }
+        for e in events {
+            if e.cycle < self.warmup_cycles {
+                continue;
+            }
+            match e.kind {
+                SchemeEventKind::IdentifyBegin => self.tally.identifies += 1,
+                SchemeEventKind::GroupedBegin => self.tally.relatches += 1,
+            }
+        }
+    }
+
+    /// Assemble the full counter block: the session's hot-path tallies
+    /// plus the component statistics (L1s, L2 organisation, bus, DRAM,
+    /// core stall attribution) harvested at call time.
+    fn assemble_counters(&self) -> SimCounters {
+        let mut c = self.tally;
+        for l1 in &self.l1i {
+            c.l1i_hits += l1.stats().hits;
+            c.l1i_misses += l1.stats().misses;
+        }
+        for l1 in &self.l1d {
+            c.l1d_hits += l1.stats().hits;
+            c.l1d_misses += l1.stats().misses;
+        }
+        let l2 = self.org.aggregate_stats();
+        c.l2_hits = l2.hits;
+        c.l2_misses = l2.misses;
+        c.l2_cc_hits = l2.cc_hits;
+        c.l2_evictions = l2.evictions;
+        c.l2_writebacks = l2.writebacks;
+        c.spills_out = l2.spills_out;
+        c.spills_in = l2.spills_in;
+        c.forwards = l2.forwards;
+        c.retrieved_from_peer = l2.retrieved_from_peer;
+        c.shadow_hits = l2.shadow_hits;
+        c.write_buffer_hits = l2.write_buffer_hits;
+        let bus = self.bus.stats();
+        c.bus_address_transactions = bus.address_transactions;
+        c.bus_data_transactions = bus.data_transactions;
+        c.bus_queue_cycles = bus.queue_cycles;
+        let dram = self.dram.stats();
+        c.dram_reads = dram.reads;
+        c.dram_writes = dram.writes;
+        c.dram_queue_cycles = dram.queue_cycles;
+        for core in &self.cores {
+            let s = core.stats();
+            c.core_rob_stall_cycles += s.rob_stall_cycles;
+            c.core_mshr_stall_cycles += s.mshr_stall_cycles;
+            c.core_dep_stall_cycles += s.dep_stall_cycles;
+        }
+        c
+    }
+
+    /// The observability counters accumulated so far. Like the
+    /// component statistics they extend, counters reset at the warm-up
+    /// boundary and cover the measured window. Pending scheme events
+    /// are drained into the relatch tally first — with probe recording
+    /// enabled, call this only after the run is over or the next sample
+    /// will miss those events. Session-side tallies are zero when the
+    /// `obs` feature is off; the harvested component statistics are
+    /// always filled in.
+    pub fn counters(&mut self) -> SimCounters {
+        let events = self.org.drain_events();
+        self.note_events(&events);
+        self.assemble_counters()
+    }
+
     /// Replace the streams and run window, keeping all hardware state.
     /// This is the legacy `CmpSystem::run` entry path; new code should
     /// configure the builder instead.
@@ -831,6 +953,8 @@ impl<O: L2Org> SimSession<O> {
         self.shifts.clear();
         self.next_shift = 0;
         self.fired_shifts.clear();
+        self.tally = SimCounters::default();
+        self.probe_counters = SimCounters::default();
     }
 }
 
@@ -860,6 +984,7 @@ impl<O: CloneOrg> SimSession<O> {
             baseline: self.baseline.clone(),
             shifts: self.shifts.clone(),
             next_shift: self.next_shift,
+            tally: self.tally,
         })
     }
 }

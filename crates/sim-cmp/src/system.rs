@@ -116,6 +116,12 @@ impl<O: L2Org> CmpSystem<O> {
         self.session.dram_stats()
     }
 
+    /// The observability counters of the last run's measured window
+    /// (see [`SimSession::counters`]).
+    pub fn counters(&mut self) -> snug_metrics::SimCounters {
+        self.session.counters()
+    }
+
     /// L1D statistics for one core.
     pub fn l1d_stats(&self, core: usize) -> &CacheStats {
         self.session.l1d_stats(core)

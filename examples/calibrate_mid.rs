@@ -183,5 +183,22 @@ fn main() {
                 row.class, l2s, cc, dsr, snug, verdict
             );
         }
+
+        // One representative probed session per candidate so budget
+        // choices can also be compared on simulator activity, not just
+        // the figure geomeans.
+        let combos = all_combos();
+        let combo = &combos[0];
+        let mut session = snug_sim::experiments::session_for(
+            combo,
+            &snug_sim::experiments::SchemePoint::Snug.spec(&cfg),
+            &cfg,
+        );
+        session.run_to_completion();
+        println!(
+            "counters [SNUG | {}]: {}",
+            combo.label(),
+            session.counters().summary()
+        );
     }
 }

@@ -89,4 +89,5 @@ fn main() {
     println!("  unplaced          : {}", ev.spills_unplaced);
     println!("(same-index spills are rare by construction: every cache has the");
     println!(" same taker sets, so only the flipped neighbour can be a giver)");
+    println!("\ncounter summary: {}", sys.counters().summary());
 }

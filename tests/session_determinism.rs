@@ -14,7 +14,14 @@
 //!    above: shifts land before the identical operation in every
 //!    interleaving and travel with snapshots, and a `Reconverged`
 //!    policy's extended stop cycle and per-phase plateau records are
-//!    interleaving- and snapshot-invariant.
+//!    interleaving- and snapshot-invariant;
+//! 5. observability is *observational*: harvesting `counters()` or
+//!    enabling probe recording never perturbs the retired op sequence,
+//!    and the measured-window counters themselves are interleaving- and
+//!    snapshot-invariant (they travel with snapshots). The whole file
+//!    compiles and passes with the `obs` feature on or off — with it
+//!    off, counters read zero but the determinism contract is
+//!    unchanged.
 
 use proptest::prelude::*;
 use sim_cmp::{CmpSystem, L2Org, RunPlan, SimSession, SystemConfig, SystemResult};
@@ -198,7 +205,101 @@ fn fixed_awkward_interleaving_matches_for_every_scheme() {
     }
 }
 
+/// With observability compiled in, the counters of a run reconcile
+/// with the measured result: ops retire, every retired op is exactly
+/// one L1D lookup, and L2 activity balances the L1 misses feeding it.
+#[cfg(feature = "obs")]
+#[test]
+fn counters_reconcile_with_the_measured_result_for_every_scheme() {
+    for spec in schemes() {
+        let mut s = session(&spec);
+        let result = s.run_to_completion();
+        let c = s.counters();
+        assert!(c.retired_ops > 0, "{spec}: ops retired");
+        assert_eq!(
+            c.l1d_hits + c.l1d_misses,
+            c.retired_ops,
+            "{spec}: one L1D lookup per retired memory op"
+        );
+        assert_eq!(
+            c.walk_samples(),
+            c.l1i_hits + c.l1d_hits,
+            "{spec}: every L1 hit lands in the walk-depth histogram"
+        );
+        assert!(
+            c.l2_hits + c.l2_misses <= c.l1i_misses + c.l1d_misses,
+            "{spec}: L2 lookups are fed by L1 misses"
+        );
+        assert!(result.throughput() > 0.0, "{spec}");
+    }
+}
+
+/// Without observability compiled in, the session-side hot-path
+/// tallies read zero — the zero-cost configuration records nothing on
+/// the op path — while component statistics (which exist regardless of
+/// the feature) are still harvested into the block.
+#[cfg(not(feature = "obs"))]
+#[test]
+fn session_tallies_read_zero_with_obs_compiled_out() {
+    for spec in schemes() {
+        let mut s = session(&spec);
+        s.run_to_completion();
+        let c = s.counters();
+        assert_eq!(c.retired_ops, 0, "{spec}");
+        assert_eq!(c.walk_samples(), 0, "{spec}");
+        assert_eq!(c.org_accesses, 0, "{spec}");
+        assert_eq!(c.org_writebacks, 0, "{spec}");
+        assert_eq!(c.relatches, 0, "{spec}");
+        assert_eq!(c.identifies, 0, "{spec}");
+        assert!(
+            c.l1d_hits + c.l1d_misses > 0,
+            "{spec}: component statistics are still harvested"
+        );
+    }
+}
+
 proptest! {
+    /// Harvesting counters and enabling probe recording never perturb
+    /// the retired op sequence, and the measured-window counters are
+    /// identical across one-shot, interleaved, and
+    /// snapshot → restore → resume driving (they travel with the
+    /// snapshot). Holds with `obs` on or off — off, the counters
+    /// compare as all-zero blocks and the result equalities still bite.
+    #[test]
+    fn counters_are_observational_and_snapshot_invariant(
+        scheme_idx in 0usize..5,
+        hops in proptest::collection::vec(1u64..9_000, 0..6),
+        snap_at in 1u64..(WARMUP + MEASURE),
+    ) {
+        let spec = schemes()[scheme_idx];
+        let expected = reference(&spec);
+        let mut one_shot = session(&spec);
+        prop_assert_eq!(one_shot.run_to_completion(), expected.clone());
+        let expected_counters = one_shot.counters();
+
+        // Probed + interleaved: same ops, same counters.
+        let mut probed = session(&spec);
+        probed.enable_recording(1_000);
+        let mut cursor = 0;
+        for hop in &hops {
+            cursor += hop;
+            probed.run_until(cursor);
+            probed.step();
+        }
+        prop_assert_eq!(probed.run_to_completion(), expected.clone());
+        prop_assert_eq!(probed.counters(), expected_counters);
+
+        // Counter state travels with snapshots.
+        let mut original = session(&spec);
+        original.run_until(snap_at);
+        let snap = original.snapshot().expect("streams snapshot");
+        let mut restored = snap.to_session().expect("snapshot replays");
+        prop_assert_eq!(restored.run_to_completion(), expected.clone());
+        prop_assert_eq!(restored.counters(), expected_counters);
+        prop_assert_eq!(original.run_to_completion(), expected);
+        prop_assert_eq!(original.counters(), expected_counters);
+    }
+
     /// Random step/run_until interleavings are bit-identical to the
     /// one-shot run for a randomly chosen scheme.
     #[test]
