@@ -20,9 +20,10 @@
 use snug_core::SchemeSpec;
 use snug_experiments::{default_stride, session_for, trace_point_phased, SchemePoint};
 use snug_harness::{
-    cached_results, check_experiments_md, render_experiments_md, render_markdown, run_sweep,
-    stop_summary_table, trace_key, BudgetPreset, CheckOutcome, JsonCodec, ResultStore, StopPreset,
-    SweepEvent, SweepSpec, UnitSpan, CEILING_FOOTNOTE,
+    cached_results, check_experiments_md, eval_converged_spec, fmt_eng, render_experiments_eval_md,
+    render_experiments_md, render_markdown, run_sweep, stop_summary_table, telemetry_footer,
+    trace_key, BudgetPreset, CheckOutcome, JsonCodec, ResultStore, StopPreset, SweepEvent,
+    SweepSpec, UnitSpan, CEILING_FOOTNOTE, EVAL_CONVERGED_REL_EPSILON, EVAL_CONVERGED_WINDOW,
 };
 use snug_metrics::TableFormat;
 use snug_workloads::{all_combos, Benchmark, ComboClass, PhaseSchedule};
@@ -67,13 +68,13 @@ snug — SNUG experiment orchestration
 
 USAGE:
   snug sweep        [--class C1..C6]... [budget flags] [--phase-shift SPEC]...
-                    [--threads N] [--results DIR] [--name NAME] [--spec FILE]
+                    [--jobs N] [--results DIR] [--name NAME] [--spec FILE]
                     [--shared-warmup] [--verbose]
   snug report       [--class ...] [budget flags] [--phase-shift SPEC]...
                     [--results DIR] [--out DIR] [--format md|csv] [--name NAME]
-                    [--experiments-md [--check] [--md-path FILE]]
+                    [--experiments-md | --experiments-eval-md [--check] [--md-path FILE]]
   snug compare      --combo LABEL | --class C [budget flags] [--phase-shift SPEC]...
-                    [--threads N] [--results DIR]
+                    [--jobs N] [--results DIR]
   snug trace        COMBO SCHEME [--stride N] [--phase-shift SPEC]...
                     [--quick|--mid|--eval|--warmup N --measure N]
                     [--results DIR] [--format md|csv]
@@ -120,7 +121,22 @@ that one snapshot. `snug report` renders Figures 9-11 and the per-combo
 table from the store (plus the per-combo stop summary on early-exit
 specs); `snug report --experiments-md` renders the committed
 EXPERIMENTS.md (budget defaults to --mid there) and --check fails if the
-committed file is stale.
+committed file is stale; `snug report --experiments-eval-md` renders the
+committed EXPERIMENTS_EVAL.md — the eval-budget converged sweep with the
+Fig. 9 SNUG-vs-CC(Best) verdict — over its pinned spec (no budget flags
+apply).
+
+Parallel execution: `snug sweep --jobs N` (`--threads` is an alias;
+0 = all cores) runs unit jobs on a worker pool. Each worker appends
+completed units to its own crash-safe shard under results/shards/, and
+shards merge into results/store.jsonl in deterministic plan order at
+sweep end — the store bytes are identical for every N, and a sweep
+killed mid-flight recovers its completed units on the next run.
+Baseline pacing under --until-converged is a dependency edge, not a
+barrier: a combo's L2P unit gates only that combo's paced siblings, and
+everything else runs freely. If a baseline fails, its dependents are
+skipped and the sweep reports which pieces were doomed by which
+baseline.
 
 `snug trace` records a per-period time series of one (combo, scheme)
 simulation — per-core IPC, the L2 fill/spill mix, SNUG stage/G-T
@@ -281,8 +297,11 @@ struct Flags {
     intervals: usize,
     accesses: usize,
     experiments_md: bool,
+    experiments_eval_md: bool,
     check: bool,
-    md_path: PathBuf,
+    /// `None` means "not given": each document command falls back to
+    /// its own committed default path.
+    md_path: Option<PathBuf>,
     shared_warmup: bool,
     stride: Option<u64>,
     phase_shift: Vec<String>,
@@ -305,8 +324,9 @@ impl Flags {
             intervals: 20,
             accesses: 50_000,
             experiments_md: false,
+            experiments_eval_md: false,
             check: false,
-            md_path: PathBuf::from(snug_harness::experiments_md::EXPERIMENTS_FILE),
+            md_path: None,
             shared_warmup: false,
             stride: None,
             phase_shift: Vec::new(),
@@ -324,13 +344,17 @@ impl Flags {
             }
             match arg.as_str() {
                 "--experiments-md" => f.experiments_md = true,
+                "--experiments-eval-md" => f.experiments_eval_md = true,
                 "--check" => f.check = true,
-                "--md-path" => f.md_path = PathBuf::from(value("--md-path")?),
+                "--md-path" => f.md_path = Some(PathBuf::from(value("--md-path")?)),
                 "--class" => {
                     for part in value("--class")?.split(',') {
                         f.classes.push(part.trim().parse()?);
                     }
                 }
+                // `--jobs` is the canonical name since the parallel
+                // executor landed; `--threads` stays as an alias.
+                "--jobs" => f.threads = parse_num(&value("--jobs")?)? as usize,
                 "--threads" => f.threads = parse_num(&value("--threads")?)? as usize,
                 "--results" => f.results_dir = PathBuf::from(value("--results")?),
                 "--out" => f.out_dir = Some(PathBuf::from(value("--out")?)),
@@ -373,12 +397,10 @@ impl Flags {
     /// would silently ignore it (a typo'd `sweep --check` must not look
     /// like the staleness gate ran).
     fn reject_experiments_md_flags(&self, command: &str) -> Result<(), String> {
-        if self.experiments_md
-            || self.check
-            || self.md_path.as_os_str() != snug_harness::experiments_md::EXPERIMENTS_FILE
-        {
+        if self.experiments_md || self.experiments_eval_md || self.check || self.md_path.is_some() {
             return Err(format!(
-                "--experiments-md/--check/--md-path only apply to `snug report`, not `snug {command}`"
+                "--experiments-md/--experiments-eval-md/--check/--md-path only apply to \
+                 `snug report`, not `snug {command}`"
             ));
         }
         Ok(())
@@ -470,20 +492,6 @@ impl Flags {
             phase_shift: self.phase_schedule()?.map(|p| p.fingerprint()),
             shared_warmup: self.shared_warmup,
         })
-    }
-}
-
-/// Engineering-notation rate with a trailing space when a prefix is
-/// used, so call sites can append a unit: `1_234_567.0` → `"1.23 M"`.
-fn fmt_eng(x: f64) -> String {
-    if x >= 1e9 {
-        format!("{:.2} G", x / 1e9)
-    } else if x >= 1e6 {
-        format!("{:.2} M", x / 1e6)
-    } else if x >= 1e3 {
-        format!("{:.2} k", x / 1e3)
-    } else {
-        format!("{x:.0} ")
     }
 }
 
@@ -582,16 +590,28 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             span,
         } => {
             if verbose {
+                // No running [done/total] counter here: with --jobs N
+                // the completion order races, and the verbose lines
+                // must be deterministic in content (only their order
+                // may vary between runs). Worker provenance replaces
+                // the counter.
                 println!(
-                    "  done {label} [{done}/{to_run}] ({:.2} s wall, {}cyc/s, {}ops/s)",
+                    "  done {label} ({:.2} s wall, {}cyc/s, {}ops/s, worker {})",
                     span.wall_nanos as f64 / 1e9,
                     fmt_eng(span.cycles_per_sec()),
                     fmt_eng(span.ops_per_sec()),
+                    span.worker,
                 );
             } else {
                 println!("  done {label} [{done}/{to_run}]");
             }
             spans.push(span);
+        }
+        SweepEvent::JobFailed { label, error } => {
+            eprintln!("  FAIL {label}: {error}");
+        }
+        SweepEvent::JobSkipped { label, failed_dep } => {
+            eprintln!("  skip {label} (baseline {failed_dep} failed)");
         }
     })
     .map_err(|e| e.to_string())?;
@@ -604,29 +624,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             .join(snug_harness::store::STORE_FILE)
             .display()
     );
-    if spans.is_empty() {
-        println!("telemetry: all units served from cache (no simulation wall time)");
-    } else {
-        let wall_nanos: u64 = spans.iter().map(|s| s.wall_nanos).sum();
-        let sim_cycles: u64 = spans.iter().map(|s| s.sim_cycles).sum();
-        let instructions: u64 = spans.iter().map(|s| s.instructions).sum();
-        let secs = wall_nanos as f64 / 1e9;
-        println!(
-            "telemetry: {:.2} s simulation wall across {} pieces · {}cycles/s · {}ops/s",
-            secs,
-            spans.len(),
-            fmt_eng(if secs > 0.0 {
-                sim_cycles as f64 / secs
-            } else {
-                0.0
-            }),
-            fmt_eng(if secs > 0.0 {
-                instructions as f64 / secs
-            } else {
-                0.0
-            }),
-        );
-    }
+    println!("{}", telemetry_footer(&spans));
     if outcome.simulated_cycles < outcome.budgeted_cycles {
         let saved =
             100.0 * (1.0 - outcome.simulated_cycles as f64 / outcome.budgeted_cycles as f64);
@@ -676,11 +674,20 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     flags.reject_stride("report")?;
     flags.reject_verbose("report")?;
+    if flags.experiments_md && flags.experiments_eval_md {
+        return Err("--experiments-md and --experiments-eval-md are mutually exclusive".into());
+    }
     if flags.experiments_md {
         return cmd_experiments_md(&flags);
     }
+    if flags.experiments_eval_md {
+        return cmd_experiments_eval_md(&flags);
+    }
     if flags.check {
-        return Err("--check only applies to --experiments-md".into());
+        return Err("--check only applies to --experiments-md/--experiments-eval-md".into());
+    }
+    if flags.md_path.is_some() {
+        return Err("--md-path only applies to --experiments-md/--experiments-eval-md".into());
     }
     let spec = flags.spec()?;
     check_spec_phase_schedule(&spec)?;
@@ -765,39 +772,129 @@ fn cmd_experiments_md(flags: &Flags) -> Result<(), String> {
     })?;
     drop(store);
     let rendered = render_experiments_md(&spec, &results);
-    if flags.check {
+    let md_path = flags
+        .md_path
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(snug_harness::experiments_md::EXPERIMENTS_FILE));
+    write_or_check_doc(
+        &md_path,
+        &rendered,
+        flags.check,
+        "snug report --experiments-md",
+    )?;
+    if !flags.check {
+        println!(
+            "wrote {} ({} combos, budget {})",
+            md_path.display(),
+            results.len(),
+            spec.budget.label()
+        );
+    }
+    Ok(())
+}
+
+/// `snug report --experiments-eval-md [--check] [--md-path FILE]`:
+/// render the committed eval-scale document — the converged eval sweep
+/// with the Fig. 9 SNUG-vs-CC(Best) verdict — or verify it. The spec is
+/// pinned ([`eval_converged_spec`]); no selection or budget flags apply.
+fn cmd_experiments_eval_md(flags: &Flags) -> Result<(), String> {
+    if !flags.classes.is_empty() || flags.name.is_some() || flags.spec_file.is_some() {
+        return Err(
+            "--experiments-eval-md renders the full eval evaluation; it cannot be combined \
+             with --class/--name/--spec"
+                .into(),
+        );
+    }
+    if flags.shared_warmup {
+        return Err(
+            "--experiments-eval-md documents the canonical per-point runs; --shared-warmup \
+             results live under their own keys and are not part of it"
+                .into(),
+        );
+    }
+    // The document is defined over one pinned spec — eval budget,
+    // calibrated convergence window/epsilon — so the whole budget flag
+    // family is rejected rather than silently overridden.
+    if flags.budget.any_given() {
+        return Err(format!(
+            "--experiments-eval-md pins the eval converged spec (--eval --until-converged \
+             --window {EVAL_CONVERGED_WINDOW} --rel-eps {EVAL_CONVERGED_REL_EPSILON}); \
+             budget flags cannot be combined with it"
+        ));
+    }
+    flags.reject_phase_shift("report --experiments-eval-md")?;
+    if flags.out_dir.is_some() || flags.format.is_some() {
+        return Err(
+            "--experiments-eval-md writes Markdown to --md-path; --out/--format do not apply"
+                .into(),
+        );
+    }
+    let spec = eval_converged_spec();
+    let store = ResultStore::open(&flags.results_dir).map_err(|e| e.to_string())?;
+    let results = cached_results(&spec, &store).ok_or_else(|| {
+        format!(
+            "store at `{}` is missing the converged eval results — run `snug sweep --eval \
+             --until-converged --window {EVAL_CONVERGED_WINDOW} --rel-eps \
+             {EVAL_CONVERGED_REL_EPSILON}` first",
+            flags.results_dir.display(),
+        )
+    })?;
+    let stop_summary = stop_summary_table(&spec, &store);
+    drop(store);
+    let rendered = render_experiments_eval_md(&spec, &results, stop_summary.as_ref());
+    let md_path = flags
+        .md_path
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(snug_harness::EXPERIMENTS_EVAL_FILE));
+    write_or_check_doc(
+        &md_path,
+        &rendered,
+        flags.check,
+        "snug report --experiments-eval-md",
+    )?;
+    if !flags.check {
+        println!(
+            "wrote {} ({} combos, budget {})",
+            md_path.display(),
+            results.len(),
+            spec.budget_label()
+        );
+    }
+    Ok(())
+}
+
+/// Shared `--check`/write tail of the two committed-document commands.
+fn write_or_check_doc(
+    md_path: &std::path::Path,
+    rendered: &str,
+    check: bool,
+    regen_cmd: &str,
+) -> Result<(), String> {
+    if check {
         // Only a genuinely absent file counts as Missing; any other
         // read failure (permissions, invalid UTF-8) is its own error.
-        let committed = match std::fs::read_to_string(&flags.md_path) {
+        let committed = match std::fs::read_to_string(md_path) {
             Ok(text) => Some(text),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
-            Err(e) => return Err(format!("reading {}: {e}", flags.md_path.display())),
+            Err(e) => return Err(format!("reading {}: {e}", md_path.display())),
         };
-        return match check_experiments_md(&rendered, committed.as_deref()) {
+        return match check_experiments_md(rendered, committed.as_deref()) {
             CheckOutcome::Fresh => {
-                println!("{} is up to date", flags.md_path.display());
+                println!("{} is up to date", md_path.display());
                 Ok(())
             }
             CheckOutcome::Missing => Err(format!(
-                "{} is missing — run `snug report --experiments-md` and commit it",
-                flags.md_path.display()
+                "{} is missing — run `{regen_cmd}` and commit it",
+                md_path.display()
             )),
             CheckOutcome::Stale(line) => Err(format!(
                 "{} is stale (first difference at line {line}) — regenerate with \
-                 `snug report --experiments-md` and commit the result",
-                flags.md_path.display()
+                 `{regen_cmd}` and commit the result",
+                md_path.display()
             )),
         };
     }
-    std::fs::write(&flags.md_path, &rendered)
-        .map_err(|e| format!("writing {}: {e}", flags.md_path.display()))?;
-    println!(
-        "wrote {} ({} combos, budget {})",
-        flags.md_path.display(),
-        results.len(),
-        spec.budget.label()
-    );
-    Ok(())
+    std::fs::write(md_path, rendered).map_err(|e| format!("writing {}: {e}", md_path.display()))
 }
 
 fn cmd_compare(args: &[String]) -> Result<(), String> {

@@ -255,6 +255,8 @@ impl JsonCodec for crate::sweep::UnitSpan {
             ("wall_nanos", n(self.wall_nanos)),
             ("sim_cycles", n(self.sim_cycles)),
             ("instructions", n(self.instructions)),
+            ("worker", n(self.worker as u64)),
+            ("shard", Value::str(&self.shard)),
         ])
     }
 
@@ -266,6 +268,15 @@ impl JsonCodec for crate::sweep::UnitSpan {
             wall_nanos: field("wall_nanos")?,
             sim_cycles: field("sim_cycles")?,
             instructions: field("instructions")?,
+            // Provenance fields arrived with the parallel executor;
+            // spans persisted before it decode with no provenance.
+            worker: field("worker").unwrap_or(0) as usize,
+            shard: v
+                .get("shard")
+                .ok()
+                .and_then(|s| s.as_str().ok())
+                .unwrap_or_default()
+                .to_string(),
         })
     }
 }
@@ -603,6 +614,8 @@ mod tests {
             wall_nanos: 3_456_789_012,
             sim_cycles: 9_450_000,
             instructions: 59_428_501,
+            worker: 3,
+            shard: "worker-3.jsonl".into(),
         };
         let text = span.to_json().render();
         let back = crate::sweep::UnitSpan::from_json(&crate::json::parse(&text).unwrap()).unwrap();

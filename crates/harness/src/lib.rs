@@ -43,8 +43,11 @@ pub mod store;
 pub mod sweep;
 
 pub use codec::JsonCodec;
-pub use exec::ExecEvent;
-pub use experiments_md::{check_experiments_md, render_experiments_md, CheckOutcome};
+pub use exec::{run_graph, ExecEvent, JobOutcome};
+pub use experiments_md::{
+    check_experiments_md, eval_converged_spec, render_experiments_eval_md, render_experiments_md,
+    CheckOutcome, EVAL_CONVERGED_REL_EPSILON, EVAL_CONVERGED_WINDOW, EXPERIMENTS_EVAL_FILE,
+};
 pub use report::{
     render_markdown, report_tables, stop_summary_table, write_report, CEILING_FOOTNOTE,
 };
@@ -53,8 +56,8 @@ pub use spec::{
     unit_key_mode, unit_key_phased, BudgetPreset, ComboJob, StopPreset, SweepSpec, UnitJob,
     SCHEMA_VERSION, SCHEMA_VERSION_V1,
 };
-pub use store::{MergeStats, ResultStore, StoreError, StoredResult};
+pub use store::{MergeStats, ResultStore, StoreError, StoredResult, SHARDS_DIR, SPANS_FILE};
 pub use sweep::{
-    cached_results, run_sweep, run_unit_jobs, ComboOutcome, SweepEvent, SweepOutcome, UnitOutcome,
-    UnitSpan,
+    cached_results, fmt_eng, run_sweep, run_unit_jobs, telemetry_footer, ComboOutcome, SweepError,
+    SweepEvent, SweepOutcome, UnitOutcome, UnitSpan,
 };

@@ -7,6 +7,23 @@
 //! Appends go straight to disk, so an interrupted sweep keeps everything
 //! it finished.
 //!
+//! ## Files
+//!
+//! * [`STORE_FILE`] (`store.jsonl`) — the deterministic truth: unit,
+//!   series and legacy combo entries. Byte-identical for `--jobs 1` and
+//!   `--jobs N` sweeps, because sweeps merge results into it in job
+//!   order at sweep end.
+//! * [`SPANS_FILE`] (`spans.jsonl`) — wall-clock execution telemetry
+//!   ([`UnitSpan`]), kept out of `store.jsonl` precisely because wall
+//!   time is *not* deterministic. Span entries found in a legacy
+//!   `store.jsonl` still decode; [`ResultStore::compact`] migrates them
+//!   to the sidecar.
+//! * [`SHARDS_DIR`]`/worker-N.jsonl` — per-worker append-only shards a
+//!   running sweep writes for crash durability; merged into the main
+//!   store and deleted at sweep end. Leftover shards (a killed sweep)
+//!   are recovered through [`ResultStore::recover_shards`] under the
+//!   usual merge semantics.
+//!
 //! ## Key-schema versions
 //!
 //! * **v2** (current, [`crate::spec::SCHEMA_VERSION`]) — one line per
@@ -28,6 +45,15 @@ use std::path::{Path, PathBuf};
 
 /// File name of the JSONL store inside the results directory.
 pub const STORE_FILE: &str = "store.jsonl";
+
+/// File name of the execution-telemetry sidecar inside the results
+/// directory. Spans live here so `store.jsonl` stays byte-deterministic
+/// across worker counts and re-runs.
+pub const SPANS_FILE: &str = "spans.jsonl";
+
+/// Directory (inside the results directory) holding the per-worker
+/// shard files of an in-flight sweep.
+pub const SHARDS_DIR: &str = "shards";
 
 /// What a store entry holds: the unit of the current schema, a recorded
 /// probe time series, or a whole combo result from a v1 store.
@@ -87,6 +113,106 @@ impl StoreEntry {
             result,
         })
     }
+
+    /// The entry rendered as one JSONL line (no trailing newline) — the
+    /// exact bytes `insert` appends, shared with the shard writers so a
+    /// shard line and a store line for the same result are identical.
+    pub(crate) fn render_line(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+/// Load one JSONL file of store entries into `entries`, returning the
+/// number of intact data lines. A partial trailing line (crash or full
+/// disk during append) is dropped and truncated so the next append
+/// starts on a clean line; corruption anywhere else stays fatal. A
+/// missing file is an empty store.
+fn load_jsonl(
+    path: &Path,
+    entries: &mut BTreeMap<String, StoreEntry>,
+) -> Result<usize, StoreError> {
+    let mut file_lines = 0usize;
+    match fs::read_to_string(path) {
+        Ok(text) => {
+            let lines: Vec<&str> = text.lines().collect();
+            let mut offset = 0u64;
+            for (lineno, line) in lines.iter().enumerate() {
+                let line_start = offset;
+                offset += line.len() as u64 + 1;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match parse(line).and_then(|v| StoreEntry::from_json(&v)) {
+                    Ok(entry) => {
+                        entries.insert(entry.key.clone(), entry);
+                        file_lines += 1;
+                    }
+                    Err(_) if lineno + 1 == lines.len() => {
+                        fs::OpenOptions::new()
+                            .write(true)
+                            .open(path)
+                            .and_then(|f| f.set_len(line_start))
+                            .map_err(|e| {
+                                StoreError::Io(path.display().to_string(), e.to_string())
+                            })?;
+                        break;
+                    }
+                    Err(e) => return Err(StoreError::corrupt(path, lineno, e)),
+                }
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(StoreError::Io(path.display().to_string(), e.to_string())),
+    }
+    Ok(file_lines)
+}
+
+/// A per-worker append-only shard file under `results/shards/`. Workers
+/// write each completed unit entry here as it finishes (the crash-
+/// durability path); the sweep merges the results into the main store
+/// in deterministic job order at sweep end and deletes the shards. The
+/// file is created lazily, so idle workers leave nothing behind.
+#[derive(Debug)]
+pub(crate) struct ShardWriter {
+    path: PathBuf,
+    file: Option<fs::File>,
+}
+
+impl ShardWriter {
+    /// A writer for the shard at `path` (nothing touches the
+    /// filesystem until the first append).
+    pub(crate) fn new(path: PathBuf) -> Self {
+        ShardWriter { path, file: None }
+    }
+
+    /// Whether any entry has been appended (i.e. the file exists).
+    pub(crate) fn written(&self) -> bool {
+        self.file.is_some()
+    }
+
+    /// The shard file's path.
+    pub(crate) fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one entry as a JSONL line and flush it to disk.
+    pub(crate) fn append(&mut self, entry: &StoreEntry) -> Result<(), StoreError> {
+        let io_err =
+            |p: &Path, e: std::io::Error| StoreError::Io(p.display().to_string(), e.to_string());
+        if self.file.is_none() {
+            if let Some(parent) = self.path.parent() {
+                fs::create_dir_all(parent).map_err(|e| io_err(parent, e))?;
+            }
+            let file = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)
+                .map_err(|e| io_err(&self.path, e))?;
+            self.file = Some(file);
+        }
+        let file = self.file.as_mut().expect("shard file just opened");
+        writeln!(file, "{}", entry.render_line()).map_err(|e| io_err(&self.path, e))
+    }
 }
 
 /// The persistent, content-addressed result cache.
@@ -101,48 +227,14 @@ pub struct ResultStore {
 }
 
 impl ResultStore {
-    /// Open (or create) the store under `dir`.
+    /// Open (or create) the store under `dir`: the main `store.jsonl`
+    /// plus the `spans.jsonl` telemetry sidecar.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
         let dir = dir.into();
-        let path = dir.join(STORE_FILE);
         let mut entries = BTreeMap::new();
         let mut file_lines = 0usize;
-        match fs::read_to_string(&path) {
-            Ok(text) => {
-                let lines: Vec<&str> = text.lines().collect();
-                let mut offset = 0u64;
-                for (lineno, line) in lines.iter().enumerate() {
-                    let line_start = offset;
-                    offset += line.len() as u64 + 1;
-                    if line.trim().is_empty() {
-                        continue;
-                    }
-                    match parse(line).and_then(|v| StoreEntry::from_json(&v)) {
-                        Ok(entry) => {
-                            entries.insert(entry.key.clone(), entry);
-                            file_lines += 1;
-                        }
-                        Err(_) if lineno + 1 == lines.len() => {
-                            // A partial trailing line is the expected
-                            // artifact of a crash or full disk during
-                            // append: drop it and truncate the file so
-                            // the next append starts on a clean line.
-                            // Corruption anywhere else stays fatal.
-                            fs::OpenOptions::new()
-                                .write(true)
-                                .open(&path)
-                                .and_then(|f| f.set_len(line_start))
-                                .map_err(|e| {
-                                    StoreError::Io(path.display().to_string(), e.to_string())
-                                })?;
-                            break;
-                        }
-                        Err(e) => return Err(StoreError::corrupt(&path, lineno, e)),
-                    }
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(StoreError::Io(path.display().to_string(), e.to_string())),
+        for file in [STORE_FILE, SPANS_FILE] {
+            file_lines += load_jsonl(&dir.join(file), &mut entries)?;
         }
         Ok(ResultStore {
             dir,
@@ -221,30 +313,47 @@ impl ResultStore {
         self.file_lines
     }
 
-    /// Rewrite the JSONL file keeping only the newest entry per key
+    /// Rewrite the JSONL files keeping only the newest entry per key
     /// (`snug store gc`). The in-memory map already holds exactly those
     /// — on load, later lines supersede earlier ones — so compaction
     /// writes it back in key order through a temporary file and an
-    /// atomic rename. Idempotent: a second pass drops nothing. Returns
+    /// atomic rename. Span entries are written to the `spans.jsonl`
+    /// sidecar (migrating any that a legacy `store.jsonl` still holds
+    /// inline). Idempotent: a second pass drops nothing. Returns
     /// `(kept, dropped)` line counts.
     pub fn compact(&mut self) -> Result<(usize, usize), StoreError> {
         let kept = self.entries.len();
         let dropped = self.file_lines.saturating_sub(kept);
-        let path = self.dir.join(STORE_FILE);
-        if self.entries.is_empty() && !path.exists() {
+        let store_path = self.dir.join(STORE_FILE);
+        let spans_path = self.dir.join(SPANS_FILE);
+        if self.entries.is_empty() && !store_path.exists() && !spans_path.exists() {
             return Ok((0, 0));
         }
         let io_err =
             |p: &Path, e: std::io::Error| StoreError::Io(p.display().to_string(), e.to_string());
         fs::create_dir_all(&self.dir).map_err(|e| io_err(&self.dir, e))?;
-        let tmp = self.dir.join(format!("{STORE_FILE}.tmp"));
-        let mut text = String::new();
+        let mut store_text = String::new();
+        let mut spans_text = String::new();
         for entry in self.entries.values() {
-            text.push_str(&entry.to_json().render());
+            let text = match entry.result {
+                StoredResult::Span(_) => &mut spans_text,
+                _ => &mut store_text,
+            };
+            text.push_str(&entry.render_line());
             text.push('\n');
         }
-        fs::write(&tmp, &text).map_err(|e| io_err(&tmp, e))?;
-        fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        let tmp = self.dir.join(format!("{STORE_FILE}.tmp"));
+        fs::write(&tmp, &store_text).map_err(|e| io_err(&tmp, e))?;
+        fs::rename(&tmp, &store_path).map_err(|e| io_err(&store_path, e))?;
+        if spans_text.is_empty() {
+            if spans_path.exists() {
+                fs::remove_file(&spans_path).map_err(|e| io_err(&spans_path, e))?;
+            }
+        } else {
+            let tmp = self.dir.join(format!("{SPANS_FILE}.tmp"));
+            fs::write(&tmp, &spans_text).map_err(|e| io_err(&tmp, e))?;
+            fs::rename(&tmp, &spans_path).map_err(|e| io_err(&spans_path, e))?;
+        }
         self.file_lines = kept;
         Ok((kept, dropped))
     }
@@ -291,22 +400,28 @@ impl ResultStore {
         self.insert(key, inputs, StoredResult::Unit(run))
     }
 
-    /// Insert a fresh result and append it to the JSONL file.
+    /// Insert a fresh result and append it to the backing JSONL file —
+    /// `spans.jsonl` for telemetry spans, `store.jsonl` for everything
+    /// else.
     pub fn insert(
         &mut self,
         key: String,
         inputs: String,
         result: StoredResult,
     ) -> Result<(), StoreError> {
+        let file = match result {
+            StoredResult::Span(_) => SPANS_FILE,
+            _ => STORE_FILE,
+        };
         let entry = StoreEntry {
             key: key.clone(),
             inputs,
             result,
         };
-        let line = entry.to_json().render();
+        let line = entry.render_line();
         fs::create_dir_all(&self.dir)
             .map_err(|e| StoreError::Io(self.dir.display().to_string(), e.to_string()))?;
-        let path = self.dir.join(STORE_FILE);
+        let path = self.dir.join(file);
         let mut file = fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -381,6 +496,43 @@ impl ResultStore {
             }
         }
         Ok(stats)
+    }
+
+    /// Recover leftover per-worker shards from a killed sweep: merge
+    /// every `shards/worker-*.jsonl` file (in name order) under the
+    /// usual [`ResultStore::merge_file`] semantics, then delete the
+    /// shards. A partial trailing shard line (the unit mid-append when
+    /// the sweep died) is skipped; its unit simply re-runs. Returns the
+    /// total merge stats, all zero when there is nothing to recover.
+    pub fn recover_shards(&mut self) -> Result<MergeStats, StoreError> {
+        let shards_dir = self.dir.join(SHARDS_DIR);
+        let io_err =
+            |p: &Path, e: std::io::Error| StoreError::Io(p.display().to_string(), e.to_string());
+        let read_dir = match fs::read_dir(&shards_dir) {
+            Ok(rd) => rd,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(MergeStats::default()),
+            Err(e) => return Err(io_err(&shards_dir, e)),
+        };
+        let mut shard_paths: Vec<PathBuf> = Vec::new();
+        for dirent in read_dir {
+            let path = dirent.map_err(|e| io_err(&shards_dir, e))?.path();
+            if path.extension().is_some_and(|ext| ext == "jsonl") {
+                shard_paths.push(path);
+            }
+        }
+        shard_paths.sort();
+        let mut total = MergeStats::default();
+        for path in &shard_paths {
+            let stats = self.merge_file(path)?;
+            total.read += stats.read;
+            total.added += stats.added;
+            total.superseded += stats.superseded;
+            total.unchanged += stats.unchanged;
+            fs::remove_file(path).map_err(|e| io_err(path, e))?;
+        }
+        // Best-effort: the directory may legitimately hold other files.
+        let _ = fs::remove_dir(&shards_dir);
+        Ok(total)
     }
 }
 
@@ -637,6 +789,8 @@ mod tests {
             wall_nanos: 987_654_321,
             sim_cycles: 1_350_000,
             instructions: 1_458_748,
+            worker: 3,
+            shard: "worker-3.jsonl".into(),
         };
         store
             .insert_span("s1".into(), "span | inputs".into(), span.clone())
@@ -647,6 +801,115 @@ mod tests {
         assert_eq!(back.spans(), vec![&span]);
         assert!(back.get_unit("s1").is_none(), "typed lookup rejects kind");
         assert!(back.get_span("missing").is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spans_land_in_the_sidecar_not_the_deterministic_store() {
+        let dir = tmp_dir("span-sidecar");
+        let mut store = ResultStore::open(&dir).unwrap();
+        store
+            .insert("u1".into(), "i".into(), fake("x+y", 1.0))
+            .unwrap();
+        let store_bytes = fs::read(dir.join(STORE_FILE)).unwrap();
+        store
+            .insert_span("s1".into(), "span".into(), UnitSpan::default())
+            .unwrap();
+        assert_eq!(
+            fs::read(dir.join(STORE_FILE)).unwrap(),
+            store_bytes,
+            "span inserts must not touch store.jsonl"
+        );
+        assert!(dir.join(SPANS_FILE).exists());
+        let back = ResultStore::open(&dir).unwrap();
+        assert_eq!(back.span_count(), 1);
+        assert_eq!(back.unit_count(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_migrates_legacy_inline_spans_to_the_sidecar() {
+        let dir = tmp_dir("span-migrate");
+        let mut store = ResultStore::open(&dir).unwrap();
+        store
+            .insert("u1".into(), "i".into(), fake("x+y", 1.0))
+            .unwrap();
+        // Fake a legacy store with the span inline in store.jsonl.
+        let span_entry = StoreEntry {
+            key: "s1".into(),
+            inputs: "span".into(),
+            result: StoredResult::Span(UnitSpan::default()),
+        };
+        let path = dir.join(STORE_FILE);
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str(&span_entry.render_line());
+        text.push('\n');
+        fs::write(&path, text).unwrap();
+
+        let mut back = ResultStore::open(&dir).unwrap();
+        assert_eq!(back.span_count(), 1, "legacy inline span still decodes");
+        back.compact().unwrap();
+        let store_text = fs::read_to_string(&path).unwrap();
+        assert!(
+            !store_text.contains("\"span\""),
+            "compact moves spans out of store.jsonl"
+        );
+        let spans_text = fs::read_to_string(dir.join(SPANS_FILE)).unwrap();
+        assert!(spans_text.contains("\"span\""));
+        assert_eq!(ResultStore::open(&dir).unwrap().span_count(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_shards_merges_and_deletes_skipping_partial_tails() {
+        let dir = tmp_dir("recover");
+        let mut store = ResultStore::open(&dir).unwrap();
+        store
+            .insert("k1".into(), "i".into(), fake("x+y", 1.0))
+            .unwrap();
+
+        // Shard 0: one duplicate of k1 plus a fresh k2.
+        let mut shard0 = ShardWriter::new(dir.join(SHARDS_DIR).join("worker-0.jsonl"));
+        shard0
+            .append(&StoreEntry {
+                key: "k1".into(),
+                inputs: "i".into(),
+                result: fake("x+y", 1.0),
+            })
+            .unwrap();
+        shard0
+            .append(&StoreEntry {
+                key: "k2".into(),
+                inputs: "i".into(),
+                result: fake("a+b", 2.0),
+            })
+            .unwrap();
+        assert!(shard0.written());
+        // Shard 1: a fresh k3 followed by a crash-truncated partial line.
+        let mut shard1 = ShardWriter::new(dir.join(SHARDS_DIR).join("worker-1.jsonl"));
+        shard1
+            .append(&StoreEntry {
+                key: "k3".into(),
+                inputs: "i".into(),
+                result: fake("c+d", 3.0),
+            })
+            .unwrap();
+        let shard1_path = shard1.path().to_path_buf();
+        drop(shard1);
+        let mut text = fs::read_to_string(&shard1_path).unwrap();
+        text.push_str("{\"key\":\"k4\",\"inp");
+        fs::write(&shard1_path, text).unwrap();
+
+        let stats = store.recover_shards().unwrap();
+        assert_eq!(stats.read, 3, "partial k4 line skipped");
+        assert_eq!(stats.added, 2);
+        assert_eq!(stats.unchanged, 1);
+        assert!(!dir.join(SHARDS_DIR).exists(), "shards consumed");
+        assert_eq!(store.len(), 3);
+        assert!(store.get("k4").is_none());
+
+        // Nothing left: a second recovery is a no-op.
+        assert_eq!(store.recover_shards().unwrap(), MergeStats::default());
         fs::remove_dir_all(&dir).unwrap();
     }
 

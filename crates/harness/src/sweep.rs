@@ -1,18 +1,26 @@
 //! Sweep orchestration: expand a spec into per-(combo, scheme point)
 //! unit jobs, serve cached units from the store, migrate what a v1
-//! store can still prove, run the rest on the work-stealing executor,
-//! persist as they finish, and assemble per-combo results.
+//! store can still prove, run the rest as a dependency graph on the
+//! parallel executor, and assemble per-combo results.
+//!
+//! Parallel execution is the default path and must never change the
+//! store: workers append completed entries to per-worker shard files
+//! (crash durability), results are merged into the main store in
+//! pending-job order at sweep end (schedule-independent bytes), and
+//! baseline pacing is an explicit dependency edge — a combo's L2P unit
+//! gates its paced siblings, everything else runs free.
 
-use crate::exec::{self, ExecEvent};
+use crate::exec::{self, ExecEvent, JobOutcome};
 use crate::hash::content_key;
 use crate::spec::{
     legacy_combo_key, unit_key_phased, ComboJob, SweepSpec, UnitJob, SCHEMA_VERSION,
 };
-use crate::store::{ResultStore, StoreError};
+use crate::store::{ResultStore, ShardWriter, StoreEntry, StoreError, StoredResult, SHARDS_DIR};
 use snug_experiments::{
     assemble_combo, best_cc_index, pace_of, run_cc_points_shared_phased, run_point_paced,
     run_point_phased, ComboResult, Pace, SchemePoint, SchemeRun,
 };
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -44,16 +52,31 @@ pub enum SweepEvent {
         /// Wall-clock telemetry for the piece that just finished.
         span: UnitSpan,
     },
+    /// A unit simulation panicked; the sweep surfaces the failure as
+    /// [`SweepError::UnitFailed`] after the pool drains.
+    JobFailed {
+        /// Unit label.
+        label: String,
+        /// The panic payload, rendered.
+        error: String,
+    },
+    /// A unit never ran because the baseline it is paced by failed.
+    JobSkipped {
+        /// Unit label.
+        label: String,
+        /// Label of the failed baseline piece that doomed it.
+        failed_dep: String,
+    },
 }
 
 /// Wall-clock telemetry for one executed piece of a sweep: how long the
-/// piece waited for a worker, how long it simulated, and how much
-/// simulated work that wall time bought. Recorded by [`run_unit_jobs`]
-/// around every executed piece (cache hits record nothing — they
-/// cost no wall time worth charging), surfaced on
+/// piece waited for a worker, how long it simulated, how much simulated
+/// work that wall time bought, and which worker ran it. Recorded by
+/// [`run_unit_jobs`] around every executed piece (cache hits record
+/// nothing — they cost no wall time worth charging), surfaced on
 /// [`SweepEvent::JobFinished`], and persisted in the store as its own
 /// record kind so `snug sweep` footers and later tooling can aggregate
-/// throughput across sweeps.
+/// throughput and per-worker utilisation across sweeps.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct UnitSpan {
     /// Label of the executed piece (same shape as the progress lines).
@@ -69,6 +92,12 @@ pub struct UnitSpan {
     /// Instructions retired over the measured windows, reconstructed
     /// from the per-core IPCs each member unit reported.
     pub instructions: u64,
+    /// Worker that executed the piece (0-based; 0 on spans recorded
+    /// before parallel provenance existed).
+    pub worker: usize,
+    /// Shard file the piece's results were first appended to
+    /// (`"worker-0.jsonl"`; empty on pre-parallel spans).
+    pub shard: String,
 }
 
 impl UnitSpan {
@@ -88,6 +117,64 @@ impl UnitSpan {
             return 0.0;
         }
         self.instructions as f64 / (self.wall_nanos as f64 / 1e9)
+    }
+}
+
+/// Errors surfaced by a sweep: the backing store failed, or a unit
+/// piece panicked (its baseline-paced dependents are skipped, everything
+/// unrelated completes and persists before the error returns).
+#[derive(Debug)]
+pub enum SweepError {
+    /// Reading or writing the result store failed.
+    Store(StoreError),
+    /// A unit piece panicked mid-simulation.
+    UnitFailed {
+        /// Label of the failed piece.
+        label: String,
+        /// The panic payload, rendered.
+        error: String,
+        /// Labels of the pieces skipped because they were paced by the
+        /// failed one.
+        skipped: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Store(e) => e.fmt(f),
+            SweepError::UnitFailed {
+                label,
+                error,
+                skipped,
+            } => {
+                write!(f, "unit `{label}` failed: {error}")?;
+                if !skipped.is_empty() {
+                    write!(
+                        f,
+                        " ({} dependent piece(s) skipped: {})",
+                        skipped.len(),
+                        skipped.join(", ")
+                    )?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Store(e) => Some(e),
+            SweepError::UnitFailed { .. } => None,
+        }
+    }
+}
+
+impl From<StoreError> for SweepError {
+    fn from(e: StoreError) -> Self {
+        SweepError::Store(e)
     }
 }
 
@@ -208,93 +295,88 @@ fn scheme_ipcs(result: &ComboResult, scheme: &str) -> Option<Vec<f64>> {
         .map(|s| s.ipcs.clone())
 }
 
-/// One schedulable piece of pending work: a single unit simulation
-/// (optionally paced to a fixed measured window a cached baseline set),
-/// a combo's pending shared-warm-up CC points (which run together so
-/// they share one warm-up snapshot — paced too when the combo's
-/// converged baseline is already known), or a converged-plan combo
-/// whose baseline is itself pending — the L2P unit runs the stop policy
-/// first and every sibling then measures over the window it settled on.
-enum ExecUnit<'a> {
-    Single(&'a UnitJob),
-    Paced(&'a UnitJob, Pace),
-    CcShared(Vec<&'a UnitJob>, Option<Pace>),
-    PacedCombo(Vec<&'a UnitJob>),
+/// Where a paced node's measurement window comes from: the baseline's
+/// pace read from the store up front, or a baseline node running this
+/// sweep — its pace is published into the pace slot when it completes,
+/// and the dependency edge guarantees that happens first.
+#[derive(Clone, Copy)]
+enum PaceSource {
+    Cached(Pace),
+    Node(usize),
 }
 
-impl ExecUnit<'_> {
+impl PaceSource {
+    fn resolve(&self, paces: &[Mutex<Option<Pace>>]) -> Pace {
+        match self {
+            PaceSource::Cached(pace) => *pace,
+            PaceSource::Node(baseline) => paces[*baseline]
+                .lock()
+                .expect("pace slot poisoned")
+                .expect("a baseline node completes before its dependents run"),
+        }
+    }
+}
+
+/// One schedulable node of the sweep's dependency graph: a single unit
+/// simulation, a unit paced to its combo baseline's measured window, or
+/// a combo's shared-warm-up CC points (which run together so they share
+/// one warm-up snapshot — paced too under an early-exit plan).
+enum ExecNode<'a> {
+    Single(&'a UnitJob),
+    Paced(&'a UnitJob, PaceSource),
+    CcShared(Vec<&'a UnitJob>, Option<PaceSource>),
+}
+
+impl<'a> ExecNode<'a> {
     fn label(&self) -> String {
         match self {
-            ExecUnit::Single(job) => job.label(),
-            ExecUnit::Paced(job, _) => format!("{} [paced]", job.label()),
-            ExecUnit::CcShared(jobs, pace) => format!(
+            ExecNode::Single(job) => job.label(),
+            ExecNode::Paced(job, _) => format!("{} [paced]", job.label()),
+            ExecNode::CcShared(jobs, pace) => format!(
                 "{} [cc sweep x{}, shared warmup{}]",
                 jobs[0].combo.label(),
                 jobs.len(),
                 if pace.is_some() { ", paced" } else { "" },
             ),
-            ExecUnit::PacedCombo(jobs) => format!(
-                "{} [x{}, baseline-paced]",
-                jobs[0].combo.label(),
-                jobs.len()
-            ),
         }
     }
 
-    /// Simulate and return every (job, result) pair of this piece.
-    fn run(&self) -> Vec<(&UnitJob, SchemeRun)> {
+    /// The node's first member — every member shares one (combo,
+    /// configuration, phase), so this is where per-node plan facts come
+    /// from. Only the test failpoint needs it today.
+    #[cfg(test)]
+    fn first_job(&self) -> &'a UnitJob {
         match self {
-            ExecUnit::Single(job) => {
+            ExecNode::Single(job) | ExecNode::Paced(job, _) => job,
+            ExecNode::CcShared(jobs, _) => jobs[0],
+        }
+    }
+
+    /// Simulate and return every (job, result) pair of this node.
+    fn run(&self, paces: &[Mutex<Option<Pace>>]) -> Vec<(&'a UnitJob, SchemeRun)> {
+        match self {
+            ExecNode::Single(job) => {
                 vec![(
                     *job,
                     run_point_phased(&job.combo, &job.point, &job.config, job.phase.as_ref()),
                 )]
             }
-            ExecUnit::Paced(job, pace) => {
+            ExecNode::Paced(job, source) => {
+                let pace = source.resolve(paces);
                 vec![(
                     *job,
                     run_point_paced(
                         &job.combo,
                         &job.point,
                         &job.config,
-                        pace,
+                        &pace,
                         job.phase.as_ref(),
                     ),
                 )]
             }
-            ExecUnit::CcShared(jobs, pace) => run_cc_family(jobs, pace.as_ref()),
-            ExecUnit::PacedCombo(jobs) => {
-                let baseline_job = jobs
-                    .iter()
-                    .find(|j| j.point == SchemePoint::L2p)
-                    .expect("paced combos include their pending baseline");
-                let cfg = &baseline_job.config;
-                let phase = baseline_job.phase.as_ref();
-                let baseline = run_point_phased(&baseline_job.combo, &SchemePoint::L2p, cfg, phase);
-                let pace = pace_of(&baseline, cfg);
-                // Shared-warm-up CC members keep their one-snapshot
-                // semantics inside a paced combo: they run as one
-                // family over the baseline's window.
-                let cc_shared: Vec<&UnitJob> =
-                    jobs.iter().copied().filter(|j| j.shared_warmup).collect();
-                let mut results: Vec<(&UnitJob, SchemeRun)> = jobs
-                    .iter()
-                    .filter(|j| !j.shared_warmup)
-                    .map(|job| {
-                        if job.point == SchemePoint::L2p {
-                            (*job, baseline.clone())
-                        } else {
-                            (
-                                *job,
-                                run_point_paced(&job.combo, &job.point, cfg, &pace, phase),
-                            )
-                        }
-                    })
-                    .collect();
-                if !cc_shared.is_empty() {
-                    results.extend(run_cc_family(&cc_shared, Some(&pace)));
-                }
-                results
+            ExecNode::CcShared(jobs, source) => {
+                let pace = source.as_ref().map(|s| s.resolve(paces));
+                run_cc_family(jobs, pace.as_ref())
             }
         }
     }
@@ -320,25 +402,37 @@ fn run_cc_family<'a>(jobs: &[&'a UnitJob], pace: Option<&Pace>) -> Vec<(&'a Unit
     .collect()
 }
 
-/// Group pending jobs into schedulable pieces:
+/// Build the sweep's dependency graph from the pending jobs:
 ///
-/// * shared-warm-up CC units batch per (combo, configuration, phase) —
-///   a family shares one warm-up, so every member must describe the
-///   same simulation inputs — in first-appearance order; under an
-///   early-exit plan with a cached baseline, the family runs paced to
-///   the baseline's window (the `--shared-warmup --until-converged`
-///   composition);
-/// * other early-exit units batch per (combo, configuration, phase)
-///   around their pending L2P baseline ([`ExecUnit::PacedCombo`]);
-///   when the baseline is already in the store, its recorded window
-///   paces each pending sibling individually ([`ExecUnit::Paced`]),
-///   keeping unit granularity (a scheme-parameter edit re-runs that
-///   scheme's units in parallel, paced by the cached baselines);
-/// * everything else runs alone.
-fn plan_exec_units<'a>(pending: &[&'a UnitJob], store: &ResultStore) -> Vec<ExecUnit<'a>> {
-    let mut units: Vec<ExecUnit<'_>> = Vec::new();
-    let mut family_index: std::collections::HashMap<String, usize> =
-        std::collections::HashMap::new();
+/// * fixed-plan units run free ([`ExecNode::Single`], no edges), with
+///   a combo's shared-warm-up CC units batched into one
+///   [`ExecNode::CcShared`] node (a family shares one warm-up, so every
+///   member must describe the same simulation inputs);
+/// * early-exit units group per (combo, configuration, phase). When the
+///   combo's L2P baseline is itself pending it becomes a free
+///   [`ExecNode::Single`] node and every sibling node depends on it
+///   ([`PaceSource::Node`]) — combos parallelize against each other,
+///   only the intra-combo pacing order is sequenced. When the baseline
+///   is already in the store, its recorded window paces each sibling
+///   with no edges at all ([`PaceSource::Cached`]), keeping unit
+///   granularity (a scheme-parameter edit re-runs that scheme's units
+///   in parallel, paced by the cached baselines);
+/// * an early-exit subset whose baseline is neither cached nor pending
+///   (a caller-supplied subset) cannot be paced; its members fall back
+///   to independent converged runs — shared-warm-up CC members still
+///   batch as one (unpaced) family.
+///
+/// Returns the nodes plus, per node, the indices of the nodes it
+/// depends on — the exact shape [`exec::run_graph`] consumes.
+fn plan_exec_nodes<'a>(
+    pending: &[&'a UnitJob],
+    store: &ResultStore,
+) -> (Vec<ExecNode<'a>>, Vec<Vec<usize>>) {
+    enum Item<'a> {
+        Free(&'a UnitJob),
+        CcFamily(Vec<&'a UnitJob>),
+        EarlyFamily(Vec<&'a UnitJob>),
+    }
     let family_tag = |kind: &str, job: &UnitJob| {
         format!(
             "{kind}|{:?}|{:?}|{:?}",
@@ -347,92 +441,91 @@ fn plan_exec_units<'a>(pending: &[&'a UnitJob], store: &ResultStore) -> Vec<Exec
             job.phase.as_ref().map(|p| p.fingerprint())
         )
     };
-    for job in pending {
-        let cached_pace = job.config.plan.can_stop_early().then(|| {
-            let baseline_key = unit_key_phased(
-                &job.combo,
-                &SchemePoint::L2p,
-                &job.config,
-                false,
-                job.phase.as_ref(),
-            );
-            store
-                .get_unit(&baseline_key)
-                .map(|baseline| pace_of(baseline, &job.config))
-        });
-        if job.shared_warmup && matches!(job.point, SchemePoint::Cc { .. }) {
-            match cached_pace {
-                // Early-exit plan, baseline still pending: the CC
-                // family joins the combo's baseline-paced piece.
-                Some(None) => {
-                    let combo = family_tag("paced", job);
-                    match family_index.get(&combo) {
-                        Some(&i) => match &mut units[i] {
-                            ExecUnit::PacedCombo(jobs) => jobs.push(job),
-                            _ => unreachable!("family index points at a paced combo"),
-                        },
-                        None => {
-                            family_index.insert(combo, units.len());
-                            units.push(ExecUnit::PacedCombo(vec![job]));
-                        }
-                    }
-                }
-                // Fixed plan (None) or cached baseline (Some(Some)):
-                // one shared-warm-up family, paced if known.
-                pace => {
-                    let pace = pace.flatten();
-                    let combo = family_tag("cc", job);
-                    match family_index.get(&combo) {
-                        Some(&i) => match &mut units[i] {
-                            ExecUnit::CcShared(jobs, _) => jobs.push(job),
-                            _ => unreachable!("family index points at a CC family"),
-                        },
-                        None => {
-                            family_index.insert(combo, units.len());
-                            units.push(ExecUnit::CcShared(vec![job], pace));
-                        }
-                    }
-                }
-            }
-        } else if let Some(pace) = cached_pace {
-            if let Some(pace) = pace {
-                units.push(ExecUnit::Paced(job, pace));
+    let mut items: Vec<Item<'a>> = Vec::new();
+    let mut family_index: HashMap<String, usize> = HashMap::new();
+    for &job in pending {
+        let (tag, make): (String, fn(Vec<&'a UnitJob>) -> Item<'a>) =
+            if job.config.plan.can_stop_early() {
+                (family_tag("early", job), Item::EarlyFamily)
+            } else if job.shared_warmup && matches!(job.point, SchemePoint::Cc { .. }) {
+                (family_tag("cc", job), Item::CcFamily)
+            } else {
+                items.push(Item::Free(job));
                 continue;
+            };
+        match family_index.get(&tag) {
+            Some(&i) => match &mut items[i] {
+                Item::CcFamily(jobs) | Item::EarlyFamily(jobs) => jobs.push(job),
+                Item::Free(_) => unreachable!("family index never points at a free job"),
+            },
+            None => {
+                family_index.insert(tag, items.len());
+                items.push(make(vec![job]));
             }
-            let combo = family_tag("paced", job);
-            match family_index.get(&combo) {
-                Some(&i) => match &mut units[i] {
-                    ExecUnit::PacedCombo(jobs) => jobs.push(job),
-                    _ => unreachable!("family index points at a paced combo"),
-                },
-                None => {
-                    family_index.insert(combo, units.len());
-                    units.push(ExecUnit::PacedCombo(vec![job]));
-                }
-            }
-        } else {
-            units.push(ExecUnit::Single(job));
         }
     }
-    // A paced combo whose baseline is neither cached nor among the
-    // pending jobs (a caller-supplied subset) cannot be paced; its
-    // members fall back to independent converged runs — shared-warm-up
-    // CC members still batch as one (unpaced) family.
-    units
-        .into_iter()
-        .flat_map(|unit| match unit {
-            ExecUnit::PacedCombo(jobs) if !jobs.iter().any(|j| j.point == SchemePoint::L2p) => {
-                let (cc_shared, rest): (Vec<&UnitJob>, Vec<&UnitJob>) =
-                    jobs.into_iter().partition(|j| j.shared_warmup);
-                let mut out: Vec<ExecUnit<'_>> = rest.into_iter().map(ExecUnit::Single).collect();
-                if !cc_shared.is_empty() {
-                    out.push(ExecUnit::CcShared(cc_shared, None));
-                }
-                out
+
+    let mut nodes: Vec<ExecNode<'a>> = Vec::new();
+    let mut deps: Vec<Vec<usize>> = Vec::new();
+    for item in items {
+        match item {
+            Item::Free(job) => {
+                nodes.push(ExecNode::Single(job));
+                deps.push(Vec::new());
             }
-            other => vec![other],
-        })
-        .collect()
+            Item::CcFamily(jobs) => {
+                nodes.push(ExecNode::CcShared(jobs, None));
+                deps.push(Vec::new());
+            }
+            Item::EarlyFamily(jobs) => {
+                let probe = jobs[0];
+                let source = if let Some(p) = jobs.iter().position(|j| j.point == SchemePoint::L2p)
+                {
+                    let baseline = nodes.len();
+                    nodes.push(ExecNode::Single(jobs[p]));
+                    deps.push(Vec::new());
+                    Some(PaceSource::Node(baseline))
+                } else {
+                    let baseline_key = unit_key_phased(
+                        &probe.combo,
+                        &SchemePoint::L2p,
+                        &probe.config,
+                        false,
+                        probe.phase.as_ref(),
+                    );
+                    store
+                        .get_unit(&baseline_key)
+                        .map(|baseline| PaceSource::Cached(pace_of(baseline, &probe.config)))
+                };
+                let edges: Vec<usize> = match source {
+                    Some(PaceSource::Node(baseline)) => vec![baseline],
+                    _ => Vec::new(),
+                };
+                let cc_shared: Vec<&UnitJob> =
+                    jobs.iter().copied().filter(|j| j.shared_warmup).collect();
+                for &job in jobs
+                    .iter()
+                    .filter(|j| !j.shared_warmup && j.point != SchemePoint::L2p)
+                {
+                    match source {
+                        Some(src) => {
+                            nodes.push(ExecNode::Paced(job, src));
+                            deps.push(edges.clone());
+                        }
+                        None => {
+                            nodes.push(ExecNode::Single(job));
+                            deps.push(Vec::new());
+                        }
+                    }
+                }
+                if !cc_shared.is_empty() {
+                    nodes.push(ExecNode::CcShared(cc_shared, source));
+                    deps.push(edges);
+                }
+            }
+        }
+    }
+    (nodes, deps)
 }
 
 /// Content key for the span record of the piece that executed the
@@ -443,48 +536,185 @@ fn span_key(member_keys: &[&str]) -> String {
     content_key(&format!("{SCHEMA_VERSION}|span|{}", member_keys.join("+")))
 }
 
+/// The human-readable input description recorded beside a unit's
+/// content key — shared by the shard and main-store paths so a shard
+/// line and the store line it merges into are byte-identical.
+fn unit_inputs(job: &UnitJob) -> String {
+    let mode = if job.shared_warmup {
+        " | shared-warmup"
+    } else {
+        ""
+    };
+    let phase = job
+        .phase
+        .as_ref()
+        .map(|p| format!(" | phase={}", p.fingerprint()))
+        .unwrap_or_default();
+    format!(
+        "{:?} | {} | {:?}{mode}{phase}",
+        job.combo,
+        job.point.label(),
+        job.config
+    )
+}
+
+/// Format `x` with an engineering suffix and a trailing space when a
+/// prefix is used, so call sites can append a unit: `1_234_567.0` →
+/// `"1.23 M"`.
+pub fn fmt_eng(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2} G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2} M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2} k", x / 1e3)
+    } else {
+        format!("{x:.0} ")
+    }
+}
+
+/// Render the end-of-sweep telemetry footer from the executed spans: a
+/// throughput roll-up plus one utilisation line per worker. A pure,
+/// order-independent function of the span set — two sweeps that
+/// executed the same pieces print the same footer no matter how the
+/// schedule interleaved them.
+pub fn telemetry_footer(spans: &[UnitSpan]) -> String {
+    if spans.is_empty() {
+        return "telemetry: all units served from cache (no simulation wall time)".into();
+    }
+    let wall_nanos: u64 = spans.iter().map(|s| s.wall_nanos).sum();
+    let sim_cycles: u64 = spans.iter().map(|s| s.sim_cycles).sum();
+    let instructions: u64 = spans.iter().map(|s| s.instructions).sum();
+    let secs = wall_nanos as f64 / 1e9;
+    let rate = |x: u64| {
+        if secs > 0.0 {
+            x as f64 / secs
+        } else {
+            0.0
+        }
+    };
+    let mut out = format!(
+        "telemetry: {:.2} s simulation wall across {} pieces · {}cycles/s · {}ops/s",
+        secs,
+        spans.len(),
+        fmt_eng(rate(sim_cycles)),
+        fmt_eng(rate(instructions)),
+    );
+    // Per-worker utilisation against the sweep's span of wall time: the
+    // latest point any piece was still simulating, measured from
+    // submission (queue + wall of that piece).
+    let elapsed_nanos = spans
+        .iter()
+        .map(|s| s.queue_nanos + s.wall_nanos)
+        .max()
+        .unwrap_or(0);
+    let mut workers: BTreeMap<usize, (usize, u64)> = BTreeMap::new();
+    for span in spans {
+        let slot = workers.entry(span.worker).or_default();
+        slot.0 += 1;
+        slot.1 += span.wall_nanos;
+    }
+    for (worker, (pieces, busy_nanos)) in workers {
+        let util = if elapsed_nanos == 0 {
+            0.0
+        } else {
+            100.0 * busy_nanos as f64 / elapsed_nanos as f64
+        };
+        out.push_str(&format!(
+            "\n  worker {worker}: {pieces} pieces, {:.2} s busy ({util:.0}% utilisation)",
+            busy_nanos as f64 / 1e9,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+pub(crate) mod failpoint {
+    //! A test-only failure injector: when armed with a label substring
+    //! and a warm-up cycle count, any piece matching *both* panics
+    //! before simulating. Keying on a test's unique custom warm-up
+    //! budget means concurrently running tests in the same process
+    //! never trip each other's failpoints.
+    use std::sync::Mutex;
+
+    pub(crate) static ARMED: Mutex<Option<(String, u64)>> = Mutex::new(None);
+
+    pub(crate) fn maybe_panic(label: &str, warmup_cycles: u64) {
+        // Clone and release the lock before panicking so an injected
+        // failure never poisons the failpoint itself.
+        let armed = ARMED.lock().expect("failpoint poisoned").clone();
+        if let Some((pattern, warmup)) = armed {
+            if warmup_cycles == warmup && label.contains(&pattern) {
+                panic!("injected failure for {label}");
+            }
+        }
+    }
+}
+
 /// Run `jobs` against `store`: cached units are served, missing units
-/// run in parallel on up to `threads` workers (0 = all CPUs) and are
-/// appended to the store as they complete. Shared-warm-up CC units of
-/// one combo execute as a single piece around one warm-up snapshot.
-/// Outcomes return in job order. This is the engine under
-/// [`run_sweep`]; tests drive it directly to exercise ad-hoc
-/// configurations.
+/// run as a dependency graph on up to `threads` workers (0 = all CPUs).
+/// Workers append each completed piece to their own shard file under
+/// `results/shards/` the moment it finishes (an interrupted sweep keeps
+/// everything completed so far — the next run recovers the shards and
+/// re-runs only what is missing); the main store is written once, at
+/// sweep end, in pending-job order, so its bytes never depend on the
+/// schedule or the worker count. Outcomes return in job order. This is
+/// the engine under [`run_sweep`]; tests drive it directly to exercise
+/// ad-hoc configurations.
 pub fn run_unit_jobs(
     jobs: &[UnitJob],
     store: &mut ResultStore,
     threads: usize,
     progress: &mut (impl FnMut(SweepEvent) + Send),
-) -> Result<Vec<UnitOutcome>, StoreError> {
+) -> Result<Vec<UnitOutcome>, SweepError> {
+    store.recover_shards()?;
     let submitted = Instant::now();
     let pending: Vec<&UnitJob> = jobs
         .iter()
         .filter(|j| store.get_unit(&j.key).is_none())
         .collect();
-    let exec_units = plan_exec_units(&pending, store);
-
-    // Execute the missing pieces; each result is appended to the store
-    // *as its piece finishes* (under the store lock), so an interrupted
-    // sweep keeps everything completed so far. Each piece's span slot is
-    // filled inside the job closure, which the executor completes before
-    // emitting `Finished` — the event handler can therefore take it.
+    let (nodes, deps) = plan_exec_nodes(&pending, store);
+    let workers = exec::effective_threads(threads, nodes.len());
+    let shards_dir = store.dir().join(SHARDS_DIR);
+    let shard_writers: Vec<Mutex<ShardWriter>> = (0..workers)
+        .map(|w| {
+            Mutex::new(ShardWriter::new(
+                shards_dir.join(format!("worker-{w}.jsonl")),
+            ))
+        })
+        .collect();
+    let shard_error: Mutex<Option<StoreError>> = Mutex::new(None);
+    let paces: Vec<Mutex<Option<Pace>>> = nodes.iter().map(|_| Mutex::new(None)).collect();
+    let spans: Vec<Mutex<Option<UnitSpan>>> = nodes.iter().map(|_| Mutex::new(None)).collect();
     let progress_cell = Mutex::new(&mut *progress);
-    let store_cell = Mutex::new(&mut *store);
-    let first_store_error: Mutex<Option<StoreError>> = Mutex::new(None);
-    let spans: Vec<Mutex<Option<UnitSpan>>> = exec_units.iter().map(|_| Mutex::new(None)).collect();
-    exec::run(
-        exec_units.len(),
-        threads,
-        |i| {
+    let outcomes = exec::run_graph(
+        nodes.len(),
+        &deps,
+        workers,
+        |i, worker| {
+            let node = &nodes[i];
+            #[cfg(test)]
+            failpoint::maybe_panic(&node.label(), node.first_job().config.plan.warmup_cycles);
             let picked = Instant::now();
-            let results = exec_units[i].run();
+            let results = node.run(&paces);
             let wall_nanos = picked.elapsed().as_nanos() as u64;
+            // Publish the baseline's pace before this node is marked
+            // complete: the executor unblocks dependents only after this
+            // closure returns, so paced siblings always find it.
+            if let ExecNode::Single(job) = node {
+                if job.point == SchemePoint::L2p && job.config.plan.can_stop_early() {
+                    *paces[i].lock().expect("pace slot poisoned") =
+                        Some(pace_of(&results[0].1, &job.config));
+                }
+            }
             let mut span = UnitSpan {
-                label: exec_units[i].label(),
+                label: node.label(),
                 queue_nanos: picked.duration_since(submitted).as_nanos() as u64,
                 wall_nanos,
                 sim_cycles: 0,
                 instructions: 0,
+                worker,
+                shard: format!("worker-{worker}.jsonl"),
             };
             let mut member_keys: Vec<&str> = Vec::with_capacity(results.len());
             for (job, run) in &results {
@@ -495,76 +725,132 @@ pub fn run_unit_jobs(
                     (run.ipcs.iter().sum::<f64>() * measured as f64).round() as u64;
                 member_keys.push(job.key.as_str());
             }
-            for (job, run) in results {
-                let mode = if job.shared_warmup {
-                    " | shared-warmup"
-                } else {
-                    ""
-                };
-                let phase = job
-                    .phase
-                    .as_ref()
-                    .map(|p| format!(" | phase={}", p.fingerprint()))
-                    .unwrap_or_default();
-                let inputs = format!(
-                    "{:?} | {} | {:?}{mode}{phase}",
-                    job.combo,
-                    job.point.label(),
-                    job.config
-                );
-                let inserted = store_cell.lock().expect("store poisoned").insert_unit(
-                    job.key.clone(),
-                    inputs,
-                    run,
-                );
-                if let Err(e) = inserted {
-                    first_store_error
-                        .lock()
-                        .expect("error slot poisoned")
-                        .get_or_insert(e);
-                }
-            }
             let span_key = span_key(&member_keys);
-            let inserted = store_cell.lock().expect("store poisoned").insert_span(
-                span_key,
-                format!("span | {}", span.label),
-                span.clone(),
-            );
-            if let Err(e) = inserted {
-                first_store_error
-                    .lock()
-                    .expect("error slot poisoned")
-                    .get_or_insert(e);
+            // Crash durability: every completed entry reaches this
+            // worker's shard before the piece reports done.
+            {
+                let mut shard = shard_writers[worker].lock().expect("shard writer poisoned");
+                let mut append = |entry: StoreEntry| {
+                    if let Err(e) = shard.append(&entry) {
+                        shard_error
+                            .lock()
+                            .expect("error slot poisoned")
+                            .get_or_insert(e);
+                    }
+                };
+                for (job, run) in &results {
+                    append(StoreEntry {
+                        key: job.key.clone(),
+                        inputs: unit_inputs(job),
+                        result: StoredResult::Unit(run.clone()),
+                    });
+                }
+                append(StoreEntry {
+                    key: span_key.clone(),
+                    inputs: format!("span | {}", span.label),
+                    result: StoredResult::Span(span.clone()),
+                });
             }
-            *spans[i].lock().expect("span slot poisoned") = Some(span);
+            *spans[i].lock().expect("span slot poisoned") = Some(span.clone());
+            (results, span_key, span)
         },
         |event| {
             let mut p = progress_cell.lock().expect("progress poisoned");
             match event {
-                ExecEvent::Started { index, .. } => (p)(SweepEvent::JobStarted {
-                    label: exec_units[index].label(),
+                ExecEvent::Started { index, .. } => (*p)(SweepEvent::JobStarted {
+                    label: nodes[index].label(),
                 }),
-                ExecEvent::Finished { index, done, total } => (p)(SweepEvent::JobFinished {
-                    label: exec_units[index].label(),
+                ExecEvent::Finished {
+                    index, done, total, ..
+                } => (*p)(SweepEvent::JobFinished {
+                    label: nodes[index].label(),
                     done,
                     to_run: total,
                     span: spans[index]
                         .lock()
                         .expect("span slot poisoned")
-                        .take()
+                        .clone()
                         .unwrap_or_default(),
+                }),
+                ExecEvent::Failed { index, error, .. } => (*p)(SweepEvent::JobFailed {
+                    label: nodes[index].label(),
+                    error,
+                }),
+                ExecEvent::Skipped {
+                    index, failed_dep, ..
+                } => (*p)(SweepEvent::JobSkipped {
+                    label: nodes[index].label(),
+                    failed_dep: nodes[failed_dep].label(),
                 }),
             }
         },
     );
-    let _ = store_cell; // release the &mut store reborrow
-    if let Some(e) = first_store_error.into_inner().expect("error slot poisoned") {
-        return Err(e);
+
+    // Fold the terminal states: completed runs merge into the main
+    // store, the first failure (plus everything it doomed) is surfaced
+    // after persistence so an interrupted sweep still keeps its
+    // completed work.
+    let mut completed: HashMap<String, SchemeRun> = HashMap::new();
+    let mut finished_spans: Vec<(String, UnitSpan)> = Vec::new();
+    let mut failure: Option<(String, String)> = None;
+    let mut skipped: Vec<String> = Vec::new();
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            JobOutcome::Done((results, span_key, span)) => {
+                for (job, run) in results {
+                    completed.insert(job.key.clone(), run);
+                }
+                finished_spans.push((span_key, span));
+            }
+            JobOutcome::Failed(error) => {
+                if failure.is_none() {
+                    failure = Some((nodes[i].label(), error));
+                }
+            }
+            JobOutcome::Skipped { .. } => skipped.push(nodes[i].label()),
+        }
+    }
+    // Deterministic merge: completed units land in the main store in
+    // pending-job order — never in completion order — so the store's
+    // bytes are identical for every `--jobs` value.
+    for job in &pending {
+        if let Some(run) = completed.remove(&job.key) {
+            store.insert_unit(job.key.clone(), unit_inputs(job), run)?;
+        }
+    }
+    for (key, span) in finished_spans {
+        store.insert_span(key, format!("span | {}", span.label), span)?;
+    }
+    // The shards' contents are now in the main store; drop them.
+    let mut shard_io: Option<StoreError> = None;
+    for writer in shard_writers {
+        let writer = writer.into_inner().expect("shard writer poisoned");
+        if writer.written() {
+            if let Err(e) = std::fs::remove_file(writer.path()) {
+                shard_io.get_or_insert(StoreError::Io(
+                    writer.path().display().to_string(),
+                    e.to_string(),
+                ));
+            }
+        }
+    }
+    let _ = std::fs::remove_dir(&shards_dir);
+    if let Some((label, error)) = failure {
+        return Err(SweepError::UnitFailed {
+            label,
+            error,
+            skipped,
+        });
+    }
+    if let Some(e) = shard_error.into_inner().expect("error slot poisoned") {
+        return Err(e.into());
+    }
+    if let Some(e) = shard_io {
+        return Err(e.into());
     }
 
     // Assemble outcomes in job order, now that everything is stored.
-    let executed: std::collections::HashSet<&str> =
-        pending.iter().map(|j| j.key.as_str()).collect();
+    let executed: HashSet<&str> = pending.iter().map(|j| j.key.as_str()).collect();
     Ok(jobs
         .iter()
         .map(|job| UnitOutcome {
@@ -578,8 +864,9 @@ pub fn run_unit_jobs(
         .collect())
 }
 
-/// Run `spec` against `store`: v1 entries are migrated where possible,
-/// cached units are served, missing units run in parallel on up to
+/// Run `spec` against `store`: leftover shards from a killed sweep are
+/// recovered first, v1 entries are migrated where possible, cached
+/// units are served, missing units run as a dependency graph on up to
 /// `threads` workers (0 = all CPUs), and per-combo results are
 /// assembled from the units.
 pub fn run_sweep(
@@ -587,7 +874,10 @@ pub fn run_sweep(
     store: &mut ResultStore,
     threads: usize,
     mut progress: impl FnMut(SweepEvent) + Send,
-) -> Result<SweepOutcome, StoreError> {
+) -> Result<SweepOutcome, SweepError> {
+    // Recover before counting cache hits so units a killed sweep
+    // completed are reported as hits, not re-planned.
+    store.recover_shards()?;
     let combo_jobs = spec.combo_jobs();
 
     let mut migrated = 0;
@@ -668,7 +958,7 @@ pub fn cached_results(spec: &SweepSpec, store: &ResultStore) -> Option<Vec<Combo
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::BudgetPreset;
+    use crate::spec::{BudgetPreset, StopPreset};
     use snug_workloads::ComboClass;
 
     fn tiny_spec() -> SweepSpec {
@@ -680,7 +970,7 @@ mod tests {
                 warmup_cycles: 10_000,
                 measure_cycles: 60_000,
             },
-            stop: crate::spec::StopPreset::Fixed,
+            stop: StopPreset::Fixed,
             phase_shift: None,
             shared_warmup: false,
         }
@@ -749,7 +1039,7 @@ mod tests {
         run_sweep(&spec, &mut store, 1, |e| match e {
             SweepEvent::Planned { total, hits, .. } => planned = Some((total, hits)),
             SweepEvent::JobFinished { .. } => finished += 1,
-            SweepEvent::JobStarted { .. } => {}
+            _ => {}
         })
         .unwrap();
         assert_eq!(planned, Some((3 * UNITS_PER_COMBO, 0)));
@@ -765,6 +1055,205 @@ mod tests {
         run_sweep(&spec, &mut store, 0, |_| {}).unwrap();
         let cached = cached_results(&spec, &store).unwrap();
         assert_eq!(cached.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parallel_run_persists_the_same_store_bytes_as_sequential() {
+        let spec = tiny_spec();
+        let (dir_seq, mut store_seq) = tmp_store("bytes-seq");
+        let (dir_par, mut store_par) = tmp_store("bytes-par");
+        let sequential = run_sweep(&spec, &mut store_seq, 1, |_| {}).unwrap();
+        let parallel = run_sweep(&spec, &mut store_par, 4, |_| {}).unwrap();
+        assert_eq!(sequential.results(), parallel.results());
+        let seq_bytes = std::fs::read(dir_seq.join(crate::store::STORE_FILE)).unwrap();
+        let par_bytes = std::fs::read(dir_par.join(crate::store::STORE_FILE)).unwrap();
+        assert_eq!(
+            seq_bytes, par_bytes,
+            "store bytes must not depend on the worker count"
+        );
+        std::fs::remove_dir_all(&dir_seq).unwrap();
+        std::fs::remove_dir_all(&dir_par).unwrap();
+    }
+
+    #[test]
+    fn spans_record_worker_and_shard_provenance() {
+        let spec = tiny_spec();
+        let (dir, mut store) = tmp_store("provenance");
+        let mut spans = Vec::new();
+        run_sweep(&spec, &mut store, 2, |e| {
+            if let SweepEvent::JobFinished { span, .. } = e {
+                spans.push(span);
+            }
+        })
+        .unwrap();
+        assert_eq!(spans.len(), 3 * UNITS_PER_COMBO);
+        for span in &spans {
+            assert!(span.worker < 2, "{}: worker {}", span.label, span.worker);
+            assert_eq!(span.shard, format!("worker-{}.jsonl", span.worker));
+        }
+        // Persisted spans carry the same provenance, and the shards
+        // themselves are gone (their contents merged into the store).
+        assert_eq!(store.span_count(), 3 * UNITS_PER_COMBO);
+        for span in store.spans() {
+            assert_eq!(span.shard, format!("worker-{}.jsonl", span.worker));
+        }
+        assert!(!dir.join(SHARDS_DIR).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn telemetry_footer_is_order_independent_and_pinned() {
+        let span =
+            |label: &str, queue: u64, wall: u64, cycles: u64, instr: u64, worker: usize| UnitSpan {
+                label: label.into(),
+                queue_nanos: queue,
+                wall_nanos: wall,
+                sim_cycles: cycles,
+                instructions: instr,
+                worker,
+                shard: format!("worker-{worker}.jsonl"),
+            };
+        let spans = vec![
+            span("a", 0, 2_000_000_000, 3_000_000, 1_500_000, 0),
+            span("b", 500_000_000, 1_500_000_000, 1_000_000, 500_000, 1),
+            span("c", 2_000_000_000, 1_000_000_000, 2_000_000, 1_000_000, 0),
+        ];
+        let footer = telemetry_footer(&spans);
+        assert_eq!(
+            footer,
+            "telemetry: 4.50 s simulation wall across 3 pieces · 1.33 Mcycles/s · 666.67 kops/s\n  \
+             worker 0: 2 pieces, 3.00 s busy (100% utilisation)\n  \
+             worker 1: 1 pieces, 1.50 s busy (50% utilisation)"
+        );
+        let mut reversed = spans.clone();
+        reversed.reverse();
+        assert_eq!(
+            telemetry_footer(&reversed),
+            footer,
+            "the footer is a pure function of the span set, not its order"
+        );
+        assert_eq!(
+            telemetry_footer(&[]),
+            "telemetry: all units served from cache (no simulation wall time)"
+        );
+    }
+
+    #[test]
+    fn crash_recovery_reruns_only_missing_units() {
+        let spec = tiny_spec();
+        let (dir_ref, mut store_ref) = tmp_store("crash-ref");
+        let reference = run_sweep(&spec, &mut store_ref, 2, |_| {}).unwrap();
+
+        // Simulate a killed sweep: a leftover shard holding the first
+        // five completed units plus the partial trailing line the crash
+        // cut short.
+        let (dir, mut store) = tmp_store("crash-shard");
+        let text = std::fs::read_to_string(dir_ref.join(crate::store::STORE_FILE)).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let shards = dir.join(SHARDS_DIR);
+        std::fs::create_dir_all(&shards).unwrap();
+        std::fs::write(
+            shards.join("worker-0.jsonl"),
+            format!("{}\n{}", lines[..5].join("\n"), "{\"key\":\"k6\",\"inp"),
+        )
+        .unwrap();
+
+        let outcome = run_sweep(&spec, &mut store, 2, |_| {}).unwrap();
+        assert_eq!(outcome.cache_hits, 5, "recovered units serve as hits");
+        assert_eq!(outcome.executed, 3 * UNITS_PER_COMBO - 5);
+        assert_eq!(outcome.results(), reference.results());
+        assert!(!shards.exists(), "recovery consumed the shards");
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir_ref).unwrap();
+    }
+
+    #[test]
+    fn paced_siblings_never_start_before_their_baseline_finishes() {
+        let mut spec = tiny_spec();
+        spec.stop = StopPreset::Converged {
+            window_cycles: None,
+            rel_epsilon: Some(0.9),
+        };
+        let (dir, mut store) = tmp_store("pacing-graph");
+        let mut finished: HashSet<String> = HashSet::new();
+        let mut paced_started = 0usize;
+        run_sweep(&spec, &mut store, 4, |e| match e {
+            SweepEvent::JobStarted { label }
+                if label.contains("[paced]") || label.contains("shared warmup, paced") =>
+            {
+                paced_started += 1;
+                let combo = label.split(" [").next().unwrap().to_string();
+                assert!(
+                    finished.contains(&format!("{combo} [l2p]")),
+                    "paced piece `{label}` started before its baseline finished"
+                );
+            }
+            SweepEvent::JobFinished { label, .. } => {
+                finished.insert(label);
+            }
+            _ => {}
+        })
+        .unwrap();
+        assert_eq!(paced_started, 3 * (UNITS_PER_COMBO - 1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failing_baseline_fails_dependents_with_a_clear_error() {
+        let mut spec = tiny_spec();
+        // A warm-up budget unique to this test keys the failpoint so no
+        // concurrently running sweep can trip it.
+        spec.budget = BudgetPreset::Custom {
+            warmup_cycles: 11_000,
+            measure_cycles: 66_000,
+        };
+        spec.stop = StopPreset::Converged {
+            window_cycles: None,
+            rel_epsilon: Some(0.9),
+        };
+        let (dir, mut store) = tmp_store("failing-baseline");
+        let victim = spec.combos()[0].label();
+        let mut events: Vec<SweepEvent> = Vec::new();
+        *failpoint::ARMED.lock().unwrap() = Some((format!("{victim} [l2p]"), 11_000));
+        let err = run_sweep(&spec, &mut store, 2, |e| events.push(e)).unwrap_err();
+        *failpoint::ARMED.lock().unwrap() = None;
+        match &err {
+            SweepError::UnitFailed {
+                label,
+                error,
+                skipped,
+            } => {
+                assert_eq!(label, &format!("{victim} [l2p]"));
+                assert!(error.contains("injected failure"), "{error}");
+                assert_eq!(
+                    skipped.len(),
+                    UNITS_PER_COMBO - 1,
+                    "every paced sibling of the failed baseline: {skipped:?}"
+                );
+            }
+            other => panic!("expected UnitFailed, got {other:?}"),
+        }
+        assert!(
+            err.to_string().contains("failed: injected failure"),
+            "{err}"
+        );
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SweepEvent::JobFailed { .. })));
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, SweepEvent::JobSkipped { .. }))
+                .count(),
+            UNITS_PER_COMBO - 1
+        );
+
+        // The pool drained: the two healthy combos completed and
+        // persisted, so the disarmed re-run re-runs only the victim.
+        let outcome = run_sweep(&spec, &mut store, 2, |_| {}).unwrap();
+        assert_eq!(outcome.cache_hits, 2 * UNITS_PER_COMBO);
+        assert_eq!(outcome.executed, UNITS_PER_COMBO);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -872,7 +1361,7 @@ mod tests {
 
         // A very loose epsilon so the tiny synthetic runs all converge:
         // 4 windows of 6 K cycles → stop at ~24 K of the 60 K window.
-        spec.stop = crate::spec::StopPreset::Converged {
+        spec.stop = StopPreset::Converged {
             window_cycles: None,
             rel_epsilon: Some(0.9),
         };
@@ -889,12 +1378,14 @@ mod tests {
             "converged runs never reuse fixed entries"
         );
         assert_eq!(
-            labels
-                .iter()
-                .filter(|l| l.contains("baseline-paced"))
-                .count(),
+            labels.iter().filter(|l| l.contains("[paced]")).count(),
+            3 * (UNITS_PER_COMBO - 1),
+            "every non-baseline unit runs paced: {labels:?}"
+        );
+        assert_eq!(
+            labels.iter().filter(|l| l.ends_with("[l2p]")).count(),
             3,
-            "one baseline-paced piece per combo: {labels:?}"
+            "one free baseline per combo: {labels:?}"
         );
         assert!(
             converged.simulated_cycles < converged.budgeted_cycles,
@@ -939,7 +1430,7 @@ mod tests {
         // rejected.
         let mut spec = tiny_spec();
         spec.shared_warmup = true;
-        spec.stop = crate::spec::StopPreset::Converged {
+        spec.stop = StopPreset::Converged {
             window_cycles: None,
             rel_epsilon: Some(0.9),
         };
@@ -955,10 +1446,10 @@ mod tests {
         assert_eq!(
             labels
                 .iter()
-                .filter(|l| l.contains("baseline-paced"))
+                .filter(|l| l.contains("shared warmup, paced"))
                 .count(),
             3,
-            "one paced piece per combo: {labels:?}"
+            "one paced CC family per combo: {labels:?}"
         );
         assert!(
             outcome.simulated_cycles < outcome.budgeted_cycles,
@@ -1003,7 +1494,7 @@ mod tests {
         // 60 K window → shift at 40 K), reconverged stop with a loose
         // epsilon so the tiny streams re-stabilise.
         spec.phase_shift = Some("40000:demand=200".into());
-        spec.stop = crate::spec::StopPreset::Reconverged {
+        spec.stop = StopPreset::Reconverged {
             window_cycles: None,
             rel_epsilon: Some(0.9),
         };
@@ -1046,7 +1537,7 @@ mod tests {
     #[test]
     fn converged_units_persist_stop_reasons() {
         let mut spec = tiny_spec();
-        spec.stop = crate::spec::StopPreset::Converged {
+        spec.stop = StopPreset::Converged {
             window_cycles: None,
             rel_epsilon: Some(0.9),
         };
