@@ -34,7 +34,9 @@ pub struct Cc {
     chances: u32,
     /// Remaining hop budget of blocks currently cooperatively cached
     /// (only tracked for blocks with more than zero hops left).
-    hops_left: std::collections::HashMap<sim_mem::BlockAddr, u32>,
+    /// BTreeMap: keyed access only today, but kernel state must stay
+    /// iteration-order-safe if a future change walks it.
+    hops_left: std::collections::BTreeMap<sim_mem::BlockAddr, u32>,
     rng: SmallRng,
 }
 
@@ -55,7 +57,7 @@ impl Cc {
             p_spill,
             next_peer: 1,
             chances,
-            hops_left: std::collections::HashMap::new(),
+            hops_left: std::collections::BTreeMap::new(),
             rng: SmallRng::seed_from_u64(0xCC_5EED),
         }
     }

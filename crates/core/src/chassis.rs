@@ -292,7 +292,7 @@ impl PrivateChassis {
     /// Check the chip-wide single-copy invariant for diagnostics/tests:
     /// no block address appears in more than one slice (own or CC copy).
     pub fn single_copy_invariant(&self) -> bool {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for slice in &self.slices {
             for set in 0..slice.geometry().num_sets as usize {
                 for line in slice.set(set).valid_lines() {

@@ -554,13 +554,16 @@ pub fn run_cc_points_shared_phased(
     let mut warm = session_for_org_phased(combo, Cc::new(cfg.system, 0.0), &run_cfg, phase);
     warm.run_until(run_cfg.plan.warmup_cycles);
     debug_assert!(warm.measuring(), "warm-up boundary crossed");
+    // snug-lint: allow(panic-audit, "synthetic workload streams always support snapshotting; only recorded traces can refuse")
     let snap = warm.snapshot().expect("synthetic streams snapshot");
     points
         .iter()
         .map(|point| {
             let SchemePoint::Cc { spill_probability } = *point else {
+                // snug-lint: allow(panic-audit, "the caller builds points exclusively from SchemePoint::Cc, checked by the let-else above")
                 unreachable!("asserted above");
             };
+            // snug-lint: allow(panic-audit, "a snapshot taken from synthetic streams always restores")
             let mut sess = snap.to_session().expect("snapshot streams clone");
             sess.org_mut().set_spill_probability(spill_probability);
             let r = sess.run_to_completion();
@@ -622,6 +625,7 @@ pub fn assemble_combo(combo: &Combo, runs: &[(SchemePoint, SchemeRun)]) -> Combo
         runs.iter()
             .find(|(p, _)| p == want)
             .unwrap_or_else(|| {
+                // snug-lint: allow(panic-audit, "assemble_combo is fed by the runner, which produces every scheme point per combo")
                 panic!(
                     "missing scheme point {} for {}",
                     want.label(),
@@ -659,7 +663,9 @@ pub fn assemble_combo(combo: &Combo, runs: &[(SchemePoint, SchemeRun)]) -> Combo
         .zip(&candidates)
         .map(|(&p, c)| (p, c.metrics.throughput))
         .collect();
+    // snug-lint: allow(panic-audit, "CC_SPILL_POINTS is a non-empty const; the sweep always has candidates")
     let best = best_cc_index(&cc_sweep).expect("non-empty sweep");
+    // snug-lint: allow(panic-audit, "best_cc_index returns an index into the same candidates vec")
     schemes.push(candidates.into_iter().nth(best).expect("index in range"));
 
     schemes.push(scheme_result("DSR", ipcs_of(&SchemePoint::Dsr)));
@@ -762,6 +768,7 @@ pub fn summarize(results: &[ComboResult], figure: Figure) -> Vec<ClassSummary> {
         for (i, scheme) in FIGURE_SCHEMES.iter().enumerate() {
             let vals: Vec<f64> = in_class
                 .iter()
+                // snug-lint: allow(panic-audit, "FIGURE_SCHEMES is the exact scheme set assemble_combo emits")
                 .map(|r| figure.pick(&r.metrics_of(scheme).expect("scheme present")))
                 .collect();
             let g = geomean(&vals);

@@ -38,15 +38,18 @@ pub fn run_all(combos: &[Combo], cfg: &CompareConfig, threads: usize) -> Vec<Com
                     return;
                 }
                 let result = run_combo(&combos[idx], cfg);
-                results.lock().expect("runner poisoned")[idx] = Some(result);
+                results
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)[idx] = Some(result);
             });
         }
     });
 
     results
         .into_inner()
-        .expect("runner poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .into_iter()
+        // snug-lint: allow(panic-audit, "the scoped pool exits only after every combo index was filled; a combo panic has already propagated via scope join")
         .map(|r| r.expect("every combo completed"))
         .collect()
 }

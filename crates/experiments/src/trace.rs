@@ -65,9 +65,11 @@ impl TraceSeries {
     pub fn phase_throughputs(&self) -> Vec<f64> {
         let mut phases: Vec<Vec<f64>> = vec![Vec::new()];
         for s in self.measured() {
+            // snug-lint: allow(panic-audit, "phases is seeded with one element and push only grows it")
             if !s.shifts.is_empty() && !phases.last().expect("non-empty").is_empty() {
                 phases.push(Vec::new());
             }
+            // snug-lint: allow(panic-audit, "phases is seeded with one element and push only grows it")
             phases.last_mut().expect("non-empty").push(s.throughput());
         }
         phases

@@ -48,6 +48,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(rest),
         "profile" => cmd_profile(rest),
         "store" => cmd_store(rest),
+        "lint" => cmd_lint(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -82,6 +83,7 @@ USAGE:
                     [--format md|csv]
   snug store gc     [--results DIR]
   snug store merge  SHARD.jsonl... [--results DIR]
+  snug lint         [--format human|md|json] [--list-rules]
   snug characterize [--bench NAME[,NAME]...] [--intervals N] [--accesses N] [--out DIR]
 
 Budget flags (shared by sweep/compare/report; trace takes the fixed
@@ -1272,4 +1274,40 @@ fn cmd_characterize(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let mut format = String::from("human");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--format" => {
+                format = iter
+                    .next()
+                    .ok_or("--format needs human|md|json")?
+                    .to_string();
+            }
+            "--list-rules" => {
+                print!("{}", snug_lint::report::rule_list());
+                return Ok(());
+            }
+            other => return Err(format!("unknown lint flag `{other}`")),
+        }
+    }
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let root = snug_lint::find_workspace_root(&cwd)
+        .ok_or("no [workspace] Cargo.toml found above the current directory")?;
+    let findings = snug_lint::lint_workspace(&root)?;
+    let rendered = match format.as_str() {
+        "human" => snug_lint::report::human(&findings),
+        "md" => snug_lint::report::markdown(&findings),
+        "json" => snug_lint::report::json(&findings),
+        other => return Err(format!("unknown lint format `{other}`")),
+    };
+    print!("{rendered}");
+    if findings.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} lint finding(s)", findings.len()))
+    }
 }

@@ -19,7 +19,7 @@
 //! schedule — parallel sweeps stay bit-identical to sequential ones.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 
 /// Progress events streamed to the caller while a sweep runs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -197,9 +197,14 @@ where
     let wake = Condvar::new();
     let outcomes: Vec<Mutex<Option<JobOutcome<T>>>> =
         (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    // Lock poisoning: job panics are caught below via catch_unwind, so
+    // a poisoned lock can only mean the progress callback panicked on
+    // another worker. Recover the guard and keep draining the pool —
+    // cascading one callback panic across every worker would abandon
+    // results that are already computed.
     let progress = Mutex::new(on_event);
     let emit = |event: ExecEvent| {
-        let mut f = progress.lock().expect("progress poisoned");
+        let mut f = progress.lock().unwrap_or_else(PoisonError::into_inner);
         (*f)(event)
     };
 
@@ -215,7 +220,7 @@ where
                 // Claim the next runnable job, or exit once everything
                 // has drained.
                 let idx = {
-                    let mut s = sched.lock().expect("scheduler poisoned");
+                    let mut s = sched.lock().unwrap_or_else(PoisonError::into_inner);
                     loop {
                         if s.completed == n_jobs {
                             wake.notify_all();
@@ -225,7 +230,7 @@ where
                             s.running += 1;
                             break idx;
                         }
-                        s = wake.wait(s).expect("scheduler poisoned");
+                        s = wake.wait(s).unwrap_or_else(PoisonError::into_inner);
                     }
                 };
                 emit(ExecEvent::Started {
@@ -236,12 +241,12 @@ where
                 // Record the outcome and unlock (or doom) the
                 // dependents. Events are emitted while still holding the
                 // scheduler lock so `done` counts arrive monotonically.
-                let mut s = sched.lock().expect("scheduler poisoned");
+                let mut s = sched.lock().unwrap_or_else(PoisonError::into_inner);
                 s.running -= 1;
                 s.completed += 1;
                 match result {
                     Ok(out) => {
-                        *outcomes[idx].lock().expect("outcome poisoned") =
+                        *outcomes[idx].lock().unwrap_or_else(PoisonError::into_inner) =
                             Some(JobOutcome::Done(out));
                         emit(ExecEvent::Finished {
                             index: idx,
@@ -252,7 +257,11 @@ where
                         for &dep in &dependents[idx] {
                             // A dependent can already be terminal —
                             // skipped through another, failed ancestor.
-                            if outcomes[dep].lock().expect("outcome poisoned").is_some() {
+                            if outcomes[dep]
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .is_some()
+                            {
                                 continue;
                             }
                             s.waiting[dep] -= 1;
@@ -263,7 +272,7 @@ where
                     }
                     Err(payload) => {
                         let error = panic_message(payload);
-                        *outcomes[idx].lock().expect("outcome poisoned") =
+                        *outcomes[idx].lock().unwrap_or_else(PoisonError::into_inner) =
                             Some(JobOutcome::Failed(error.clone()));
                         emit(ExecEvent::Failed {
                             index: idx,
@@ -277,7 +286,8 @@ where
                         // waiting on a result that will never arrive.
                         let mut stack: Vec<usize> = dependents[idx].clone();
                         while let Some(d) = stack.pop() {
-                            let mut slot = outcomes[d].lock().expect("outcome poisoned");
+                            let mut slot =
+                                outcomes[d].lock().unwrap_or_else(PoisonError::into_inner);
                             if slot.is_some() {
                                 continue;
                             }
@@ -303,7 +313,8 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("outcome poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
+                // snug-lint: allow(panic-audit, "pool drains every job to a terminal outcome before scope exit; an empty slot is a scheduler bug worth crashing on")
                 .expect("every submitted job reached a terminal state")
         })
         .collect()
@@ -326,7 +337,9 @@ where
         .into_iter()
         .map(|outcome| match outcome {
             JobOutcome::Done(t) => t,
+            // snug-lint: allow(panic-audit, "run() documents fail-fast: a panicking job re-panics on the caller thread")
             JobOutcome::Failed(msg) => panic!("executor job panicked: {msg}"),
+            // snug-lint: allow(panic-audit, "deps are empty, so no job can be skipped")
             JobOutcome::Skipped { .. } => unreachable!("independent jobs are never skipped"),
         })
         .collect()

@@ -217,7 +217,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -252,7 +252,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -280,7 +280,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -291,7 +291,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let val = self.value()?;
             map.insert(key, val);
@@ -313,7 +313,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -358,7 +358,10 @@ impl Parser<'_> {
                     let rest = &self.bytes[self.pos..];
                     let s =
                         std::str::from_utf8(rest).map_err(|_| JsonError("invalid UTF-8".into()))?;
-                    let c = s.chars().next().unwrap();
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| JsonError("unterminated string".into()))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -375,7 +378,8 @@ impl Parser<'_> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError("invalid number bytes".into()))?;
         text.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| JsonError(format!("invalid number `{text}`")))

@@ -209,6 +209,7 @@ impl SweepSpec {
     pub fn phase_schedule(&self) -> Option<PhaseSchedule> {
         self.phase_shift
             .as_deref()
+            // snug-lint: allow(panic-audit, "documented # Panics: specs are canonicalised at parse time and from_json rejects bad schedules")
             .map(|s| PhaseSchedule::parse(s).expect("spec carries a valid phase schedule"))
     }
 

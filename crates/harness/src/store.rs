@@ -199,18 +199,20 @@ impl ShardWriter {
     pub(crate) fn append(&mut self, entry: &StoreEntry) -> Result<(), StoreError> {
         let io_err =
             |p: &Path, e: std::io::Error| StoreError::Io(p.display().to_string(), e.to_string());
-        if self.file.is_none() {
-            if let Some(parent) = self.path.parent() {
-                fs::create_dir_all(parent).map_err(|e| io_err(parent, e))?;
+        let file = match self.file.as_mut() {
+            Some(file) => file,
+            None => {
+                if let Some(parent) = self.path.parent() {
+                    fs::create_dir_all(parent).map_err(|e| io_err(parent, e))?;
+                }
+                let file = fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&self.path)
+                    .map_err(|e| io_err(&self.path, e))?;
+                self.file.insert(file)
             }
-            let file = fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(&self.path)
-                .map_err(|e| io_err(&self.path, e))?;
-            self.file = Some(file);
-        }
-        let file = self.file.as_mut().expect("shard file just opened");
+        };
         writeln!(file, "{}", entry.render_line()).map_err(|e| io_err(&self.path, e))
     }
 }

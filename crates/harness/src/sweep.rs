@@ -20,8 +20,8 @@ use snug_experiments::{
     assemble_combo, best_cc_index, pace_of, run_cc_points_shared_phased, run_point_paced,
     run_point_phased, ComboResult, Pace, SchemePoint, SchemeRun,
 };
-use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 /// Progress events streamed while a sweep runs.
@@ -311,7 +311,8 @@ impl PaceSource {
             PaceSource::Cached(pace) => *pace,
             PaceSource::Node(baseline) => paces[*baseline]
                 .lock()
-                .expect("pace slot poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
+                // snug-lint: allow(panic-audit, "pacing edges make the baseline a dependency; the executor runs dependents only after it completed and published")
                 .expect("a baseline node completes before its dependents run"),
         }
     }
@@ -442,7 +443,7 @@ fn plan_exec_nodes<'a>(
         )
     };
     let mut items: Vec<Item<'a>> = Vec::new();
-    let mut family_index: HashMap<String, usize> = HashMap::new();
+    let mut family_index: BTreeMap<String, usize> = BTreeMap::new();
     for &job in pending {
         let (tag, make): (String, fn(Vec<&'a UnitJob>) -> Item<'a>) =
             if job.config.plan.can_stop_early() {
@@ -456,6 +457,7 @@ fn plan_exec_nodes<'a>(
         match family_index.get(&tag) {
             Some(&i) => match &mut items[i] {
                 Item::CcFamily(jobs) | Item::EarlyFamily(jobs) => jobs.push(job),
+                // snug-lint: allow(panic-audit, "the index is only written when a family item is pushed, two lines below")
                 Item::Free(_) => unreachable!("family index never points at a free job"),
             },
             None => {
@@ -703,7 +705,7 @@ pub fn run_unit_jobs(
             // closure returns, so paced siblings always find it.
             if let ExecNode::Single(job) = node {
                 if job.point == SchemePoint::L2p && job.config.plan.can_stop_early() {
-                    *paces[i].lock().expect("pace slot poisoned") =
+                    *paces[i].lock().unwrap_or_else(PoisonError::into_inner) =
                         Some(pace_of(&results[0].1, &job.config));
                 }
             }
@@ -729,12 +731,14 @@ pub fn run_unit_jobs(
             // Crash durability: every completed entry reaches this
             // worker's shard before the piece reports done.
             {
-                let mut shard = shard_writers[worker].lock().expect("shard writer poisoned");
+                let mut shard = shard_writers[worker]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
                 let mut append = |entry: StoreEntry| {
                     if let Err(e) = shard.append(&entry) {
                         shard_error
                             .lock()
-                            .expect("error slot poisoned")
+                            .unwrap_or_else(PoisonError::into_inner)
                             .get_or_insert(e);
                     }
                 };
@@ -751,11 +755,11 @@ pub fn run_unit_jobs(
                     result: StoredResult::Span(span.clone()),
                 });
             }
-            *spans[i].lock().expect("span slot poisoned") = Some(span.clone());
+            *spans[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(span.clone());
             (results, span_key, span)
         },
         |event| {
-            let mut p = progress_cell.lock().expect("progress poisoned");
+            let mut p = progress_cell.lock().unwrap_or_else(PoisonError::into_inner);
             match event {
                 ExecEvent::Started { index, .. } => (*p)(SweepEvent::JobStarted {
                     label: nodes[index].label(),
@@ -768,7 +772,7 @@ pub fn run_unit_jobs(
                     to_run: total,
                     span: spans[index]
                         .lock()
-                        .expect("span slot poisoned")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .clone()
                         .unwrap_or_default(),
                 }),
@@ -790,7 +794,7 @@ pub fn run_unit_jobs(
     // store, the first failure (plus everything it doomed) is surfaced
     // after persistence so an interrupted sweep still keeps its
     // completed work.
-    let mut completed: HashMap<String, SchemeRun> = HashMap::new();
+    let mut completed: BTreeMap<String, SchemeRun> = BTreeMap::new();
     let mut finished_spans: Vec<(String, UnitSpan)> = Vec::new();
     let mut failure: Option<(String, String)> = None;
     let mut skipped: Vec<String> = Vec::new();
@@ -824,7 +828,7 @@ pub fn run_unit_jobs(
     // The shards' contents are now in the main store; drop them.
     let mut shard_io: Option<StoreError> = None;
     for writer in shard_writers {
-        let writer = writer.into_inner().expect("shard writer poisoned");
+        let writer = writer.into_inner().unwrap_or_else(PoisonError::into_inner);
         if writer.written() {
             if let Err(e) = std::fs::remove_file(writer.path()) {
                 shard_io.get_or_insert(StoreError::Io(
@@ -842,7 +846,10 @@ pub fn run_unit_jobs(
             skipped,
         });
     }
-    if let Some(e) = shard_error.into_inner().expect("error slot poisoned") {
+    if let Some(e) = shard_error
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
         return Err(e.into());
     }
     if let Some(e) = shard_io {
@@ -850,7 +857,7 @@ pub fn run_unit_jobs(
     }
 
     // Assemble outcomes in job order, now that everything is stored.
-    let executed: HashSet<&str> = pending.iter().map(|j| j.key.as_str()).collect();
+    let executed: BTreeSet<&str> = pending.iter().map(|j| j.key.as_str()).collect();
     Ok(jobs
         .iter()
         .map(|job| UnitOutcome {
@@ -858,6 +865,7 @@ pub fn run_unit_jobs(
             from_cache: !executed.contains(job.key.as_str()),
             run: store
                 .get_unit(&job.key)
+                // snug-lint: allow(panic-audit, "every pending unit was persisted above and cached units were present before the sweep started")
                 .expect("unit just stored or cached")
                 .clone(),
         })
@@ -1176,7 +1184,7 @@ mod tests {
             rel_epsilon: Some(0.9),
         };
         let (dir, mut store) = tmp_store("pacing-graph");
-        let mut finished: HashSet<String> = HashSet::new();
+        let mut finished: std::collections::HashSet<String> = std::collections::HashSet::new();
         let mut paced_started = 0usize;
         run_sweep(&spec, &mut store, 4, |e| match e {
             SweepEvent::JobStarted { label }

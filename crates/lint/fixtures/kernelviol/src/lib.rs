@@ -1,0 +1,79 @@
+//! Seeded-violation fixture for snug-lint: one violation per rule,
+//! plus lexer traps that must NOT fire and pragmas that must.
+//! This crate is never compiled; it only feeds the lint's tests.
+//! (Deliberately missing `#![forbid(unsafe_code)]` — forbid-unsafe
+//! must fire on this file.)
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// VIOLATION no-unordered-iteration: HashMap in library code.
+pub fn unordered() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+/// VIOLATION no-wallclock-in-kernel: Instant in a sim-* crate.
+pub fn wallclock() -> Instant {
+    Instant::now()
+}
+
+/// VIOLATION panic-audit: unjustified unwrap in library code.
+pub fn panics(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+/// Suppressed: a justified expect must NOT surface.
+pub fn justified(x: Option<u32>) -> u32 {
+    // snug-lint: allow(panic-audit, "fixture: caller guarantees Some")
+    x.expect("fixture invariant")
+}
+
+/// VIOLATION feature-cfg-audit: names a feature the manifest does not
+/// declare.
+pub fn cfg_ghost() -> bool {
+    cfg!(feature = "nonexistent")
+}
+
+/// Lexer traps: none of these may fire.
+/// A raw string containing HashMap is data, not code:
+pub const RAW_TRAP: &str = r#"use std::collections::HashMap;"#;
+// Nested block comment: /* outer /* HashMap Instant unwrap() */ done */
+// Line comment trap: HashMap Instant SystemTime unwrap() panic!
+
+/// Pragmas inside macro_rules! still parse and suppress.
+macro_rules! fixture_macro {
+    () => {
+        // snug-lint: allow(panic-audit, "fixture: macro-expanded invariant")
+        Option::<u32>::None.unwrap()
+    };
+}
+
+/// Uses the macro so it is not dead in spirit.
+pub fn via_macro() -> u32 {
+    fixture_macro!()
+}
+
+// VIOLATION pragma: unknown rule name.
+// snug-lint: allow(no-such-rule, "this rule does not exist")
+pub fn unknown_rule_target() {}
+
+// VIOLATION pragma: omits the reason string.
+// snug-lint: allow(panic-audit)
+pub fn missing_reason_target() {}
+
+// VIOLATION pragma: suppresses nothing (stale allow).
+// snug-lint: allow(no-wallclock-in-kernel, "stale: nothing on the next line uses time")
+pub fn stale_pragma_target() {}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: test code may use HashSet and unwrap freely.
+    use std::collections::HashSet;
+
+    #[test]
+    fn exempt() {
+        let mut s = HashSet::new();
+        s.insert(1);
+        assert_eq!(s.iter().next().copied().unwrap(), 1);
+    }
+}

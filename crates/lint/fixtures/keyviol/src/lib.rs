@@ -1,0 +1,6 @@
+//! Key-bearing fixture crate: clean except for the registry drift
+//! seeded in `spec.rs` / `key_fragments.registry`.
+
+#![forbid(unsafe_code)]
+
+pub mod spec;

@@ -1,0 +1,30 @@
+//! Fixture key construction: one registered fragment, one
+//! unregistered fragment, against a registry with a stale entry, a
+//! note-less entry, and a schema-version header that lags the source.
+
+/// The fixture schema version — the registry header says v8.
+pub const SCHEMA_VERSION: &str = "fixture/v9";
+
+/// Builds a key using a fragment the registry knows about.
+pub fn good_key(x: u32) -> String {
+    format!("{SCHEMA_VERSION}|okfrag={x}")
+}
+
+/// VIOLATION key-fragment-registry: `|badfrag=` is not registered.
+pub fn drifting_key(x: u32) -> String {
+    format!("{SCHEMA_VERSION}|badfrag={x}")
+}
+
+/// Bare markers (no `=`) register too.
+pub fn marker_key() -> String {
+    format!("{SCHEMA_VERSION}|okmarker|tail")
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: fragments in test strings are not key construction.
+    #[test]
+    fn test_strings_are_exempt() {
+        assert!("x|testonly=1".contains("|testonly="));
+    }
+}

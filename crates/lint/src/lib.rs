@@ -1,0 +1,66 @@
+//! `snug-lint`: the workspace's determinism & schema static-analysis
+//! pass.
+//!
+//! Every hard-won runtime property of this reproduction — byte-stable
+//! stores across `--jobs N`, probed/unprobed counter identity,
+//! bit-stable v2 content keys — depends on source-level disciplines
+//! that used to live only in reviewers' heads: no unordered iteration
+//! near stores or keys, no wall-clock reads in the simulation kernel,
+//! feature graphs that actually compile out, panics justified rather
+//! than sprinkled. This crate machine-checks those disciplines with a
+//! hand-rolled, comment/string/raw-string-aware Rust lexer (no
+//! external parser crates) feeding a small rule engine.
+//!
+//! Run it as `cargo run -p snug-lint`, via the `snug lint`
+//! passthrough, or from CI (`--format md` renders a summary table).
+//! Violations that are intentional carry an inline escape hatch:
+//!
+//! ```text
+//! some_call(); // snug-lint: allow(panic-audit, "slot is write-once; poisoning is unreachable")
+//! ```
+//!
+//! The pragma must name a known rule and give a non-empty reason, and
+//! it fails the lint when it suppresses nothing — the escape hatch
+//! cannot rot into a blanket mute. See ARCHITECTURE.md § Static
+//! analysis for the rule catalogue and how to add a rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod manifest;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+use std::path::{Path, PathBuf};
+
+pub use rules::{Finding, RULES};
+
+/// Lint the workspace rooted at `root`: discover first-party crates,
+/// run every rule, and return pragma-filtered findings sorted by
+/// (file, line, rule).
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let ws = workspace::discover(root)?;
+    Ok(rules::run(&ws))
+}
+
+/// Walk upward from `start` to the first directory whose `Cargo.toml`
+/// declares a `[workspace]` — the root the lint should run against
+/// regardless of the invocation directory.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.canonicalize().ok()?;
+    loop {
+        let toml = dir.join("Cargo.toml");
+        if toml.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&toml) {
+                if manifest::Manifest::parse(&text).has_section("workspace") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

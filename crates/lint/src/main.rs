@@ -1,0 +1,85 @@
+//! The `snug-lint` binary: lint the workspace and exit nonzero on
+//! findings. See `--help` for flags.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "snug-lint — workspace determinism & schema static analysis
+
+USAGE:
+    snug-lint [--root PATH] [--format human|md|json] [--list-rules]
+
+OPTIONS:
+    --root PATH      workspace root (default: walk up from the current
+                     directory to the first [workspace] Cargo.toml)
+    --format FMT     output format: human (default), md, json
+    --list-rules     print the rule catalogue and exit
+    -h, --help       show this help
+
+EXIT STATUS:
+    0  clean          1  findings          2  usage or I/O error
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = String::from("human");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a path"),
+            },
+            "--format" => match args.next() {
+                Some(f) => format = f,
+                None => return usage_error("--format needs human|md|json"),
+            },
+            "--list-rules" => {
+                print!("{}", snug_lint::report::rule_list());
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !matches!(format.as_str(), "human" | "md" | "json") {
+        return usage_error(&format!("unknown format `{format}`"));
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match snug_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => return usage_error("no [workspace] Cargo.toml found above cwd"),
+            }
+        }
+    };
+    match snug_lint::lint_workspace(&root) {
+        Ok(findings) => {
+            let rendered = match format.as_str() {
+                "md" => snug_lint::report::markdown(&findings),
+                "json" => snug_lint::report::json(&findings),
+                _ => snug_lint::report::human(&findings),
+            };
+            print!("{rendered}");
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("snug-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("snug-lint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

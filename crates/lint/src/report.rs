@@ -1,0 +1,138 @@
+//! Finding renderers: human (terminal), markdown (CI summary table),
+//! and JSON (machine-readable, hand-rolled like the harness codecs).
+
+use crate::rules::{Finding, RULES};
+
+/// Render findings as `path:line: [rule] message` lines plus a
+/// summary, mirroring compiler diagnostics so editors can jump.
+pub fn human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!("{}:{}: [{}] {}\n", f.file, f.line, f.rule, f.msg));
+    }
+    if findings.is_empty() {
+        out.push_str("snug-lint: clean (0 findings)\n");
+    } else {
+        out.push_str(&format!(
+            "snug-lint: {} finding{}\n",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        ));
+    }
+    out
+}
+
+/// Render findings as a GitHub-flavoured markdown table for the CI
+/// step summary.
+pub fn markdown(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("### snug-lint findings\n\n");
+    if findings.is_empty() {
+        out.push_str("clean: 0 findings across the workspace.\n");
+        return out;
+    }
+    out.push_str("| file | line | rule | finding |\n");
+    out.push_str("| --- | ---: | --- | --- |\n");
+    for f in findings {
+        let msg = f.msg.replace('|', "\\|");
+        out.push_str(&format!(
+            "| `{}` | {} | `{}` | {} |\n",
+            f.file, f.line, f.rule, msg
+        ));
+    }
+    out.push_str(&format!("\n{} finding(s).\n", findings.len()));
+    out
+}
+
+/// Render findings as a JSON array (stable field order, sorted input).
+pub fn json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": {}, \"line\": {}, \"rule\": {}, \"msg\": {}}}",
+            json_str(&f.file),
+            f.line,
+            json_str(&f.rule),
+            json_str(&f.msg)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// The rule catalogue, one rule per line, for `--list-rules`.
+pub fn rule_list() -> String {
+    let mut out = String::new();
+    for r in RULES {
+        out.push_str(&format!("{:<24} {}\n", r.name, r.summary));
+    }
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule: "panic-audit".into(),
+            msg: "a \"quoted\" | piped".into(),
+        }]
+    }
+
+    #[test]
+    fn human_clean_and_dirty() {
+        assert!(human(&[]).contains("clean (0 findings)"));
+        let h = human(&sample());
+        assert!(h.contains("crates/x/src/lib.rs:7: [panic-audit]"));
+        assert!(h.contains("1 finding\n"));
+    }
+
+    #[test]
+    fn markdown_escapes_pipes() {
+        let md = markdown(&sample());
+        assert!(md.contains("\\|"));
+        assert!(md.starts_with("### snug-lint findings"));
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let j = json(&sample());
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn rule_list_names_all_rules() {
+        let l = rule_list();
+        for r in RULES {
+            assert!(l.contains(r.name));
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Workspace discovery: enumerate first-party crates and classify
+//! their source files so rules can scope themselves (library code vs
+//! bins/tests/benches, kernel crates vs harness).
+//!
+//! First-party means the root package plus everything under
+//! `crates/*`. The `vendor/*` members are offline stand-ins for
+//! external dependencies and are exempt by design — they model
+//! third-party API surfaces, not this repo's code.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::manifest::Manifest;
+
+/// How a source file participates in the build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code under `src/` — the full rule set applies.
+    Lib,
+    /// Binary targets (`src/bin/*`, `src/main.rs`) — panic-audit exempt.
+    Bin,
+    /// Integration tests under `tests/`.
+    Test,
+    /// Benches under `benches/`.
+    Bench,
+    /// Examples under `examples/`.
+    Example,
+}
+
+/// One source file, read into memory.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-root-relative path, `/`-separated, for display.
+    pub rel: String,
+    /// Build role of the file.
+    pub kind: FileKind,
+    /// Full file contents.
+    pub text: String,
+}
+
+/// A first-party crate with its manifest and sources.
+#[derive(Debug)]
+pub struct CrateInfo {
+    /// `[package] name` from the manifest.
+    pub name: String,
+    /// Crate directory relative to the workspace root (`.` for root).
+    pub rel_dir: String,
+    /// Absolute crate directory.
+    pub dir: PathBuf,
+    /// Parsed manifest.
+    pub manifest: Manifest,
+    /// All discovered `.rs` sources.
+    pub files: Vec<SourceFile>,
+}
+
+impl CrateInfo {
+    /// Kernel crates: the simulation substrate, where wall-clock time
+    /// is banned. Keyed by naming convention so future `sim-*` crates
+    /// inherit the rule automatically.
+    pub fn is_kernel(&self) -> bool {
+        self.name.starts_with("sim-")
+    }
+
+    /// Key-bearing crates: where content keys are constructed and the
+    /// fragment registry applies.
+    pub fn is_key_bearing(&self) -> bool {
+        self.name.contains("harness")
+    }
+}
+
+/// A discovered workspace: root path plus first-party crates.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Absolute workspace root.
+    pub root: PathBuf,
+    /// First-party crates, in deterministic (path) order.
+    pub crates: Vec<CrateInfo>,
+    /// The root workspace manifest, when one exists.
+    pub root_manifest: Option<Manifest>,
+}
+
+/// Discover the workspace rooted at `root`.
+///
+/// With a root `Cargo.toml` declaring `[workspace] members`, the
+/// first-party set is the root package (if any) plus members under
+/// `crates/` (globs expanded). Without one — the fixture layout —
+/// every direct subdirectory containing a `Cargo.toml` is a crate.
+pub fn discover(root: &Path) -> Result<Workspace, String> {
+    let root = root
+        .canonicalize()
+        .map_err(|e| format!("{}: {e}", root.display()))?;
+    let root_toml = root.join("Cargo.toml");
+    let mut crates = Vec::new();
+    let mut root_manifest = None;
+    if root_toml.is_file() {
+        let text =
+            fs::read_to_string(&root_toml).map_err(|e| format!("{}: {e}", root_toml.display()))?;
+        let manifest = Manifest::parse(&text);
+        let members = manifest.string_array("workspace", "members");
+        let mut dirs: Vec<String> = Vec::new();
+        if manifest.package_name().is_some() {
+            dirs.push(".".to_string());
+        }
+        for member in members {
+            if let Some(prefix) = member.strip_suffix("/*") {
+                if !prefix.starts_with("crates") {
+                    continue; // vendor/* and friends: not first-party
+                }
+                let mut found: Vec<String> = Vec::new();
+                let base = root.join(prefix);
+                let entries =
+                    fs::read_dir(&base).map_err(|e| format!("{}: {e}", base.display()))?;
+                for entry in entries.flatten() {
+                    let p = entry.path();
+                    if p.join("Cargo.toml").is_file() {
+                        if let Some(name) = p.file_name().and_then(|n| n.to_str()) {
+                            found.push(format!("{prefix}/{name}"));
+                        }
+                    }
+                }
+                found.sort();
+                dirs.extend(found);
+            } else if member.starts_with("crates/") || member == "." {
+                dirs.push(member);
+            }
+        }
+        for rel in dirs {
+            crates.push(load_crate(&root, &rel)?);
+        }
+        root_manifest = Some(manifest);
+    } else {
+        // Fixture layout: a bare directory of crates.
+        let mut found: Vec<String> = Vec::new();
+        let entries = fs::read_dir(&root).map_err(|e| format!("{}: {e}", root.display()))?;
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.join("Cargo.toml").is_file() {
+                if let Some(name) = p.file_name().and_then(|n| n.to_str()) {
+                    found.push(name.to_string());
+                }
+            }
+        }
+        found.sort();
+        for rel in found {
+            crates.push(load_crate(&root, &rel)?);
+        }
+    }
+    Ok(Workspace {
+        root,
+        crates,
+        root_manifest,
+    })
+}
+
+fn load_crate(root: &Path, rel: &str) -> Result<CrateInfo, String> {
+    let dir = if rel == "." {
+        root.to_path_buf()
+    } else {
+        root.join(rel)
+    };
+    let toml_path = dir.join("Cargo.toml");
+    let text =
+        fs::read_to_string(&toml_path).map_err(|e| format!("{}: {e}", toml_path.display()))?;
+    let manifest = Manifest::parse(&text);
+    let name = manifest
+        .package_name()
+        .ok_or_else(|| format!("{}: missing [package] name", toml_path.display()))?
+        .to_string();
+    let mut files = Vec::new();
+    for (sub, kind) in [
+        ("src", FileKind::Lib),
+        ("tests", FileKind::Test),
+        ("benches", FileKind::Bench),
+        ("examples", FileKind::Example),
+    ] {
+        collect_rs(root, &dir.join(sub), kind, &mut files)?;
+    }
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(CrateInfo {
+        name,
+        rel_dir: rel.to_string(),
+        dir,
+        manifest,
+        files,
+    })
+}
+
+/// Recursively collect `.rs` files under `dir`, reclassifying
+/// `src/bin/**` and `src/main.rs` as binaries.
+fn collect_rs(
+    root: &Path,
+    dir: &Path,
+    kind: FileKind,
+    out: &mut Vec<SourceFile>,
+) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            let sub_kind =
+                if kind == FileKind::Lib && p.file_name().and_then(|n| n.to_str()) == Some("bin") {
+                    FileKind::Bin
+                } else {
+                    kind
+                };
+            collect_rs(root, &p, sub_kind, out)?;
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            let file_kind = if kind == FileKind::Lib
+                && p.file_name().and_then(|n| n.to_str()) == Some("main.rs")
+            {
+                FileKind::Bin
+            } else {
+                kind
+            };
+            let text = fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile {
+                rel,
+                kind: file_kind,
+                text,
+            });
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! The real workspace must stay lint-clean: zero findings, every
+//! pragma justified and load-bearing. This is the same gate CI runs
+//! via `cargo run -p snug-lint`, kept here so `cargo test` catches a
+//! violation before the workflow does.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root");
+    let findings = snug_lint::lint_workspace(root).expect("lint runs");
+    assert!(
+        findings.is_empty(),
+        "workspace is not lint-clean:\n{}",
+        snug_lint::report::human(&findings)
+    );
+}

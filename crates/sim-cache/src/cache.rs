@@ -61,6 +61,7 @@ impl SetAssocCache {
         if let Some(distance) = self.sets[set].access(block, is_write) {
             self.stats.hits += 1;
             if self.sets[set]
+                // snug-lint: allow(panic-audit, "access() just hit this block in this set, so probe must find its way")
                 .line(self.sets[set].probe(block).expect("hit line"))
                 .flags
                 .cc

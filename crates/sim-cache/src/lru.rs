@@ -43,6 +43,7 @@ impl LruOrder {
         self.order
             .iter()
             .position(|&w| w as usize == way)
+            // snug-lint: allow(panic-audit, "documented contract: callers pass a way belonging to this set; a miss is a simulator bug worth crashing on")
             .expect("way must be tracked by this LruOrder")
             + 1
     }
@@ -60,6 +61,7 @@ impl LruOrder {
     /// The current LRU way (replacement victim).
     #[inline]
     pub fn lru_way(&self) -> usize {
+        // snug-lint: allow(panic-audit, "associativity is at least 1, so the order vec is never empty")
         *self.order.last().expect("non-empty order") as usize
     }
 

@@ -112,6 +112,7 @@ impl CoreModel {
         }
         self.stats.load_misses += 1;
         if self.outstanding.len() == self.cfg.max_outstanding {
+            // snug-lint: allow(panic-audit, "guarded by len == max_outstanding, which is validated nonzero in SystemConfig")
             let oldest = self.outstanding.pop_front().expect("non-empty");
             if oldest.completes_at > self.cycle {
                 self.stats.mshr_stall_cycles += oldest.completes_at - self.cycle;

@@ -82,11 +82,13 @@ impl DemandProfile {
             .map(|_| {
                 let mut pick = rng.gen::<f64>() * total;
                 for c in &self.components {
+                    // snug-lint: allow(panic-audit, "mixture models are built with at least one component")
                     if pick < c.weight || std::ptr::eq(c, self.components.last().unwrap()) {
                         return rng.gen_range(c.lo..=c.hi.max(c.lo));
                     }
                     pick -= c.weight;
                 }
+                // snug-lint: allow(panic-audit, "the last-component guard above always returns on the final iteration")
                 unreachable!("mixture sampling fell through")
             })
             .collect()
@@ -339,6 +341,7 @@ impl SyntheticStream {
     }
 
     fn sample_set(&mut self) -> usize {
+        // snug-lint: allow(panic-audit, "the cdf is rebuilt from a non-empty component list before sampling")
         let total = *self.set_cdf.last().expect("non-empty cdf");
         let x = self.rng.gen::<f64>() * total;
         self.set_cdf
