@@ -19,9 +19,14 @@
 //! when the deterministic work counts drifted (the same definition now
 //! simulates different cycles/instructions — a behaviour change that
 //! must be re-baselined deliberately), or when freshly measured ops/s
-//! fall more than 10% below the committed trajectory. A `--test` run
-//! (what `cargo test --benches` passes) takes a single sample and never
-//! touches the file, so it cannot flake on machine speed.
+//! fall below the committed trajectory: any single entry by more than
+//! [`ENTRY_TOLERANCE`], or the geomean across all entries by more than
+//! [`GEOMEAN_TOLERANCE`]. The geomean floor is the primary gate — noise
+//! on one (combo, scheme) point averages out across the fifteen-entry
+//! grid, so it can be held much tighter than any per-entry bound. A
+//! `--test` run (what `cargo test --benches` passes) takes a single
+//! sample and never touches the file, so it cannot flake on machine
+//! speed.
 
 use snug_core::SchemeSpec;
 use snug_experiments::run_scheme;
@@ -36,8 +41,15 @@ use std::time::Instant;
 const SCHEMA: &str = "snug-bench/v1";
 /// Budget preset the trajectory is defined over.
 const BUDGET: BudgetPreset = BudgetPreset::Quick;
-/// Allowed fractional ops/s drop before `--check` fails.
-const REGRESSION_TOLERANCE: f64 = 0.10;
+/// Allowed fractional ops/s drop on a single entry before `--check`
+/// fails. Loose: a lone (combo, scheme) point is exposed to scheduler
+/// noise even best-of-[`SAMPLES`], so this only catches a scheme whose
+/// hot path fell off a cliff.
+const ENTRY_TOLERANCE: f64 = 0.25;
+/// Allowed fractional drop of the geomean ops/s across all entries.
+/// Tight: per-point noise averages out over the full grid, so the
+/// geomean is the number the trajectory is really gated on.
+const GEOMEAN_TOLERANCE: f64 = 0.10;
 /// Timed samples per point (best-of, to shed scheduler noise).
 const SAMPLES: usize = 3;
 
@@ -92,7 +104,9 @@ impl BenchEntry {
 }
 
 /// The measurement definition: representative combos (first of three
-/// spread-out classes) × (baseline, SNUG) at the quick budget.
+/// spread-out classes) × all five paper schemes at the quick budget.
+/// CC runs at 100% spill probability — the point of the §4.1 sweep that
+/// exercises the spill/retrieve machinery hardest.
 fn definition() -> (snug_experiments::CompareConfig, Vec<(String, SchemeSpec)>) {
     let cfg = BUDGET.compare_config();
     let combos = [ComboClass::C1, ComboClass::C3, ComboClass::C5].map(|class| {
@@ -103,11 +117,26 @@ fn definition() -> (snug_experiments::CompareConfig, Vec<(String, SchemeSpec)>) 
     });
     let mut points = Vec::new();
     for combo in &combos {
-        for spec in [SchemeSpec::L2p, SchemeSpec::Snug(cfg.snug)] {
+        for spec in [
+            SchemeSpec::L2p,
+            SchemeSpec::L2s,
+            SchemeSpec::Cc {
+                spill_probability: 1.0,
+            },
+            SchemeSpec::Dsr(cfg.dsr),
+            SchemeSpec::Snug(cfg.snug),
+        ] {
             points.push((combo.label(), spec));
         }
     }
     (cfg, points)
+}
+
+/// Geometric mean of ops/s across entries — the single scalar the
+/// trajectory is tracked by.
+fn geomean_ops(entries: &[BenchEntry]) -> f64 {
+    let log_sum: f64 = entries.iter().map(|e| e.ops_per_sec.ln()).sum();
+    (log_sum / entries.len().max(1) as f64).exp()
 }
 
 /// Fingerprint of everything that defines the trajectory: schema,
@@ -172,6 +201,9 @@ fn render(entries: &[BenchEntry]) -> String {
         ("schema", Value::str(SCHEMA)),
         ("budget", Value::str(BUDGET.label())),
         ("fingerprint", Value::str(fingerprint(&cfg, &points))),
+        // Informational; `--check` recomputes the geomean from the
+        // entries rather than trusting this field.
+        ("geomean_ops_per_sec", Value::num(geomean_ops(entries))),
         (
             "entries",
             Value::Arr(entries.iter().map(BenchEntry::to_json).collect()),
@@ -249,7 +281,7 @@ fn check(path: &Path) -> Result<(), String> {
                 got.instructions
             ));
         }
-        let floor = want.ops_per_sec * (1.0 - REGRESSION_TOLERANCE);
+        let floor = want.ops_per_sec * (1.0 - ENTRY_TOLERANCE);
         if got.ops_per_sec < floor {
             return Err(format!(
                 "{} [{}]: throughput regression — measured {:.2} Mops/s is more than \
@@ -257,7 +289,7 @@ fn check(path: &Path) -> Result<(), String> {
                 want.combo,
                 want.scheme,
                 got.ops_per_sec / 1e6,
-                REGRESSION_TOLERANCE * 100.0,
+                ENTRY_TOLERANCE * 100.0,
                 want.ops_per_sec / 1e6
             ));
         }
@@ -268,10 +300,25 @@ fn check(path: &Path) -> Result<(), String> {
             got.ops_per_sec / 1e6,
         );
     }
+    let committed_geo = geomean_ops(&committed);
+    let fresh_geo = geomean_ops(&fresh);
+    if fresh_geo < committed_geo * (1.0 - GEOMEAN_TOLERANCE) {
+        return Err(format!(
+            "geomean throughput regression — measured {:.2} Mops/s is more than {:.0}% below \
+             the committed {:.2} Mops/s floor",
+            fresh_geo / 1e6,
+            GEOMEAN_TOLERANCE * 100.0,
+            committed_geo / 1e6
+        ));
+    }
     println!(
-        "BENCH_kernel trajectory holds: {} entries within {:.0}% of committed ops/s",
+        "BENCH_kernel trajectory holds: {} entries (each within {:.0}% of committed ops/s), \
+         geomean {:.2} Mops/s vs committed {:.2} Mops/s (floor -{:.0}%)",
         committed.len(),
-        REGRESSION_TOLERANCE * 100.0
+        ENTRY_TOLERANCE * 100.0,
+        fresh_geo / 1e6,
+        committed_geo / 1e6,
+        GEOMEAN_TOLERANCE * 100.0
     );
     Ok(())
 }
@@ -295,10 +342,11 @@ fn main() {
             .map_err(|e| format!("writing {}: {e}", path.display()))
             .map(|()| {
                 println!(
-                    "wrote {} ({} entries, budget {})",
+                    "wrote {} ({} entries, budget {}, geomean {:.2} Mops/s)",
                     path.display(),
                     entries.len(),
-                    BUDGET.label()
+                    BUDGET.label(),
+                    geomean_ops(&entries) / 1e6
                 );
             })
     } else if args.iter().any(|a| a == "--check") {

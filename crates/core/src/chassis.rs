@@ -58,6 +58,11 @@ impl PrivateChassis {
     /// Opportunistically drain write buffers while the DRAM channel is
     /// free in the past of `now`. Called at the top of every access.
     pub fn drain_write_buffers(&mut self, now: u64, res: &mut ChipResources<'_>) {
+        // Common case: every buffer is empty — skip the DRAM-port query
+        // and the round-robin scan entirely.
+        if self.wbs.iter().all(|w| w.is_empty()) {
+            return;
+        }
         // Round-robin so no core's buffer starves.
         let n = self.num_cores();
         let mut progressed = true;
@@ -102,8 +107,7 @@ impl PrivateChassis {
         let slice = &mut self.slices[c];
         let set = slice.home_set(block);
         let way = slice.probe_in_set(set, block)?;
-        let was_cc = slice.set(set).line(way).flags.cc;
-        slice.touch_in_set(set, block, is_write);
+        let (_, was_cc) = slice.touch_way_in_set(set, way, is_write);
         let st = slice.stats_mut();
         st.hits += 1;
         if was_cc {
@@ -202,6 +206,13 @@ impl PrivateChassis {
     /// a peer's own line is a different program's data, and retrieval
     /// semantics (forward + invalidate) only apply to CC lines.
     pub fn probe_cc_in_set(&self, peer: usize, set: usize, block: BlockAddr) -> bool {
+        // A slice with no CC lines at all cannot answer a retrieval
+        // snoop; skip the tag probe (the common case whenever spills are
+        // rare — homogeneous workloads group poorly, and Stage I refuses
+        // spills entirely).
+        if self.slices[peer].cc_lines() == 0 {
+            return false;
+        }
         self.slices[peer]
             .probe_in_set(set, block)
             .map(|way| self.slices[peer].set(set).line(way).flags.cc)
@@ -240,7 +251,7 @@ impl PrivateChassis {
         let mut removed = 0;
         let home = self.cfg.l2_slice.set_index(block);
         for peer in 0..self.num_cores() {
-            if peer == owner {
+            if peer == owner || self.slices[peer].cc_lines() == 0 {
                 continue;
             }
             for mask in 0..(1usize << flip_width) {

@@ -8,7 +8,9 @@
 //! store audits all agree on one vocabulary.
 
 use crate::{Cc, Dsr, DsrConfig, L2p, L2s, Snug, SnugConfig};
-use sim_cmp::{L2Org, SystemConfig};
+use sim_cache::CacheStats;
+use sim_cmp::{ChipResources, L2Org, L2Outcome, SchemeEvent, SystemConfig};
+use sim_mem::BlockAddr;
 use std::fmt;
 use std::str::FromStr;
 
@@ -95,8 +97,146 @@ impl SchemeSpec {
         }
     }
 
+    /// Construct the organisation without type erasure: the returned
+    /// [`AnyOrg`] dispatches by `match` instead of vtable, which lets
+    /// the compiler inline the per-access scheme code into the session
+    /// hot loop. Prefer this for simulation sessions; `build` remains
+    /// for contexts that need an open-ended `dyn` object.
+    pub fn build_any(&self, cfg: SystemConfig) -> AnyOrg {
+        match *self {
+            SchemeSpec::L2p => AnyOrg::L2p(L2p::new(cfg)),
+            SchemeSpec::L2s => AnyOrg::L2s(L2s::new(cfg)),
+            SchemeSpec::Cc { spill_probability } => AnyOrg::Cc(Cc::new(cfg, spill_probability)),
+            SchemeSpec::Dsr(d) => AnyOrg::Dsr(Dsr::new(cfg, d)),
+            SchemeSpec::Snug(s) => AnyOrg::Snug(Snug::new(cfg, s)),
+        }
+    }
+
     /// The spill probabilities the paper sweeps for CC(Best) (§4.1).
     pub const CC_SPILL_SWEEP: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+}
+
+/// The five paper schemes behind one concrete, `match`-dispatched type.
+///
+/// [`SchemeSpec::build`] erases the scheme behind `Box<dyn L2Org>`,
+/// which costs an indirect call per L1 miss on the session hot path —
+/// measurable once everything around it is lean. `AnyOrg` is the closed
+/// enum over the same five organisations: dispatch compiles to a jump
+/// table and each scheme's access path can inline. The `dyn` route
+/// stays available for downstream extension; everything first-party
+/// runs on this enum.
+#[derive(Clone)]
+pub enum AnyOrg {
+    /// Private baseline.
+    L2p(L2p),
+    /// Shared, address-interleaved.
+    L2s(L2s),
+    /// Cooperative Caching.
+    Cc(Cc),
+    /// Dynamic Spill-Receive.
+    Dsr(Dsr),
+    /// Set-level Non-Uniformity identifier and Grouper.
+    Snug(Snug),
+}
+
+impl AnyOrg {
+    /// The inner [`Cc`], if this is the CC scheme (the shared-warm-up
+    /// sweep retunes its spill probability in place).
+    pub fn as_cc_mut(&mut self) -> Option<&mut Cc> {
+        match self {
+            AnyOrg::Cc(cc) => Some(cc),
+            _ => None,
+        }
+    }
+}
+
+impl L2Org for AnyOrg {
+    fn access(
+        &mut self,
+        core: usize,
+        block: BlockAddr,
+        is_write: bool,
+        now: u64,
+        res: &mut ChipResources<'_>,
+    ) -> L2Outcome {
+        match self {
+            AnyOrg::L2p(o) => o.access(core, block, is_write, now, res),
+            AnyOrg::L2s(o) => o.access(core, block, is_write, now, res),
+            AnyOrg::Cc(o) => o.access(core, block, is_write, now, res),
+            AnyOrg::Dsr(o) => o.access(core, block, is_write, now, res),
+            AnyOrg::Snug(o) => o.access(core, block, is_write, now, res),
+        }
+    }
+
+    fn writeback(&mut self, core: usize, block: BlockAddr, now: u64, res: &mut ChipResources<'_>) {
+        match self {
+            AnyOrg::L2p(o) => o.writeback(core, block, now, res),
+            AnyOrg::L2s(o) => o.writeback(core, block, now, res),
+            AnyOrg::Cc(o) => o.writeback(core, block, now, res),
+            AnyOrg::Dsr(o) => o.writeback(core, block, now, res),
+            AnyOrg::Snug(o) => o.writeback(core, block, now, res),
+        }
+    }
+
+    fn slice_stats(&self, core: usize) -> &CacheStats {
+        match self {
+            AnyOrg::L2p(o) => o.slice_stats(core),
+            AnyOrg::L2s(o) => o.slice_stats(core),
+            AnyOrg::Cc(o) => o.slice_stats(core),
+            AnyOrg::Dsr(o) => o.slice_stats(core),
+            AnyOrg::Snug(o) => o.slice_stats(core),
+        }
+    }
+
+    fn num_cores(&self) -> usize {
+        match self {
+            AnyOrg::L2p(o) => o.num_cores(),
+            AnyOrg::L2s(o) => o.num_cores(),
+            AnyOrg::Cc(o) => o.num_cores(),
+            AnyOrg::Dsr(o) => o.num_cores(),
+            AnyOrg::Snug(o) => o.num_cores(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyOrg::L2p(o) => o.name(),
+            AnyOrg::L2s(o) => o.name(),
+            AnyOrg::Cc(o) => o.name(),
+            AnyOrg::Dsr(o) => o.name(),
+            AnyOrg::Snug(o) => o.name(),
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        match self {
+            AnyOrg::L2p(o) => o.reset_stats(),
+            AnyOrg::L2s(o) => o.reset_stats(),
+            AnyOrg::Cc(o) => o.reset_stats(),
+            AnyOrg::Dsr(o) => o.reset_stats(),
+            AnyOrg::Snug(o) => o.reset_stats(),
+        }
+    }
+
+    fn clone_dyn(&self) -> Box<dyn L2Org> {
+        match self {
+            AnyOrg::L2p(o) => o.clone_dyn(),
+            AnyOrg::L2s(o) => o.clone_dyn(),
+            AnyOrg::Cc(o) => o.clone_dyn(),
+            AnyOrg::Dsr(o) => o.clone_dyn(),
+            AnyOrg::Snug(o) => o.clone_dyn(),
+        }
+    }
+
+    fn drain_events(&mut self) -> Vec<SchemeEvent> {
+        match self {
+            AnyOrg::L2p(o) => o.drain_events(),
+            AnyOrg::L2s(o) => o.drain_events(),
+            AnyOrg::Cc(o) => o.drain_events(),
+            AnyOrg::Dsr(o) => o.drain_events(),
+            AnyOrg::Snug(o) => o.drain_events(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -34,7 +34,7 @@ pub mod snug;
 pub use cc::Cc;
 pub use chassis::{PeerHit, PrivateChassis};
 pub use dsr::{Dsr, DsrConfig, SetRole};
-pub use factory::SchemeSpec;
+pub use factory::{AnyOrg, SchemeSpec};
 pub use gt::{GroupCase, GtVector};
 pub use l2p::L2p;
 pub use l2s::L2s;

@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 use sim_cmp::{L2Org, RunPlan, SimSession, StopSpec, SystemConfig, SystemResult};
 use sim_mem::OpStream;
-use snug_core::{Cc, DsrConfig, SchemeSpec, SnugConfig};
+use snug_core::{AnyOrg, Cc, DsrConfig, SchemeSpec, SnugConfig};
 use snug_metrics::{geomean, IpcVector, MetricSet, Table};
 use snug_workloads::{Combo, ComboClass, PhaseSchedule};
 
@@ -226,12 +226,10 @@ pub fn session_for_org_phased<O: L2Org>(
 }
 
 /// Build a ready-to-drive session for one combo under one scheme spec.
-pub fn session_for(
-    combo: &Combo,
-    spec: &SchemeSpec,
-    cfg: &CompareConfig,
-) -> SimSession<Box<dyn L2Org>> {
-    session_for_org(combo, spec.build(cfg.system), cfg)
+/// The organisation is the enum-dispatched [`AnyOrg`], so the per-miss
+/// scheme call devirtualizes on the session hot path.
+pub fn session_for(combo: &Combo, spec: &SchemeSpec, cfg: &CompareConfig) -> SimSession<AnyOrg> {
+    session_for_org(combo, spec.build_any(cfg.system), cfg)
 }
 
 /// [`session_for`] with an optional phase-change schedule.
@@ -240,8 +238,8 @@ pub fn session_for_phased(
     spec: &SchemeSpec,
     cfg: &CompareConfig,
     phase: Option<&PhaseSchedule>,
-) -> SimSession<Box<dyn L2Org>> {
-    session_for_org_phased(combo, spec.build(cfg.system), cfg, phase)
+) -> SimSession<AnyOrg> {
+    session_for_org_phased(combo, spec.build_any(cfg.system), cfg, phase)
 }
 
 /// Run one combo under one scheme spec; returns the raw system result.

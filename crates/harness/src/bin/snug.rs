@@ -49,6 +49,7 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(rest),
         "store" => cmd_store(rest),
         "lint" => cmd_lint(rest),
+        "bench" => cmd_bench(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -84,6 +85,7 @@ USAGE:
   snug store gc     [--results DIR]
   snug store merge  SHARD.jsonl... [--results DIR]
   snug lint         [--format human|md|json] [--list-rules]
+  snug bench        [kernel|sweep|micro]... [--emit|--check]
   snug characterize [--bench NAME[,NAME]...] [--intervals N] [--accesses N] [--out DIR]
 
 Budget flags (shared by sweep/compare/report; trace takes the fixed
@@ -1271,6 +1273,66 @@ fn cmd_characterize(args: &[String]) -> Result<(), String> {
             let path = out.join(format!("characterize_{}.csv", c.benchmark));
             std::fs::write(&path, c.to_csv()).map_err(|e| e.to_string())?;
             eprintln!("wrote {}", path.display());
+        }
+    }
+    Ok(())
+}
+
+/// `snug bench`: one front door for the committed benchmark
+/// trajectories, mirroring `snug lint`. Resolves the workspace root,
+/// then drives `cargo bench -p snug-bench` for the requested suites —
+/// `kernel` (kernel_throughput → BENCH_kernel.json), `sweep`
+/// (sweep_scaling → BENCH_sweep.json) and `micro` (micro_kernels, the
+/// hot-path primitive microbenches, measure-only). With no suite both
+/// trajectory benches run; `--emit` re-baselines the committed files
+/// and `--check` applies the CI gate.
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let mut suites: Vec<&str> = Vec::new();
+    let mut mode: Option<&str> = None;
+    for arg in args {
+        match arg.as_str() {
+            suite @ ("kernel" | "sweep" | "micro") => {
+                if !suites.contains(&suite) {
+                    suites.push(suite);
+                }
+            }
+            flag @ ("--emit" | "--check") => {
+                if mode.is_some_and(|prev| prev != flag) {
+                    return Err("pass at most one of --emit / --check".into());
+                }
+                mode = Some(flag);
+            }
+            other => return Err(format!("unknown bench suite or flag `{other}`")),
+        }
+    }
+    if suites.is_empty() {
+        suites = vec!["kernel", "sweep"];
+    }
+    if mode.is_some() && suites.contains(&"micro") {
+        return Err(
+            "the micro suite has no committed baseline; run it without --emit/--check".into(),
+        );
+    }
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let root = snug_lint::find_workspace_root(&cwd)
+        .ok_or("no [workspace] Cargo.toml found above the current directory")?;
+    for suite in suites {
+        let target = match suite {
+            "kernel" => "kernel_throughput",
+            "sweep" => "sweep_scaling",
+            _ => "micro_kernels",
+        };
+        let mut cmd = std::process::Command::new("cargo");
+        cmd.current_dir(&root)
+            .args(["bench", "-q", "-p", "snug-bench", "--bench", target]);
+        if let Some(m) = mode {
+            cmd.args(["--", m]);
+        }
+        let status = cmd
+            .status()
+            .map_err(|e| format!("spawning cargo bench for `{target}`: {e}"))?;
+        if !status.success() {
+            return Err(format!("`cargo bench --bench {target}` failed"));
         }
     }
     Ok(())

@@ -1,11 +1,19 @@
-//! A set-associative write-back cache built from [`CacheSet`]s.
+//! A set-associative write-back cache over struct-of-arrays storage.
 //!
 //! Provides both a convenience demand-access path (used directly for the
 //! L1 caches and the private-baseline L2) and the primitive operations
 //! (probe / fill-at-set / invalidate) that the cooperative-caching
 //! schemes in `snug-core` compose.
+//!
+//! The storage layout is three parallel flat arrays indexed by
+//! `set * assoc + way`: block addresses (the probe lane — a contiguous
+//! `u64` run per set with an all-ones sentinel in invalid ways, so the
+//! tag probe is a pure compare loop), metadata bytes (valid/dirty/cc/f
+//! packed per line), and one [`LruOrder`] per set. Per-set behaviour
+//! lives on the [`SetRef`]/[`SetMut`] views borrowed from these arrays.
 
-use crate::set::{CacheSet, Evicted, LineFlags};
+use crate::lru::LruOrder;
+use crate::set::{Evicted, LineFlags, SetMut, SetRef, INVALID_BLOCK, META_CC, META_VALID};
 use crate::stats::CacheStats;
 use serde::{Deserialize, Serialize};
 use sim_mem::{BlockAddr, Geometry};
@@ -21,23 +29,37 @@ pub struct AccessResult {
     pub evicted: Option<Evicted>,
 }
 
-/// A set-associative cache.
+/// A set-associative cache (struct-of-arrays storage).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SetAssocCache {
     geo: Geometry,
-    sets: Vec<CacheSet>,
+    /// `set * assoc + way` → block address; invalid ways hold
+    /// [`INVALID_BLOCK`].
+    blocks: Vec<BlockAddr>,
+    /// `set * assoc + way` → packed valid/dirty/cc/flipped bits.
+    meta: Vec<u8>,
+    /// One recency permutation per set.
+    lru: Vec<LruOrder>,
+    /// Running count of valid CC lines across all sets, maintained by
+    /// [`SetMut`] on every fill/invalidate. Schemes consult it on the
+    /// peer-probe path: a slice holding zero CC lines can skip the tag
+    /// probes of a retrieval snoop or coherence sweep entirely.
+    cc_lines: u64,
     stats: CacheStats,
 }
 
 impl SetAssocCache {
     /// Create an empty cache with the given geometry.
     pub fn new(geo: Geometry) -> Self {
-        let sets = (0..geo.num_sets)
-            .map(|_| CacheSet::new(geo.assoc))
-            .collect();
+        let lines = geo.num_sets as usize * geo.assoc;
         SetAssocCache {
             geo,
-            sets,
+            blocks: vec![INVALID_BLOCK; lines],
+            meta: vec![0; lines],
+            lru: (0..geo.num_sets)
+                .map(|_| LruOrder::new(geo.assoc))
+                .collect(),
+            cc_lines: 0,
             stats: CacheStats::default(),
         }
     }
@@ -54,18 +76,28 @@ impl SetAssocCache {
         self.geo.set_index(block)
     }
 
+    /// Start of `set`'s run in the flat arrays.
+    #[inline]
+    fn base(&self, set: usize) -> usize {
+        set * self.geo.assoc
+    }
+
     /// Demand access with allocate-on-miss into the home set. This is the
     /// whole story for L1s and the private L2 baseline.
     pub fn access(&mut self, block: BlockAddr, is_write: bool) -> AccessResult {
         let set = self.geo.set_index(block);
-        if let Some(distance) = self.sets[set].access(block, is_write) {
+        let base = self.base(set);
+        let assoc = self.geo.assoc;
+        let probed = crate::set::probe_ways(&self.blocks[base..base + assoc], block);
+        if let Some(way) = probed {
+            let m = &mut self.meta[base + way];
+            if is_write {
+                *m |= crate::set::META_DIRTY;
+            }
+            let was_cc = *m & META_CC != 0;
+            let distance = self.lru[set].touch(way);
             self.stats.hits += 1;
-            if self.sets[set]
-                // snug-lint: allow(panic-audit, "access() just hit this block in this set, so probe must find its way")
-                .line(self.sets[set].probe(block).expect("hit line"))
-                .flags
-                .cc
-            {
+            if was_cc {
                 self.stats.cc_hits += 1;
             }
             AccessResult {
@@ -75,7 +107,7 @@ impl SetAssocCache {
             }
         } else {
             self.stats.misses += 1;
-            let evicted = self.sets[set].fill(block, LineFlags::owned(is_write));
+            let evicted = self.set_mut(set).fill(block, LineFlags::owned(is_write));
             self.note_eviction(&evicted);
             AccessResult {
                 hit: false,
@@ -89,18 +121,37 @@ impl SetAssocCache {
     /// resident *in its home set*.
     pub fn probe(&self, block: BlockAddr) -> Option<(usize, usize)> {
         let set = self.geo.set_index(block);
-        self.sets[set].probe(block).map(|w| (set, w))
+        self.probe_in_set(set, block).map(|w| (set, w))
     }
 
     /// Probe an arbitrary set (used by index-bit-flipping lookups).
+    #[inline]
     pub fn probe_in_set(&self, set: usize, block: BlockAddr) -> Option<usize> {
-        self.sets[set].probe(block)
+        let base = self.base(set);
+        crate::set::probe_ways(&self.blocks[base..base + self.geo.assoc], block)
     }
 
     /// Hit path into a specific set (touch LRU, update dirty); returns
     /// stack distance if resident.
     pub fn touch_in_set(&mut self, set: usize, block: BlockAddr, is_write: bool) -> Option<usize> {
-        self.sets[set].access(block, is_write)
+        let way = self.probe_in_set(set, block)?;
+        Some(self.touch_way_in_set(set, way, is_write).0)
+    }
+
+    /// Hit path when the way is already known (single-probe callers):
+    /// touch LRU, update dirty, and report `(stack_distance, was_cc)`
+    /// without re-probing. Does not touch hit statistics — the caller
+    /// owns the accounting, as with [`SetAssocCache::touch_in_set`].
+    #[inline]
+    pub fn touch_way_in_set(&mut self, set: usize, way: usize, is_write: bool) -> (usize, bool) {
+        let base = self.base(set);
+        let m = &mut self.meta[base + way];
+        debug_assert!(*m & META_VALID != 0, "touching an invalid way");
+        if is_write {
+            *m |= crate::set::META_DIRTY;
+        }
+        let was_cc = *m & META_CC != 0;
+        (self.lru[set].touch(way), was_cc)
     }
 
     /// Fill into a specific set with explicit flags; reports the victim.
@@ -110,7 +161,7 @@ impl SetAssocCache {
         block: BlockAddr,
         flags: LineFlags,
     ) -> Option<Evicted> {
-        let evicted = self.sets[set].fill(block, flags);
+        let evicted = self.set_mut(set).fill(block, flags);
         self.note_eviction(&evicted);
         evicted
     }
@@ -123,7 +174,7 @@ impl SetAssocCache {
         block: BlockAddr,
         flags: LineFlags,
     ) -> Option<Evicted> {
-        let evicted = self.sets[set].fill_prefer_evict_cc(block, flags);
+        let evicted = self.set_mut(set).fill_prefer_evict_cc(block, flags);
         self.note_eviction(&evicted);
         evicted
     }
@@ -140,7 +191,7 @@ impl SetAssocCache {
     /// Invalidate `block` from `set` if resident; returns removed line
     /// metadata.
     pub fn invalidate_in_set(&mut self, set: usize, block: BlockAddr) -> Option<LineFlags> {
-        self.sets[set].invalidate(block).map(|l| l.flags)
+        self.set_mut(set).invalidate(block).map(|l| l.flags)
     }
 
     /// Invalidate `block` from its home set.
@@ -149,14 +200,27 @@ impl SetAssocCache {
         self.invalidate_in_set(set, block)
     }
 
-    /// Direct set access for scheme logic and tests.
-    pub fn set(&self, idx: usize) -> &CacheSet {
-        &self.sets[idx]
+    /// Borrow one set read-only, for scheme logic and tests.
+    pub fn set(&self, idx: usize) -> SetRef<'_> {
+        let base = self.base(idx);
+        let assoc = self.geo.assoc;
+        SetRef {
+            blocks: &self.blocks[base..base + assoc],
+            meta: &self.meta[base..base + assoc],
+            lru: &self.lru[idx],
+        }
     }
 
-    /// Mutable set access for scheme logic.
-    pub fn set_mut(&mut self, idx: usize) -> &mut CacheSet {
-        &mut self.sets[idx]
+    /// Borrow one set mutably, for scheme logic.
+    pub fn set_mut(&mut self, idx: usize) -> SetMut<'_> {
+        let base = idx * self.geo.assoc;
+        let assoc = self.geo.assoc;
+        SetMut {
+            blocks: &mut self.blocks[base..base + assoc],
+            meta: &mut self.meta[base..base + assoc],
+            lru: &mut self.lru[idx],
+            cc_lines: &mut self.cc_lines,
+        }
     }
 
     /// Statistics accessor.
@@ -171,12 +235,24 @@ impl SetAssocCache {
 
     /// Total valid lines across all sets.
     pub fn valid_lines(&self) -> usize {
-        self.sets.iter().map(|s| s.valid_count()).sum()
+        self.meta.iter().filter(|&&m| m & META_VALID != 0).count()
     }
 
-    /// Total valid CC lines across all sets.
+    /// Total valid CC lines across all sets (O(1): maintained
+    /// incrementally by every fill/invalidate).
+    #[inline]
     pub fn cc_lines(&self) -> usize {
-        self.sets.iter().map(|s| s.cc_count()).sum()
+        self.cc_lines as usize
+    }
+
+    /// Recount CC lines from the metadata lane (diagnostics/tests — the
+    /// ground truth the incremental [`SetAssocCache::cc_lines`] tally
+    /// must track).
+    pub fn cc_lines_scan(&self) -> usize {
+        self.meta
+            .iter()
+            .filter(|&&m| m & (META_VALID | META_CC) == META_VALID | META_CC)
+            .count()
     }
 
     /// Reset statistics after warm-up (contents untouched).
@@ -274,5 +350,56 @@ mod tests {
         let r = c.access(b, false);
         assert!(r.hit);
         assert_eq!(c.stats().cc_hits, 1);
+    }
+
+    #[test]
+    fn cc_tally_tracks_storage_through_mixed_operations() {
+        let mut c = tiny();
+        // Interleave received fills, owned fills, hits, invalidations and
+        // CC-preferring evictions; the incremental tally must equal a
+        // fresh scan at every step.
+        for i in 0..200u64 {
+            let set = (i % 4) as usize;
+            let block = blk(set as u64, 1 + i % 7);
+            match i % 5 {
+                0 => {
+                    if c.probe_in_set(set, block).is_none() {
+                        c.fill_in_set(set, block, LineFlags::received(i % 2 == 0));
+                    }
+                }
+                1 => {
+                    c.access(block, i % 3 == 0);
+                }
+                2 => {
+                    c.invalidate_in_set(set, block);
+                }
+                3 => {
+                    if c.probe_in_set(set, block).is_none() {
+                        c.fill_in_set_prefer_evict_cc(set, block, LineFlags::owned(false));
+                    }
+                }
+                _ => {
+                    if let Some(way) = c.probe_in_set(set, block) {
+                        c.set_mut(set).invalidate_way(way);
+                    }
+                }
+            }
+            assert_eq!(c.cc_lines(), c.cc_lines_scan(), "step {i}");
+        }
+    }
+
+    #[test]
+    fn touch_way_in_set_matches_touch_in_set() {
+        let mut a = tiny();
+        let mut b_cache = tiny();
+        let b = blk(2, 5);
+        a.fill_in_set(2, b, LineFlags::received(false));
+        b_cache.fill_in_set(2, b, LineFlags::received(false));
+        let d1 = a.touch_in_set(2, b, true).unwrap();
+        let way = b_cache.probe_in_set(2, b).unwrap();
+        let (d2, was_cc) = b_cache.touch_way_in_set(2, way, true);
+        assert_eq!(d1, d2);
+        assert!(was_cc);
+        assert_eq!(a.set(2).line(way), b_cache.set(2).line(way));
     }
 }

@@ -33,7 +33,7 @@ pub use cache::{AccessResult, SetAssocCache};
 pub use demand::{block_required, BucketDistribution, DemandParams};
 pub use lru::{LruOrder, TagStack};
 pub use satcounter::{DemandMonitor, Psel, SatCounter};
-pub use set::{CacheLine, CacheSet, Evicted, LineFlags};
+pub use set::{CacheLine, Evicted, LineFlags, SetMut, SetRef};
 pub use shadow::{ShadowArray, ShadowSet};
 pub use stack_dist::{SetDemandProfiler, SetHistogram};
 pub use stats::CacheStats;

@@ -9,74 +9,200 @@
 //! `LruOrder` maintains the recency permutation of the ways of one set,
 //! independent of what is stored in the ways, so the same structure
 //! serves real sets, shadow sets and the deep profiler stacks.
+//!
+//! ## Packed representation
+//!
+//! For associativities up to 16 (which covers every real, shadow and
+//! sweep geometry in this repo — the paper L2 slice is 16-way) the
+//! permutation lives in a single `u64` as 16 nibbles: nibble `p` holds
+//! the way index at stack position `p` (nibble 0 = MRU). `position` is
+//! then a branch-free broadcast-XOR + zero-nibble scan, and
+//! `touch`/`demote` are three shifts and two masks instead of a
+//! `Vec::remove`/`insert` pair. Associativities 17–255 (deep profiler
+//! stacks) keep the byte-vector representation.
 
 use serde::{Deserialize, Serialize};
 
-/// Recency order over `n` ways of a set. Internally a vector of way
-/// indices ordered MRU → LRU. `n` is small (≤ 32 here), so vector
-/// shifting beats fancier structures.
+/// `0x...11111`: broadcasts a nibble value across all 16 lanes.
+const NIBBLE_LSB: u64 = 0x1111_1111_1111_1111;
+/// `0x...88888`: the per-nibble detector bit for zero-nibble scans.
+const NIBBLE_MSB: u64 = 0x8888_8888_8888_8888;
+
+/// Find the 0-based stack position of `way` in a packed permutation of
+/// `n` nibbles.
+///
+/// `bits ^ (way * NIBBLE_LSB)` zeroes exactly the nibble holding `way`
+/// (the permutation contains it exactly once). The classic
+/// `(x - 1̄) & !x & 8̄` trick marks zero nibbles; borrow propagation can
+/// only create *false* marks **above** the true zero (all nibbles below
+/// it are non-zero, so no borrow reaches it), hence the lowest marked
+/// nibble is exactly the match and `trailing_zeros / 4` is its position.
+#[inline]
+fn packed_position(bits: u64, n: u8, way: usize) -> usize {
+    assert!(way < n as usize, "way must be tracked by this LruOrder");
+    let x = bits ^ (way as u64).wrapping_mul(NIBBLE_LSB);
+    let marks = x.wrapping_sub(NIBBLE_LSB) & !x & NIBBLE_MSB;
+    (marks.trailing_zeros() / 4) as usize
+}
+
+/// Low `4 * nibbles` bits set. `nibbles` must be ≤ 15 (callers only
+/// ever mask below an existing nibble position).
+#[inline]
+fn low_nibble_mask(nibbles: usize) -> u64 {
+    (1u64 << (4 * nibbles)) - 1
+}
+
+/// Recency order over `n` ways of a set: a `u64` nibble-permutation for
+/// `n ≤ 16`, a byte vector MRU → LRU otherwise.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum Repr {
+    /// Nibble `p` of `bits` is the way at stack position `p` (0 = MRU).
+    /// Nibbles at positions ≥ `n` are always zero.
+    Packed { bits: u64, n: u8 },
+    /// `order[0]` is the MRU way; `order[n-1]` the LRU way.
+    Wide(Vec<u8>),
+}
+
+/// Recency order over the `n` ways of a set.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LruOrder {
-    /// order[0] is the MRU way; order[n-1] the LRU way.
-    order: Vec<u8>,
+    repr: Repr,
 }
 
 impl LruOrder {
     /// Create the order for `n` ways; initially way 0 is MRU, way n-1 LRU.
     pub fn new(n: usize) -> Self {
         assert!(n >= 1 && n <= u8::MAX as usize);
-        LruOrder {
-            order: (0..n as u8).collect(),
-        }
+        let repr = if n <= 16 {
+            let mut bits = 0u64;
+            for p in 0..n {
+                bits |= (p as u64) << (4 * p);
+            }
+            Repr::Packed { bits, n: n as u8 }
+        } else {
+            Repr::Wide((0..n as u8).collect())
+        };
+        LruOrder { repr }
     }
 
     /// Number of ways tracked.
     #[inline]
     pub fn ways(&self) -> usize {
-        self.order.len()
+        match &self.repr {
+            Repr::Packed { n, .. } => *n as usize,
+            Repr::Wide(order) => order.len(),
+        }
+    }
+
+    /// The way at 0-based stack position `pos` (0 = MRU).
+    #[inline]
+    pub fn way_at(&self, pos: usize) -> usize {
+        match &self.repr {
+            Repr::Packed { bits, n } => {
+                assert!(pos < *n as usize);
+                ((bits >> (4 * pos)) & 0xF) as usize
+            }
+            Repr::Wide(order) => order[pos] as usize,
+        }
     }
 
     /// 1-based stack position of `way` (1 = MRU). Panics if `way` is out
     /// of range.
     #[inline]
     pub fn position(&self, way: usize) -> usize {
-        self.order
-            .iter()
-            .position(|&w| w as usize == way)
-            // snug-lint: allow(panic-audit, "documented contract: callers pass a way belonging to this set; a miss is a simulator bug worth crashing on")
-            .expect("way must be tracked by this LruOrder")
-            + 1
+        match &self.repr {
+            Repr::Packed { bits, n } => packed_position(*bits, *n, way) + 1,
+            Repr::Wide(order) => {
+                order
+                    .iter()
+                    .position(|&w| w as usize == way)
+                    // snug-lint: allow(panic-audit, "documented contract: callers pass a way belonging to this set; a miss is a simulator bug worth crashing on")
+                    .expect("way must be tracked by this LruOrder")
+                    + 1
+            }
+        }
     }
 
     /// Promote `way` to MRU, returning its previous 1-based position
     /// (the stack distance of the access that touched it).
     #[inline]
     pub fn touch(&mut self, way: usize) -> usize {
-        let pos = self.position(way) - 1;
-        let w = self.order.remove(pos);
-        self.order.insert(0, w);
-        pos + 1
+        match &mut self.repr {
+            Repr::Packed { bits, n } => {
+                let p = packed_position(*bits, *n, way);
+                if p > 0 {
+                    // Keep nibbles above p, shift the p nibbles below it
+                    // up one lane, insert `way` at MRU. When p is the
+                    // top lane there is nothing above to keep.
+                    let keep = if p >= 15 {
+                        0
+                    } else {
+                        *bits & !low_nibble_mask(p + 1)
+                    };
+                    let low = *bits & low_nibble_mask(p);
+                    *bits = keep | (low << 4) | way as u64;
+                }
+                p + 1
+            }
+            Repr::Wide(order) => {
+                let pos = order
+                    .iter()
+                    .position(|&w| w as usize == way)
+                    // snug-lint: allow(panic-audit, "documented contract: callers pass a way belonging to this set; a miss is a simulator bug worth crashing on")
+                    .expect("way must be tracked by this LruOrder");
+                let w = order.remove(pos);
+                order.insert(0, w);
+                pos + 1
+            }
+        }
     }
 
     /// The current LRU way (replacement victim).
     #[inline]
     pub fn lru_way(&self) -> usize {
-        // snug-lint: allow(panic-audit, "associativity is at least 1, so the order vec is never empty")
-        *self.order.last().expect("non-empty order") as usize
+        match &self.repr {
+            Repr::Packed { bits, n } => ((bits >> (4 * (*n as usize - 1))) & 0xF) as usize,
+            Repr::Wide(order) => {
+                // snug-lint: allow(panic-audit, "associativity is at least 1, so the order vec is never empty")
+                *order.last().expect("non-empty order") as usize
+            }
+        }
     }
 
     /// Demote `way` to LRU position (used when invalidating a line so its
     /// way is reused first).
     #[inline]
     pub fn demote(&mut self, way: usize) {
-        let pos = self.position(way) - 1;
-        let w = self.order.remove(pos);
-        self.order.push(w);
+        match &mut self.repr {
+            Repr::Packed { bits, n } => {
+                let p = packed_position(*bits, *n, way);
+                let last = *n as usize - 1;
+                if p < last {
+                    // Remove nibble p (shift everything above it down one
+                    // lane) and re-insert `way` at the LRU lane. The
+                    // upper nibbles of `bits` are zero by invariant, so
+                    // the down-shift cannot smear garbage into lanes
+                    // p..last.
+                    let low = *bits & low_nibble_mask(p);
+                    let mid = (*bits >> (4 * (p + 1))) << (4 * p);
+                    *bits = low | mid | ((way as u64) << (4 * last));
+                }
+            }
+            Repr::Wide(order) => {
+                let pos = order
+                    .iter()
+                    .position(|&w| w as usize == way)
+                    // snug-lint: allow(panic-audit, "documented contract: callers pass a way belonging to this set; a miss is a simulator bug worth crashing on")
+                    .expect("way must be tracked by this LruOrder");
+                let w = order.remove(pos);
+                order.push(w);
+            }
+        }
     }
 
     /// Iterate ways MRU → LRU.
     pub fn iter_mru_to_lru(&self) -> impl Iterator<Item = usize> + '_ {
-        self.order.iter().map(|&w| w as usize)
+        (0..self.ways()).map(move |p| self.way_at(p))
     }
 }
 
@@ -179,6 +305,90 @@ mod tests {
         o.touch(2);
         let v: Vec<usize> = o.iter_mru_to_lru().collect();
         assert_eq!(v, vec![2, 1, 0]);
+    }
+
+    /// Reference implementation: the old byte-vector walk.
+    struct RefOrder(Vec<usize>);
+
+    impl RefOrder {
+        fn new(n: usize) -> Self {
+            RefOrder((0..n).collect())
+        }
+        fn touch(&mut self, way: usize) -> usize {
+            let pos = self.0.iter().position(|&w| w == way).unwrap();
+            let w = self.0.remove(pos);
+            self.0.insert(0, w);
+            pos + 1
+        }
+        fn demote(&mut self, way: usize) {
+            let pos = self.0.iter().position(|&w| w == way).unwrap();
+            let w = self.0.remove(pos);
+            self.0.push(w);
+        }
+    }
+
+    /// Drive the packed representation against the reference model with
+    /// a deterministic pseudo-random op mix at the boundary widths.
+    #[test]
+    fn packed_matches_reference_model() {
+        for n in [1usize, 2, 3, 4, 8, 15, 16] {
+            let mut packed = LruOrder::new(n);
+            let mut model = RefOrder::new(n);
+            let mut state = 0x243f_6a88_85a3_08d3u64 ^ n as u64;
+            for step in 0..2000 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let way = (state >> 33) as usize % n;
+                if step % 7 == 3 {
+                    packed.demote(way);
+                    model.demote(way);
+                } else {
+                    assert_eq!(packed.touch(way), model.touch(way), "n={n} step={step}");
+                }
+                assert_eq!(
+                    packed.iter_mru_to_lru().collect::<Vec<_>>(),
+                    model.0,
+                    "n={n} step={step}"
+                );
+                assert_eq!(packed.lru_way(), *model.0.last().unwrap());
+                for w in 0..n {
+                    assert_eq!(
+                        packed.position(w),
+                        model.0.iter().position(|&x| x == w).unwrap() + 1
+                    );
+                }
+            }
+        }
+    }
+
+    /// The wide (vec) fallback must behave identically at depth > 16.
+    #[test]
+    fn wide_fallback_matches_reference_model() {
+        let n = 24;
+        let mut wide = LruOrder::new(n);
+        let mut model = RefOrder::new(n);
+        let mut state = 0x1357_9bdf_2468_acefu64;
+        for _ in 0..800 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let way = (state >> 33) as usize % n;
+            assert_eq!(wide.touch(way), model.touch(way));
+            assert_eq!(wide.iter_mru_to_lru().collect::<Vec<_>>(), model.0);
+        }
+    }
+
+    #[test]
+    fn full_sixteen_way_edge_lanes() {
+        // Top-lane arithmetic (shift-by-64 hazards) at exactly 16 ways.
+        let mut o = LruOrder::new(16);
+        assert_eq!(o.touch(15), 16, "LRU way touched from the top lane");
+        assert_eq!(o.position(15), 1);
+        assert_eq!(o.lru_way(), 14);
+        o.demote(15);
+        assert_eq!(o.lru_way(), 15);
+        assert_eq!(o.position(0), 1);
     }
 
     #[test]

@@ -14,13 +14,19 @@
 
 use crate::lru::LruOrder;
 use crate::satcounter::DemandMonitor;
+use crate::set::{probe_ways, INVALID_BLOCK};
 use serde::{Deserialize, Serialize};
 use sim_mem::BlockAddr;
 
 /// A tag-only set with its own LRU replacement.
+///
+/// Tags are stored as a flat `u64` run with the same all-ones sentinel
+/// convention as the real sets (`crate::set::INVALID_BLOCK`), so the
+/// probe is the branch-free compare loop shared with
+/// [`crate::SetAssocCache`] rather than an `Option` walk.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShadowSet {
-    tags: Vec<Option<BlockAddr>>,
+    tags: Vec<BlockAddr>,
     lru: LruOrder,
 }
 
@@ -28,39 +34,38 @@ impl ShadowSet {
     /// Create an empty shadow set with `assoc` entries.
     pub fn new(assoc: usize) -> Self {
         ShadowSet {
-            tags: vec![None; assoc],
+            tags: vec![INVALID_BLOCK; assoc],
             lru: LruOrder::new(assoc),
         }
     }
 
     /// Whether `block`'s tag is present.
+    #[inline]
     pub fn contains(&self, block: BlockAddr) -> bool {
-        self.tags.contains(&Some(block))
+        probe_ways(&self.tags, block).is_some()
     }
 
     /// Record the tag of a locally evicted owned line. Replaces the
     /// shadow-LRU entry when full. If the tag is somehow already present
     /// (it should not be, by exclusivity) it is refreshed instead.
+    #[inline]
     pub fn insert(&mut self, block: BlockAddr) {
-        if let Some(w) = self.tags.iter().position(|t| *t == Some(block)) {
+        if let Some(w) = probe_ways(&self.tags, block) {
             self.lru.touch(w);
             return;
         }
-        let way = self
-            .tags
-            .iter()
-            .position(|t| t.is_none())
-            .unwrap_or_else(|| self.lru.lru_way());
-        self.tags[way] = Some(block);
+        let way = probe_ways(&self.tags, INVALID_BLOCK).unwrap_or_else(|| self.lru.lru_way());
+        self.tags[way] = block;
         self.lru.touch(way);
     }
 
     /// Look up `block`; on a hit the entry is invalidated (the block is
     /// about to re-enter the real set) and `true` is returned.
+    #[inline]
     pub fn lookup_invalidate(&mut self, block: BlockAddr) -> bool {
-        match self.tags.iter().position(|t| *t == Some(block)) {
+        match probe_ways(&self.tags, block) {
             Some(w) => {
-                self.tags[w] = None;
+                self.tags[w] = INVALID_BLOCK;
                 self.lru.demote(w);
                 true
             }
@@ -71,13 +76,13 @@ impl ShadowSet {
     /// Drop all entries (start of a new sampling period, if configured).
     pub fn clear(&mut self) {
         for t in &mut self.tags {
-            *t = None;
+            *t = INVALID_BLOCK;
         }
     }
 
     /// Number of valid shadow entries.
     pub fn len(&self) -> usize {
-        self.tags.iter().filter(|t| t.is_some()).count()
+        self.tags.iter().filter(|&&t| t != INVALID_BLOCK).count()
     }
 
     /// Whether the shadow set is empty.

@@ -94,10 +94,18 @@ impl CoreModel {
                 break;
             }
         }
-        // Charge issue bandwidth.
+        // Charge issue bandwidth. Issue widths are powers of two in every
+        // shipped configuration; keep the hot path a shift/mask and fall
+        // back to the division only for exotic widths.
         let total = self.issue_slot as u64 + n;
-        self.cycle += total / self.cfg.issue_width as u64;
-        self.issue_slot = (total % self.cfg.issue_width as u64) as u32;
+        let w = self.cfg.issue_width as u64;
+        if w & (w - 1) == 0 {
+            self.cycle += total >> w.trailing_zeros();
+            self.issue_slot = (total & (w - 1)) as u32;
+        } else {
+            self.cycle += total / w;
+            self.issue_slot = (total % w) as u32;
+        }
         self.instrs = end_pos;
     }
 

@@ -544,12 +544,131 @@ impl<O: L2Org> SimSession<O> {
     /// horizon) — every core's local clock ends at or beyond the target.
     pub fn run_until(&mut self, cycle: u64) {
         let target = cycle.min(self.horizon());
-        while self.frontier() < target {
-            if !self.step() {
-                break;
+        self.run_batched(target);
+        self.sync_phase();
+    }
+
+    /// The batched drive loop: byte-identical op interleaving to
+    /// repeated [`SimSession::step`] calls, but the per-op work drops to
+    /// one `exec_op` plus two compares in the common case.
+    ///
+    /// `step()` pays an O(num_cores) min-clock scan and re-checks every
+    /// boundary (warm-up, horizon, shift, probe, policy) per op. The
+    /// scan's winner only changes when the running core's clock passes
+    /// the *second*-smallest clock, and every boundary is a fixed cycle
+    /// known up front — so one scan pins `min_core`, a second pins the
+    /// runner-up `(second_cycle, second_idx)`, and `min_core` then
+    /// executes ops back-to-back until either
+    ///
+    /// * its clock passes the runner-up (strictly, or equal with a
+    ///   smaller index elsewhere — the tie order of `step`'s first-index
+    ///   scan), or
+    /// * the frontier reaches the next *pre-exec* boundary (target,
+    ///   horizon, warm-up edge, pending shift cycle), which `step`
+    ///   handles before executing an op, or
+    /// * the frontier reaches the next *post-exec* boundary (probe
+    ///   stride, policy observation), which `step` fires after an op —
+    ///   handled inline without ending the batch.
+    ///
+    /// While the batch runs, the frontier is `min(running core's clock,
+    /// second_cycle)` by construction, so no boundary can be crossed
+    /// unnoticed; `fire_probes`/`observe_policy` are invoked at exactly
+    /// the ops where stepping would have invoked them non-trivially.
+    fn run_batched(&mut self, target: u64) {
+        loop {
+            if self.stopped_at.is_some() {
+                return;
+            }
+            // Pre-exec boundary checks, in `step`'s order (first index
+            // wins clock ties, as the one-shot driver did). One pass
+            // pins both the minimum clock (the frontier / next core to
+            // run) and the runner-up (the batch-ending boundary): with
+            // strict `<` compares and in-order iteration, the two-track
+            // update keeps exactly the first-index tie winners that
+            // `step`'s separate scans would pick.
+            let mut min_cycle = u64::MAX;
+            let mut min_core = 0;
+            let mut second_cycle = u64::MAX;
+            let mut second_idx = usize::MAX;
+            for (i, core) in self.cores.iter().enumerate() {
+                let cyc = core.cycle();
+                if cyc < min_cycle {
+                    second_cycle = min_cycle;
+                    second_idx = min_core;
+                    min_cycle = cyc;
+                    min_core = i;
+                } else if cyc < second_cycle {
+                    second_cycle = cyc;
+                    second_idx = i;
+                }
+            }
+            if self.cores.len() == 1 {
+                second_idx = usize::MAX;
+            }
+            if min_cycle >= target {
+                return;
+            }
+            if !self.measuring && min_cycle >= self.warmup_cycles {
+                self.begin_measurement();
+            }
+            let horizon = self.horizon();
+            if min_cycle >= horizon {
+                return;
+            }
+            if self.next_shift < self.shifts.len() {
+                self.sync_shifts(min_cycle);
+            }
+            // Boundaries `step` honours *before* executing an op. The
+            // warm-up edge only matters until measurement begins; a
+            // pending shift must land before the first op at/past its
+            // cycle.
+            let mut pre_limit = target.min(horizon);
+            if !self.measuring {
+                pre_limit = pre_limit.min(self.warmup_cycles);
+            }
+            if self.next_shift < self.shifts.len() {
+                pre_limit = pre_limit.min(self.shifts[self.next_shift].at_cycle);
+            }
+            let mut post_limit = self.post_exec_limit();
+            loop {
+                self.exec_op(min_core);
+                let cyc = self.cores[min_core].cycle();
+                let frontier = cyc.min(second_cycle);
+                if frontier >= post_limit {
+                    // `step` calls these after every op; they only act
+                    // when the frontier has reached their boundary,
+                    // which is exactly now.
+                    if self.probe_stride > 0 {
+                        self.fire_probes();
+                    }
+                    self.observe_policy();
+                    if self.stopped_at.is_some() {
+                        return;
+                    }
+                    post_limit = self.post_exec_limit();
+                }
+                if cyc > second_cycle || (cyc == second_cycle && second_idx < min_core) {
+                    break;
+                }
+                if frontier >= pre_limit {
+                    break;
+                }
             }
         }
-        self.sync_phase();
+    }
+
+    /// The next cycle at which a post-exec boundary (probe sample or
+    /// policy observation) fires, or `u64::MAX` when neither is armed.
+    #[inline]
+    fn post_exec_limit(&self) -> u64 {
+        let mut limit = u64::MAX;
+        if self.probe_stride > 0 {
+            limit = limit.min(self.next_probe_at);
+        }
+        if self.measuring && self.stopped_at.is_none() && self.policy.observe_stride() > 0 {
+            limit = limit.min(self.policy_next_at);
+        }
+        limit
     }
 
     /// Apply every scheduled shift whose cycle the frontier has
@@ -580,7 +699,7 @@ impl<O: L2Org> SimSession<O> {
 
     /// Run the whole window and return the measured result.
     pub fn run_to_completion(&mut self) -> SystemResult {
-        while self.step() {}
+        self.run_batched(u64::MAX);
         self.sync_phase();
         self.result()
     }

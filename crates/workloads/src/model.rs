@@ -26,7 +26,7 @@
 //!   locality within a line), which is what gives the L1 its hit rate.
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{Divisor, Rng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 use sim_mem::{Access, AccessKind, Addr, CoreOp, Geometry, OpStream};
 
@@ -227,7 +227,29 @@ pub struct SyntheticStream {
     sets: Vec<SetState>,
     /// Cumulative set-sampling distribution (weights ∝ demand).
     set_cdf: Vec<f64>,
+    /// Guide table over `set_cdf`: bucket `b` → first index whose
+    /// cumulative value maps to bucket `b` or later under
+    /// `guide_scale`. Turns the per-reference inverse-CDF binary search
+    /// (ten data-dependent branches over 8 KB of `f64`s) into one table
+    /// load plus a short forward scan with the identical result.
+    set_guide: Vec<u32>,
+    /// Bucket mapping for [`SyntheticStream::set_guide`]:
+    /// `bucket = (value * guide_scale) as usize`, clamped.
+    guide_scale: f64,
     access_count: u64,
+    /// `access_count % cycle_len`, maintained incrementally so the hot
+    /// path never divides (`u64::MAX`-pinned position for streaming).
+    cycle_pos: u64,
+    /// Accesses per phase cycle (`u64::MAX` for streaming patterns,
+    /// which never wrap).
+    cycle_len: u64,
+    /// First cycle position past the current phase; `cycle_pos`
+    /// reaching it (or wrapping) triggers a phase recomputation.
+    phase_end: u64,
+    /// Reciprocal of the gap-draw width `2·gap_mean + 1`.
+    gap_width: Divisor,
+    /// Reciprocal of the burst-draw width `2·burst_mean + 1`.
+    burst_width: Divisor,
     current_phase: usize,
     /// Streaming cursor (blocks).
     stream_cursor: u64,
@@ -253,7 +275,14 @@ impl SyntheticStream {
             rng,
             sets: Vec::new(),
             set_cdf: Vec::new(),
+            set_guide: Vec::new(),
+            guide_scale: 0.0,
             access_count: 0,
+            cycle_pos: 0,
+            cycle_len: u64::MAX,
+            phase_end: 0,
+            gap_width: Divisor::new(spec.gap_mean as u64 * 2 + 1),
+            burst_width: Divisor::new(spec.burst_mean as u64 * 2 + 1),
             current_phase: usize::MAX,
             stream_cursor: 0,
             burst_remaining: 0,
@@ -263,7 +292,34 @@ impl SyntheticStream {
         };
         s.compute_phase_bounds();
         s.enter_phase(0);
+        s.init_cycle_state();
         s
+    }
+
+    /// Re-derive the incremental cycle-position state from
+    /// `access_count` (after construction or a spec mutation).
+    /// `phase_end = 0` forces the next reference to recompute its phase
+    /// exactly, so the incremental path can never go stale.
+    fn init_cycle_state(&mut self) {
+        match &self.spec.pattern {
+            Pattern::Pooled { cycle_accesses, .. } => {
+                self.cycle_len = (*cycle_accesses).max(1);
+                self.cycle_pos = self.access_count % self.cycle_len;
+                self.phase_end = 0;
+            }
+            Pattern::Streaming => {
+                self.cycle_len = u64::MAX;
+                self.cycle_pos = 0;
+                self.phase_end = u64::MAX;
+            }
+        }
+    }
+
+    /// The phase owning cycle position `pos`: same lookup as
+    /// [`SyntheticStream::phase_at`], over a position instead of an
+    /// absolute access count.
+    fn phase_index(&self, pos: u64) -> usize {
+        self.phase_bounds.iter().position(|&b| pos < b).unwrap_or(0)
     }
 
     fn compute_phase_bounds(&mut self) {
@@ -338,15 +394,52 @@ impl SyntheticStream {
                 acc
             })
             .collect();
+        self.build_set_guide();
+    }
+
+    /// Rebuild the inverse-CDF guide table for the current `set_cdf`.
+    ///
+    /// Correctness does not depend on floating-point bucket boundaries:
+    /// the build applies the *same* monotone mapping
+    /// `v ↦ (v * guide_scale) as usize` to the cumulative values that
+    /// the sampler applies to the drawn point, so the guided start index
+    /// is always at or below the exact partition point and the forward
+    /// scan lands on it precisely.
+    fn build_set_guide(&mut self) {
+        let n = self.set_cdf.len();
+        let buckets = (n * 2).next_power_of_two().max(1);
+        let total = self.set_cdf.last().copied().unwrap_or(0.0);
+        self.guide_scale = buckets as f64 / total;
+        let bucket_of = |scale: f64, v: f64| -> usize { ((v * scale) as usize).min(buckets - 1) };
+        self.set_guide.clear();
+        self.set_guide.reserve(buckets);
+        let mut i = 0usize;
+        for b in 0..buckets {
+            while i < n && bucket_of(self.guide_scale, self.set_cdf[i]) < b {
+                i += 1;
+            }
+            self.set_guide.push(i as u32);
+        }
+    }
+
+    /// Guided inverse-CDF walk: identical to
+    /// `set_cdf.partition_point(|&c| c <= x)` (see `build_set_guide`),
+    /// without the binary search's data-dependent branches.
+    fn locate_cdf(&self, x: f64) -> usize {
+        let b = ((x * self.guide_scale) as usize).min(self.set_guide.len() - 1);
+        let mut i = self.set_guide[b] as usize;
+        let n = self.set_cdf.len();
+        while i < n && self.set_cdf[i] <= x {
+            i += 1;
+        }
+        i
     }
 
     fn sample_set(&mut self) -> usize {
         // snug-lint: allow(panic-audit, "the cdf is rebuilt from a non-empty component list before sampling")
         let total = *self.set_cdf.last().expect("non-empty cdf");
         let x = self.rng.gen::<f64>() * total;
-        self.set_cdf
-            .partition_point(|&c| c <= x)
-            .min(self.sets.len() - 1)
+        self.locate_cdf(x).min(self.sets.len() - 1)
     }
 
     fn next_block(&mut self) -> u64 {
@@ -369,14 +462,20 @@ impl SyntheticStream {
         let d = st.demand.max(1);
         let window = (near_window.min(st.recent_len as usize)) as u64;
         let idx = if near_draw < near_fraction && window > 0 {
-            // Re-touch one of the recently used blocks of this set.
-            let back = (far_draw % window) as usize;
+            // Re-touch one of the recently used blocks of this set. The
+            // usual window widths are powers of two: reduce by mask then
+            // (the same remainder, minus the divide).
+            let back = if window & (window - 1) == 0 {
+                (far_draw & (window - 1)) as usize
+            } else {
+                (far_draw % window) as usize
+            };
             let pos = (st.recent_pos as usize + RECENT_CAP - 1 - back) % RECENT_CAP;
             st.recent[pos]
         } else if cyclic_draw < CYCLIC_FRACTION {
             // Loop-like walk: re-references arrive soon after eviction.
             let i = st.cursor;
-            st.cursor = (st.cursor + 1) % d;
+            st.cursor = if st.cursor + 1 >= d { 0 } else { st.cursor + 1 };
             i
         } else {
             // Uniform random over the pool: stack distances spread over
@@ -413,6 +512,10 @@ impl SyntheticStream {
     fn reshape(&mut self) {
         self.compute_phase_bounds();
         self.enter_phase(self.phase_at(self.access_count));
+        self.init_cycle_state();
+        // A profile shift swaps the whole spec: refresh the reciprocals.
+        self.gap_width = Divisor::new(self.spec.gap_mean as u64 * 2 + 1);
+        self.burst_width = Divisor::new(self.spec.burst_mean as u64 * 2 + 1);
     }
 }
 
@@ -479,11 +582,24 @@ impl SyntheticStream {
 
 impl OpStream for SyntheticStream {
     fn next_op(&mut self) -> CoreOp {
-        let phase = self.phase_at(self.access_count);
-        if phase != self.current_phase {
-            self.enter_phase(phase);
+        // Incremental phase tracking: `cycle_pos` mirrors
+        // `access_count % cycle_accesses`, so the per-reference phase
+        // lookup (a divide plus a bounds scan) only runs when the
+        // position actually crosses a phase boundary or wraps.
+        if self.cycle_pos >= self.phase_end {
+            let phase = self.phase_index(self.cycle_pos);
+            if phase != self.current_phase {
+                self.enter_phase(phase);
+            }
+            self.phase_end = self.phase_bounds.get(phase).copied().unwrap_or(u64::MAX);
         }
         self.access_count += 1;
+        self.cycle_pos += 1;
+        if self.cycle_pos >= self.cycle_len {
+            self.cycle_pos = 0;
+            // Force an exact phase recomputation at the wrap.
+            self.phase_end = 0;
+        }
         let block = if self.burst_remaining > 0 {
             self.burst_remaining -= 1;
             self.burst_block
@@ -491,7 +607,7 @@ impl OpStream for SyntheticStream {
             let b = self.next_block();
             self.burst_block = b;
             if self.spec.burst_mean > 0 {
-                self.burst_remaining = self.rng.gen_range(0..=self.spec.burst_mean * 2);
+                self.burst_remaining = self.burst_width.rem(self.rng.next_u64()) as u32;
             }
             b
         };
@@ -506,7 +622,7 @@ impl OpStream for SyntheticStream {
             kind == AccessKind::Load && self.rng.gen::<f64>() < self.spec.dependent_fraction;
         // Uniform gap in [0, 2·mean] keeps the requested mean with some
         // jitter; deterministic for a fixed seed.
-        let gap = self.rng.gen_range(0..=self.spec.gap_mean * 2);
+        let gap = self.gap_width.rem(self.rng.next_u64()) as u32;
         CoreOp {
             gap,
             access: Access {
@@ -709,6 +825,73 @@ mod tests {
             vec![2, 2, 20, 20, 2, 2, 20, 20],
             "phases alternate and repeat"
         );
+    }
+
+    #[test]
+    fn guided_cdf_lookup_matches_partition_point() {
+        // Mixed demands (including a degenerate all-equal prefix from
+        // lo=hi components) across several geometries.
+        for (sets, seed) in [(16u64, 1u64), (64, 2), (1024, 3)] {
+            let spec = pooled_spec(
+                vec![
+                    DemandComponent::new(0.4, 1, 1),
+                    DemandComponent::new(0.6, 2, 30),
+                ],
+                0.2,
+            );
+            let s = spec.stream(Geometry::new(64, sets, 4), seed as usize);
+            let total = *s.set_cdf.last().unwrap();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for _ in 0..5000 {
+                let x = rng.gen::<f64>() * total;
+                assert_eq!(
+                    s.locate_cdf(x),
+                    s.set_cdf.partition_point(|&c| c <= x),
+                    "x={x}"
+                );
+            }
+            // Boundary values: exactly on cumulative steps and the total.
+            for &x in s.set_cdf.iter().chain([&total]) {
+                assert_eq!(s.locate_cdf(x), s.set_cdf.partition_point(|&c| c <= x));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_phase_tracking_matches_phase_at() {
+        let spec = BenchmarkSpec {
+            name: "phased".into(),
+            dependent_fraction: 0.1,
+            burst_mean: 1,
+            pattern: Pattern::Pooled {
+                phases: vec![
+                    Phase {
+                        fraction: 0.3,
+                        profile: DemandProfile::uniform(2, 4, 0.1),
+                    },
+                    Phase {
+                        fraction: 0.5,
+                        profile: DemandProfile::uniform(10, 20, 0.3),
+                    },
+                    Phase {
+                        fraction: 0.2,
+                        profile: DemandProfile::uniform(1, 2, 0.0),
+                    },
+                ],
+                cycle_accesses: 777,
+            },
+            gap_mean: 1,
+            write_fraction: 0.2,
+            seed: 5,
+        };
+        let mut s = spec.stream(Geometry::new(64, 16, 4), 0);
+        for _ in 0..3000 {
+            s.next_op();
+            // After an op for access index `access_count - 1`, the live
+            // phase must be what the full lookup computes for it.
+            assert_eq!(s.current_phase, s.phase_at(s.access_count - 1));
+            assert_eq!(s.cycle_pos, s.access_count % 777, "position mirror");
+        }
     }
 
     #[test]

@@ -132,6 +132,75 @@ fn reconverged_session(spec: &SchemeSpec) -> SimSession<Box<dyn L2Org>> {
         .build()
 }
 
+/// The 8-core variant of the tiny platform: twice the paper's core
+/// count on the same tiny geometry, so every core-count-dependent path
+/// — L2S address interleaving across 8 banks, CC/DSR peer scans, SNUG's
+/// wide grouping and G/T vectors, the batched frontier's two-minima
+/// scan — is exercised beyond the quad-core shape everything else in
+/// this file pins.
+fn cfg_8core() -> SystemConfig {
+    SystemConfig {
+        num_cores: 8,
+        ..SystemConfig::tiny_test()
+    }
+}
+
+/// Eight distinct benchmark models, one per core — mixed enough that
+/// cores drift apart and the frontier order is non-trivial.
+fn streams_8core(cfg: &SystemConfig) -> Vec<Box<dyn OpStream>> {
+    [
+        Benchmark::Ammp,
+        Benchmark::Vortex,
+        Benchmark::Art,
+        Benchmark::Applu,
+        Benchmark::Mcf,
+        Benchmark::Parser,
+        Benchmark::Swim,
+        Benchmark::Mesa,
+    ]
+    .iter()
+    .enumerate()
+    .map(|(core, b)| Box::new(b.spec().stream(cfg.l2_slice, core)) as Box<dyn OpStream>)
+    .collect()
+}
+
+fn session_8core(spec: &SchemeSpec) -> SimSession<Box<dyn L2Org>> {
+    let cfg = cfg_8core();
+    SimSession::builder(cfg, spec.build(cfg))
+        .streams(streams_8core(&cfg))
+        .budget(WARMUP, MEASURE)
+        .build()
+}
+
+fn converged_session_8core(spec: &SchemeSpec) -> SimSession<Box<dyn L2Org>> {
+    let cfg = cfg_8core();
+    SimSession::builder(cfg, spec.build(cfg))
+        .streams(streams_8core(&cfg))
+        .plan(converged_plan())
+        .build()
+}
+
+#[test]
+fn eight_core_awkward_interleaving_matches_for_every_scheme() {
+    for spec in schemes() {
+        let expected = session_8core(&spec).run_to_completion();
+        assert_eq!(
+            expected.cores.len(),
+            8,
+            "{spec}: the result really is 8-core"
+        );
+        let mut s = session_8core(&spec);
+        for _ in 0..500 {
+            s.step();
+        }
+        for t in (0..WARMUP + MEASURE + 2_000).step_by(1_234) {
+            s.run_until(t);
+            s.step();
+        }
+        assert_eq!(s.run_to_completion(), expected, "{spec}");
+    }
+}
+
 #[test]
 fn phase_shifts_change_every_schemes_measured_behaviour() {
     for spec in schemes() {
@@ -424,6 +493,66 @@ proptest! {
         prop_assert_eq!(original.run_to_completion(), expected);
         prop_assert_eq!(original.stopped_at(), expected_stop);
         prop_assert_eq!(original.phase_plateaus(), expected_plateaus);
+    }
+
+    /// The determinism contract holds at twice the paper's core count:
+    /// random step/run_until interleavings and snapshot → restore →
+    /// resume of the 8-core platform are bit-identical to its one-shot
+    /// run for every scheme.
+    #[test]
+    fn eight_core_interleaving_and_snapshot_are_bit_identical(
+        scheme_idx in 0usize..5,
+        hops in proptest::collection::vec(1u64..9_000, 0..6),
+        step_runs in proptest::collection::vec(1usize..300, 0..4),
+        snap_at in 1u64..(WARMUP + MEASURE),
+    ) {
+        let spec = schemes()[scheme_idx];
+        let expected = session_8core(&spec).run_to_completion();
+
+        let mut interleaved = session_8core(&spec);
+        let mut cursor = 0;
+        for (i, hop) in hops.iter().enumerate() {
+            cursor += hop;
+            interleaved.run_until(cursor);
+            if let Some(n) = step_runs.get(i) {
+                for _ in 0..*n {
+                    interleaved.step();
+                }
+            }
+        }
+        prop_assert_eq!(interleaved.run_to_completion(), expected.clone());
+
+        let mut original = session_8core(&spec);
+        original.run_until(snap_at);
+        let snap = original.snapshot().expect("streams snapshot");
+        let mut restored = snap.to_session().expect("snapshot replays");
+        prop_assert_eq!(restored.run_to_completion(), expected.clone());
+        prop_assert_eq!(original.run_to_completion(), expected);
+    }
+
+    /// The `Converged` policy is interleaving-invariant at 8 cores too:
+    /// the stop cycle is a pure function of the frontier-derived
+    /// observation sequence regardless of core count.
+    #[test]
+    fn eight_core_converged_stop_is_interleaving_invariant(
+        scheme_idx in 0usize..5,
+        hops in proptest::collection::vec(1u64..6_000, 0..6),
+    ) {
+        let spec = schemes()[scheme_idx];
+        let mut one_shot = converged_session_8core(&spec);
+        let expected = one_shot.run_to_completion();
+        let expected_stop = one_shot.stopped_at();
+        prop_assert!(expected_stop.is_some(), "loose epsilon converges");
+
+        let mut interleaved = converged_session_8core(&spec);
+        let mut cursor = 0;
+        for hop in &hops {
+            cursor += hop;
+            interleaved.run_until(cursor);
+            interleaved.step();
+        }
+        prop_assert_eq!(interleaved.run_to_completion(), expected);
+        prop_assert_eq!(interleaved.stopped_at(), expected_stop);
     }
 
     /// A `Converged`-policy run stops at the same cycle and retires the

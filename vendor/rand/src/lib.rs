@@ -25,26 +25,34 @@ pub trait SeedableRng: Sized {
 }
 
 /// Types producible by [`Rng::gen`].
+///
+/// `draw` is generic over the generator (not `&mut dyn RngCore`) so the
+/// whole draw — including `next_u64` — inlines into the workload
+/// generators' per-op hot path; a virtual call per random number costs
+/// more than the xoshiro step itself.
 pub trait Standard: Sized {
     /// Draw one value from `rng`.
-    fn draw(rng: &mut dyn RngCore) -> Self;
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
 }
 
 impl Standard for f64 {
-    fn draw(rng: &mut dyn RngCore) -> f64 {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
         // 53 uniform bits in [0, 1), the standard conversion.
         (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }
 
 impl Standard for f32 {
-    fn draw(rng: &mut dyn RngCore) -> f32 {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
         (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
     }
 }
 
 impl Standard for bool {
-    fn draw(rng: &mut dyn RngCore) -> bool {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> bool {
         rng.next_u64() & 1 == 1
     }
 }
@@ -52,7 +60,8 @@ impl Standard for bool {
 macro_rules! impl_standard_int {
     ($($t:ty),*) => {$(
         impl Standard for $t {
-            fn draw(rng: &mut dyn RngCore) -> $t {
+            #[inline]
+            fn draw<R: RngCore + ?Sized>(rng: &mut R) -> $t {
                 rng.next_u64() as $t
             }
         }
@@ -63,25 +72,109 @@ impl_standard_int!(u8, u16, u32, u64, usize);
 /// Ranges usable with [`Rng::gen_range`].
 pub trait SampleRange<T> {
     /// Draw a value uniformly from the range. Panics when empty.
-    fn sample(self, rng: &mut dyn RngCore) -> T;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// `x % width` without the 128-bit soft-division of the widening
+/// formulation, bit-for-bit identical to it: power-of-two widths reduce
+/// by mask, the full-`u64::MAX` width (which only `0..u64::MAX` ranges
+/// produce) maps `u64::MAX → 0` and is the identity elsewhere, and the
+/// rest take one hardware 64-bit remainder. The workload generators'
+/// hot path draws several ranged values per retired op, so the common
+/// (power-of-two) widths must not pay a divide.
+#[inline]
+fn reduce(x: u64, width: u64) -> u64 {
+    debug_assert!(width > 0);
+    if width & (width - 1) == 0 {
+        x & (width - 1)
+    } else if width == u64::MAX {
+        if x == u64::MAX {
+            0
+        } else {
+            x
+        }
+    } else {
+        x % width
+    }
+}
+
+/// A divisor with a precomputed 128-bit reciprocal: `rem(x)` is exactly
+/// `x % d` for every 64-bit `x`, without the hardware divide
+/// (Lemire–Kaser–Kurz, "Faster remainders when the divisor is a
+/// constant"). For hot loops that reduce by the *same* divisor on every
+/// iteration — the workload generators' gap/burst widths and per-set
+/// pool sizes — the handful of multiplies beats a data-dependent 64-bit
+/// `div` several times over.
+///
+/// The precomputed magic is `ceil(2^128 / d)`; with a 64-bit numerator
+/// and `d < 2^64` the fraction bits (128) cover `n + log2(d)` bits, the
+/// published exactness condition. Power-of-two divisors reduce by mask
+/// instead (their `ceil` wraps at `d = 1`, and the mask is cheaper
+/// anyway).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Divisor {
+    d: u64,
+    magic: u128,
+}
+
+impl Divisor {
+    /// Precompute the reciprocal of `d`. Panics when `d == 0`.
+    pub fn new(d: u64) -> Self {
+        assert!(d > 0, "division by zero");
+        Divisor {
+            d,
+            magic: (u128::MAX / d as u128).wrapping_add(1),
+        }
+    }
+
+    /// The divisor itself.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.d
+    }
+
+    /// `x % d`, exactly. (An inherent method, not `ops::Rem`: the
+    /// operands read naturally as divisor-first at every call site,
+    /// which `d % x` would invert.)
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn rem(self, x: u64) -> u64 {
+        if self.d & (self.d - 1) == 0 {
+            return x & (self.d - 1);
+        }
+        // lowbits = (magic * x) mod 2^128 holds the fractional part of
+        // x/d; scaling it back by d and keeping the top 64 bits yields
+        // the remainder.
+        let low = self.magic.wrapping_mul(x as u128);
+        let hi = low >> 64;
+        let lo = low as u64 as u128;
+        ((hi * self.d as u128 + ((lo * self.d as u128) >> 64)) >> 64) as u64
+    }
 }
 
 macro_rules! impl_sample_range {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for Range<$t> {
-            fn sample(self, rng: &mut dyn RngCore) -> $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "gen_range on empty range");
-                let width = (self.end as u128) - (self.start as u128);
-                self.start + ((rng.next_u64() as u128 % width) as $t)
+                // Exclusive width over a ≤64-bit type always fits in u64.
+                let width = (self.end as u64) - (self.start as u64);
+                self.start + (reduce(rng.next_u64(), width) as $t)
             }
         }
 
         impl SampleRange<$t> for RangeInclusive<$t> {
-            fn sample(self, rng: &mut dyn RngCore) -> $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "gen_range on empty range");
-                let width = (hi as u128) - (lo as u128) + 1;
-                lo + ((rng.next_u64() as u128 % width) as $t)
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    // Full 64-bit range: reduction mod 2^64 is a no-op.
+                    return rng.next_u64() as $t;
+                }
+                lo + (reduce(rng.next_u64(), span + 1) as $t)
             }
         }
     )*};
@@ -92,6 +185,7 @@ impl_sample_range!(u8, u16, u32, u64, usize);
 /// [`RngCore`].
 pub trait Rng: RngCore {
     /// A uniformly distributed value of `T`.
+    #[inline]
     fn gen<T: Standard>(&mut self) -> T
     where
         Self: Sized,
@@ -100,6 +194,7 @@ pub trait Rng: RngCore {
     }
 
     /// A uniform value in `range`.
+    #[inline]
     fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
     where
         Self: Sized,
@@ -108,6 +203,7 @@ pub trait Rng: RngCore {
     }
 
     /// `true` with probability `p`.
+    #[inline]
     fn gen_bool(&mut self, p: f64) -> bool
     where
         Self: Sized,
@@ -151,6 +247,7 @@ pub mod rngs {
     }
 
     impl RngCore for SmallRng {
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
                 .wrapping_add(self.s[3])
@@ -194,6 +291,89 @@ mod tests {
             sum += x;
         }
         assert!((sum / 10_000.0 - 0.5).abs() < 0.02, "mean far from 0.5");
+    }
+
+    #[test]
+    fn reduce_matches_widening_modulo() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let widths = [
+            1u64,
+            2,
+            3,
+            5,
+            7,
+            8,
+            16,
+            37,
+            255,
+            256,
+            1 << 33,
+            (1 << 40) - 1,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for _ in 0..10_000 {
+            let x: u64 = rng.gen();
+            for &w in &widths {
+                let expect = ((x as u128) % (w as u128)) as u64;
+                assert_eq!(super::reduce(x, w), expect, "x={x} w={w}");
+            }
+        }
+        assert_eq!(super::reduce(u64::MAX, u64::MAX), 0);
+    }
+
+    #[test]
+    fn divisor_rem_is_exact() {
+        let divisors = [
+            1u64,
+            2,
+            3,
+            5,
+            7,
+            8,
+            9,
+            16,
+            31,
+            33,
+            255,
+            257,
+            65_521,
+            65_535,
+            65_536,
+            1_000_003,
+            (1 << 32) - 1,
+            (1 << 32) + 1,
+            (1 << 62) + 3,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut rng = SmallRng::seed_from_u64(17);
+        for &d in &divisors {
+            let div = super::Divisor::new(d);
+            // Structured numerators around multiples of d and the
+            // extremes, plus random draws.
+            let mut xs = vec![
+                0u64,
+                1,
+                d - 1,
+                d,
+                d.saturating_add(1),
+                u64::MAX,
+                u64::MAX - 1,
+            ];
+            for k in [1u64, 2, 3, 1000] {
+                for off in [-1i64, 0, 1] {
+                    let m = (u64::MAX / d).saturating_sub(k).wrapping_mul(d);
+                    xs.push(m.wrapping_add(off as u64));
+                }
+            }
+            for _ in 0..5000 {
+                xs.push(rng.gen());
+            }
+            for x in xs {
+                assert_eq!(div.rem(x), x % d, "x={x} d={d}");
+            }
+        }
     }
 
     #[test]
