@@ -379,9 +379,12 @@ pub struct SchemeRun {
     /// committed fixed-plan store entries render exactly as they always
     /// did.
     pub stop_reason: Option<StopReason>,
-    /// Per-phase plateau mean throughputs under a re-convergence
-    /// policy (empty otherwise): one entry per workload phase, the last
-    /// being the final plateau the run stopped on.
+    /// Per-phase mean throughputs: one entry per workload phase, the
+    /// last being the phase the run stopped in. Under a re-convergence
+    /// policy these are the policy's rolling-window plateau means; on
+    /// a paced fixed-window run of a shifted sweep they are whole-phase
+    /// measured means over the window the combo's baseline already
+    /// certified as re-converged. Empty on stationary fixed runs.
     pub plateaus: Vec<f64>,
 }
 
@@ -417,9 +420,75 @@ fn early_exit_outcome<O: L2Org>(
     (stop_reason, plateaus)
 }
 
+/// Drive `session` to completion; on a *pure fixed-window* plan under
+/// a phase schedule, pause at each measured-window shift boundary
+/// first and record per-phase measured mean throughputs (sum of
+/// per-core instructions/cycles over each phase's slice of the
+/// window). This is how baseline-paced siblings of a shifted
+/// re-converged sweep get per-scheme phase means without touching
+/// their plan — and therefore their content keys: `run_until` at a
+/// boundary is observation only, interleaving-equivalent to the
+/// one-shot run (the session-determinism property suite pins this).
+/// Early-exit-capable plans run one-shot and return no means — the
+/// re-convergence policy derives its own plateau means there.
+fn run_with_phase_means<O: L2Org>(
+    session: &mut SimSession<O>,
+    plan: &RunPlan,
+    phase: Option<&PhaseSchedule>,
+) -> (SystemResult, Vec<f64>) {
+    let horizon = plan.warmup_cycles + plan.measure_cycles();
+    let mut cuts: Vec<u64> = match phase {
+        Some(p) if !plan.can_stop_early() => p
+            .shifts()
+            .iter()
+            .map(|s| s.at_cycle)
+            .filter(|&c| c > plan.warmup_cycles && c < horizon)
+            .collect(),
+        _ => Vec::new(),
+    };
+    cuts.dedup();
+    if cuts.is_empty() {
+        return (session.run_to_completion(), Vec::new());
+    }
+    let mut marks: Vec<SystemResult> = Vec::with_capacity(cuts.len());
+    for &cut in &cuts {
+        session.run_until(cut);
+        marks.push(session.result());
+    }
+    let r = session.run_to_completion();
+    let mut means = Vec::with_capacity(marks.len() + 1);
+    let mut prev: Option<&SystemResult> = None;
+    for mark in marks.iter().chain(std::iter::once(&r)) {
+        means.push(segment_throughput(prev, mark));
+        prev = Some(mark);
+    }
+    (r, means)
+}
+
+/// Sum of per-core IPCs over the segment between two cumulative
+/// measurement marks (from the window start when `prev` is `None`).
+fn segment_throughput(prev: Option<&SystemResult>, cur: &SystemResult) -> f64 {
+    cur.cores
+        .iter()
+        .enumerate()
+        .map(|(i, core)| {
+            let (i0, c0) = prev
+                .map(|p| (p.cores[i].instructions, p.cores[i].cycles))
+                .unwrap_or((0, 0));
+            let di = core.instructions.saturating_sub(i0);
+            let dc = core.cycles.saturating_sub(c0);
+            if dc == 0 {
+                0.0
+            } else {
+                di as f64 / dc as f64
+            }
+        })
+        .sum()
+}
+
 /// Run one scheme point of one combo under an optional phase-change
 /// schedule, recording the explicit stop reason on early-exit-capable
-/// plans.
+/// plans and per-phase means on paced fixed-window shifted runs.
 pub fn run_point_phased(
     combo: &Combo,
     point: &SchemePoint,
@@ -427,8 +496,11 @@ pub fn run_point_phased(
     phase: Option<&PhaseSchedule>,
 ) -> SchemeRun {
     let mut session = session_for_phased(combo, &point.spec(cfg), cfg, phase);
-    let r = session.run_to_completion();
-    let (stop_reason, plateaus) = early_exit_outcome(&session, &cfg.plan);
+    let (r, phase_means) = run_with_phase_means(&mut session, &cfg.plan, phase);
+    let (stop_reason, mut plateaus) = early_exit_outcome(&session, &cfg.plan);
+    if plateaus.is_empty() {
+        plateaus = phase_means;
+    }
     SchemeRun {
         scheme: point.label(),
         ipcs: r.ipcs(),
@@ -564,7 +636,7 @@ pub fn run_cc_points_shared_phased(
             // snug-lint: allow(panic-audit, "a snapshot taken from synthetic streams always restores")
             let mut sess = snap.to_session().expect("snapshot streams clone");
             sess.org_mut().set_spill_probability(spill_probability);
-            let r = sess.run_to_completion();
+            let (r, phase_means) = run_with_phase_means(&mut sess, &run_cfg.plan, phase);
             let mut measured_cycles = sess
                 .stopped_at()
                 .map(|c| c.saturating_sub(run_cfg.plan.warmup_cycles));
@@ -572,7 +644,10 @@ pub fn run_cc_points_shared_phased(
             // plan when unpaced, the baseline's fixed window when
             // paced — in which case the pace's window and stop reason
             // override, exactly as `run_point_paced` records them.
-            let (mut stop_reason, plateaus) = early_exit_outcome(&sess, &run_cfg.plan);
+            let (mut stop_reason, mut plateaus) = early_exit_outcome(&sess, &run_cfg.plan);
+            if plateaus.is_empty() {
+                plateaus = phase_means;
+            }
             if let Some(p) = pace {
                 if p.measured_window < cfg.plan.measure_cycles() {
                     measured_cycles = Some(p.measured_window);
@@ -900,5 +975,43 @@ mod tests {
             }
             other => panic!("expected a converged plan, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn paced_shifted_fixed_runs_record_per_phase_means() {
+        use snug_workloads::Benchmark;
+        let combo = Combo {
+            class: ComboClass::C1,
+            apps: [Benchmark::Ammp; 4],
+        };
+        let mut cfg = CompareConfig::quick();
+        cfg.plan = RunPlan::fixed(10_000, 60_000);
+        let phase = PhaseSchedule::parse("40000:demand=300").unwrap();
+
+        let run = run_point_phased(&combo, &SchemePoint::Snug, &cfg, Some(&phase));
+        assert_eq!(
+            run.plateaus.len(),
+            2,
+            "one mean per phase: {:?}",
+            run.plateaus
+        );
+        assert!(run.plateaus.iter().all(|m| *m > 0.0), "{:?}", run.plateaus);
+
+        // Recording is observation only: pausing at the boundary must
+        // leave the measured result identical to a one-shot drive of
+        // the same shifted session.
+        let mut one_shot =
+            session_for_phased(&combo, &SchemePoint::Snug.spec(&cfg), &cfg, Some(&phase));
+        let r = one_shot.run_to_completion();
+        assert_eq!(r.ipcs(), run.ipcs, "run_until pauses perturbed the run");
+
+        // A shift outside the measured window records nothing.
+        let late = PhaseSchedule::parse("500000:demand=300").unwrap();
+        let run = run_point_phased(&combo, &SchemePoint::Snug, &cfg, Some(&late));
+        assert!(run.plateaus.is_empty(), "{:?}", run.plateaus);
+
+        // Stationary fixed runs stay empty too.
+        let run = run_point_phased(&combo, &SchemePoint::Snug, &cfg, None);
+        assert!(run.plateaus.is_empty(), "{:?}", run.plateaus);
     }
 }

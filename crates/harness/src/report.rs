@@ -1,7 +1,7 @@
 //! Report generation: the paper's Tables 7–8 / Figures 9–11 comparisons
 //! rendered from stored sweep results as Markdown and CSV.
 
-use crate::spec::SweepSpec;
+use crate::spec::{ComboJob, SweepSpec};
 use crate::store::ResultStore;
 use snug_experiments::{
     figure_table, pace_of, summarize, ComboResult, Figure, SchemePoint, StopReason, FIGURE_SCHEMES,
@@ -54,22 +54,30 @@ pub const CEILING_FOOTNOTE: &str = "† hit the budget ceiling without stabilisi
 /// [`CEILING_FOOTNOTE`]): before stop reasons were persisted such runs
 /// were indistinguishable from clean full-window measurements.
 ///
+/// Phase-shift specs additionally get one post-shift plateau column
+/// per figure scheme, read from the per-scheme plateau records the
+/// sweep persists alongside each unit — phase-stationary specs (all
+/// the committed EXPERIMENTS tables) render byte-identically to
+/// before.
+///
 /// Returns `None` for fixed-stop specs (nothing to summarise) or when
 /// the store is missing the spec's baselines.
 pub fn stop_summary_table(spec: &SweepSpec, store: &ResultStore) -> Option<Table> {
     if !spec.compare_config().plan.can_stop_early() {
         return None;
     }
-    let mut t = Table::new(
-        "Stop summary (per-combo window, baseline-paced)",
-        vec![
-            "Combination".to_string(),
-            "Class".to_string(),
-            "Window (cycles)".to_string(),
-            "Stop".to_string(),
-            "Baseline plateaus".to_string(),
-        ],
-    );
+    let shifted = spec.phase_shift.is_some();
+    let mut headers = vec![
+        "Combination".to_string(),
+        "Class".to_string(),
+        "Window (cycles)".to_string(),
+        "Stop".to_string(),
+        "Baseline plateaus".to_string(),
+    ];
+    if shifted {
+        headers.extend(FIGURE_SCHEMES.iter().map(|s| format!("{s} post")));
+    }
+    let mut t = Table::new("Stop summary (per-combo window, baseline-paced)", headers);
     for job in spec.combo_jobs() {
         let baseline = job.units.iter().find(|u| u.point == SchemePoint::L2p)?;
         let run = store.get_unit(&baseline.key)?;
@@ -87,15 +95,55 @@ pub fn stop_summary_table(spec: &SweepSpec, store: &ResultStore) -> Option<Table
                 .collect::<Vec<_>>()
                 .join(" → ")
         };
-        t.push_row(vec![
+        let mut row = vec![
             job.combo.label(),
             job.combo.class.name().to_string(),
             pace.measured_window.to_string(),
             stop,
             plateaus,
-        ]);
+        ];
+        if shifted {
+            for scheme in FIGURE_SCHEMES {
+                row.push(post_shift_plateau(store, &job, scheme));
+            }
+        }
+        t.push_row(row);
     }
     Some(t)
+}
+
+/// The post-shift plateau of `scheme`'s unit for one combo, rendered
+/// for the stop summary: the last per-phase mean, provided the run
+/// recorded at least two phases — the baseline's rolling-window
+/// plateau under the re-convergence policy, or the whole-phase
+/// measured means paced siblings record over the window that
+/// baseline certified (see `SchemeRun::plateaus`). `CC(Best)`
+/// reports the highest post-shift mean across the §4.1 spill sweep.
+/// `-` when the unit is missing from the store or predates per-phase
+/// recording (cached pre-upgrade entries).
+fn post_shift_plateau(store: &ResultStore, job: &ComboJob, scheme: &str) -> String {
+    let best = job
+        .units
+        .iter()
+        .filter(|u| {
+            matches!(
+                (scheme, u.point),
+                ("L2S", SchemePoint::L2s)
+                    | ("DSR", SchemePoint::Dsr)
+                    | ("SNUG", SchemePoint::Snug)
+                    | ("CC(Best)", SchemePoint::Cc { .. })
+            )
+        })
+        .filter_map(|u| {
+            let run = store.get_unit(&u.key)?;
+            if run.plateaus.len() >= 2 {
+                run.plateaus.last().copied()
+            } else {
+                None
+            }
+        })
+        .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a| a.max(v))));
+    best.map(f3).unwrap_or_else(|| "-".to_string())
 }
 
 /// Render the full report as one Markdown document.
@@ -199,6 +247,91 @@ mod tests {
             phase_shift: None,
             shared_warmup: false,
         }
+    }
+
+    #[test]
+    fn stop_summary_post_shift_columns_gate_on_the_phase_schedule() {
+        use crate::spec::StopPreset;
+        use snug_experiments::SchemeRun;
+
+        let dir = std::env::temp_dir().join("snug-report-postshift-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = ResultStore::open(&dir).unwrap();
+
+        let shifted = SweepSpec {
+            name: "shifted".into(),
+            classes: vec![],
+            combos: vec!["ammp+ammp+ammp+ammp".into()],
+            budget: BudgetPreset::Quick,
+            stop: StopPreset::Reconverged {
+                window_cycles: Some(150_000),
+                rel_epsilon: None,
+            },
+            phase_shift: Some("400000:profile=mcf".into()),
+            shared_warmup: false,
+        };
+        let jobs = shifted.combo_jobs();
+        let run = |plateaus: Vec<f64>| SchemeRun {
+            scheme: "test".into(),
+            ipcs: vec![1.0; 4],
+            measured_cycles: Some(1_000_000),
+            stop_reason: Some(StopReason::Converged),
+            plateaus,
+        };
+        for u in &jobs[0].units {
+            let plateaus = match u.point {
+                SchemePoint::L2p => vec![0.9, 1.0],
+                // Re-converged past the shift: its post plateau shows.
+                SchemePoint::Snug => vec![0.8, 1.25],
+                // Never re-converged (single pre-shift plateau): `-`.
+                SchemePoint::L2s => vec![0.7],
+                // CC sweep and DSR left out of the store entirely: `-`.
+                _ => continue,
+            };
+            store
+                .insert_unit(u.key.clone(), String::new(), run(plateaus))
+                .unwrap();
+        }
+
+        let md = stop_summary_table(&shifted, &store)
+            .expect("early-exit spec summarises")
+            .to_markdown();
+        for h in ["L2S post", "CC(Best) post", "DSR post", "SNUG post"] {
+            assert!(md.contains(h), "missing header {h}:\n{md}");
+        }
+        assert!(
+            md.contains("- | - | - | 1.25"),
+            "post cells should read -, -, -, then SNUG's final plateau:\n{md}"
+        );
+
+        // The stationary variant of the same spec renders the legacy
+        // five columns only — the committed EXPERIMENTS tables cannot
+        // move.
+        let stationary = SweepSpec {
+            stop: StopPreset::Converged {
+                window_cycles: Some(150_000),
+                rel_epsilon: None,
+            },
+            phase_shift: None,
+            ..shifted
+        };
+        let jobs = stationary.combo_jobs();
+        let base = jobs[0]
+            .units
+            .iter()
+            .find(|u| u.point == SchemePoint::L2p)
+            .unwrap();
+        store
+            .insert_unit(base.key.clone(), String::new(), run(Vec::new()))
+            .unwrap();
+        let md = stop_summary_table(&stationary, &store)
+            .expect("converged spec summarises")
+            .to_markdown();
+        assert!(
+            !md.contains("post") && md.contains("Baseline plateaus"),
+            "stationary specs keep the legacy columns:\n{md}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,20 @@
+//! Seeded violations for `no-lossy-cast-in-kernel`: one naked
+//! truncating cast, one justified, and the exempt widening shapes.
+
+#![forbid(unsafe_code)]
+
+/// VIOLATION no-lossy-cast-in-kernel: truncates above `u32::MAX`.
+pub fn narrow(x: u64) -> u32 {
+    x as u32
+}
+
+/// Widening and address casts are exempt: silent.
+pub fn widen(x: u32) -> u64 {
+    (x as u64) + (x as usize as u64)
+}
+
+/// Suppressed: the mask proves the range.
+pub fn masked(x: u64) -> u16 {
+    // snug-lint: allow(no-lossy-cast-in-kernel, "fixture: masked to 16 bits on the previous token")
+    (x & 0xFFFF) as u16
+}

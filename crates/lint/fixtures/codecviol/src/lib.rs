@@ -1,0 +1,88 @@
+//! Seeded violations for `codec-field-bijection`: a struct whose
+//! to_json drops one field and whose from_json drops another.
+
+#![forbid(unsafe_code)]
+
+/// A toy json value so the codec shapes look like the real ones.
+pub struct Json(pub Vec<(String, u64)>);
+
+/// The codec-bearing record.
+#[derive(Default)]
+pub struct Rec {
+    /// Appears in both bodies: silent.
+    pub x: u64,
+    /// VIOLATION codec-field-bijection: missing from `from_json`.
+    pub y: u64,
+    /// VIOLATION codec-field-bijection: missing from `to_json`.
+    pub z: u64,
+}
+
+impl Rec {
+    /// Encoder: drops `z`.
+    pub fn to_json(&self) -> Json {
+        Json(vec![("x".into(), self.x), ("y".into(), self.y)])
+    }
+
+    /// Decoder: drops `y`.
+    pub fn from_json(j: &Json) -> Rec {
+        let get = |k: &str| {
+            j.0.iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        Rec {
+            x: get("x"),
+            z: get("z"),
+            ..Rec::default()
+        }
+    }
+}
+
+/// Suppressed: a field deliberately kept out of the wire format.
+pub struct Opt {
+    /// Round-trips: silent.
+    pub shown: u64,
+    /// Runtime-only: absent from `to_json` under a pragma, zeroed
+    /// explicitly in `from_json` (which counts as a mention).
+    pub secret: u64,
+}
+
+impl Opt {
+    /// Encodes `shown` only.
+    pub fn to_json(&self) -> Json { // snug-lint: allow(codec-field-bijection, "fixture: secret is runtime-only, never persisted")
+        Json(vec![("shown".into(), self.shown)])
+    }
+
+    /// Decodes `shown`, re-seeds `secret` to its boot value.
+    pub fn from_json(j: &Json) -> Opt {
+        Opt {
+            shown: j.0.first().map(|(_, v)| *v).unwrap_or(0),
+            secret: 0,
+        }
+    }
+}
+
+/// Enum codecs are out of scope for the field rule: must stay silent.
+pub enum Mode {
+    /// Plain.
+    A,
+    /// Fancy.
+    B,
+}
+
+impl Mode {
+    /// Encodes the discriminant.
+    pub fn to_json(&self) -> Json {
+        Json(vec![("mode".into(), matches!(self, Mode::B) as u64)])
+    }
+
+    /// Decodes the discriminant.
+    pub fn from_json(j: &Json) -> Mode {
+        if j.0.first().map(|(_, v)| *v).unwrap_or(0) == 1 {
+            Mode::B
+        } else {
+            Mode::A
+        }
+    }
+}

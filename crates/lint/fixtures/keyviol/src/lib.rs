@@ -3,4 +3,5 @@
 
 #![forbid(unsafe_code)]
 
+pub mod report;
 pub mod spec;

@@ -1,0 +1,9 @@
+//! A non-key module: its string literals still count as live sites
+//! for the registry's dead-entry check, which scans the whole
+//! workspace (not just spec/codec/sweep).
+
+/// Renders a marker that keeps the `elsewhere` registry entry live
+/// even though no key module mentions it.
+pub fn render_tag(run: u64) -> String {
+    format!("run{run}|elsewhere")
+}

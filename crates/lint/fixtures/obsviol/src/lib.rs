@@ -1,0 +1,66 @@
+//! Seeded violations for `obs-cfg-consistency`: one ungated counter
+//! tally, plus every gate shape that must stay silent.
+
+#![forbid(unsafe_code)]
+
+/// Observability tallies.
+#[derive(Default)]
+pub struct Tally {
+    /// Hot-path hits.
+    pub hits: u64,
+    /// Hot-path misses.
+    pub misses: u64,
+    /// Event notes.
+    pub notes: u64,
+    /// Assembly-side count.
+    pub gated: u64,
+    /// Bucketed depths.
+    pub depths: [u64; 4],
+}
+
+/// Kernel-ish state with a tally block.
+#[derive(Default)]
+pub struct Kern {
+    /// The tallies.
+    pub tally: Tally,
+    /// Real state.
+    pub work: u64,
+}
+
+impl Kern {
+    /// VIOLATION obs-cfg-consistency: tally on the hot path with no
+    /// gate in sight.
+    pub fn step(&mut self) {
+        self.work += 1;
+        self.tally.hits += 1;
+    }
+
+    /// `if cfg!(feature = "obs")` block: silent.
+    pub fn step_gated(&mut self) {
+        self.work += 1;
+        if cfg!(feature = "obs") {
+            self.tally.misses += 1;
+            self.tally.depths[(self.work % 4) as usize] += 1;
+        }
+    }
+
+    /// `!cfg!` early-return guard: silent.
+    pub fn note(&mut self) {
+        if !cfg!(feature = "obs") {
+            return;
+        }
+        self.tally.notes += 1;
+    }
+
+    /// Whole-fn `#[cfg(feature = "obs")]` gate: silent.
+    #[cfg(feature = "obs")]
+    pub fn assemble(&mut self) {
+        self.tally.gated += 1;
+    }
+
+    /// Suppressed: a tally this fixture keeps hot deliberately.
+    pub fn hot(&mut self) {
+        // snug-lint: allow(obs-cfg-consistency, "fixture: counted even with obs compiled out")
+        self.tally.hits += 1;
+    }
+}

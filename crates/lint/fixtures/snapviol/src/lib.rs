@@ -1,0 +1,59 @@
+//! Seeded violations for `snapshot-completeness`: a state struct
+//! whose snapshot pairing drops a field in each direction.
+
+#![forbid(unsafe_code)]
+
+/// Session-ish state struct, paired with [`SessSnapshot`] below via
+/// its `snapshot` method.
+pub struct Sess {
+    /// Captured and restored: silent.
+    pub a: u64,
+    /// Captured and restored: silent.
+    pub b: u64,
+    /// VIOLATION snapshot-completeness: no slot in `SessSnapshot`.
+    pub c: u64,
+    /// Suppressed: justified transient state.
+    pub scratch: u64, // snug-lint: allow(snapshot-completeness, "fixture: derived per-run scratch, rebuilt on restore")
+}
+
+/// The snapshot of [`Sess`].
+#[derive(Default)]
+pub struct SessSnapshot {
+    /// Round-trips: silent.
+    pub a: u64,
+    /// Round-trips: silent.
+    pub b: u64,
+    /// VIOLATION twice over: never populated in `snapshot`, never
+    /// written back in `to_sess`.
+    pub d: u64,
+}
+
+impl Sess {
+    /// The capture method the rule keys on.
+    pub fn snapshot(&self) -> SessSnapshot {
+        SessSnapshot {
+            a: self.a,
+            b: self.b,
+            ..SessSnapshot::default()
+        }
+    }
+}
+
+impl SessSnapshot {
+    /// The restore method (body builds a `Sess`).
+    pub fn to_sess(&self) -> Sess {
+        Sess {
+            a: self.a,
+            b: self.b,
+            c: 0,
+            scratch: 0,
+        }
+    }
+}
+
+/// A snapshot struct with no capture method anywhere: out of scope,
+/// must stay silent.
+pub struct LoneSnapshot {
+    /// Nothing pairs with this.
+    pub p: u64,
+}

@@ -1,0 +1,854 @@
+//! Item-level parser over the lexed token stream: structs with named
+//! fields, enums with variants, impl blocks with per-method body
+//! spans, and free functions — each with any `#[cfg(feature = "…")]`
+//! gate attached.
+//!
+//! Like the lexer, this is not a Rust front end. It recognises just
+//! enough item structure for the semantic rules: field names and
+//! rendered types, method names with their signature/body token
+//! ranges, and the self/trait type names of impl blocks. Everything
+//! it does not understand is skipped by balanced-delimiter scanning,
+//! so it never fails and never panics: unterminated constructs close
+//! at end of input and rustc reports the real error.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One named struct field.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// The field's type, rendered as space-joined tokens
+    /// (`Vec < u64 >`); compare whitespace-insensitively.
+    pub ty: String,
+    /// 1-based line of the field name.
+    pub line: u32,
+    /// Feature name when the field carries `#[cfg(feature = "X")]`.
+    pub cfg_feature: Option<String>,
+}
+
+/// A struct item. Tuple and unit structs are recorded with
+/// `has_named_fields == false` and an empty field list.
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    /// Type name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// Named fields, in declaration order.
+    pub fields: Vec<Field>,
+    /// True for `struct S { … }` (even when empty), false for tuple
+    /// and unit structs.
+    pub has_named_fields: bool,
+    /// Feature name when the item carries `#[cfg(feature = "X")]`.
+    pub cfg_feature: Option<String>,
+}
+
+/// An enum item (variant names only — payloads are skipped).
+#[derive(Debug, Clone)]
+pub struct EnumItem {
+    /// Type name.
+    pub name: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+    /// Variant names, in declaration order.
+    pub variants: Vec<String>,
+}
+
+/// A function: free or an impl method. Token ranges index into the
+/// *original* token slice handed to [`parse_items`] (comments
+/// included), so rules can scan spans against the same stream they
+/// lexed.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Signature token range `[start, end)`: from the `fn` keyword up
+    /// to (excluding) the body's `{` or the terminating `;`.
+    pub sig: (usize, usize),
+    /// Body token range `[open, close]` inclusive of both braces;
+    /// `None` for bodyless declarations (trait methods, externs).
+    pub body: Option<(usize, usize)>,
+    /// Feature name when the fn carries `#[cfg(feature = "X")]`.
+    pub cfg_feature: Option<String>,
+}
+
+/// An `impl` block with its methods.
+#[derive(Debug, Clone)]
+pub struct ImplItem {
+    /// Bare self-type name (`UnitSpan` for
+    /// `impl JsonCodec for crate::sweep::UnitSpan`), generics and path
+    /// qualifiers stripped.
+    pub self_ty: String,
+    /// Bare trait name for trait impls, `None` for inherent impls.
+    pub trait_name: Option<String>,
+    /// 1-based line of the `impl` keyword.
+    pub line: u32,
+    /// Methods declared directly in the block.
+    pub methods: Vec<FnItem>,
+    /// Feature name when the block carries `#[cfg(feature = "X")]`.
+    pub cfg_feature: Option<String>,
+}
+
+/// Everything the parser extracted from one file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// Structs, in source order (module nesting flattened).
+    pub structs: Vec<StructItem>,
+    /// Enums, in source order.
+    pub enums: Vec<EnumItem>,
+    /// Impl blocks, in source order.
+    pub impls: Vec<ImplItem>,
+    /// Free functions (module level; fns nested in bodies are not
+    /// recorded).
+    pub fns: Vec<FnItem>,
+}
+
+/// Parse the item structure out of a lexed token stream.
+pub fn parse_items(toks: &[Tok]) -> ParsedFile {
+    let code: Vec<usize> = toks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .map(|(i, _)| i)
+        .collect();
+    let mut p = Parser {
+        toks,
+        code,
+        pos: 0,
+        out: ParsedFile::default(),
+    };
+    p.items(None);
+    p.out
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    /// Indices of non-comment tokens in `toks`.
+    code: Vec<usize>,
+    /// Cursor into `code`.
+    pos: usize,
+    out: ParsedFile,
+}
+
+impl<'a> Parser<'a> {
+    fn tok(&self, ahead: usize) -> Option<&'a Tok> {
+        self.code.get(self.pos + ahead).map(|&i| &self.toks[i])
+    }
+
+    /// Raw index (into `toks`) of the token `ahead` positions from the
+    /// cursor; `toks.len()` past the end.
+    fn raw(&self, ahead: usize) -> usize {
+        self.code
+            .get(self.pos + ahead)
+            .copied()
+            .unwrap_or(self.toks.len())
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        self.tok(0).map(|t| t.is_punct(c)).unwrap_or(false)
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        self.tok(0).map(|t| t.is_ident(s)).unwrap_or(false)
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.code.len()
+    }
+
+    /// Parse items until `until` (consumed) or end of input. `until`
+    /// is the closing brace of a `mod`/`impl` body, `None` at file
+    /// level.
+    fn items(&mut self, until: Option<char>) {
+        while !self.eof() {
+            if let Some(close) = until {
+                if self.at_punct(close) {
+                    self.bump();
+                    return;
+                }
+            }
+            self.item();
+        }
+    }
+
+    fn item(&mut self) {
+        let cfg = self.attributes();
+        self.visibility();
+        self.modifiers();
+        if self.at_ident("struct") {
+            self.struct_item(cfg);
+        } else if self.at_ident("enum") {
+            self.enum_item();
+        } else if self.at_ident("impl") {
+            self.impl_item(cfg);
+        } else if self.at_ident("fn") {
+            if let Some(f) = self.fn_item(cfg) {
+                self.out.fns.push(f);
+            }
+        } else if self.at_ident("mod") {
+            self.bump();
+            if self
+                .tok(0)
+                .map(|t| t.kind == TokKind::Ident)
+                .unwrap_or(false)
+            {
+                self.bump();
+            }
+            if self.at_punct('{') {
+                self.bump();
+                self.items(Some('}'));
+            } else if self.at_punct(';') {
+                self.bump();
+            }
+        } else if self.at_ident("trait") || self.at_ident("union") || self.at_ident("extern") {
+            // Bounds/bodies are irrelevant to the rules; skip the
+            // whole item by its brace group.
+            self.bump();
+            self.skip_to_body_or_semi();
+        } else if self.at_ident("macro_rules") {
+            self.bump();
+            if self.at_punct('!') {
+                self.bump();
+            }
+            if self
+                .tok(0)
+                .map(|t| t.kind == TokKind::Ident)
+                .unwrap_or(false)
+            {
+                self.bump();
+            }
+            self.skip_group();
+        } else if self.at_ident("use")
+            || self.at_ident("type")
+            || self.at_ident("static")
+            || self.at_ident("const")
+        {
+            self.bump();
+            self.skip_to_semi();
+        } else if self.at_punct('{') || self.at_punct('(') || self.at_punct('[') {
+            self.skip_group();
+        } else if !self.eof() {
+            self.bump();
+        }
+    }
+
+    /// Consume leading attributes, returning the feature gated on by a
+    /// plain positive `#[cfg(feature = "X")]` / `#[cfg(all(…))]` when
+    /// one is present (negated `not(…)` forms return `None`).
+    fn attributes(&mut self) -> Option<String> {
+        let mut cfg = None;
+        while self.at_punct('#') {
+            let inner = self.tok(1).map(|t| t.is_punct('!')).unwrap_or(false);
+            self.bump();
+            if inner {
+                self.bump();
+            }
+            if !self.at_punct('[') {
+                continue;
+            }
+            // Scan the bracket group for `cfg(… feature = "X" …)`.
+            let start = self.pos;
+            self.skip_group();
+            if inner {
+                continue;
+            }
+            let group: Vec<&Tok> = self.code[start..self.pos]
+                .iter()
+                .map(|&i| &self.toks[i])
+                .collect();
+            let is_cfg = group.get(1).map(|t| t.is_ident("cfg")).unwrap_or(false);
+            let negated = group.iter().any(|t| t.is_ident("not"));
+            if is_cfg && !negated && cfg.is_none() {
+                for w in group.windows(3) {
+                    if w[0].is_ident("feature") && w[1].is_punct('=') && w[2].kind == TokKind::Str {
+                        cfg = Some(w[2].str_content().to_string());
+                        break;
+                    }
+                }
+            }
+        }
+        cfg
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in …)`.
+    fn visibility(&mut self) {
+        if self.at_ident("pub") {
+            self.bump();
+            if self.at_punct('(') {
+                self.skip_group();
+            }
+        }
+    }
+
+    /// Skip fn/item qualifiers that may precede the defining keyword.
+    /// `const` is only a qualifier when `fn` follows — `const NAME:`
+    /// stays for `item()` to route to the skip-to-semi arm.
+    fn modifiers(&mut self) {
+        loop {
+            if self.at_ident("unsafe")
+                || self.at_ident("async")
+                || self.at_ident("default")
+                || (self.at_ident("const")
+                    && self.tok(1).map(|t| t.is_ident("fn")).unwrap_or(false))
+            {
+                self.bump();
+            } else if self.at_ident("extern")
+                && self.tok(1).map(|t| t.kind == TokKind::Str).unwrap_or(false)
+                && self.tok(2).map(|t| t.is_ident("fn")).unwrap_or(false)
+            {
+                self.bump();
+                self.bump();
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Skip one balanced `{}`/`()`/`[]` group (cursor on the opener);
+    /// returns `(open, close)` raw indices. Anywhere else: bumps once.
+    fn skip_group(&mut self) -> (usize, usize) {
+        let open_raw = self.raw(0);
+        let (open, close) = match self.tok(0) {
+            Some(t) if t.is_punct('{') => ('{', '}'),
+            Some(t) if t.is_punct('(') => ('(', ')'),
+            Some(t) if t.is_punct('[') => ('[', ']'),
+            _ => {
+                self.bump();
+                return (open_raw, open_raw);
+            }
+        };
+        let mut depth = 0i64;
+        let mut close_raw = open_raw;
+        while let Some(t) = self.tok(0) {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    close_raw = self.raw(0);
+                    self.bump();
+                    break;
+                }
+            }
+            close_raw = self.raw(0);
+            self.bump();
+        }
+        (open_raw, close_raw)
+    }
+
+    /// Skip a `<…>` generics group (cursor on `<`), treating `->` as
+    /// an arrow and balanced delimiter groups as opaque so const
+    /// generic expressions and `Fn(…) -> T` bounds can't desync the
+    /// angle depth.
+    fn skip_generics(&mut self) {
+        let mut depth = 0i64;
+        while let Some(t) = self.tok(0) {
+            if t.is_punct('-') && self.tok(1).map(|n| n.is_punct('>')).unwrap_or(false) {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                self.skip_group();
+                continue;
+            }
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skip to (and consume) the next `;` at group depth 0.
+    fn skip_to_semi(&mut self) {
+        while let Some(t) = self.tok(0) {
+            if t.is_punct(';') {
+                self.bump();
+                return;
+            }
+            if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                self.skip_group();
+            } else if t.is_punct('<') {
+                self.skip_generics();
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Skip an item of unknown shape: either a `{…}` body or a `;`.
+    fn skip_to_body_or_semi(&mut self) {
+        while let Some(t) = self.tok(0) {
+            if t.is_punct(';') {
+                self.bump();
+                return;
+            }
+            if t.is_punct('{') {
+                self.skip_group();
+                return;
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                self.skip_group();
+            } else if t.is_punct('<') {
+                self.skip_generics();
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    fn struct_item(&mut self, cfg: Option<String>) {
+        let line = self.tok(0).map(|t| t.line).unwrap_or(0);
+        self.bump(); // struct
+        let Some(name_tok) = self.tok(0) else { return };
+        if name_tok.kind != TokKind::Ident {
+            return;
+        }
+        let name = name_tok.text.clone();
+        self.bump();
+        if self.at_punct('<') {
+            self.skip_generics();
+        }
+        if self.at_punct('(') {
+            // Tuple struct: payload, optional where clause, `;`.
+            self.skip_group();
+            self.skip_to_semi();
+            self.out.structs.push(StructItem {
+                name,
+                line,
+                fields: Vec::new(),
+                has_named_fields: false,
+                cfg_feature: cfg,
+            });
+            return;
+        }
+        // Skip an optional where clause up to the body or `;`.
+        while !self.eof() && !self.at_punct('{') && !self.at_punct(';') {
+            if self.at_punct('<') {
+                self.skip_generics();
+            } else if self.at_punct('(') || self.at_punct('[') {
+                self.skip_group();
+            } else {
+                self.bump();
+            }
+        }
+        if self.at_punct(';') {
+            self.bump(); // unit struct
+            self.out.structs.push(StructItem {
+                name,
+                line,
+                fields: Vec::new(),
+                has_named_fields: false,
+                cfg_feature: cfg,
+            });
+            return;
+        }
+        let mut fields = Vec::new();
+        if self.at_punct('{') {
+            self.bump();
+            while !self.eof() && !self.at_punct('}') {
+                let fcfg = self.attributes();
+                self.visibility();
+                let Some(t) = self.tok(0) else { break };
+                if t.kind != TokKind::Ident {
+                    self.bump();
+                    continue;
+                }
+                let fname = t.text.clone();
+                let fline = t.line;
+                self.bump();
+                if !self.at_punct(':') {
+                    continue;
+                }
+                self.bump();
+                let ty = self.scan_type();
+                if self.at_punct(',') {
+                    self.bump();
+                }
+                fields.push(Field {
+                    name: fname,
+                    ty,
+                    line: fline,
+                    cfg_feature: fcfg,
+                });
+            }
+            if self.at_punct('}') {
+                self.bump();
+            }
+        }
+        self.out.structs.push(StructItem {
+            name,
+            line,
+            fields,
+            has_named_fields: true,
+            cfg_feature: cfg,
+        });
+    }
+
+    /// Scan a type up to a `,` or `}` at angle/group depth 0 (neither
+    /// consumed). Renders the tokens space-joined.
+    fn scan_type(&mut self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        let mut angle = 0i64;
+        while let Some(t) = self.tok(0) {
+            if angle == 0 && (t.is_punct(',') || t.is_punct('}')) {
+                break;
+            }
+            if t.is_punct('-') && self.tok(1).map(|n| n.is_punct('>')).unwrap_or(false) {
+                parts.push("->".into());
+                self.bump();
+                self.bump();
+                continue;
+            }
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                let start = self.pos;
+                self.skip_group();
+                for &i in &self.code[start..self.pos] {
+                    parts.push(self.toks[i].text.clone());
+                }
+                continue;
+            }
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+                if angle < 0 {
+                    break;
+                }
+            }
+            parts.push(t.text.clone());
+            self.bump();
+        }
+        parts.join(" ")
+    }
+
+    fn enum_item(&mut self) {
+        let line = self.tok(0).map(|t| t.line).unwrap_or(0);
+        self.bump(); // enum
+        let Some(name_tok) = self.tok(0) else { return };
+        if name_tok.kind != TokKind::Ident {
+            return;
+        }
+        let name = name_tok.text.clone();
+        self.bump();
+        if self.at_punct('<') {
+            self.skip_generics();
+        }
+        while !self.eof() && !self.at_punct('{') && !self.at_punct(';') {
+            if self.at_punct('<') {
+                self.skip_generics();
+            } else if self.at_punct('(') || self.at_punct('[') {
+                self.skip_group();
+            } else {
+                self.bump();
+            }
+        }
+        let mut variants = Vec::new();
+        if self.at_punct('{') {
+            self.bump();
+            while !self.eof() && !self.at_punct('}') {
+                self.attributes();
+                let Some(t) = self.tok(0) else { break };
+                if t.kind != TokKind::Ident {
+                    self.bump();
+                    continue;
+                }
+                variants.push(t.text.clone());
+                self.bump();
+                // Payload: tuple, struct-like, or a discriminant.
+                if self.at_punct('(') || self.at_punct('{') {
+                    self.skip_group();
+                } else if self.at_punct('=') {
+                    self.bump();
+                    while !self.eof() && !self.at_punct(',') && !self.at_punct('}') {
+                        if self.at_punct('(') || self.at_punct('[') || self.at_punct('{') {
+                            self.skip_group();
+                        } else {
+                            self.bump();
+                        }
+                    }
+                }
+                if self.at_punct(',') {
+                    self.bump();
+                }
+            }
+            if self.at_punct('}') {
+                self.bump();
+            }
+        } else if self.at_punct(';') {
+            self.bump();
+        }
+        self.out.enums.push(EnumItem {
+            name,
+            line,
+            variants,
+        });
+    }
+
+    fn impl_item(&mut self, cfg: Option<String>) {
+        let line = self.tok(0).map(|t| t.line).unwrap_or(0);
+        self.bump(); // impl
+        if self.at_punct('<') {
+            self.skip_generics();
+        }
+        // The head: path idents at angle depth 0, `for` splitting the
+        // trait from the self type, up to `where` or the body.
+        let mut trait_name: Option<String> = None;
+        let mut names: Vec<String> = Vec::new();
+        while let Some(t) = self.tok(0) {
+            if t.is_punct('{') {
+                break;
+            }
+            if t.is_ident("for") {
+                trait_name = names.last().cloned();
+                names.clear();
+                self.bump();
+                continue;
+            }
+            if t.is_ident("where") {
+                // Skip the clause to the body.
+                while !self.eof() && !self.at_punct('{') {
+                    if self.at_punct('<') {
+                        self.skip_generics();
+                    } else if self.at_punct('(') || self.at_punct('[') {
+                        self.skip_group();
+                    } else {
+                        self.bump();
+                    }
+                }
+                break;
+            }
+            if t.is_punct('<') {
+                self.skip_generics();
+                continue;
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                self.skip_group();
+                continue;
+            }
+            if t.is_punct(';') {
+                // `impl Trait for Type;` is not Rust; bail safely.
+                self.bump();
+                return;
+            }
+            if t.kind == TokKind::Ident && !t.is_ident("dyn") && !t.is_ident("impl") {
+                names.push(t.text.clone());
+            }
+            self.bump();
+        }
+        let self_ty = names.last().cloned().unwrap_or_default();
+        let mut methods = Vec::new();
+        if self.at_punct('{') {
+            self.bump();
+            while !self.eof() && !self.at_punct('}') {
+                let mcfg = self.attributes();
+                self.visibility();
+                self.modifiers();
+                if self.at_ident("fn") {
+                    if let Some(f) = self.fn_item(mcfg) {
+                        methods.push(f);
+                    }
+                } else if self.at_punct('{') {
+                    self.skip_group();
+                } else if self.at_ident("type") || self.at_ident("const") {
+                    self.bump();
+                    self.skip_to_semi();
+                } else {
+                    self.bump();
+                }
+            }
+            if self.at_punct('}') {
+                self.bump();
+            }
+        }
+        self.out.impls.push(ImplItem {
+            self_ty,
+            trait_name,
+            line,
+            methods,
+            cfg_feature: cfg,
+        });
+    }
+
+    /// Parse a fn (cursor on the `fn` keyword): name, signature span,
+    /// body span when present.
+    fn fn_item(&mut self, cfg: Option<String>) -> Option<FnItem> {
+        let sig_start = self.raw(0);
+        let line = self.tok(0).map(|t| t.line).unwrap_or(0);
+        self.bump(); // fn
+        let name_tok = self.tok(0)?;
+        if name_tok.kind != TokKind::Ident {
+            return None;
+        }
+        let name = name_tok.text.clone();
+        self.bump();
+        if self.at_punct('<') {
+            self.skip_generics();
+        }
+        if self.at_punct('(') {
+            self.skip_group();
+        }
+        // Return type and where clause, up to the body or `;`.
+        while !self.eof() && !self.at_punct('{') && !self.at_punct(';') {
+            if self.at_punct('-') && self.tok(1).map(|n| n.is_punct('>')).unwrap_or(false) {
+                self.bump();
+                self.bump();
+            } else if self.at_punct('<') {
+                self.skip_generics();
+            } else if self.at_punct('(') || self.at_punct('[') {
+                self.skip_group();
+            } else {
+                self.bump();
+            }
+        }
+        if self.at_punct(';') {
+            let sig_end = self.raw(0);
+            self.bump();
+            return Some(FnItem {
+                name,
+                line,
+                sig: (sig_start, sig_end),
+                body: None,
+                cfg_feature: cfg,
+            });
+        }
+        let sig_end = self.raw(0);
+        let body = if self.at_punct('{') {
+            Some(self.skip_group())
+        } else {
+            None
+        };
+        Some(FnItem {
+            name,
+            line,
+            sig: (sig_start, sig_end),
+            body,
+            cfg_feature: cfg,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_items(&lex(src))
+    }
+
+    #[test]
+    fn named_struct_fields() {
+        let p = parse(
+            "pub struct S<O: Clone> where O: Default {\n    pub a: u64,\n    b: Vec<Option<u32>>,\n    c: [u64; 4],\n}",
+        );
+        assert_eq!(p.structs.len(), 1);
+        let s = &p.structs[0];
+        assert_eq!(s.name, "S");
+        assert!(s.has_named_fields);
+        let names: Vec<&str> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert_eq!(s.fields[1].ty.replace(' ', ""), "Vec<Option<u32>>");
+        assert_eq!(s.fields[2].ty.replace(' ', ""), "[u64;4]");
+    }
+
+    #[test]
+    fn tuple_and_unit_structs() {
+        let p = parse("struct T(pub u32, String);\nstruct U;");
+        assert_eq!(p.structs.len(), 2);
+        assert!(!p.structs[0].has_named_fields);
+        assert!(!p.structs[1].has_named_fields);
+    }
+
+    #[test]
+    fn cfg_gated_field_and_struct() {
+        let p = parse(
+            "#[cfg(feature = \"obs\")]\nstruct G {\n    #[cfg(feature = \"obs\")]\n    x: u64,\n    #[cfg(not(feature = \"obs\"))]\n    y: u64,\n    z: u64,\n}",
+        );
+        let s = &p.structs[0];
+        assert_eq!(s.cfg_feature.as_deref(), Some("obs"));
+        assert_eq!(s.fields[0].cfg_feature.as_deref(), Some("obs"));
+        assert_eq!(s.fields[1].cfg_feature, None); // negated
+        assert_eq!(s.fields[2].cfg_feature, None);
+    }
+
+    #[test]
+    fn impl_blocks_resolve_trait_and_self_type() {
+        let p = parse(
+            "impl<O: Clone> JsonCodec for crate::sweep::UnitSpan<O> {\n    fn to_json(&self) -> Value { Value::Null }\n    fn from_json(v: &Value) -> Result<Self, JsonError> { todo!() }\n}\nimpl Session<O> {\n    pub fn snapshot(&self) -> SessionSnapshot<O> { SessionSnapshot { a: 1 } }\n}",
+        );
+        assert_eq!(p.impls.len(), 2);
+        assert_eq!(p.impls[0].trait_name.as_deref(), Some("JsonCodec"));
+        assert_eq!(p.impls[0].self_ty, "UnitSpan");
+        let m: Vec<&str> = p.impls[0].methods.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(m, ["to_json", "from_json"]);
+        assert_eq!(p.impls[1].trait_name, None);
+        assert_eq!(p.impls[1].self_ty, "Session");
+        assert_eq!(p.impls[1].methods[0].name, "snapshot");
+    }
+
+    #[test]
+    fn method_body_spans_cover_their_tokens() {
+        let src = "impl A {\n    fn f(&self) -> u64 {\n        self.tally.hits += 1;\n        2\n    }\n}";
+        let toks = lex(src);
+        let p = parse_items(&toks);
+        let m = &p.impls[0].methods[0];
+        let (open, close) = m.body.expect("body");
+        assert!(toks[open].is_punct('{') && toks[close].is_punct('}'));
+        let span: Vec<&Tok> = toks[open..=close].iter().collect();
+        assert!(span.iter().any(|t| t.is_ident("tally")));
+        // The signature covers `fn f(&self) -> u64` and stops at the body.
+        let sig: Vec<&Tok> = toks[m.sig.0..m.sig.1].iter().collect();
+        assert!(sig.iter().any(|t| t.is_ident("u64")));
+        assert!(!sig.iter().any(|t| t.is_ident("tally")));
+    }
+
+    #[test]
+    fn enums_fns_mods_and_macros() {
+        let p = parse(
+            "mod inner {\n    pub enum E { A, B(u32), C { x: u64 }, D = 4 }\n    pub fn free<T: Into<u64>>(t: T) -> u64 { t.into() }\n}\nmacro_rules! m { ($x:expr) => { struct NotReal; } }\ntrait Tr { fn g(&self); }",
+        );
+        assert_eq!(p.enums.len(), 1);
+        let v: Vec<&str> = p.enums[0].variants.iter().map(|s| s.as_str()).collect();
+        assert_eq!(v, ["A", "B", "C", "D"]);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "free");
+        // Macro bodies and traits must not leak phantom items.
+        assert!(p.structs.iter().all(|s| s.name != "NotReal"));
+    }
+
+    #[test]
+    fn fn_pointer_types_do_not_desync_angles() {
+        let p = parse(
+            "struct F {\n    cb: Box<dyn Fn(u32) -> Vec<u8>>,\n    next: Option<fn() -> u64>,\n}",
+        );
+        let s = &p.structs[0];
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[0].ty.replace(' ', ""), "Box<dynFn(u32)->Vec<u8>>");
+    }
+
+    #[test]
+    fn unterminated_input_terminates() {
+        for src in [
+            "struct S { a: u64,",
+            "impl X { fn f(",
+            "enum E { A(",
+            "fn f() -> Vec<",
+        ] {
+            let _ = parse(src); // must not hang or panic
+        }
+    }
+}

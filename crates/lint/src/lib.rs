@@ -27,10 +27,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod items;
 pub mod lexer;
 pub mod manifest;
 pub mod report;
 pub mod rules;
+pub mod semantic;
+pub mod symbols;
 pub mod workspace;
 
 use std::path::{Path, PathBuf};

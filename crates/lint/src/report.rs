@@ -23,24 +23,38 @@ pub fn human(findings: &[Finding]) -> String {
 }
 
 /// Render findings as a GitHub-flavoured markdown table for the CI
-/// step summary.
+/// step summary, followed by a per-rule finding-count table covering
+/// every rule in the catalogue (zero rows included) — the count table
+/// is emitted even on a clean run, so CI summaries prove each rule
+/// actually executed rather than silently vanishing.
 pub fn markdown(findings: &[Finding]) -> String {
     let mut out = String::new();
     out.push_str("### snug-lint findings\n\n");
     if findings.is_empty() {
         out.push_str("clean: 0 findings across the workspace.\n");
-        return out;
+    } else {
+        out.push_str("| file | line | rule | finding |\n");
+        out.push_str("| --- | ---: | --- | --- |\n");
+        for f in findings {
+            let msg = f.msg.replace('|', "\\|");
+            out.push_str(&format!(
+                "| `{}` | {} | `{}` | {} |\n",
+                f.file, f.line, f.rule, msg
+            ));
+        }
+        out.push_str(&format!("\n{} finding(s).\n", findings.len()));
     }
-    out.push_str("| file | line | rule | finding |\n");
-    out.push_str("| --- | ---: | --- | --- |\n");
-    for f in findings {
-        let msg = f.msg.replace('|', "\\|");
-        out.push_str(&format!(
-            "| `{}` | {} | `{}` | {} |\n",
-            f.file, f.line, f.rule, msg
-        ));
+    out.push_str("\n### snug-lint findings per rule\n\n");
+    out.push_str("| rule | findings |\n");
+    out.push_str("| --- | ---: |\n");
+    for r in RULES {
+        let n = findings.iter().filter(|f| f.rule == r.name).count();
+        out.push_str(&format!("| `{}` | {n} |\n", r.name));
     }
-    out.push_str(&format!("\n{} finding(s).\n", findings.len()));
+    // `pragma` findings (stale/malformed escapes) are engine-level,
+    // not catalogue rules, but count them the same way.
+    let stale = findings.iter().filter(|f| f.rule == "pragma").count();
+    out.push_str(&format!("| `pragma` | {stale} |\n"));
     out
 }
 
@@ -119,6 +133,19 @@ mod tests {
         let md = markdown(&sample());
         assert!(md.contains("\\|"));
         assert!(md.starts_with("### snug-lint findings"));
+    }
+
+    #[test]
+    fn markdown_counts_every_rule_even_when_clean() {
+        for md in [markdown(&[]), markdown(&sample())] {
+            assert!(md.contains("### snug-lint findings per rule"), "{md}");
+            for r in RULES {
+                assert!(md.contains(&format!("| `{}` | ", r.name)), "{md}");
+            }
+            assert!(md.contains("| `pragma` | 0 |"), "{md}");
+        }
+        assert!(markdown(&sample()).contains("| `panic-audit` | 1 |"));
+        assert!(markdown(&[]).contains("| `panic-audit` | 0 |"));
     }
 
     #[test]

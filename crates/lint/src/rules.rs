@@ -9,7 +9,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::lexer::{lex, test_mask, Tok, TokKind};
+use crate::lexer::{lex, Tok, TokKind};
+use crate::symbols::{Graph, SymbolTable};
 use crate::workspace::{CrateInfo, FileKind, SourceFile, Workspace};
 
 /// One lint finding, pointing at a file/line with a rule id.
@@ -66,6 +67,27 @@ pub const RULES: &[RuleInfo] = &[
         name: "forbid-unsafe",
         summary: "every first-party library crate keeps #![forbid(unsafe_code)] in lib.rs",
     },
+    RuleInfo {
+        name: "snapshot-completeness",
+        summary: "every field of a session-state struct must be captured into its *Snapshot \
+                  struct and written back in restore — state that escapes the snapshot breaks \
+                  determinism",
+    },
+    RuleInfo {
+        name: "codec-field-bijection",
+        summary: "every field of a struct with a to_json/from_json pair must appear in both \
+                  bodies — one-sided codecs drop data on the round trip",
+    },
+    RuleInfo {
+        name: "obs-cfg-consistency",
+        summary: "counter-tally sites in sim-* library code must be reachable only under the \
+                  obs feature (cfg! block, !cfg! early return, or #[cfg]-gated fn)",
+    },
+    RuleInfo {
+        name: "no-lossy-cast-in-kernel",
+        summary: "truncating `as` casts (u8/u16/u32/i8/i16/i32) in sim-* library code need a \
+                  pragma proving the value range",
+    },
 ];
 
 fn rule_exists(name: &str) -> bool {
@@ -75,6 +97,7 @@ fn rule_exists(name: &str) -> bool {
 /// A parsed `// snug-lint: allow(RULE, "reason")` pragma.
 #[derive(Debug)]
 struct Pragma {
+    file: String,
     rule: String,
     decl_line: u32,
     target_line: u32,
@@ -83,67 +106,78 @@ struct Pragma {
 
 /// Run every rule over the workspace. Findings come back sorted by
 /// (file, line, rule) and already pragma-filtered.
+///
+/// The engine is two-phase: phase one lexes and item-parses every
+/// file into the symbol [`Graph`], collects pragmas, and runs the
+/// token rules; phase two runs the semantic rules over the graph.
+/// Pragma suppression is applied globally at the end so a semantic
+/// finding that crosses files (say, a codec impl in `snug-harness`
+/// anchored at a field declared in `snug-metrics`) can still be
+/// suppressed at the line it points to.
 pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let graph = Graph::build(ws);
+    let symtab = SymbolTable::build(&graph);
+
+    // Non-suppressible findings (manifest/registry/pragma-engine).
     let mut findings = Vec::new();
-    // (fragment, file, line) occurrences per key-bearing crate.
+    // Pragma-suppressible findings, filtered below.
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut pragmas: Vec<Pragma> = Vec::new();
+    // (fragment, file, line) occurrences inside key modules.
     let mut fragments: Vec<(String, String, u32)> = Vec::new();
+    // Fragments with any non-test code site, workspace-wide: the
+    // live-site set for dead-entry detection.
+    let mut live: BTreeSet<String> = BTreeSet::new();
     let mut schema_version: Option<String> = None;
 
     for krate in &ws.crates {
         forbid_unsafe(krate, &mut findings);
         feature_declarations(krate, &mut findings);
-        for file in &krate.files {
-            check_file(
-                krate,
-                file,
-                &mut findings,
-                &mut fragments,
-                &mut schema_version,
-            );
+    }
+
+    for ctx in &graph.files {
+        pragmas.extend(collect_pragmas(ctx.file, &ctx.toks, &mut findings));
+        unordered_iteration(ctx.krate, ctx.file, &ctx.toks, &ctx.mask, &mut raw);
+        wallclock_in_kernel(ctx.krate, ctx.file, &ctx.toks, &mut raw);
+        panic_audit(ctx.file, &ctx.toks, &ctx.mask, &mut raw);
+        cfg_feature_names(ctx.krate, ctx.file, &ctx.toks, &mut raw);
+        if ctx.krate.is_key_bearing() && is_key_module(ctx.file) {
+            collect_fragments(ctx.file, &ctx.toks, &ctx.mask, &mut fragments);
+            if ctx.file.rel.ends_with("spec.rs") && schema_version.is_none() {
+                schema_version = extract_schema_version(&ctx.toks);
+            }
+        }
+        if matches!(ctx.file.kind, FileKind::Lib | FileKind::Bin) {
+            let mut sites = Vec::new();
+            collect_fragments(ctx.file, &ctx.toks, &ctx.mask, &mut sites);
+            live.extend(sites.into_iter().map(|(frag, _, _)| frag));
         }
     }
+
     workspace_default_features(ws, &mut findings);
     for krate in &ws.crates {
         if krate.is_key_bearing() {
-            key_fragment_registry(krate, &fragments, schema_version.as_deref(), &mut findings);
-        }
-    }
-    findings.sort();
-    findings.dedup();
-    findings
-}
-
-/// Lex one file, collect pragmas, run the token rules, then apply
-/// pragma suppression and flag unused or malformed pragmas.
-fn check_file(
-    krate: &CrateInfo,
-    file: &SourceFile,
-    findings: &mut Vec<Finding>,
-    fragments: &mut Vec<(String, String, u32)>,
-    schema_version: &mut Option<String>,
-) {
-    let toks = lex(&file.text);
-    let mask = test_mask(&toks);
-    let mut pragmas = collect_pragmas(file, &toks, findings);
-    let mut raw: Vec<Finding> = Vec::new();
-
-    unordered_iteration(krate, file, &toks, &mask, &mut raw);
-    wallclock_in_kernel(krate, file, &toks, &mut raw);
-    panic_audit(file, &toks, &mask, &mut raw);
-    cfg_feature_names(krate, file, &toks, &mut raw);
-    if krate.is_key_bearing() && is_key_module(file) {
-        collect_fragments(file, &toks, &mask, fragments);
-        if file.rel.ends_with("spec.rs") && schema_version.is_none() {
-            *schema_version = extract_schema_version(&toks);
+            key_fragment_registry(
+                krate,
+                &fragments,
+                &live,
+                schema_version.as_deref(),
+                &mut findings,
+            );
         }
     }
 
-    // Suppression: a finding is dropped when a pragma for the same
-    // rule targets its line.
+    crate::semantic::snapshot_completeness(&graph, &symtab, &mut raw);
+    crate::semantic::codec_field_bijection(&graph, &symtab, &mut raw);
+    crate::semantic::obs_cfg_consistency(&graph, &mut raw);
+    crate::semantic::lossy_cast_in_kernel(&graph, &mut raw);
+
+    // Suppression: a finding is dropped when a pragma in the same
+    // file, for the same rule, targets its line.
     raw.retain(|f| {
         let suppressed = pragmas
             .iter_mut()
-            .find(|p| p.rule == f.rule && p.target_line == f.line);
+            .find(|p| p.rule == f.rule && p.file == f.file && p.target_line == f.line);
         match suppressed {
             Some(p) => {
                 p.used = true;
@@ -157,7 +191,7 @@ fn check_file(
     for p in &pragmas {
         if !p.used {
             findings.push(Finding {
-                file: file.rel.clone(),
+                file: p.file.clone(),
                 line: p.decl_line,
                 rule: "pragma".into(),
                 msg: format!(
@@ -167,6 +201,9 @@ fn check_file(
             });
         }
     }
+    findings.sort();
+    findings.dedup();
+    findings
 }
 
 /// Parse pragmas out of line comments. Malformed pragmas (wrong
@@ -241,6 +278,7 @@ fn collect_pragmas(file: &SourceFile, toks: &[Tok], findings: &mut Vec<Finding>)
                 .unwrap_or(t.line + 1)
         };
         pragmas.push(Pragma {
+            file: file.rel.clone(),
             rule: rule.to_string(),
             decl_line: t.line,
             target_line,
@@ -562,9 +600,19 @@ fn extract_schema_version(toks: &[Tok]) -> Option<String> {
 
 /// `key-fragment-registry`: reconcile fragments found in key modules
 /// against the committed `key_fragments.registry` in the crate root.
+///
+/// Registration flows one way (every key-module fragment must be in
+/// the registry); liveness flows the other (every registry entry must
+/// have a code site *somewhere in the workspace* — `live` is the
+/// union over all first-party Lib/Bin files, not just key modules, so
+/// an entry referenced from a report renderer still counts). An entry
+/// whose note starts with `reserved:` is exempt from the dead-entry
+/// check: that is the committed way to park a fragment (pragmas
+/// cannot annotate `.registry` files).
 fn key_fragment_registry(
     krate: &CrateInfo,
     fragments: &[(String, String, u32)],
+    live: &BTreeSet<String>,
     schema_version: Option<&str>,
     out: &mut Vec<Finding>,
 ) {
@@ -592,7 +640,7 @@ fn key_fragment_registry(
     };
     // Registry format: `# schema: <version>` header, then
     // `<fragment><whitespace><note>` entry lines; `#` lines are comments.
-    let mut registered: BTreeMap<String, u32> = BTreeMap::new();
+    let mut registered: BTreeMap<String, (u32, String)> = BTreeMap::new();
     let mut header_schema: Option<String> = None;
     for (idx, line) in text.lines().enumerate() {
         let lineno = idx as u32 + 1;
@@ -617,7 +665,7 @@ fn key_fragment_registry(
                 msg: format!("registry entry `{frag}` is missing its schema-version note"),
             });
         }
-        registered.insert(frag, lineno);
+        registered.insert(frag, (lineno, note.to_string()));
     }
     match (&header_schema, schema_version) {
         (Some(h), Some(s)) if h != s => out.push(Finding {
@@ -637,9 +685,7 @@ fn key_fragment_registry(
         }),
         _ => {}
     }
-    let mut seen: BTreeSet<&str> = BTreeSet::new();
     for (frag, file, line) in fragments {
-        seen.insert(frag.as_str());
         if !registered.contains_key(frag) {
             out.push(Finding {
                 file: file.clone(),
@@ -652,15 +698,19 @@ fn key_fragment_registry(
             });
         }
     }
-    for (frag, lineno) in &registered {
-        if !seen.contains(frag.as_str()) {
+    for (frag, (lineno, note)) in &registered {
+        if note.starts_with("reserved:") {
+            continue;
+        }
+        if !live.contains(frag) {
             out.push(Finding {
                 file: reg_rel.clone(),
                 line: *lineno,
                 rule: "key-fragment-registry".into(),
                 msg: format!(
-                    "registry entry `{frag}` no longer appears in any key module — delete it \
-                     or note why it is reserved"
+                    "registry entry `{frag}` has no remaining code site anywhere in the \
+                     workspace — delete the dead entry, or change its note to \
+                     `reserved: <why>` to park the fragment deliberately"
                 ),
             });
         }

@@ -1,0 +1,187 @@
+//! The workspace symbol graph: every first-party file lexed, masked,
+//! and item-parsed once, plus a cross-file symbol table resolving
+//! first-party type names to their defining struct/enum.
+//!
+//! Semantic rules walk this graph instead of re-lexing: a rule that
+//! sees `impl JsonCodec for SimCounters` in `snug-harness` resolves
+//! `SimCounters` through the table to its field list in
+//! `snug-metrics`, crossing crate boundaries the way the compiler
+//! does (by name, not by path — first-party type names are unique
+//! enough in practice, and ambiguous names resolve same-crate first
+//! or not at all, so a collision can never mis-attribute fields).
+
+use std::collections::BTreeMap;
+
+use crate::items::{parse_items, ParsedFile, StructItem};
+use crate::lexer::{lex, test_mask, Tok};
+use crate::workspace::{CrateInfo, FileKind, SourceFile, Workspace};
+
+/// One file's full analysis context: tokens, test mask, and parsed
+/// items, with its crate attached.
+pub struct FileCtx<'ws> {
+    /// The owning crate.
+    pub krate: &'ws CrateInfo,
+    /// The source file.
+    pub file: &'ws SourceFile,
+    /// Lexed token stream (comments included).
+    pub toks: Vec<Tok>,
+    /// Per-token test mask (same length as `toks`).
+    pub mask: Vec<bool>,
+    /// Parsed item structure; spans index into `toks`.
+    pub items: ParsedFile,
+}
+
+/// The whole-workspace analysis graph.
+pub struct Graph<'ws> {
+    /// Every first-party source file, in workspace discovery order.
+    pub files: Vec<FileCtx<'ws>>,
+}
+
+impl<'ws> Graph<'ws> {
+    /// Lex and item-parse every file of the workspace.
+    pub fn build(ws: &'ws Workspace) -> Self {
+        let mut files = Vec::new();
+        for krate in &ws.crates {
+            for file in &krate.files {
+                let toks = lex(&file.text);
+                let mask = test_mask(&toks);
+                let items = parse_items(&toks);
+                files.push(FileCtx {
+                    krate,
+                    file,
+                    toks,
+                    mask,
+                    items,
+                });
+            }
+        }
+        Graph { files }
+    }
+}
+
+/// Cross-file symbol table: first-party type names, library code
+/// only (test/bench-local types must never shadow the real ones).
+pub struct SymbolTable {
+    /// Struct name → defining `(file, struct)` indices into the graph.
+    structs: BTreeMap<String, Vec<(usize, usize)>>,
+    /// Enum name → defining `(file, enum)` indices.
+    enums: BTreeMap<String, Vec<(usize, usize)>>,
+}
+
+impl SymbolTable {
+    /// Index every struct and enum defined in library files.
+    pub fn build(graph: &Graph<'_>) -> Self {
+        let mut structs: BTreeMap<String, Vec<(usize, usize)>> = BTreeMap::new();
+        let mut enums: BTreeMap<String, Vec<(usize, usize)>> = BTreeMap::new();
+        for (fi, ctx) in graph.files.iter().enumerate() {
+            if ctx.file.kind != FileKind::Lib {
+                continue;
+            }
+            for (si, s) in ctx.items.structs.iter().enumerate() {
+                structs.entry(s.name.clone()).or_default().push((fi, si));
+            }
+            for (ei, e) in ctx.items.enums.iter().enumerate() {
+                enums.entry(e.name.clone()).or_default().push((fi, ei));
+            }
+        }
+        SymbolTable { structs, enums }
+    }
+
+    /// Resolve a struct name as seen from `from_file` (a graph index):
+    /// a definition in the same crate wins, otherwise the name must be
+    /// workspace-unique. Ambiguous foreign names resolve to `None` —
+    /// a semantic rule must stay silent rather than guess.
+    pub fn resolve_struct<'g>(
+        &self,
+        graph: &'g Graph<'_>,
+        from_file: usize,
+        name: &str,
+    ) -> Option<(usize, &'g StructItem)> {
+        let candidates = self.structs.get(name)?;
+        let from_crate = &graph.files[from_file].krate.name;
+        let same_crate: Vec<&(usize, usize)> = candidates
+            .iter()
+            .filter(|(fi, _)| &graph.files[*fi].krate.name == from_crate)
+            .collect();
+        let (fi, si) = match (same_crate.len(), candidates.len()) {
+            (1, _) => *same_crate[0],
+            (0, 1) => candidates[0],
+            _ => return None,
+        };
+        Some((fi, &graph.files[fi].items.structs[si]))
+    }
+
+    /// True when `name` is a known first-party enum (used by rules to
+    /// skip non-struct codec impls without guessing).
+    pub fn is_enum(&self, name: &str) -> bool {
+        self.enums.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::Manifest;
+    use std::path::PathBuf;
+
+    fn ws_two_crates() -> Workspace {
+        let mk = |name: &str, rel: &str, src: &str| CrateInfo {
+            name: name.into(),
+            rel_dir: rel.into(),
+            dir: PathBuf::from(rel),
+            manifest: Manifest::parse(&format!("[package]\nname = \"{name}\"\n")),
+            files: vec![SourceFile {
+                rel: format!("{rel}/src/lib.rs"),
+                kind: FileKind::Lib,
+                text: src.into(),
+            }],
+        };
+        Workspace {
+            root: PathBuf::from("."),
+            crates: vec![
+                mk(
+                    "metrics",
+                    "crates/metrics",
+                    "pub struct Counters { pub hits: u64 }\npub struct Local { pub x: u64 }",
+                ),
+                mk(
+                    "harness",
+                    "crates/harness",
+                    "pub struct Local { pub y: u64 }\npub enum Kind { A, B }",
+                ),
+            ],
+            root_manifest: None,
+        }
+    }
+
+    #[test]
+    fn unique_foreign_names_resolve_across_crates() {
+        let ws = ws_two_crates();
+        let graph = Graph::build(&ws);
+        let tab = SymbolTable::build(&graph);
+        // From the harness file (index 1), `Counters` resolves into metrics.
+        let (fi, s) = tab.resolve_struct(&graph, 1, "Counters").expect("resolves");
+        assert_eq!(graph.files[fi].krate.name, "metrics");
+        assert_eq!(s.fields[0].name, "hits");
+    }
+
+    #[test]
+    fn ambiguous_names_resolve_same_crate_or_not_at_all() {
+        let ws = ws_two_crates();
+        let graph = Graph::build(&ws);
+        let tab = SymbolTable::build(&graph);
+        // `Local` exists in both crates: same-crate wins from each side.
+        let (fi, s) = tab
+            .resolve_struct(&graph, 0, "Local")
+            .expect("metrics side");
+        assert_eq!(fi, 0);
+        assert_eq!(s.fields[0].name, "x");
+        let (fi, s) = tab
+            .resolve_struct(&graph, 1, "Local")
+            .expect("harness side");
+        assert_eq!(fi, 1);
+        assert_eq!(s.fields[0].name, "y");
+        assert!(tab.is_enum("Kind"));
+        assert!(!tab.is_enum("Counters"));
+    }
+}

@@ -30,6 +30,10 @@ fn every_rule_fires_on_the_fixtures() {
         "panic-audit",
         "forbid-unsafe",
         "pragma",
+        "snapshot-completeness",
+        "codec-field-bijection",
+        "obs-cfg-consistency",
+        "no-lossy-cast-in-kernel",
     ] {
         assert!(
             findings.iter().any(|f| f.rule == rule),
@@ -140,6 +144,102 @@ fn pragma_abuse_is_flagged() {
         hits.iter().any(|f| f.msg.contains("suppresses nothing")),
         "{hits:#?}"
     );
+}
+
+#[test]
+fn snapshot_completeness_fires_in_all_three_directions() {
+    let findings = fixture_findings();
+    let hits = of_rule(&findings, "snapshot-completeness");
+    assert!(hits.iter().all(|f| f.file.ends_with("snapviol/src/lib.rs")));
+    // State field `c` has no snapshot slot.
+    assert!(
+        hits.iter()
+            .any(|f| f.msg.contains("`c` of `Sess`") && f.msg.contains("no slot")),
+        "{hits:#?}"
+    );
+    // Snapshot field `d` is dropped by the capture and by the restore.
+    assert!(
+        hits.iter()
+            .any(|f| f.msg.contains("`d`") && f.msg.contains("never populated")),
+        "{hits:#?}"
+    );
+    assert!(
+        hits.iter()
+            .any(|f| f.msg.contains("`d`") && f.msg.contains("never written back")),
+        "{hits:#?}"
+    );
+    assert_eq!(hits.len(), 3, "{hits:#?}");
+    // The pragma'd transient field and the capture-less LoneSnapshot
+    // stay silent.
+    assert!(!hits.iter().any(|f| f.msg.contains("scratch")), "{hits:#?}");
+    assert!(
+        !hits.iter().any(|f| f.msg.contains("LoneSnapshot")),
+        "{hits:#?}"
+    );
+}
+
+#[test]
+fn codec_bijection_fires_per_direction_and_skips_enums() {
+    let findings = fixture_findings();
+    let hits = of_rule(&findings, "codec-field-bijection");
+    assert!(hits
+        .iter()
+        .all(|f| f.file.ends_with("codecviol/src/lib.rs")));
+    assert!(
+        hits.iter()
+            .any(|f| f.msg.contains("`z`") && f.msg.contains("to_json")),
+        "{hits:#?}"
+    );
+    assert!(
+        hits.iter()
+            .any(|f| f.msg.contains("`y`") && f.msg.contains("from_json")),
+        "{hits:#?}"
+    );
+    assert_eq!(hits.len(), 2, "{hits:#?}");
+    // The pragma'd runtime-only field and the enum codec stay silent.
+    assert!(!hits.iter().any(|f| f.msg.contains("secret")), "{hits:#?}");
+    assert!(!hits.iter().any(|f| f.msg.contains("Mode")), "{hits:#?}");
+}
+
+#[test]
+fn obs_cfg_consistency_fires_only_on_the_ungated_tally() {
+    let findings = fixture_findings();
+    let hits = of_rule(&findings, "obs-cfg-consistency");
+    // Exactly the ungated `tally.hits` in `step`: the cfg! block, the
+    // !cfg! early-return guard, the #[cfg]-gated fn, and the pragma'd
+    // site all stay silent.
+    assert_eq!(hits.len(), 1, "{hits:#?}");
+    assert!(hits[0].file.ends_with("obsviol/src/lib.rs"));
+    assert!(hits[0].msg.contains("tally.hits"), "{hits:#?}");
+    assert_eq!(hits[0].line, 35, "{hits:#?}");
+}
+
+#[test]
+fn lossy_cast_fires_on_narrowing_only() {
+    let findings = fixture_findings();
+    let hits = of_rule(&findings, "no-lossy-cast-in-kernel");
+    // Exactly the naked `x as u32` in castviol: widening casts are
+    // exempt, the masked u16 cast is pragma'd, and non-kernel crates
+    // (codecviol's `as u64`) are out of scope.
+    assert_eq!(hits.len(), 1, "{hits:#?}");
+    assert!(hits[0].file.ends_with("castviol/src/lib.rs"));
+    assert!(hits[0].msg.contains("as u32"), "{hits:#?}");
+    assert_eq!(hits[0].line, 8, "{hits:#?}");
+}
+
+#[test]
+fn registry_liveness_is_workspace_wide_with_reserved_escape() {
+    let findings = fixture_findings();
+    let hits = of_rule(&findings, "key-fragment-registry");
+    // `elsewhere` has its only code site in a non-key module
+    // (report.rs) — the workspace-wide live set keeps it alive.
+    assert!(
+        !hits.iter().any(|f| f.msg.contains("elsewhere")),
+        "{hits:#?}"
+    );
+    // `parked=` has no code site at all, but its `reserved:` note
+    // parks it deliberately.
+    assert!(!hits.iter().any(|f| f.msg.contains("parked")), "{hits:#?}");
 }
 
 #[test]

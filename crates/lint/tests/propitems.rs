@@ -1,0 +1,375 @@
+//! Property test for the item parser: generate random Rust item
+//! soups — nested generics, where-clauses, cfg-gated fields, macro
+//! bodies, trait/extern decoys, comment and string traps — from a
+//! structured ground truth, then check `parse_items` never panics and
+//! extracts exactly the items the generator wrote.
+
+use proptest::prelude::*;
+use snug_lint::items::parse_items;
+use snug_lint::lexer::lex;
+
+/// What the generator actually emitted, in source order: the
+/// reference walk the parser's output must match.
+#[derive(Debug, Default, PartialEq)]
+struct Truth {
+    /// (name, has_named_fields, item cfg, [(field, field cfg)]).
+    #[allow(clippy::type_complexity)]
+    structs: Vec<(String, bool, Option<String>, Vec<(String, Option<String>)>)>,
+    /// (name, variant names).
+    enums: Vec<(String, Vec<String>)>,
+    /// Free fns, mods flattened: (name, cfg).
+    fns: Vec<(String, Option<String>)>,
+    /// (self type, trait name, item cfg, [(method, cfg, bodied)]).
+    #[allow(clippy::type_complexity)]
+    impls: Vec<(
+        String,
+        Option<String>,
+        Option<String>,
+        Vec<(String, Option<String>, bool)>,
+    )>,
+}
+
+struct Gen {
+    rng: TestRng,
+    uniq: u32,
+}
+
+impl Gen {
+    fn pick(&mut self, n: usize) -> usize {
+        (self.rng.next_u64() % n as u64) as usize
+    }
+
+    fn chance(&mut self, pct: u64) -> bool {
+        self.rng.next_u64() % 100 < pct
+    }
+
+    fn name(&mut self, prefix: &str) -> String {
+        self.uniq += 1;
+        format!("{prefix}{}", self.uniq)
+    }
+
+    fn generics(&mut self) -> &'static str {
+        const G: &[&str] = &[
+            "",
+            "<T>",
+            "<'a, T: Clone>",
+            "<T: Into<Vec<u8>>, const N: usize>",
+            "<F: Fn(u32) -> u64>",
+        ];
+        G[self.pick(G.len())]
+    }
+
+    fn where_clause(&mut self) -> &'static str {
+        const W: &[&str] = &[
+            "",
+            " where T: Clone",
+            " where T: Into<Vec<u8>>, F: Fn(i64) -> i64",
+        ];
+        W[self.pick(W.len())]
+    }
+
+    fn field_ty(&mut self) -> &'static str {
+        const T: &[&str] = &[
+            "u64",
+            "Vec<u8>",
+            "BTreeMap<String, Vec<(u32, u8)>>",
+            "Option<Box<dyn Fn(u32) -> u64>>",
+            "[u8; 4]",
+            "(u32, String)",
+            "&'static str",
+        ];
+        T[self.pick(T.len())]
+    }
+
+    /// Attribute lines for an item or field, plus the cfg feature the
+    /// parser is expected to extract (positive plain `cfg` only).
+    fn attrs(&mut self) -> (&'static str, Option<&'static str>) {
+        const A: &[(&str, Option<&str>)] = &[
+            ("", None),
+            ("    #[derive(Debug, Clone)]\n", None),
+            ("    #[cfg(feature = \"obs\")]\n", Some("obs")),
+            ("    #[cfg(feature = \"trace\")]\n", Some("trace")),
+            ("    #[cfg(not(feature = \"obs\"))]\n", None),
+            ("    #[cfg_attr(test, derive(Debug))]\n", None),
+            ("    #[cfg(all(feature = \"obs\", unix))]\n", Some("obs")),
+            (
+                "    #[inline]\n    #[cfg(feature = \"obs\")]\n",
+                Some("obs"),
+            ),
+        ];
+        A[self.pick(A.len())]
+    }
+
+    fn body(&mut self) -> String {
+        const S: &[&str] = &[
+            "let s = \"struct Fake { fn bogus() }\";",
+            "let r = r#\"impl Decoy for Nothing {}\"#;",
+            "let c = '{';",
+            "let v = (1u64 << 3) as u64;",
+            "let f = |x: u32| -> u64 { (x + 1) as u64 };",
+            "if 1 < 2 && 4 > 3 { let _ = vec![1, 2, 3]; }",
+            "// fn commented_out(x: u32) {}",
+            "/* struct Block { y: u8 } */",
+        ];
+        let mut out = String::new();
+        for _ in 0..=self.pick(3) {
+            out.push_str("        ");
+            out.push_str(S[self.pick(S.len())]);
+            out.push('\n');
+        }
+        out
+    }
+
+    fn emit_struct(&mut self, src: &mut String, truth: &mut Truth) {
+        let (attrs, cfg) = self.attrs();
+        let name = self.name("S");
+        src.push_str(attrs);
+        match self.pick(3) {
+            // Named fields.
+            0 => {
+                src.push_str(&format!(
+                    "pub struct {name}{}{} {{\n",
+                    self.generics(),
+                    self.where_clause()
+                ));
+                let mut fields = Vec::new();
+                for _ in 0..=self.pick(4) {
+                    let (fattrs, fcfg) = self.attrs();
+                    let fname = self.name("fld");
+                    if self.chance(30) {
+                        src.push_str("    /// Doc comment trap: fld9999: u64,\n");
+                    }
+                    src.push_str(fattrs);
+                    src.push_str(&format!("    pub {fname}: {},\n", self.field_ty()));
+                    fields.push((fname, fcfg.map(String::from)));
+                }
+                src.push_str("}\n");
+                truth
+                    .structs
+                    .push((name, true, cfg.map(String::from), fields));
+            }
+            // Tuple struct.
+            1 => {
+                src.push_str(&format!(
+                    "struct {name}{}(pub u32, Vec<(u8, u8)>){};\n",
+                    self.generics(),
+                    self.where_clause()
+                ));
+                truth
+                    .structs
+                    .push((name, false, cfg.map(String::from), Vec::new()));
+            }
+            // Unit struct.
+            _ => {
+                src.push_str(&format!("struct {name};\n"));
+                truth
+                    .structs
+                    .push((name, false, cfg.map(String::from), Vec::new()));
+            }
+        }
+    }
+
+    fn emit_enum(&mut self, src: &mut String, truth: &mut Truth) {
+        let (attrs, _) = self.attrs();
+        let name = self.name("E");
+        src.push_str(attrs);
+        src.push_str(&format!("pub enum {name}{} {{\n", self.generics()));
+        let mut variants = Vec::new();
+        for _ in 0..=self.pick(3) {
+            let v = self.name("V");
+            match self.pick(4) {
+                0 => src.push_str(&format!("    {v},\n")),
+                1 => src.push_str(&format!("    {v}(u32, Vec<u8>),\n")),
+                2 => src.push_str(&format!("    {v} {{ payload: BTreeMap<u32, u8> }},\n")),
+                _ => src.push_str(&format!("    {v} = (1 << 3) + 4,\n")),
+            }
+            variants.push(v);
+        }
+        src.push_str("}\n");
+        truth.enums.push((name, variants));
+    }
+
+    fn emit_fn(&mut self, src: &mut String, truth: &mut Truth) {
+        let (attrs, cfg) = self.attrs();
+        let name = self.name("f");
+        const PARAMS: &[&str] = &["", "x: u32, y: &str", "v: Vec<(u32, u8)>"];
+        const RET: &[&str] = &["", " -> u64", " -> Option<Vec<u8>>"];
+        src.push_str(attrs);
+        src.push_str(&format!(
+            "pub fn {name}{}({}){}{} {{\n{}}}\n",
+            self.generics(),
+            PARAMS[self.pick(PARAMS.len())],
+            RET[self.pick(RET.len())],
+            self.where_clause(),
+            self.body()
+        ));
+        truth.fns.push((name, cfg.map(String::from)));
+    }
+
+    fn emit_impl(&mut self, src: &mut String, truth: &mut Truth) {
+        let (attrs, cfg) = self.attrs();
+        let self_ty = self.name("Ty");
+        // Trait heads exercise path segments and generic arguments;
+        // the parser keeps only the last segment.
+        let (trait_src, trait_name) = match self.pick(4) {
+            0 => (String::new(), None),
+            1 => {
+                let t = self.name("Tr");
+                (format!("{t} for "), Some(t))
+            }
+            2 => {
+                let t = self.name("Tr");
+                (format!("fmt::{t} for "), Some(t))
+            }
+            _ => {
+                let t = self.name("Tr");
+                (format!("{t}<u32, Vec<u8>> for "), Some(t))
+            }
+        };
+        src.push_str(attrs);
+        src.push_str(&format!(
+            "impl{} {trait_src}{self_ty}{}{} {{\n",
+            self.generics(),
+            self.generics(),
+            self.where_clause()
+        ));
+        let mut methods = Vec::new();
+        for _ in 0..=self.pick(2) {
+            let (mattrs, mcfg) = self.attrs();
+            let m = self.name("m");
+            src.push_str(mattrs);
+            src.push_str(&format!(
+                "    fn {m}(&self, n: u32) -> u64 {{\n{}    }}\n",
+                self.body()
+            ));
+            methods.push((m, mcfg.map(String::from), true));
+        }
+        src.push_str("}\n");
+        truth
+            .impls
+            .push((self_ty, trait_name, cfg.map(String::from), methods));
+    }
+
+    /// Items the parser must skip without swallowing what follows.
+    fn emit_noise(&mut self, src: &mut String) {
+        let n = self.name("noise");
+        match self.pick(7) {
+            0 => src.push_str("use std::collections::BTreeMap;\n"),
+            1 => src.push_str(&format!("pub type Alias{n} = Vec<(u32, u8)>;\n")),
+            2 => src.push_str(&format!("pub const K{n}: u32 = (1 << 4) + 3;\n")),
+            3 => src.push_str(&format!(
+                "static ST{n}: &str = \"fn not_an_item() {{}}\";\n"
+            )),
+            4 => src.push_str(&format!(
+                "pub trait Decoy{n} {{ fn required(&self) -> u32; fn with_default(&self) {{}} }}\n"
+            )),
+            5 => src.push_str(&format!("extern \"C\" {{ fn ffi{n}(x: u32) -> u32; }}\n")),
+            _ => src.push_str(&format!(
+                "macro_rules! mac{n} {{ ($x:expr) => {{ struct NotReal {{ field: $x }} }}; }}\n"
+            )),
+        }
+    }
+
+    fn emit_item(&mut self, src: &mut String, truth: &mut Truth, depth: u32) {
+        if self.chance(25) {
+            src.push_str("// comment trap: struct Commented { x: u8 }\n");
+        }
+        match self.pick(if depth == 0 { 6 } else { 5 }) {
+            0 => self.emit_struct(src, truth),
+            1 => self.emit_enum(src, truth),
+            2 => self.emit_fn(src, truth),
+            3 => self.emit_impl(src, truth),
+            4 => self.emit_noise(src),
+            // Inline mod: items parse flattened into the same file.
+            _ => {
+                src.push_str(&format!("pub mod {} {{\n", self.name("md")));
+                for _ in 0..=self.pick(2) {
+                    self.emit_item(src, truth, depth + 1);
+                }
+                src.push_str("}\n");
+            }
+        }
+    }
+}
+
+fn generate(seed: u64) -> (String, Truth) {
+    let mut g = Gen {
+        rng: TestRng::new(seed),
+        uniq: 0,
+    };
+    let mut src = String::from("//! Generated item soup.\n");
+    let mut truth = Truth::default();
+    for _ in 0..3 + g.pick(8) {
+        g.emit_item(&mut src, &mut truth, 0);
+    }
+    (src, truth)
+}
+
+proptest! {
+    #[test]
+    fn item_parser_matches_the_reference_walk(seed in 0u64..u64::MAX) {
+        let (src, truth) = generate(seed);
+        let parsed = parse_items(&lex(&src));
+        let got = Truth {
+            structs: parsed
+                .structs
+                .iter()
+                .map(|s| {
+                    (
+                        s.name.clone(),
+                        s.has_named_fields,
+                        s.cfg_feature.clone(),
+                        s.fields
+                            .iter()
+                            .map(|f| (f.name.clone(), f.cfg_feature.clone()))
+                            .collect(),
+                    )
+                })
+                .collect(),
+            enums: parsed
+                .enums
+                .iter()
+                .map(|e| (e.name.clone(), e.variants.clone()))
+                .collect(),
+            fns: parsed
+                .fns
+                .iter()
+                .map(|f| (f.name.clone(), f.cfg_feature.clone()))
+                .collect(),
+            impls: parsed
+                .impls
+                .iter()
+                .map(|i| {
+                    (
+                        i.self_ty.clone(),
+                        i.trait_name.clone(),
+                        i.cfg_feature.clone(),
+                        i.methods
+                            .iter()
+                            .map(|m| (m.name.clone(), m.cfg_feature.clone(), m.body.is_some()))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        };
+        prop_assert!(
+            got == truth,
+            "parser output diverged from the reference walk\nsource:\n{src}\n got: {got:#?}\nwant: {truth:#?}"
+        );
+    }
+
+    /// Pure robustness: truncating the soup at any point must not
+    /// panic the parser (unterminated groups, half items).
+    #[test]
+    fn item_parser_never_panics_on_truncation(seed in 0u64..u64::MAX, cut in 0usize..4096) {
+        let (src, _) = generate(seed);
+        let cut = cut.min(src.len());
+        // Truncate on a char boundary.
+        let mut end = cut;
+        while !src.is_char_boundary(end) {
+            end -= 1;
+        }
+        let _ = parse_items(&lex(&src[..end]));
+        prop_assert!(true);
+    }
+}

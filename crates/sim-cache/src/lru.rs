@@ -78,8 +78,10 @@ impl LruOrder {
             for p in 0..n {
                 bits |= (p as u64) << (4 * p);
             }
+            // snug-lint: allow(no-lossy-cast-in-kernel, "this branch has n <= 16")
             Repr::Packed { bits, n: n as u8 }
         } else {
+            // snug-lint: allow(no-lossy-cast-in-kernel, "new() asserts n <= u8::MAX")
             Repr::Wide((0..n as u8).collect())
         };
         LruOrder { repr }

@@ -21,7 +21,9 @@ impl SatCounter {
     /// Create a k-bit counter initialised to `2^(k-1) - 1` (paper Fig. 7).
     pub fn new(k: u32) -> Self {
         assert!((1..=16).contains(&k), "counter width must be 1..=16 bits");
+        // snug-lint: allow(no-lossy-cast-in-kernel, "k is asserted 1..=16, so 2^k - 1 <= u16::MAX")
         let max = ((1u32 << k) - 1) as u16;
+        // snug-lint: allow(no-lossy-cast-in-kernel, "k is asserted 1..=16, so 2^(k-1) - 1 <= u16::MAX")
         let init = ((1u32 << (k - 1)) - 1) as u16;
         SatCounter {
             value: init,

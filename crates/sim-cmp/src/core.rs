@@ -101,9 +101,11 @@ impl CoreModel {
         let w = self.cfg.issue_width as u64;
         if w & (w - 1) == 0 {
             self.cycle += total >> w.trailing_zeros();
+            // snug-lint: allow(no-lossy-cast-in-kernel, "masked by w - 1, and issue_width is a u32")
             self.issue_slot = (total & (w - 1)) as u32;
         } else {
             self.cycle += total / w;
+            // snug-lint: allow(no-lossy-cast-in-kernel, "remainder is < w, and issue_width is a u32")
             self.issue_slot = (total % w) as u32;
         }
         self.instrs = end_pos;

@@ -396,15 +396,15 @@ pub struct SimSession<O: L2Org> {
     next_shift: usize,
     /// Shifts applied since the last probe sample (drained into
     /// [`PeriodSample::shifts`]; not part of snapshots, like probes).
-    fired_shifts: Vec<StreamShift>,
-    probe_stride: u64,
-    next_probe_at: u64,
+    fired_shifts: Vec<StreamShift>, // snug-lint: allow(snapshot-completeness, "probe-period drain buffer; restored sessions start a fresh period")
+    probe_stride: u64, // snug-lint: allow(snapshot-completeness, "probe config, not simulation state; to_session re-installs probes explicitly")
+    next_probe_at: u64, // snug-lint: allow(snapshot-completeness, "probe latch; restored sessions restart probing from install_probe")
     /// Per-core (instructions, cycle) at the previous probe tick.
-    probe_cores: Vec<(u64, u64)>,
+    probe_cores: Vec<(u64, u64)>, // snug-lint: allow(snapshot-completeness, "probe latch, re-seeded when probing restarts")
     /// Aggregate L2 stats at the previous probe tick.
-    probe_l2: CacheStats,
-    probes: Vec<Box<dyn Probe>>,
-    series: Option<Vec<PeriodSample>>,
+    probe_l2: CacheStats, // snug-lint: allow(snapshot-completeness, "probe latch, re-seeded when probing restarts")
+    probes: Vec<Box<dyn Probe>>, // snug-lint: allow(snapshot-completeness, "trait objects are observers, not state; snapshots restore with no probes attached")
+    series: Option<Vec<PeriodSample>>, // snug-lint: allow(snapshot-completeness, "recorded samples belong to the recording session; restore starts a fresh series")
     /// Observability tallies the session itself increments on the hot
     /// path (retired ops, L1 walk depths, L2Org dispatches, scheme
     /// relatch events); zero-cost when the `obs` feature is off. The
@@ -413,7 +413,7 @@ pub struct SimSession<O: L2Org> {
     tally: SimCounters,
     /// Assembled counters at the previous probe tick (interval deltas;
     /// not part of snapshots, like the other probe latches).
-    probe_counters: SimCounters,
+    probe_counters: SimCounters, // snug-lint: allow(snapshot-completeness, "probe latch, re-seeded when probing restarts")
 }
 
 impl<O: L2Org> SimSession<O> {
